@@ -1,0 +1,157 @@
+(* The experiment harness: regenerates every table and figure of the
+   paper's evaluation (plus the DESIGN.md ablations), and runs a bechamel
+   microbenchmark suite over the substrate's hot data structures.
+
+   Usage:
+     dune exec bench/main.exe                 # all experiments, full scale
+     dune exec bench/main.exe -- --quick      # scaled-down smoke pass
+     dune exec bench/main.exe -- --only fig9  # one experiment
+     dune exec bench/main.exe -- --list
+     dune exec bench/main.exe -- --micro      # bechamel microbenchmarks *)
+
+let list_experiments () =
+  print_endline "available experiments:";
+  List.iter
+    (fun (id, desc, _) -> Printf.printf "  %-12s %s\n" id desc)
+    Kite.Experiments.all
+
+let run_one ~quick (id, desc, f) =
+  Printf.printf "\n### %s — %s\n%!" id desc;
+  let t0 = Unix.gettimeofday () in
+  (try
+     let outcome = f ~quick in
+     List.iter Kite_stats.Table.print outcome.Kite.Experiments.tables
+   with e ->
+     Printf.printf "!! %s failed: %s\n" id (Printexc.to_string e));
+  Printf.printf "  [%s took %.1fs wall clock]\n%!" id
+    (Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks over the substrate                          *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let open Toolkit in
+  let ring_roundtrip =
+    Test.make ~name:"ring request/response roundtrip"
+      (Staged.stage (fun () ->
+           let r : (int, int) Kite_xen.Ring.t = Kite_xen.Ring.create ~order:5 in
+           for i = 1 to 32 do
+             Kite_xen.Ring.push_request r i
+           done;
+           ignore (Kite_xen.Ring.push_requests_and_check_notify r);
+           let rec drain () =
+             match Kite_xen.Ring.take_request r with
+             | Some v ->
+                 Kite_xen.Ring.push_response r v;
+                 drain ()
+             | None -> ()
+           in
+           drain ();
+           ignore (Kite_xen.Ring.push_responses_and_check_notify r)))
+  in
+  let xenstore_write =
+    Test.make ~name:"xenstore write+watch fire"
+      (Staged.stage (fun () ->
+           let xs = Kite_xen.Xenstore.create () in
+           let hits = ref 0 in
+           ignore
+             (Kite_xen.Xenstore.watch xs ~path:"/backend" ~token:"t"
+                (fun ~path:_ ~token:_ -> incr hits));
+           for i = 0 to 63 do
+             Kite_xen.Xenstore.write xs ~domid:0
+               ~path:(Printf.sprintf "/backend/vif/%d" i)
+               "x"
+           done))
+  in
+  let engine_events =
+    Test.make ~name:"engine: 1k timed events"
+      (Staged.stage (fun () ->
+           let e = Kite_sim.Engine.create () in
+           for i = 1 to 1000 do
+             ignore (Kite_sim.Engine.schedule_at e i (fun () -> ()))
+           done;
+           Kite_sim.Engine.run e))
+  in
+  let tcp_checksum =
+    let seg = Bytes.make 1460 'x' in
+    let src = Kite_net.Ipv4addr.of_string "10.0.0.1" in
+    let dst = Kite_net.Ipv4addr.of_string "10.0.0.2" in
+    Test.make ~name:"tcp segment encode (1460B, checksummed)"
+      (Staged.stage (fun () ->
+           ignore
+             (Kite_net.Tcp_wire.encode
+                {
+                  Kite_net.Tcp_wire.src_port = 1;
+                  dst_port = 2;
+                  seq = 42;
+                  ack_num = 41;
+                  flags = Kite_net.Tcp_wire.no_flags;
+                  window = 65536;
+                }
+                ~src ~dst ~payload:seg)))
+  in
+  let gadget_scan =
+    let code =
+      Kite_security.Image_gen.generate
+        { Kite_security.Image_gen.config_name = "bench"; text_kb = 64 }
+    in
+    Test.make ~name:"gadget scan (64 KiB text)"
+      (Staged.stage (fun () -> ignore (Kite_security.Gadget.scan code)))
+  in
+  let tests =
+    [ ring_roundtrip; xenstore_write; engine_events; tcp_checksum; gadget_scan ]
+  in
+  let benchmark test =
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+    Benchmark.all cfg Instance.[ monotonic_clock ] test
+  in
+  let analyze raw =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                   ~predictors:[| Measure.run |])
+      (Instance.monotonic_clock :> Measure.witness)
+      raw
+  in
+  print_endline "== bechamel microbenchmarks (ns/run) ==";
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark (Test.make_grouped ~name:"g" [ test ])) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-45s %12.1f\n%!" name est
+          | Some _ | None -> Printf.printf "  %-45s (no estimate)\n%!" name)
+        results)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args in
+  let micro = List.mem "--micro" args in
+  let only =
+    let rec find = function
+      | "--only" :: id :: _ -> Some id
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  if List.mem "--list" args then list_experiments ()
+  else if micro then micro_tests ()
+  else begin
+    Printf.printf "Kite reproduction harness (%s scale)\n"
+      (if quick then "quick" else "full");
+    (match only with
+    | Some id -> (
+        match
+          List.find_opt (fun (i, _, _) -> i = id) Kite.Experiments.all
+        with
+        | Some exp -> run_one ~quick exp
+        | None ->
+            Printf.printf "unknown experiment %s\n" id;
+            list_experiments ();
+            exit 1)
+    | None -> List.iter (run_one ~quick) Kite.Experiments.all);
+    print_endline "\ndone."
+  end

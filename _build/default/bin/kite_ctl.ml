@@ -1,0 +1,211 @@
+(* kite_ctl — command-line front end for the Kite reproduction.
+
+   Mirrors the xl-flavoured workflow of the paper's artifact: list and run
+   experiments, replay boots, print domain topology and security reports.
+
+     kite_ctl list
+     kite_ctl run fig9 --quick
+     kite_ctl boot kite-network
+     kite_ctl security
+     kite_ctl topology --flavor kite *)
+
+open Cmdliner
+
+let quick_arg =
+  let doc = "Run at reduced scale (smoke pass)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* list                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (id, desc, _) -> Printf.printf "%-12s %s\n" id desc)
+      Kite.Experiments.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the available experiments.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let id_arg =
+    let doc = "Experiment id (see $(b,list)); 'all' runs everything." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let run quick id =
+    let run_one (eid, desc, f) =
+      Printf.printf "\n### %s — %s\n%!" eid desc;
+      let outcome = f ~quick in
+      List.iter Kite_stats.Table.print outcome.Kite.Experiments.tables
+    in
+    if id = "all" then begin
+      List.iter run_one Kite.Experiments.all;
+      `Ok ()
+    end
+    else
+      match List.find_opt (fun (i, _, _) -> i = id) Kite.Experiments.all with
+      | Some exp ->
+          run_one exp;
+          `Ok ()
+      | None -> `Error (false, "unknown experiment " ^ id ^ "; try 'list'")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one experiment (or 'all').")
+    Term.(ret (const run $ quick_arg $ id_arg))
+
+(* ------------------------------------------------------------------ *)
+(* boot                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let profiles =
+  [
+    ("kite-network", Kite_profiles.Boot.kite_network);
+    ("kite-storage", Kite_profiles.Boot.kite_storage);
+    ("kite-dhcp", Kite_profiles.Boot.kite_dhcp);
+    ("linux", Kite_profiles.Boot.linux_driver_domain);
+  ]
+
+let boot_cmd =
+  let profile_arg =
+    let doc =
+      "Boot profile: " ^ String.concat ", " (List.map fst profiles) ^ "."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROFILE" ~doc)
+  in
+  let run name =
+    match List.assoc_opt name profiles with
+    | None -> `Error (false, "unknown profile " ^ name)
+    | Some boot ->
+        let engine = Kite_sim.Engine.create () in
+        let sched = Kite_sim.Process.scheduler engine in
+        Printf.printf "booting %s...\n" (Kite_profiles.Boot.name boot);
+        let acc = ref 0 in
+        List.iter
+          (fun st ->
+            acc := !acc + st.Kite_profiles.Boot.duration;
+            Printf.printf "  [%6.2fs] %s\n"
+              (Kite_sim.Time.to_sec_f !acc)
+              st.Kite_profiles.Boot.stage_name)
+          (Kite_profiles.Boot.stages boot);
+        Kite_profiles.Boot.run sched boot ~on_ready:(fun at ->
+            Printf.printf "ready after %s (simulated)\n"
+              (Kite_sim.Time.to_string at));
+        Kite_sim.Engine.run engine;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "boot" ~doc:"Replay a domain's boot sequence on the simulator.")
+    Term.(ret (const run $ profile_arg))
+
+(* ------------------------------------------------------------------ *)
+(* security                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let security_cmd =
+  let run quick =
+    List.iter
+      (fun id ->
+        match Kite.Experiments.find id with
+        | Some f ->
+            List.iter Kite_stats.Table.print
+              (f ~quick).Kite.Experiments.tables
+        | None -> ())
+      [ "fig4a"; "fig4b"; "table3"; "fig5" ]
+  in
+  Cmd.v
+    (Cmd.info "security"
+       ~doc:"Print the full security report (syscalls, images, CVEs, gadgets).")
+    Term.(const run $ quick_arg)
+
+(* ------------------------------------------------------------------ *)
+(* topology                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let topology_cmd =
+  let flavor_arg =
+    let doc = "Driver-domain flavor: kite or linux." in
+    Arg.(value & opt string "kite" & info [ "flavor" ] ~doc)
+  in
+  let run flavor_s =
+    let flavor =
+      match String.lowercase_ascii flavor_s with
+      | "linux" -> Kite.Scenario.Linux
+      | _ -> Kite.Scenario.Kite
+    in
+    let s = Kite.Scenario.network ~flavor () in
+    Kite.Scenario.when_net_ready s (fun () -> ());
+    Kite_xen.Hypervisor.run_for s.Kite.Scenario.hv (Kite_sim.Time.sec 2);
+    Printf.printf "domains:\n";
+    List.iter
+      (fun d -> Format.printf "  %a@." Kite_xen.Domain.pp d)
+      (Kite_xen.Hypervisor.domains s.Kite.Scenario.hv);
+    let bridge = Kite_drivers.Net_app.bridge s.Kite.Scenario.net_app in
+    Printf.printf "bridge %s ports:\n" (Kite_net.Bridge.name bridge);
+    List.iter
+      (fun p -> Printf.printf "  %s\n" (Kite_net.Netdev.name p))
+      (Kite_net.Bridge.ports bridge);
+    Printf.printf "xenstore (device paths):\n";
+    let xs = Kite_xen.Hypervisor.store s.Kite.Scenario.hv in
+    List.iter
+      (fun domid ->
+        let base = Printf.sprintf "/local/domain/%s" domid in
+        List.iter
+          (fun sub ->
+            Printf.printf "  %s/%s\n" base sub)
+          (Kite_xen.Xenstore.directory xs ~path:base))
+      (Kite_xen.Xenstore.directory xs ~path:"/local/domain")
+  in
+  Cmd.v
+    (Cmd.info "topology"
+       ~doc:"Boot the network testbed and print its domain/bridge topology.")
+    Term.(const run $ flavor_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let run () =
+    let s = Kite.Scenario.network ~flavor:Kite.Scenario.Kite () in
+    (* tcpdump on the guest's paravirtual interface. *)
+    let cap =
+      Kite_net.Capture.attach
+        (Kite_xen.Hypervisor.engine s.Kite.Scenario.hv)
+        (Kite_net.Stack.dev s.Kite.Scenario.guest_stack)
+    in
+    Kite.Scenario.when_net_ready s (fun () ->
+        ignore
+          (Kite_net.Stack.ping s.Kite.Scenario.client_stack
+             ~dst:s.Kite.Scenario.guest_ip ~seq:1 ());
+        let sock =
+          Kite_net.Stack.udp_bind s.Kite.Scenario.client_stack ~port:40000
+        in
+        Kite_net.Stack.udp_send s.Kite.Scenario.client_stack sock
+          ~dst:s.Kite.Scenario.guest_ip ~dst_port:9 (Bytes.of_string "probe"));
+    Kite_xen.Hypervisor.run_for s.Kite.Scenario.hv (Kite_sim.Time.sec 3);
+    Printf.printf "captured %d frames on the guest VIF:\n"
+      (Kite_net.Capture.captured cap);
+    List.iter print_endline (Kite_net.Capture.dump cap)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a ping + UDP probe through the Kite network domain and dump \
+          a tcpdump-style capture from the guest interface.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "kite_ctl" ~version:"1.0"
+      ~doc:"Drive the Kite (EuroSys'22) reproduction."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; boot_cmd; security_cmd; topology_cmd; trace_cmd ]))

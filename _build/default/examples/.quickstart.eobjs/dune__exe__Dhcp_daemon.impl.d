@@ -1,0 +1,1 @@
+examples/dhcp_daemon.ml: Kite Kite_apps Kite_bench_tools Kite_net Kite_sim Kite_xen Printf Scenario Time

@@ -1,0 +1,1 @@
+examples/dhcp_daemon.mli:

@@ -1,0 +1,1 @@
+examples/network_domain.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Kite Kite_drivers Kite_net Kite_sim Kite_xen List Metrics Printf Process Scenario Time

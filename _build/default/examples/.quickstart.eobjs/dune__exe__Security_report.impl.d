@@ -1,0 +1,1 @@
+examples/security_report.ml: Cve_db Decoder Gadget Image_gen Kite_profiles Kite_security List Os_profile Printf String Syscalls

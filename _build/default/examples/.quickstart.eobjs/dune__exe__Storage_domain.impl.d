@@ -1,0 +1,1 @@
+examples/storage_domain.ml: Bytes Kite Kite_bench_tools Kite_devices Kite_drivers Kite_sim Kite_vfs Kite_xen List Printf Scenario Time

@@ -1,0 +1,1 @@
+examples/storage_domain.mli:

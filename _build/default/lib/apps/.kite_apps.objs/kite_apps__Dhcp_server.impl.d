@@ -1,0 +1,1 @@
+lib/apps/dhcp_server.ml: Dhcp_wire Hashtbl Int32 Ipv4addr Kite_net Kite_sim Macaddr Process Stack Time

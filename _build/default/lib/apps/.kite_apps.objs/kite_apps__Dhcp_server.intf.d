@@ -1,0 +1,1 @@
+lib/apps/dhcp_server.mli: Kite_net Kite_sim

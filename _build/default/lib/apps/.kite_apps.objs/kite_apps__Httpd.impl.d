@@ -1,0 +1,1 @@
+lib/apps/httpd.ml: Buffer Bytes Char Hashtbl Kite_net Kite_sim List Printf Process String Tcp Time

@@ -1,0 +1,1 @@
+lib/apps/httpd.mli: Kite_net Kite_sim

@@ -1,0 +1,1 @@
+lib/apps/kvstore.mli: Kite_net Kite_sim

@@ -1,0 +1,1 @@
+lib/apps/line_reader.ml: Bytes Kite_net Tcp

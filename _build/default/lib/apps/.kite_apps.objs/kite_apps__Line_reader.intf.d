@@ -1,0 +1,1 @@
+lib/apps/line_reader.mli: Bytes Kite_net

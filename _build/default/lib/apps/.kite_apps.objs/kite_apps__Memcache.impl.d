@@ -1,0 +1,1 @@
+lib/apps/memcache.ml: Bytes Hashtbl Kite_net Kite_sim Line_reader Printf Process String Tcp Time

@@ -1,0 +1,1 @@
+lib/apps/memcache.mli: Kite_net Kite_sim

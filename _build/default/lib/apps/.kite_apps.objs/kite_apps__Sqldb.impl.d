@@ -1,0 +1,1 @@
+lib/apps/sqldb.ml: Bytes Char Hashtbl Kite_net Kite_sim Line_reader List Printf Process String Tcp Time

@@ -1,0 +1,1 @@
+lib/apps/sqldb.mli: Bytes Kite_net Kite_sim

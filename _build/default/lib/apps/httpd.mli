@@ -1,0 +1,24 @@
+(** An Apache-style HTTP/1.1 file server (§5.3.3).
+
+    Serves deterministically generated content: a request for
+    ["/data/<n>"] returns [n] bytes.  Supports keep-alive, which
+    ApacheBench uses to issue its 100 k requests over pooled
+    connections. *)
+
+type t
+
+val start :
+  Kite_net.Tcp.t ->
+  ?port:int ->
+  ?cpu_per_request:Kite_sim.Time.span ->
+  sched:Kite_sim.Process.sched ->
+  unit ->
+  t
+(** Listen (default port 80).  [cpu_per_request] models server-side
+    processing (default 40 us, an httpd-ish figure). *)
+
+val requests_served : t -> int
+val bytes_served : t -> int
+
+val path_for : int -> string
+(** The URL path that yields a body of the given size. *)

@@ -1,0 +1,62 @@
+open Kite_sim
+open Kite_net
+
+type t = {
+  store : (string, Bytes.t) Hashtbl.t;
+  cpu_per_op : Time.span;
+  mutable sets : int;
+  mutable gets : int;
+}
+
+let handle t conn () =
+  let r = Line_reader.create conn in
+  let rec serve () =
+    match Line_reader.line r with
+    | None -> Tcp.close conn
+    | Some cmd -> (
+        if t.cpu_per_op > 0 then Process.sleep t.cpu_per_op;
+        match String.split_on_char ' ' (String.trim cmd) with
+        | [ "SET"; key; len ] -> (
+            match int_of_string_opt len with
+            | Some n -> (
+                match Line_reader.exactly r n with
+                | Some payload ->
+                    Hashtbl.replace t.store key payload;
+                    t.sets <- t.sets + 1;
+                    Tcp.send conn (Bytes.of_string "+OK\n");
+                    serve ()
+                | None -> Tcp.close conn)
+            | None ->
+                Tcp.send conn (Bytes.of_string "-ERR bad length\n");
+                serve ())
+        | [ "GET"; key ] ->
+            t.gets <- t.gets + 1;
+            (match Hashtbl.find_opt t.store key with
+            | Some v ->
+                Tcp.send conn
+                  (Bytes.of_string (Printf.sprintf "$%d\n" (Bytes.length v)));
+                Tcp.send conn v
+            | None -> Tcp.send conn (Bytes.of_string "$-1\n"));
+            serve ()
+        | [ "" ] -> serve ()
+        | _ ->
+            Tcp.send conn (Bytes.of_string "-ERR unknown command\n");
+            serve ())
+  in
+  serve ()
+
+let start tcp ?(port = 6379) ?(cpu_per_op = Time.us 2) ~sched () =
+  let t = { store = Hashtbl.create 1024; cpu_per_op; sets = 0; gets = 0 } in
+  let listener = Tcp.listen tcp ~port in
+  Process.spawn sched ~name:"kvstore-acceptor" (fun () ->
+      let rec loop () =
+        let conn = Tcp.accept listener in
+        Process.spawn sched ~name:"kvstore-worker" (handle t conn);
+        loop ()
+      in
+      loop ());
+  t
+
+let sets t = t.sets
+let gets t = t.gets
+let keys t = Hashtbl.length t.store

@@ -1,0 +1,34 @@
+open Kite_net
+
+type t = { conn : Tcp.conn; mutable buf : Bytes.t; mutable off : int }
+
+let create conn = { conn; buf = Bytes.empty; off = 0 }
+
+let refill r =
+  match Tcp.recv r.conn ~max:65536 with
+  | Some data ->
+      let rest = Bytes.length r.buf - r.off in
+      let nb = Bytes.create (rest + Bytes.length data) in
+      Bytes.blit r.buf r.off nb 0 rest;
+      Bytes.blit data 0 nb rest (Bytes.length data);
+      r.buf <- nb;
+      r.off <- 0;
+      true
+  | None -> false
+
+let rec line r =
+  match Bytes.index_from_opt r.buf r.off '\n' with
+  | Some i when i >= r.off ->
+      let s = Bytes.sub_string r.buf r.off (i - r.off) in
+      r.off <- i + 1;
+      Some s
+  | _ -> if refill r then line r else None
+
+let rec exactly r n =
+  if Bytes.length r.buf - r.off >= n then begin
+    let s = Bytes.sub r.buf r.off n in
+    r.off <- r.off + n;
+    Some s
+  end
+  else if refill r then exactly r n
+  else None

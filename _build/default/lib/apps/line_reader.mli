@@ -1,0 +1,11 @@
+(** Buffered reading of line-oriented protocols over a TCP connection. *)
+
+type t
+
+val create : Kite_net.Tcp.conn -> t
+
+val line : t -> string option
+(** Next '\n'-terminated line (terminator stripped); [None] at EOF. *)
+
+val exactly : t -> int -> Bytes.t option
+(** Exactly [n] bytes; [None] if the stream ends first. *)

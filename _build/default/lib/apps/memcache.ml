@@ -1,0 +1,75 @@
+open Kite_sim
+open Kite_net
+
+type entry = { flags : int; data : Bytes.t }
+
+type t = {
+  store : (string, entry) Hashtbl.t;
+  cpu_per_op : Time.span;
+  mutable sets : int;
+  mutable gets : int;
+  mutable hits : int;
+}
+
+let crlf = "\r\n"
+
+let handle t conn () =
+  let r = Line_reader.create conn in
+  let reply s = Tcp.send conn (Bytes.of_string s) in
+  let rec serve () =
+    match Line_reader.line r with
+    | None -> Tcp.close conn
+    | Some cmd -> (
+        if t.cpu_per_op > 0 then Process.sleep t.cpu_per_op;
+        match String.split_on_char ' ' (String.trim cmd) with
+        | [ "set"; key; flags; _exptime; bytes ] -> (
+            match (int_of_string_opt flags, int_of_string_opt bytes) with
+            | Some flags, Some n -> (
+                match Line_reader.exactly r (n + 2) (* data + CRLF *) with
+                | Some raw ->
+                    let data = Bytes.sub raw 0 n in
+                    Hashtbl.replace t.store key { flags; data };
+                    t.sets <- t.sets + 1;
+                    reply ("STORED" ^ crlf);
+                    serve ()
+                | None -> Tcp.close conn)
+            | _ ->
+                reply ("CLIENT_ERROR bad command line" ^ crlf);
+                serve ())
+        | [ "get"; key ] ->
+            t.gets <- t.gets + 1;
+            (match Hashtbl.find_opt t.store key with
+            | Some e ->
+                t.hits <- t.hits + 1;
+                reply
+                  (Printf.sprintf "VALUE %s %d %d%s" key e.flags
+                     (Bytes.length e.data) crlf);
+                Tcp.send conn e.data;
+                reply crlf;
+                reply ("END" ^ crlf)
+            | None -> reply ("END" ^ crlf));
+            serve ()
+        | [ "" ] -> serve ()
+        | _ ->
+            reply ("ERROR" ^ crlf);
+            serve ())
+  in
+  serve ()
+
+let start tcp ?(port = 11211) ?(cpu_per_op = Time.us 2) ~sched () =
+  let t =
+    { store = Hashtbl.create 1024; cpu_per_op; sets = 0; gets = 0; hits = 0 }
+  in
+  let listener = Tcp.listen tcp ~port in
+  Process.spawn sched ~name:"memcache-acceptor" (fun () ->
+      let rec loop () =
+        let conn = Tcp.accept listener in
+        Process.spawn sched ~name:"memcache-worker" (handle t conn);
+        loop ()
+      in
+      loop ());
+  t
+
+let sets t = t.sets
+let gets t = t.gets
+let hits t = t.hits

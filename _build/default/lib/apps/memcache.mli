@@ -1,0 +1,21 @@
+(** A Memcached-style cache speaking the classic text protocol subset
+    memtier exercises (§5.3.2):
+
+    - ["set <key> <flags> <exptime> <bytes>\r\n<data>\r\n"] -> ["STORED\r\n"]
+    - ["get <key>\r\n"] ->
+      ["VALUE <key> <flags> <bytes>\r\n<data>\r\nEND\r\n"] or ["END\r\n"] *)
+
+type t
+
+val start :
+  Kite_net.Tcp.t ->
+  ?port:int ->
+  ?cpu_per_op:Kite_sim.Time.span ->
+  sched:Kite_sim.Process.sched ->
+  unit ->
+  t
+(** Default port 11211, 2 us per operation. *)
+
+val sets : t -> int
+val gets : t -> int
+val hits : t -> int

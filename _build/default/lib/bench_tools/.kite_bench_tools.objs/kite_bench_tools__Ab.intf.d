@@ -1,0 +1,1 @@
+lib/bench_tools/ab.mli: Kite_net Kite_sim

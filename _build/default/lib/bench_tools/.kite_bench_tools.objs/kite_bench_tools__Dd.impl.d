@@ -1,0 +1,1 @@
+lib/bench_tools/dd.ml: Blockdev Bytes Engine Kite_sim Kite_vfs Process Time

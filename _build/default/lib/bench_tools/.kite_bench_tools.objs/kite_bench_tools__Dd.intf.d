@@ -1,0 +1,1 @@
+lib/bench_tools/dd.mli: Kite_sim Kite_vfs

@@ -1,0 +1,1 @@
+lib/bench_tools/filebench.ml: Bytes Engine Fs Kite_sim Kite_vfs Printf Process Rng Time

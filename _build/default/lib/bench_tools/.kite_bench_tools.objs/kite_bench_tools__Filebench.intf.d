@@ -1,0 +1,1 @@
+lib/bench_tools/filebench.mli: Kite_sim Kite_vfs

@@ -1,0 +1,1 @@
+lib/bench_tools/memtier.ml: Bytes Engine Kite_apps Kite_net Kite_sim Printf Process String Tcp Time

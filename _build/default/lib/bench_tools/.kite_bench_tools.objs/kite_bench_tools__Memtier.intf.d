@@ -1,0 +1,1 @@
+lib/bench_tools/memtier.mli: Kite_net Kite_sim

@@ -1,0 +1,1 @@
+lib/bench_tools/netperf.ml: Bytes Engine Kite_net Kite_sim List Process Stack Time

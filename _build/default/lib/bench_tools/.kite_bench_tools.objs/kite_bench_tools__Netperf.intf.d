@@ -1,0 +1,1 @@
+lib/bench_tools/netperf.mli: Kite_net Kite_sim

@@ -1,0 +1,1 @@
+lib/bench_tools/nuttcp.ml: Bytes Engine Kite_net Kite_sim Process Stack Time

@@ -1,0 +1,1 @@
+lib/bench_tools/perfdhcp.ml: Dhcp_wire Engine Int32 Kite_net Kite_sim Macaddr Process Stack Time

@@ -1,0 +1,1 @@
+lib/bench_tools/perfdhcp.mli: Kite_net Kite_sim

@@ -1,0 +1,1 @@
+lib/bench_tools/ping_bench.ml: Kite_net Kite_sim List Process Stack Time

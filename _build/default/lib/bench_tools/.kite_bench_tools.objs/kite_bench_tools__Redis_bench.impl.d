@@ -1,0 +1,1 @@
+lib/bench_tools/redis_bench.ml: Buffer Engine Kite_apps Kite_net Kite_sim Printf Process String Tcp Time

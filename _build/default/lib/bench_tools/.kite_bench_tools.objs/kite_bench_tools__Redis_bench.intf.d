@@ -1,0 +1,1 @@
+lib/bench_tools/redis_bench.mli: Kite_net Kite_sim

@@ -1,0 +1,1 @@
+lib/bench_tools/sysbench_db.ml: Bytes Engine Kite_apps Kite_net Kite_sim Printf Process Rng String Tcp Time

@@ -1,0 +1,1 @@
+lib/bench_tools/sysbench_db.mli: Kite_net Kite_sim

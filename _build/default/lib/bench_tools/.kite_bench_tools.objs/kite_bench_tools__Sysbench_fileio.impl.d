@@ -1,0 +1,1 @@
+lib/bench_tools/sysbench_fileio.ml: Bytes Engine Fs Kite_sim Kite_vfs Printf Process Rng Time

@@ -1,0 +1,1 @@
+lib/bench_tools/sysbench_fileio.mli: Kite_sim Kite_vfs

@@ -1,0 +1,27 @@
+open Kite_sim
+open Kite_vfs
+
+type result = { bytes : int; elapsed_s : float; throughput_mbs : float }
+
+let run ~sched ~dev ~direction ?(block_size = 1 lsl 20) ~total ~on_done () =
+  let engine = Process.engine sched in
+  Process.spawn sched ~name:"dd" (fun () ->
+      let t0 = Engine.now engine in
+      let sectors_per_block = block_size / Blockdev.sector_size in
+      let blocks = total / block_size in
+      let payload = Bytes.make block_size 'd' in
+      for b = 0 to blocks - 1 do
+        let sector = b * sectors_per_block in
+        match direction with
+        | `Read ->
+            ignore (dev.Blockdev.read ~sector ~count:sectors_per_block)
+        | `Write -> dev.Blockdev.write ~sector payload
+      done;
+      let elapsed = Time.to_sec_f (Engine.now engine - t0) in
+      let bytes = blocks * block_size in
+      on_done
+        {
+          bytes;
+          elapsed_s = elapsed;
+          throughput_mbs = float_of_int bytes /. elapsed /. 1e6;
+        })

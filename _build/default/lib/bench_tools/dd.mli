@@ -1,0 +1,19 @@
+(** dd (§5.4.1, Figure 11): sequential transfer of [total] bytes in
+    [block_size] chunks straight over the block device. *)
+
+type result = {
+  bytes : int;
+  elapsed_s : float;
+  throughput_mbs : float;  (** MB/s, as dd reports *)
+}
+
+val run :
+  sched:Kite_sim.Process.sched ->
+  dev:Kite_vfs.Blockdev.t ->
+  direction:[ `Read | `Write ] ->
+  ?block_size:int ->
+  total:int ->
+  on_done:(result -> unit) ->
+  unit ->
+  unit
+(** Default 1 MiB blocks. *)

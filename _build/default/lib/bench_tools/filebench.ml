@@ -1,0 +1,149 @@
+open Kite_sim
+open Kite_vfs
+
+type personality = Fileserver | Webserver | Mongodb
+
+type result = {
+  ops : int;
+  bytes_moved : int;
+  throughput_mbps : float;
+  us_per_op : float;
+  avg_latency_ms : float;
+}
+
+let dir_of = function
+  | Fileserver -> "/fileset"
+  | Webserver -> "/htdocs"
+  | Mongodb -> "/mongo"
+
+let file_path personality i = Printf.sprintf "%s/f%05d" (dir_of personality) i
+
+let prepare fs personality ~files ~mean_file_size =
+  Fs.mkdir fs ~path:(dir_of personality);
+  let chunk = Bytes.make (1 lsl 20) 'f' in
+  for i = 0 to files - 1 do
+    let p = file_path personality i in
+    if not (Fs.exists fs ~path:p) then begin
+      Fs.create fs ~path:p;
+      (* Deterministic size spread around the mean: 0.5x .. 1.5x. *)
+      let size =
+        mean_file_size / 2 + (i * 7919 mod max 1 mean_file_size)
+      in
+      let rec fill off =
+        if off < size then begin
+          let n = min (Bytes.length chunk) (size - off) in
+          Fs.write fs ~path:p ~off (Bytes.sub chunk 0 n);
+          fill (off + n)
+        end
+      in
+      fill 0
+    end
+  done;
+  if personality = Webserver then begin
+    if not (Fs.exists fs ~path:"/htdocs/access.log") then
+      Fs.create fs ~path:"/htdocs/access.log"
+  end
+
+type counters = {
+  mutable ops : int;
+  mutable bytes : int;
+  mutable lat : float;
+}
+
+let fileserver_op fs rng files mean_file_size io_size c =
+  (* create / whole-file write / append / whole-file read / stat / delete *)
+  let i = Rng.int rng files in
+  let p = file_path Fileserver i in
+  match Rng.int rng 10 with
+  | 0 | 1 ->
+      (* delete + recreate (create implies truncate) *)
+      if Fs.exists fs ~path:p then Fs.delete fs ~path:p;
+      Fs.create fs ~path:p;
+      Fs.write fs ~path:p ~off:0 (Bytes.make (min io_size mean_file_size) 'c');
+      c.bytes <- c.bytes + min io_size mean_file_size
+  | 2 | 3 ->
+      (* append ~1 KiB, the workload's mean append *)
+      if not (Fs.exists fs ~path:p) then Fs.create fs ~path:p;
+      Fs.append fs ~path:p (Bytes.make 1024 'a');
+      c.bytes <- c.bytes + 1024
+  | 4 ->
+      if Fs.exists fs ~path:p then ignore (Fs.stat fs ~path:p)
+  | _ ->
+      (* read a window of io_size *)
+      if Fs.exists fs ~path:p then begin
+        let got = Fs.read fs ~path:p ~off:0 ~len:io_size in
+        c.bytes <- c.bytes + Bytes.length got
+      end
+
+let webserver_op fs rng files io_size c =
+  let i = Rng.int rng files in
+  let p = file_path Webserver i in
+  if Fs.exists fs ~path:p then begin
+    (* open + read whole file in io_size chunks *)
+    let size = Fs.size fs ~path:p in
+    let rec slurp off =
+      if off < size then begin
+        let got = Fs.read fs ~path:p ~off ~len:io_size in
+        c.bytes <- c.bytes + Bytes.length got;
+        slurp (off + io_size)
+      end
+    in
+    slurp 0;
+    (* append a log record *)
+    Fs.append fs ~path:"/htdocs/access.log" (Bytes.make 100 'l');
+    c.bytes <- c.bytes + 100
+  end
+
+let mongodb_op fs rng files io_size c =
+  let i = Rng.int rng files in
+  let p = file_path Mongodb i in
+  if Fs.exists fs ~path:p then begin
+    let size = max io_size (Fs.size fs ~path:p) in
+    let off = Rng.int rng (max 1 (size - io_size)) in
+    (* Align to blocks as mmap-style access would. *)
+    let off = off / 4096 * 4096 in
+    if Rng.int rng 2 = 0 then begin
+      let got = Fs.read fs ~path:p ~off ~len:io_size in
+      c.bytes <- c.bytes + Bytes.length got
+    end
+    else begin
+      Fs.write fs ~path:p ~off (Bytes.make io_size 'm');
+      c.bytes <- c.bytes + io_size
+    end
+  end
+
+let run ~sched ~fs personality ~files ~mean_file_size ~io_size ~threads
+    ~ops_per_thread ~seed ~on_done () =
+  let engine = Process.engine sched in
+  let c = { ops = 0; bytes = 0; lat = 0.0 } in
+  let finished = ref 0 in
+  let t0 = Engine.now engine in
+  for th = 1 to threads do
+    Process.spawn sched ~name:(Printf.sprintf "filebench-%d" th) (fun () ->
+        let rng = Rng.create (seed + th) in
+        for _ = 1 to ops_per_thread do
+          let op_start = Engine.now engine in
+          (match personality with
+          | Fileserver -> fileserver_op fs rng files mean_file_size io_size c
+          | Webserver -> webserver_op fs rng files io_size c
+          | Mongodb -> mongodb_op fs rng files io_size c);
+          c.ops <- c.ops + 1;
+          c.lat <- c.lat +. Time.to_ms_f (Engine.now engine - op_start);
+          (* Filebench threads yield between operations. *)
+          Process.yield ()
+        done;
+        incr finished;
+        if !finished = threads then begin
+          let elapsed = Time.to_sec_f (Engine.now engine - t0) in
+          on_done
+            {
+              ops = c.ops;
+              bytes_moved = c.bytes;
+              throughput_mbps = float_of_int c.bytes /. elapsed /. 1e6;
+              us_per_op =
+                Time.to_sec_f (Engine.now engine - t0)
+                *. 1e6 /. float_of_int (max 1 c.ops);
+              avg_latency_ms = c.lat /. float_of_int (max 1 c.ops);
+            }
+        end)
+  done

@@ -1,0 +1,42 @@
+(** Filebench personalities (§5.4.4-§5.4.6, Figures 14-16).
+
+    - [Fileserver]: threads performing create/write/append/read/stat/
+      delete sequences over a prepared file population;
+    - [Webserver]: open/read-whole-file cycles plus a shared append-only
+      log;
+    - [Mongodb]: few users doing large (multi-MB) reads and writes over
+      big files.
+
+    Reported metrics mirror the paper's: throughput (MB/s), CPU time per
+    op (we report simulated service time per op, us/op) and latency. *)
+
+type personality = Fileserver | Webserver | Mongodb
+
+type result = {
+  ops : int;
+  bytes_moved : int;
+  throughput_mbps : float;
+  us_per_op : float;
+  avg_latency_ms : float;
+}
+
+val prepare :
+  Kite_vfs.Fs.t ->
+  personality ->
+  files:int ->
+  mean_file_size:int ->
+  unit
+
+val run :
+  sched:Kite_sim.Process.sched ->
+  fs:Kite_vfs.Fs.t ->
+  personality ->
+  files:int ->
+  mean_file_size:int ->
+  io_size:int ->
+  threads:int ->
+  ops_per_thread:int ->
+  seed:int ->
+  on_done:(result -> unit) ->
+  unit ->
+  unit

@@ -1,0 +1,26 @@
+(** memtier_benchmark (§5.3.2, Figure 7): memcached SET/GET load at a
+    1:10 ratio with 8 KiB values, reporting average operation latency. *)
+
+type result = {
+  ops : int;
+  sets : int;
+  gets : int;
+  avg_latency_ms : float;
+  ops_per_sec : float;
+}
+
+val run :
+  sched:Kite_sim.Process.sched ->
+  client_tcp:Kite_net.Tcp.t ->
+  server_ip:Kite_net.Ipv4addr.t ->
+  ?port:int ->
+  ?ops:int ->
+  ?set_get_ratio:int * int ->
+  ?value_size:int ->
+  ?clients:int ->
+  ?seed:int ->
+  on_done:(result -> unit) ->
+  unit ->
+  unit
+(** Defaults: port 11211, 100 000 ops, ratio 1:10, 8 KiB values, 4
+    connections. *)

@@ -1,0 +1,58 @@
+open Kite_sim
+open Kite_net
+
+type result = {
+  exchanges : int;
+  avg_discover_offer_ms : float;
+  avg_request_ack_ms : float;
+}
+
+let run ~sched ~client ~server_ip ?(clients = 50) ?(interval = Time.ms 10)
+    ~on_done () =
+  let engine = Process.engine sched in
+  Process.spawn sched ~name:"perfdhcp" (fun () ->
+      let sock = Stack.udp_bind client ~port:Dhcp_wire.client_port in
+      let do_sum = ref 0.0 in
+      let ra_sum = ref 0.0 in
+      let ok = ref 0 in
+      for c = 1 to clients do
+        let mac = Macaddr.make_local (0xd0000 + c) in
+        let xid = Int32.of_int c in
+        let t0 = Engine.now engine in
+        Stack.udp_send client sock ~dst:server_ip
+          ~dst_port:Dhcp_wire.server_port
+          (Dhcp_wire.encode
+             (Dhcp_wire.make ~op:`Boot_request ~xid ~chaddr:mac
+                ~message_type:Dhcp_wire.Discover ()));
+        (match Stack.udp_recv_timeout sock (Time.sec 1) with
+        | Some (_, _, payload) -> (
+            match Dhcp_wire.decode payload with
+            | Some m when m.Dhcp_wire.message_type = Dhcp_wire.Offer ->
+                let offer_at = Engine.now engine in
+                do_sum := !do_sum +. Time.to_ms_f (offer_at - t0);
+                let t1 = Engine.now engine in
+                Stack.udp_send client sock ~dst:server_ip
+                  ~dst_port:Dhcp_wire.server_port
+                  (Dhcp_wire.encode
+                     (Dhcp_wire.make ~op:`Boot_request ~xid ~chaddr:mac
+                        ~message_type:Dhcp_wire.Request
+                        ~requested_ip:m.Dhcp_wire.yiaddr
+                        ~server_id:server_ip ()));
+                (match Stack.udp_recv_timeout sock (Time.sec 1) with
+                | Some (_, _, payload) -> (
+                    match Dhcp_wire.decode payload with
+                    | Some m when m.Dhcp_wire.message_type = Dhcp_wire.Ack ->
+                        ra_sum := !ra_sum +. Time.to_ms_f (Engine.now engine - t1);
+                        incr ok
+                    | _ -> ())
+                | None -> ())
+            | _ -> ())
+        | None -> ());
+        Process.sleep interval
+      done;
+      on_done
+        {
+          exchanges = !ok;
+          avg_discover_offer_ms = !do_sum /. float_of_int (max 1 !ok);
+          avg_request_ack_ms = !ra_sum /. float_of_int (max 1 !ok);
+        })

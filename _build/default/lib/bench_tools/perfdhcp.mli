@@ -1,0 +1,19 @@
+(** perfdhcp (§5.5): measures the Discover->Offer and Request->Ack delays
+    against a DHCP server, one four-way exchange per simulated client. *)
+
+type result = {
+  exchanges : int;
+  avg_discover_offer_ms : float;
+  avg_request_ack_ms : float;
+}
+
+val run :
+  sched:Kite_sim.Process.sched ->
+  client:Kite_net.Stack.t ->
+  server_ip:Kite_net.Ipv4addr.t ->
+  ?clients:int ->
+  ?interval:Kite_sim.Time.span ->
+  on_done:(result -> unit) ->
+  unit ->
+  unit
+(** Defaults: 50 client identities, 10 ms between exchanges. *)

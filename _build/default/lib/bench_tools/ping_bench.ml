@@ -1,0 +1,27 @@
+open Kite_sim
+open Kite_net
+
+type result = {
+  transmitted : int;
+  received : int;
+  rtts_ms : float list;
+  avg_ms : float;
+}
+
+let run ~sched ~client ~dst ?(count = 100) ?(interval = Time.sec 1) ~on_done
+    () =
+  Process.spawn sched ~name:"ping" (fun () ->
+      let rtts = ref [] in
+      for seq = 1 to count do
+        (match Stack.ping client ~dst ~seq () with
+        | Some rtt -> rtts := Time.to_ms_f rtt :: !rtts
+        | None -> ());
+        if seq < count then Process.sleep interval
+      done;
+      let rtts_ms = List.rev !rtts in
+      let received = List.length rtts_ms in
+      let avg_ms =
+        if received = 0 then 0.0
+        else List.fold_left ( +. ) 0.0 rtts_ms /. float_of_int received
+      in
+      on_done { transmitted = count; received; rtts_ms; avg_ms })

@@ -1,0 +1,21 @@
+(** ping (§5.3.2, Figure 7): [count] echo requests at a fixed interval;
+    the paper pings 100 times at 1-second spacing, so every request hits
+    the driver domain cold. *)
+
+type result = {
+  transmitted : int;
+  received : int;
+  rtts_ms : float list;
+  avg_ms : float;
+}
+
+val run :
+  sched:Kite_sim.Process.sched ->
+  client:Kite_net.Stack.t ->
+  dst:Kite_net.Ipv4addr.t ->
+  ?count:int ->
+  ?interval:Kite_sim.Time.span ->
+  on_done:(result -> unit) ->
+  unit ->
+  unit
+(** Defaults: 100 pings, 1 s apart. *)

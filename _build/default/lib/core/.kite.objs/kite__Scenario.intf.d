@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Kite_devices Kite_drivers Kite_net Kite_sim Kite_vfs Kite_xen

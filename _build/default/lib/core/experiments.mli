@@ -1,0 +1,85 @@
+(** One runner per table and figure in the paper's evaluation (§5), plus
+    the ablations of DESIGN.md.  Each returns rendered tables; the bench
+    harness prints them and EXPERIMENTS.md records paper-vs-measured.
+
+    [quick] scales down request counts / durations / image sizes for a
+    fast smoke pass; the shape claims hold at either scale. *)
+
+type outcome = {
+  exp_id : string;
+  tables : Kite_stats.Table.t list;
+}
+
+val fig1a : quick:bool -> outcome
+(** Driver CVEs per year, Linux vs Windows. *)
+
+val fig4a : quick:bool -> outcome
+(** Syscall counts per domain flavor. *)
+
+val fig4b : quick:bool -> outcome
+(** Image sizes. *)
+
+val fig4c : quick:bool -> outcome
+(** Boot times, replayed on the simulator. *)
+
+val fig5 : quick:bool -> outcome
+(** ROP gadgets by category across kernel configurations (also Fig 1b). *)
+
+val table3 : quick:bool -> outcome
+(** CVEs mitigated by syscall removal. *)
+
+val fig6 : quick:bool -> outcome
+(** nuttcp UDP throughput. *)
+
+val fig7 : quick:bool -> outcome
+(** ping / netperf / memtier latency. *)
+
+val fig8a : quick:bool -> outcome
+(** Apache throughput vs file size. *)
+
+val fig8b : quick:bool -> outcome
+(** Apache at 512 KiB: throughput, transfer time, request rate. *)
+
+val fig9 : quick:bool -> outcome
+(** Redis pipelined SET/GET ops/s vs thread count. *)
+
+val fig10 : quick:bool -> outcome
+(** MySQL (network path): throughput vs threads, and DomU CPU
+    utilization (10a + 10b). *)
+
+val table4 : quick:bool -> outcome
+(** Relative standard deviations over repeated runs. *)
+
+val fig11 : quick:bool -> outcome
+(** dd sequential read/write throughput. *)
+
+val fig12 : quick:bool -> outcome
+(** sysbench fileio vs threads (a) and block size (b). *)
+
+val fig13 : quick:bool -> outcome
+(** MySQL (storage path) throughput vs threads. *)
+
+val fig14 : quick:bool -> outcome
+(** filebench fileserver vs I/O size. *)
+
+val fig15 : quick:bool -> outcome
+(** filebench MongoDB personality. *)
+
+val fig16 : quick:bool -> outcome
+(** filebench webserver personality. *)
+
+val dhcp : quick:bool -> outcome
+(** perfdhcp against the unikernel DHCP daemon VM (§5.5). *)
+
+val table1 : quick:bool -> outcome
+(** The paper's LoC table mapped onto this repository's modules. *)
+
+val abl_persistent : quick:bool -> outcome
+val abl_batching : quick:bool -> outcome
+val abl_indirect : quick:bool -> outcome
+val abl_wake : quick:bool -> outcome
+
+val all : (string * string * (quick:bool -> outcome)) list
+(** (id, description, runner), in paper order then ablations. *)
+
+val find : string -> (quick:bool -> outcome) option

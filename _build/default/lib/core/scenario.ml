@@ -1,0 +1,186 @@
+open Kite_sim
+open Kite_xen
+open Kite_net
+open Kite_drivers
+
+type flavor = Kite | Linux
+
+let flavor_name = function Kite -> "Kite" | Linux -> "Linux"
+
+let overheads_of = function
+  | Kite -> Overheads.kite
+  | Linux -> Overheads.linux
+
+(* Guest (DomU runs Ubuntu in both configurations) and client per-packet
+   stack costs; see DESIGN.md §7. *)
+let guest_rx_cost = Time.ns 1100
+let client_rx_cost = Time.us 1
+
+type net = {
+  hv : Hypervisor.t;
+  ctx : Xen_ctx.t;
+  sched : Process.sched;
+  dd : Domain.t;
+  domu : Domain.t;
+  guest_stack : Stack.t;
+  guest_tcp : Tcp.t;
+  client_stack : Stack.t;
+  client_tcp : Tcp.t;
+  netfront : Netfront.t;
+  net_app : Net_app.t;
+  server_nic : Kite_devices.Nic.t;
+  client_nic : Kite_devices.Nic.t;
+  guest_ip : Ipv4addr.t;
+}
+
+let network ?overheads_override ~flavor ?(seed = 2022) () =
+  let hv = Hypervisor.create ~seed () in
+  let ctx = Xen_ctx.create hv in
+  let sched = Hypervisor.sched hv in
+  let metrics = Hypervisor.metrics hv in
+  let profile =
+    Kite_profiles.Os_profile.get
+      (match flavor with
+      | Kite -> Kite_profiles.Os_profile.Kite_network
+      | Linux -> Kite_profiles.Os_profile.Linux_network)
+  in
+  let dd =
+    Hypervisor.create_domain hv
+      ~name:(flavor_name flavor ^ "-netdd")
+      ~kind:Domain.Driver_domain
+      ~vcpus:profile.Kite_profiles.Os_profile.vcpus
+      ~mem_mb:profile.Kite_profiles.Os_profile.assigned_mem_mb
+  in
+  let domu =
+    Hypervisor.create_domain hv ~name:"domu" ~kind:Domain.Dom_u ~vcpus:22
+      ~mem_mb:5120
+  in
+  (* The testbed's two 82599ES NICs and the SFP+ cable (Table 2). *)
+  let server_nic =
+    Kite_devices.Nic.create sched metrics ~name:"eth-srv" ~queue_limit:8192 ()
+  in
+  let client_nic =
+    Kite_devices.Nic.create sched metrics ~name:"eth-cli" ~queue_limit:8192 ()
+  in
+  Kite_devices.Nic.connect server_nic client_nic ~propagation:(Time.ns 500);
+  let pci = Kite_devices.Pci.create () in
+  Kite_devices.Pci.register pci ~bdf:"01:00.0" (Kite_devices.Pci.Nic server_nic);
+  Kite_devices.Pci.assignable_add pci ~bdf:"01:00.0";
+  let nic =
+    match Kite_devices.Pci.attach pci ~bdf:"01:00.0" dd with
+    | Kite_devices.Pci.Nic n -> n
+    | Kite_devices.Pci.Nvme _ -> assert false
+  in
+  let overheads =
+    Option.value overheads_override ~default:(overheads_of flavor)
+  in
+  let net_app = Net_app.run ctx ~domain:dd ~nic ~overheads in
+  Toolstack.add_vif ctx ~backend:dd ~frontend:domu ~devid:0;
+  let netfront = Netfront.create ctx ~domain:domu ~backend:dd ~devid:0 in
+  let guest_ip = Ipv4addr.of_string "10.0.0.2" in
+  let guest_stack =
+    Stack.create sched ~name:"guest" ~dev:(Netfront.netdev netfront)
+      ~mac:(Macaddr.make_local 100) ~ip:guest_ip
+      ~netmask:(Ipv4addr.of_string "255.255.255.0")
+      ~rx_cost:guest_rx_cost ()
+  in
+  let client_stack =
+    Stack.create sched ~name:"client" ~dev:(Netif.of_nic client_nic)
+      ~mac:(Macaddr.make_local 200)
+      ~ip:(Ipv4addr.of_string "10.0.0.9")
+      ~netmask:(Ipv4addr.of_string "255.255.255.0")
+      ~rx_cost:client_rx_cost ()
+  in
+  {
+    hv;
+    ctx;
+    sched;
+    dd;
+    domu;
+    guest_stack;
+    guest_tcp = Tcp.attach guest_stack;
+    client_stack;
+    client_tcp = Tcp.attach client_stack;
+    netfront;
+    net_app;
+    server_nic;
+    client_nic;
+    guest_ip;
+  }
+
+let when_net_ready net f =
+  Process.spawn net.sched ~name:"when-ready" (fun () ->
+      Netfront.wait_connected net.netfront;
+      (* Give ARP/bridge learning a beat, as a human experimenter would. *)
+      Process.sleep (Time.ms 5);
+      f ())
+
+type blk = {
+  bhv : Hypervisor.t;
+  bctx : Xen_ctx.t;
+  bsched : Process.sched;
+  bdd : Domain.t;
+  bdomu : Domain.t;
+  blkfront : Blkfront.t;
+  blk_app : Blk_app.t;
+  nvme : Kite_devices.Nvme.t;
+}
+
+let storage ~flavor ?(seed = 2022) ?(feature_persistent = true)
+    ?(feature_indirect = true) ?(batching = true) () =
+  let hv = Hypervisor.create ~seed () in
+  let ctx = Xen_ctx.create hv in
+  let sched = Hypervisor.sched hv in
+  let metrics = Hypervisor.metrics hv in
+  let profile =
+    Kite_profiles.Os_profile.get
+      (match flavor with
+      | Kite -> Kite_profiles.Os_profile.Kite_storage
+      | Linux -> Kite_profiles.Os_profile.Linux_storage)
+  in
+  let dd =
+    Hypervisor.create_domain hv
+      ~name:(flavor_name flavor ^ "-stordd")
+      ~kind:Domain.Driver_domain
+      ~vcpus:profile.Kite_profiles.Os_profile.vcpus
+      ~mem_mb:profile.Kite_profiles.Os_profile.assigned_mem_mb
+  in
+  let domu =
+    Hypervisor.create_domain hv ~name:"domu" ~kind:Domain.Dom_u ~vcpus:22
+      ~mem_mb:5120
+  in
+  (* Samsung 970 EVO Plus-ish NVMe (Table 2). *)
+  let nvme =
+    Kite_devices.Nvme.create sched metrics ~name:"nvme0"
+      ~capacity_sectors:(1 lsl 26) (* 32 GiB addressed by the experiments *)
+      ()
+  in
+  let pci = Kite_devices.Pci.create () in
+  Kite_devices.Pci.register pci ~bdf:"02:00.0" (Kite_devices.Pci.Nvme nvme);
+  Kite_devices.Pci.assignable_add pci ~bdf:"02:00.0";
+  ignore (Kite_devices.Pci.attach pci ~bdf:"02:00.0" dd);
+  let blk_app =
+    Blk_app.run ctx ~domain:dd ~nvme ~overheads:(overheads_of flavor)
+      ~feature_persistent ~feature_indirect ~batching ()
+  in
+  Toolstack.add_vbd ctx ~backend:dd ~frontend:domu ~devid:0;
+  let blkfront = Blkfront.create ctx ~domain:domu ~backend:dd ~devid:0 () in
+  { bhv = hv; bctx = ctx; bsched = sched; bdd = dd; bdomu = domu;
+    blkfront; blk_app; nvme }
+
+let blockdev blk =
+  {
+    Kite_vfs.Blockdev.name = "xvda";
+    capacity_sectors = Blkfront.capacity_sectors blk.blkfront;
+    read = (fun ~sector ~count -> Blkfront.read blk.blkfront ~sector ~count);
+    write = (fun ~sector data -> Blkfront.write blk.blkfront ~sector data);
+    flush = (fun () -> Blkfront.flush blk.blkfront);
+  }
+
+let when_blk_ready blk f =
+  Hypervisor.spawn blk.bhv blk.bdomu ~name:"when-ready" (fun () ->
+      Blkfront.wait_connected blk.blkfront;
+      f ())
+
+let network_with_overheads ~overheads ?seed () =
+  network ~overheads_override:overheads ~flavor:Kite ?seed ()

@@ -1,0 +1,76 @@
+(** Ready-made testbeds mirroring the paper's evaluation setup (Table 2):
+    a Xen server machine hosting a driver domain (Kite or Ubuntu flavored)
+    and a DomU running the server application, cabled to a bare-metal
+    client machine that generates load. *)
+
+type flavor = Kite | Linux
+
+val flavor_name : flavor -> string
+
+val overheads_of : flavor -> Kite_drivers.Overheads.t
+
+(** {1 Network domain testbed} *)
+
+type net = {
+  hv : Kite_xen.Hypervisor.t;
+  ctx : Kite_drivers.Xen_ctx.t;
+  sched : Kite_sim.Process.sched;
+  dd : Kite_xen.Domain.t;
+  domu : Kite_xen.Domain.t;
+  guest_stack : Kite_net.Stack.t;
+  guest_tcp : Kite_net.Tcp.t;
+  client_stack : Kite_net.Stack.t;
+  client_tcp : Kite_net.Tcp.t;
+  netfront : Kite_drivers.Netfront.t;
+  net_app : Kite_drivers.Net_app.t;
+  server_nic : Kite_devices.Nic.t;
+  client_nic : Kite_devices.Nic.t;
+  guest_ip : Kite_net.Ipv4addr.t;
+}
+
+val network :
+  ?overheads_override:Kite_drivers.Overheads.t ->
+  flavor:flavor -> ?seed:int -> unit -> net
+(** Build the network-domain testbed; drive it with
+    {!Kite_xen.Hypervisor.run_for}.  The netfront handshake happens in
+    simulated time — use {!when_net_ready} to sequence load behind it. *)
+
+val network_with_overheads :
+  overheads:Kite_drivers.Overheads.t -> ?seed:int -> unit -> net
+(** A Kite-shaped network testbed with explicit driver-domain overheads
+    (used by the threading ablation). *)
+
+val when_net_ready : net -> (unit -> unit) -> unit
+(** Spawn [f] as a client-side process once the frontend is connected. *)
+
+(** {1 Storage domain testbed} *)
+
+type blk = {
+  bhv : Kite_xen.Hypervisor.t;
+  bctx : Kite_drivers.Xen_ctx.t;
+  bsched : Kite_sim.Process.sched;
+  bdd : Kite_xen.Domain.t;
+  bdomu : Kite_xen.Domain.t;
+  blkfront : Kite_drivers.Blkfront.t;
+  blk_app : Kite_drivers.Blk_app.t;
+  nvme : Kite_devices.Nvme.t;
+}
+
+val storage :
+  flavor:flavor ->
+  ?seed:int ->
+  ?feature_persistent:bool ->
+  ?feature_indirect:bool ->
+  ?batching:bool ->
+  unit ->
+  blk
+(** The feature flags exist for the ablation benchmarks. *)
+
+val blockdev : blk -> Kite_vfs.Blockdev.t
+(** The guest's paravirtual disk as a {!Kite_vfs.Blockdev} (every
+    operation crosses blkfront -> blkback -> NVMe).  The capacity field is
+    read at call time, so call this after the handshake has completed
+    (e.g. inside {!when_blk_ready}) if you need the geometry. *)
+
+val when_blk_ready : blk -> (unit -> unit) -> unit
+(** Spawn [f] as a DomU process once blkfront is connected. *)

@@ -1,0 +1,1 @@
+lib/devices/nic.ml: Bytes Engine Kite_sim Mailbox Metrics Process Time

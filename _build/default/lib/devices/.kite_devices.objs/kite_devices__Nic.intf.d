@@ -1,0 +1,1 @@
+lib/devices/nic.mli: Bytes Kite_sim

@@ -1,0 +1,1 @@
+lib/devices/nvme.ml: Bytes Condition Engine Hashtbl Kite_sim Mailbox Metrics Printf Process Time

@@ -1,0 +1,1 @@
+lib/devices/nvme.mli: Bytes Kite_sim

@@ -1,0 +1,1 @@
+lib/devices/pci.ml: Hashtbl Kite_xen List Nic Nvme Printf String

@@ -1,0 +1,1 @@
+lib/devices/pci.mli: Kite_xen Nic Nvme

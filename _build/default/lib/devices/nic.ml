@@ -1,0 +1,98 @@
+open Kite_sim
+
+type t = {
+  name : string;
+  sched : Process.sched;
+  metrics : Metrics.t;
+  line_rate_bps : float;
+  per_packet : Time.span;
+  queue_limit : int;
+  txq : Bytes.t Mailbox.t;
+  mutable peer : t option;
+  mutable propagation : Time.span;
+  mutable rx_handler : (Bytes.t -> unit) option;
+  mutable tx_packets : int;
+  mutable rx_packets : int;
+  mutable tx_bytes : int;
+  mutable rx_bytes : int;
+  mutable dropped : int;
+}
+
+let name t = t.name
+
+let serialization_delay t len =
+  let bits = float_of_int (len * 8) in
+  int_of_float (bits /. t.line_rate_bps *. 1e9)
+
+let receive t frame =
+  t.rx_packets <- t.rx_packets + 1;
+  t.rx_bytes <- t.rx_bytes + Bytes.length frame;
+  Metrics.incr t.metrics ("nic." ^ t.name ^ ".rx");
+  match t.rx_handler with Some f -> f frame | None -> ()
+
+let transmitter t () =
+  let engine = Process.engine t.sched in
+  let rec loop () =
+    let frame = Mailbox.recv t.txq in
+    let len = Bytes.length frame in
+    Process.sleep (serialization_delay t len + t.per_packet);
+    t.tx_packets <- t.tx_packets + 1;
+    t.tx_bytes <- t.tx_bytes + len;
+    Metrics.incr t.metrics ("nic." ^ t.name ^ ".tx");
+    (match t.peer with
+    | Some peer ->
+        ignore
+          (Engine.schedule_after engine t.propagation (fun () ->
+               receive peer frame))
+    | None -> ());
+    loop ()
+  in
+  loop ()
+
+let create sched metrics ~name ?(line_rate_gbps = 10.0)
+    ?(per_packet = Time.ns 100) ?(queue_limit = 1024) () =
+  let t =
+    {
+      name;
+      sched;
+      metrics;
+      line_rate_bps = line_rate_gbps *. 1e9;
+      per_packet;
+      queue_limit;
+      txq = Mailbox.create ();
+      peer = None;
+      propagation = 0;
+      rx_handler = None;
+      tx_packets = 0;
+      rx_packets = 0;
+      tx_bytes = 0;
+      rx_bytes = 0;
+      dropped = 0;
+    }
+  in
+  Process.spawn sched ~name:("nic-" ^ name ^ "-tx") (transmitter t);
+  t
+
+let connect a b ~propagation =
+  if a.peer <> None || b.peer <> None then
+    invalid_arg "Nic.connect: NIC already wired";
+  a.peer <- Some b;
+  b.peer <- Some a;
+  a.propagation <- propagation;
+  b.propagation <- propagation
+
+let set_rx_handler t f = t.rx_handler <- Some f
+
+let transmit t frame =
+  if Mailbox.length t.txq >= t.queue_limit then begin
+    t.dropped <- t.dropped + 1;
+    Metrics.incr t.metrics ("nic." ^ t.name ^ ".drop")
+  end
+  else Mailbox.send t.txq frame
+
+let tx_packets t = t.tx_packets
+let rx_packets t = t.rx_packets
+let tx_bytes t = t.tx_bytes
+let rx_bytes t = t.rx_bytes
+let dropped t = t.dropped
+let line_rate_gbps t = t.line_rate_bps /. 1e9

@@ -1,0 +1,42 @@
+(** Physical NIC model (the paper's Intel 82599ES 10GbE).
+
+    Each NIC has a transmit queue drained at line rate by a transmitter
+    process; a frame's service time is its serialization delay plus a
+    fixed per-packet processing overhead.  Two NICs are joined by a
+    full-duplex link with a propagation delay.  When the transmit queue is
+    full, frames are dropped — which is where nuttcp's UDP loss comes
+    from when offered load exceeds capacity. *)
+
+type t
+
+val create :
+  Kite_sim.Process.sched ->
+  Kite_sim.Metrics.t ->
+  name:string ->
+  ?line_rate_gbps:float ->
+  ?per_packet:Kite_sim.Time.span ->
+  ?queue_limit:int ->
+  unit ->
+  t
+(** Defaults: 10 Gbps, 100 ns per packet, 1024-frame queue. *)
+
+val name : t -> string
+
+val connect : t -> t -> propagation:Kite_sim.Time.span -> unit
+(** Join two NICs with a full-duplex cable (the paper's direct SFP+
+    link).  Raises [Invalid_argument] if either end is already wired. *)
+
+val set_rx_handler : t -> (Bytes.t -> unit) -> unit
+(** Invoked in interrupt context for every arriving frame. *)
+
+val transmit : t -> Bytes.t -> unit
+(** Enqueue a frame for transmission.  Never blocks; drops when the queue
+    is full. *)
+
+val tx_packets : t -> int
+val rx_packets : t -> int
+val tx_bytes : t -> int
+val rx_bytes : t -> int
+val dropped : t -> int
+
+val line_rate_gbps : t -> float

@@ -1,0 +1,191 @@
+open Kite_sim
+
+let sector_size = 512
+
+exception Out_of_range of string
+
+type op = Read | Write | Flush
+
+type command = {
+  op : op;
+  sector : int;
+  len : int;  (* bytes *)
+  data : Bytes.t;  (* payload for writes; filled for reads *)
+  done_ : Condition.t;
+  mutable completed : bool;
+}
+
+type t = {
+  name : string;
+  sched : Process.sched;
+  metrics : Metrics.t;
+  capacity_sectors : int;
+  read_base : Time.span;
+  write_base : Time.span;
+  cmd_overhead : Time.span;
+  bandwidth_bps : float;
+  sectors : (int, Bytes.t) Hashtbl.t;
+  queue : command Mailbox.t;
+  (* Commands overlap their setup latency, but the flash media moves data
+     at a fixed aggregate bandwidth: transfers are serialized on this
+     cursor. *)
+  mutable media_free_at : Time.t;
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+let name t = t.name
+let capacity_sectors t = t.capacity_sectors
+
+let transfer_time t len =
+  int_of_float (float_of_int len /. t.bandwidth_bps *. 1e9)
+
+(* Sleep through base latency (overlappable), then claim the media for the
+   transfer portion (serialized across the queue). *)
+let serve_io t base len =
+  Process.sleep base;
+  let engine = Process.engine t.sched in
+  let now = Engine.now engine in
+  let start = max now t.media_free_at in
+  (* The controller's per-command processing serializes with the media:
+     many small commands cost more than one merged large one. *)
+  let finish = start + t.cmd_overhead + transfer_time t len in
+  t.media_free_at <- finish;
+  Process.sleep (finish - now)
+
+let do_read t sector count buf =
+  for i = 0 to count - 1 do
+    let src =
+      match Hashtbl.find_opt t.sectors (sector + i) with
+      | Some b -> b
+      | None -> Bytes.make sector_size '\000'
+    in
+    Bytes.blit src 0 buf (i * sector_size) sector_size
+  done
+
+let do_write t sector data =
+  let count = Bytes.length data / sector_size in
+  for i = 0 to count - 1 do
+    Hashtbl.replace t.sectors (sector + i)
+      (Bytes.sub data (i * sector_size) sector_size)
+  done
+
+let worker t () =
+  let rec loop () =
+    let cmd = Mailbox.recv t.queue in
+    (match cmd.op with
+    | Read ->
+        serve_io t t.read_base cmd.len;
+        do_read t cmd.sector (cmd.len / sector_size) cmd.data;
+        t.reads <- t.reads + 1;
+        t.bytes_read <- t.bytes_read + cmd.len;
+        Metrics.incr t.metrics ("nvme." ^ t.name ^ ".read")
+    | Write ->
+        serve_io t t.write_base cmd.len;
+        do_write t cmd.sector cmd.data;
+        t.writes <- t.writes + 1;
+        t.bytes_written <- t.bytes_written + cmd.len;
+        Metrics.incr t.metrics ("nvme." ^ t.name ^ ".write")
+    | Flush ->
+        Process.sleep t.write_base;
+        Metrics.incr t.metrics ("nvme." ^ t.name ^ ".flush"));
+    cmd.completed <- true;
+    Condition.broadcast cmd.done_;
+    loop ()
+  in
+  loop ()
+
+let create sched metrics ~name ?(capacity_sectors = 976_773_168)
+    ?(queue_depth = 32) ?(read_base = Time.us 25) ?(write_base = Time.us 30)
+    ?(cmd_overhead = Time.us 4) ?(bandwidth_mbps = 1500.0) () =
+  let t =
+    {
+      name;
+      sched;
+      metrics;
+      capacity_sectors;
+      read_base;
+      write_base;
+      cmd_overhead;
+      bandwidth_bps = bandwidth_mbps *. 1e6;
+      sectors = Hashtbl.create 4096;
+      queue = Mailbox.create ();
+      media_free_at = Time.zero;
+      reads = 0;
+      writes = 0;
+      bytes_read = 0;
+      bytes_written = 0;
+    }
+  in
+  for i = 1 to queue_depth do
+    Process.spawn sched
+      ~name:(Printf.sprintf "nvme-%s-w%d" name i)
+      (worker t)
+  done;
+  t
+
+let check t sector count =
+  if sector < 0 || count < 0 || sector + count > t.capacity_sectors then
+    raise
+      (Out_of_range
+         (Printf.sprintf "nvme %s: sectors %d+%d out of range" t.name sector
+            count))
+
+let submit t cmd =
+  Mailbox.send t.queue cmd;
+  while not cmd.completed do
+    Condition.wait cmd.done_
+  done
+
+let read t ~sector ~count =
+  check t sector count;
+  let buf = Bytes.create (count * sector_size) in
+  let cmd =
+    {
+      op = Read;
+      sector;
+      len = count * sector_size;
+      data = buf;
+      done_ = Condition.create ();
+      completed = false;
+    }
+  in
+  submit t cmd;
+  buf
+
+let write t ~sector data =
+  let len = Bytes.length data in
+  if len mod sector_size <> 0 then
+    invalid_arg "Nvme.write: length not sector-aligned";
+  check t sector (len / sector_size);
+  let cmd =
+    {
+      op = Write;
+      sector;
+      len;
+      data;
+      done_ = Condition.create ();
+      completed = false;
+    }
+  in
+  submit t cmd
+
+let flush t =
+  let cmd =
+    {
+      op = Flush;
+      sector = 0;
+      len = 0;
+      data = Bytes.empty;
+      done_ = Condition.create ();
+      completed = false;
+    }
+  in
+  submit t cmd
+
+let reads t = t.reads
+let writes t = t.writes
+let bytes_read t = t.bytes_read
+let bytes_written t = t.bytes_written

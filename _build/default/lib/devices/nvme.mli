@@ -1,0 +1,48 @@
+(** NVMe SSD model (the paper's Samsung 970 EVO Plus).
+
+    Sector-addressable sparse storage with a queued service model: a pool
+    of [queue_depth] workers serves submitted commands; a command's
+    service time is a fixed base latency plus a bandwidth-proportional
+    transfer time.  Reads of never-written sectors return zeroes, like a
+    fresh drive. *)
+
+type t
+
+val sector_size : int
+(** 512 bytes. *)
+
+val create :
+  Kite_sim.Process.sched ->
+  Kite_sim.Metrics.t ->
+  name:string ->
+  ?capacity_sectors:int ->
+  ?queue_depth:int ->
+  ?read_base:Kite_sim.Time.span ->
+  ?write_base:Kite_sim.Time.span ->
+  ?cmd_overhead:Kite_sim.Time.span ->
+  ?bandwidth_mbps:float ->
+  unit ->
+  t
+(** Defaults: 500 GB, queue depth 32, 25 us read / 30 us write base
+    latency, 4 us serialized controller work per command, 1500 MB/s
+    sustained bandwidth.  Base latencies overlap across the queue;
+    per-command work and transfer time serialize on the media. *)
+
+val name : t -> string
+val capacity_sectors : t -> int
+
+exception Out_of_range of string
+
+val read : t -> sector:int -> count:int -> Bytes.t
+(** Blocking (process context): returns [count * 512] bytes. *)
+
+val write : t -> sector:int -> Bytes.t -> unit
+(** Blocking; data length must be a multiple of the sector size. *)
+
+val flush : t -> unit
+(** Blocking cache flush barrier. *)
+
+val reads : t -> int
+val writes : t -> int
+val bytes_read : t -> int
+val bytes_written : t -> int

@@ -1,0 +1,1 @@
+lib/drivers/blk_app.ml: Blkback

@@ -1,0 +1,1 @@
+lib/drivers/blk_app.mli: Blkback Kite_devices Kite_xen Overheads Xen_ctx

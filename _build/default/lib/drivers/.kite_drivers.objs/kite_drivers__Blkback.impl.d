@@ -1,0 +1,1 @@
+lib/drivers/blkback.ml: Blkif Bytes Condition Costs Domain Event_channel Grant_table Hypervisor Kite_devices Kite_sim Kite_xen List Mailbox Overheads Page Printf Ring Time Xen_ctx Xenbus Xenstore

@@ -1,0 +1,1 @@
+lib/drivers/blkback.mli: Kite_devices Kite_xen Overheads Xen_ctx

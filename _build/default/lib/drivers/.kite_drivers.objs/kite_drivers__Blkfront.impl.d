@@ -1,0 +1,1 @@
+lib/drivers/blkfront.ml: Blkif Bytes Condition Domain Event_channel Grant_table Hashtbl Hypervisor Kite_sim Kite_xen List Option Page Printf Ring Xen_ctx Xenbus

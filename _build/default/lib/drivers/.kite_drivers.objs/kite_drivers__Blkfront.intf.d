@@ -1,0 +1,1 @@
+lib/drivers/blkfront.mli: Bytes Kite_xen Xen_ctx

@@ -1,0 +1,1 @@
+lib/drivers/blkif.ml: Bytes Char Hashtbl Kite_xen List

@@ -1,0 +1,1 @@
+lib/drivers/blkif.mli: Bytes Kite_xen

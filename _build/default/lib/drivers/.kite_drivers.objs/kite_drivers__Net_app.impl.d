@@ -1,0 +1,1 @@
+lib/drivers/net_app.ml: Kite_net List Netback Netif Printf

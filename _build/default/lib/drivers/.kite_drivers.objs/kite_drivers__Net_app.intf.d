@@ -1,0 +1,1 @@
+lib/drivers/net_app.mli: Kite_devices Kite_net Kite_xen Netback Overheads Xen_ctx

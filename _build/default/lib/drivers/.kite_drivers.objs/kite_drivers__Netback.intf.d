@@ -1,0 +1,1 @@
+lib/drivers/netback.mli: Kite_net Kite_xen Overheads Xen_ctx

@@ -1,0 +1,1 @@
+lib/drivers/netchannel.ml: Hashtbl Kite_xen

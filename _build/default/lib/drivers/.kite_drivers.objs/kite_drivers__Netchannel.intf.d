@@ -1,0 +1,1 @@
+lib/drivers/netchannel.mli: Kite_xen

@@ -1,0 +1,1 @@
+lib/drivers/netfront.ml: Bytes Condition Domain Event_channel Grant_table Hashtbl Hypervisor Kite_net Kite_sim Kite_xen Netchannel Netdev Page Printf Process Ring Xen_ctx Xenbus

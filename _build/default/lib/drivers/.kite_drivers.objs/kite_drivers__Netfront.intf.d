@@ -1,0 +1,1 @@
+lib/drivers/netfront.mli: Kite_net Kite_xen Xen_ctx

@@ -1,0 +1,1 @@
+lib/drivers/netif.ml: Kite_devices Kite_net Netdev

@@ -1,0 +1,1 @@
+lib/drivers/netif.mli: Kite_devices Kite_net

@@ -1,0 +1,1 @@
+lib/drivers/overheads.ml: Kite_sim Time

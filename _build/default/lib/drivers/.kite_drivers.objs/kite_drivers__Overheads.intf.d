@@ -1,0 +1,1 @@
+lib/drivers/overheads.mli: Kite_sim

@@ -1,0 +1,1 @@
+lib/drivers/toolstack.ml: Domain Hypervisor Kite_xen Xen_ctx Xenbus Xenstore

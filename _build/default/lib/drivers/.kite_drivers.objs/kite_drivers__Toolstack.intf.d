@@ -1,0 +1,1 @@
+lib/drivers/toolstack.mli: Kite_xen Xen_ctx

@@ -1,0 +1,1 @@
+lib/drivers/xen_ctx.ml: Blkif Event_channel Grant_table Hypervisor Kite_xen Netchannel Xenbus

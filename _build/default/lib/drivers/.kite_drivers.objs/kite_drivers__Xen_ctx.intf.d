@@ -1,0 +1,1 @@
+lib/drivers/xen_ctx.mli: Blkif Kite_xen Netchannel

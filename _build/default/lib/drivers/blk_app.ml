@@ -1,0 +1,11 @@
+type t = { blkback : Blkback.t }
+
+let run ctx ~domain ~nvme ~overheads ?(feature_persistent = true)
+    ?(feature_indirect = true) ?(batching = true) () =
+  let blkback =
+    Blkback.serve ctx ~domain ~overheads ~device:nvme ~feature_persistent
+      ~feature_indirect ~batching ()
+  in
+  { blkback }
+
+let blkback t = t.blkback

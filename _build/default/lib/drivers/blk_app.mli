@@ -1,0 +1,19 @@
+(** The storage domain's orchestration application (the vbdconf
+    counterpart of {!Net_app}): retrieves device-specific information,
+    publishes it via xenbus and starts blkback on the passed-through
+    NVMe device. *)
+
+type t
+
+val run :
+  Xen_ctx.t ->
+  domain:Kite_xen.Domain.t ->
+  nvme:Kite_devices.Nvme.t ->
+  overheads:Overheads.t ->
+  ?feature_persistent:bool ->
+  ?feature_indirect:bool ->
+  ?batching:bool ->
+  unit ->
+  t
+
+val blkback : t -> Blkback.t

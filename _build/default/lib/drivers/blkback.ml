@@ -1,0 +1,351 @@
+open Kite_sim
+open Kite_xen
+
+let sector_size = Kite_devices.Nvme.sector_size
+
+type instance = {
+  ctx : Xen_ctx.t;
+  domain : Domain.t;
+  frontend : Domain.t;
+  devid : int;
+  ov : Overheads.t;
+  device : Kite_devices.Nvme.t;
+  ring : Blkif.ring;
+  port : Event_channel.port;
+  persistent : bool;  (* negotiated *)
+  batching : bool;
+  wake : Condition.t;
+  mutable last_activity : Time.t;
+  mutable requests : int;
+  mutable segments : int;
+  mutable device_ops : int;
+}
+
+type t = {
+  sctx : Xen_ctx.t;
+  sdomain : Domain.t;
+  soverheads : Overheads.t;
+  sdevice : Kite_devices.Nvme.t;
+  feature_persistent : bool;
+  feature_indirect : bool;
+  batching : bool;
+  mutable insts : instance list;
+  mutable known : (int * int) list;
+  new_frontend : (int * int) Mailbox.t;
+}
+
+let instances t = t.insts
+let frontend_domid i = i.frontend.Domain.id
+let requests_served i = i.requests
+let segments_served i = i.segments
+let device_ops i = i.device_ops
+
+let hv i = i.ctx.Xen_ctx.hv
+
+let charge_wake i =
+  let now = Hypervisor.now (hv i) in
+  let idle = now - i.last_activity in
+  let cost =
+    if idle > i.ov.Overheads.warm_window then i.ov.Overheads.wake_cold
+    else if idle > i.ov.Overheads.busy_window then i.ov.Overheads.wake_warm
+    else i.ov.Overheads.wake_busy
+  in
+  Hypervisor.cpu_work (hv i) i.domain cost
+
+let touch i = i.last_activity <- Hypervisor.now (hv i)
+
+(* Resolve a request's segments, mapping indirect descriptor pages as
+   needed (and parsing the packed bytes, as the real driver does). *)
+let resolve_segments i (req : Blkif.request) =
+  match req.Blkif.body with
+  | Blkif.Direct segs -> segs
+  | Blkif.Indirect (grefs, count) ->
+      let pages = Grant_table.map_many i.ctx.Xen_ctx.gt ~grantee:i.domain grefs in
+      let bytes = List.map (fun p -> Page.read p ~off:0 ~len:Page.size) pages in
+      let segs = Blkif.unpack_segments bytes ~count in
+      Grant_table.unmap_many i.ctx.Xen_ctx.gt ~grantee:i.domain grefs;
+      segs
+
+(* A resolved unit of work: one request, its segments and mapped pages. *)
+type work = {
+  req : Blkif.request;
+  segs : Blkif.segment list;
+  pages : Page.t list;
+  total_bytes : int;
+}
+
+let prepare i req =
+  let segs = resolve_segments i req in
+  let grefs = List.map (fun s -> s.Blkif.gref) segs in
+  (* Persistent grants hit the map fast path (already mapped => free). *)
+  let pages = Grant_table.map_many i.ctx.Xen_ctx.gt ~grantee:i.domain grefs in
+  let total_bytes =
+    List.fold_left (fun acc s -> acc + Blkif.segment_bytes s) 0 segs
+  in
+  (* Per-request and per-segment CPU happens here in the request thread,
+     overlapping with device operations already in flight. *)
+  Hypervisor.cpu_work (hv i) i.domain
+    (i.ov.Overheads.blk_per_request
+    + (i.ov.Overheads.blk_per_segment * List.length segs));
+  { req; segs; pages; total_bytes }
+
+let release i work =
+  if not i.persistent then
+    Grant_table.unmap_many i.ctx.Xen_ctx.gt ~grantee:i.domain
+      (List.map (fun s -> s.Blkif.gref) work.segs)
+
+let respond i work status =
+  Ring.push_response i.ring { Blkif.rsp_id = work.req.Blkif.req_id; status };
+  if Ring.push_responses_and_check_notify i.ring then
+    Event_channel.notify i.ctx.Xen_ctx.ec i.port ~from:i.domain
+
+(* Gather a batch's pages into one buffer / scatter one buffer back. *)
+let gather works =
+  let total = List.fold_left (fun a w -> a + w.total_bytes) 0 works in
+  let buf = Bytes.create total in
+  let off = ref 0 in
+  List.iter
+    (fun w ->
+      List.iteri
+        (fun pi seg ->
+          let page = List.nth w.pages pi in
+          let len = Blkif.segment_bytes seg in
+          Bytes.blit
+            (Page.read page ~off:(seg.Blkif.first_sect * sector_size) ~len)
+            0 buf !off len;
+          off := !off + len)
+        w.segs)
+    works;
+  buf
+
+let scatter works buf =
+  let off = ref 0 in
+  List.iter
+    (fun w ->
+      List.iteri
+        (fun pi seg ->
+          let page = List.nth w.pages pi in
+          let len = Blkif.segment_bytes seg in
+          Page.write page
+            ~off:(seg.Blkif.first_sect * sector_size)
+            (Bytes.sub buf !off len);
+          off := !off + len)
+        w.segs)
+    works;
+  ()
+
+(* Execute one batch of works sharing an operation and contiguous on the
+   device: a single physical operation. *)
+let run_batch i op sector works =
+  let total = List.fold_left (fun a w -> a + w.total_bytes) 0 works in
+  (* One submission/completion overhead per (possibly merged) physical
+     operation — the term batching amortizes. *)
+  Hypervisor.cpu_work (hv i) i.domain i.ov.Overheads.blk_per_request;
+  (try
+     (match op with
+     | Blkif.Read ->
+         let data =
+           Kite_devices.Nvme.read i.device ~sector ~count:(total / sector_size)
+         in
+         scatter works data
+     | Blkif.Write ->
+         Kite_devices.Nvme.write i.device ~sector (gather works)
+     | Blkif.Flush -> Kite_devices.Nvme.flush i.device);
+     i.device_ops <- i.device_ops + 1;
+     List.iter
+       (fun w ->
+         i.requests <- i.requests + 1;
+         i.segments <- i.segments + List.length w.segs;
+         release i w;
+         respond i w Blkif.status_ok)
+       works
+   with Kite_devices.Nvme.Out_of_range _ ->
+     List.iter
+       (fun w ->
+         release i w;
+         respond i w Blkif.status_error)
+       works)
+
+(* Group a drained run of requests into batches of device-contiguous,
+   same-operation requests (the paper's consecutive-segment batching). *)
+let into_batches (i : instance) works =
+  if not i.batching then
+    List.map (fun w -> (w.req.Blkif.op, w.req.Blkif.sector, [ w ])) works
+  else begin
+    let batches = ref [] in
+    let current = ref None in
+    let flush_current () =
+      match !current with
+      | Some (op, sector, ws) ->
+          batches := (op, sector, List.rev ws) :: !batches;
+          current := None
+      | None -> ()
+    in
+    List.iter
+      (fun w ->
+        let op = w.req.Blkif.op in
+        let sector = w.req.Blkif.sector in
+        match !current with
+        | Some (cop, csector, ws)
+          when cop = op && op <> Blkif.Flush
+               && csector
+                  + List.fold_left (fun a x -> a + x.total_bytes) 0 ws
+                    / sector_size
+                  = sector ->
+            current := Some (cop, csector, w :: ws)
+        | Some _ ->
+            flush_current ();
+            current := Some (op, sector, [ w ])
+        | None -> current := Some (op, sector, [ w ]))
+      works;
+    flush_current ();
+    List.rev !batches
+  end
+
+(* The dedicated request thread of §3.3: drains the ring, prepares and
+   batches, then hands each batch to an async worker so later requests
+   are not blocked behind slow ones. *)
+let request_thread i () =
+  let rec drain acc =
+    match Ring.take_request i.ring with
+    | Some req -> drain (prepare i req :: acc)
+    | None -> List.rev acc
+  in
+  let rec loop () =
+    let works = drain [] in
+    if works <> [] then begin
+      touch i;
+      List.iter
+        (fun (op, sector, ws) ->
+          Hypervisor.spawn (hv i) i.domain
+            ~name:
+              (Printf.sprintf "blkback-io-%d.%d" i.frontend.Domain.id i.devid)
+            (fun () -> run_batch i op sector ws))
+        (into_batches i works)
+    end;
+    if not (Ring.final_check_for_requests i.ring) then begin
+      Condition.wait i.wake;
+      charge_wake i
+    end;
+    loop ()
+  in
+  loop ()
+
+let make_instance t ~frontend ~devid =
+  let ctx = t.sctx in
+  let xb = ctx.Xen_ctx.xb in
+  let domain = t.sdomain in
+  let bpath = Xenbus.backend_path ~backend:domain ~frontend ~ty:"vbd" ~devid in
+  let fpath = Xenbus.frontend_path ~frontend ~ty:"vbd" ~devid in
+  (* Advertise properties (§4.4 initialization). *)
+  Xenbus.write xb domain ~path:(bpath ^ "/sectors")
+    (string_of_int (Kite_devices.Nvme.capacity_sectors t.sdevice));
+  Xenbus.write xb domain ~path:(bpath ^ "/sector-size")
+    (string_of_int sector_size);
+  Xenbus.write xb domain ~path:(bpath ^ "/feature-flush-cache") "1";
+  Xenbus.write xb domain ~path:(bpath ^ "/feature-persistent")
+    (if t.feature_persistent then "1" else "0");
+  Xenbus.write xb domain
+    ~path:(bpath ^ "/feature-max-indirect-segments")
+    (string_of_int (if t.feature_indirect then Blkif.max_indirect_segments else 0));
+  Xenbus.switch_state xb domain ~path:bpath Xenbus.Init_wait;
+  Xenbus.wait_for_state xb domain ~path:fpath Xenbus.Initialised;
+  let want key =
+    match Xenbus.read_int xb domain ~path:(fpath ^ "/" ^ key) with
+    | Some v -> v
+    | None -> failwith ("blkback: frontend did not publish " ^ key)
+  in
+  let ring_ref = want "ring-ref" in
+  let port = want "event-channel" in
+  let front_persistent =
+    Xenbus.read xb domain ~path:(fpath ^ "/feature-persistent") = Some "1"
+  in
+  let ring = Blkif.map ctx.Xen_ctx.blkrings ring_ref in
+  Hypervisor.hypercall ctx.Xen_ctx.hv domain "grant_map"
+    ~extra:(Hypervisor.costs ctx.Xen_ctx.hv).Costs.grant_map;
+  Event_channel.bind ctx.Xen_ctx.ec port domain;
+  let i =
+    {
+      ctx;
+      domain;
+      frontend;
+      devid;
+      ov = t.soverheads;
+      device = t.sdevice;
+      ring;
+      port;
+      persistent = t.feature_persistent && front_persistent;
+      batching = t.batching;
+      wake = Condition.create ();
+      last_activity = Time.zero;
+      requests = 0;
+      segments = 0;
+      device_ops = 0;
+    }
+  in
+  Event_channel.set_handler ctx.Xen_ctx.ec port domain (fun () ->
+      Condition.signal i.wake);
+  Xenbus.switch_state xb domain ~path:bpath Xenbus.Connected;
+  Hypervisor.spawn ctx.Xen_ctx.hv domain
+    ~name:(Printf.sprintf "blkback-req-%d.%d" frontend.Domain.id devid)
+    (request_thread i);
+  i
+
+let watcher t () =
+  let rec loop () =
+    let front_domid, devid = Mailbox.recv t.new_frontend in
+    (match Hypervisor.find_domain t.sctx.Xen_ctx.hv front_domid with
+    | Some frontend ->
+        let i = make_instance t ~frontend ~devid in
+        t.insts <- i :: t.insts
+    | None -> ());
+    loop ()
+  in
+  loop ()
+
+let scan t =
+  let xs = Hypervisor.store t.sctx.Xen_ctx.hv in
+  let base = Printf.sprintf "/local/domain/%d/backend/vbd" t.sdomain.Domain.id in
+  List.iter
+    (fun frontid ->
+      match int_of_string_opt frontid with
+      | None -> ()
+      | Some fid ->
+          List.iter
+            (fun devid ->
+              match int_of_string_opt devid with
+              | None -> ()
+              | Some did ->
+                  if not (List.mem (fid, did) t.known) then begin
+                    t.known <- (fid, did) :: t.known;
+                    Mailbox.send t.new_frontend (fid, did)
+                  end)
+            (Xenstore.directory xs ~path:(base ^ "/" ^ frontid)))
+    (Xenstore.directory xs ~path:base)
+
+let serve ctx ~domain ~overheads ~device ?(feature_persistent = true)
+    ?(feature_indirect = true) ?(batching = true) () =
+  let t =
+    {
+      sctx = ctx;
+      sdomain = domain;
+      soverheads = overheads;
+      sdevice = device;
+      feature_persistent;
+      feature_indirect;
+      batching;
+      insts = [];
+      known = [];
+      new_frontend = Mailbox.create ();
+    }
+  in
+  Hypervisor.spawn ctx.Xen_ctx.hv domain ~name:"blkback-watcher" (watcher t);
+  Hypervisor.spawn ctx.Xen_ctx.hv domain ~name:"blkback-watch-setup"
+    (fun () ->
+      let base =
+        Printf.sprintf "/local/domain/%d/backend/vbd" domain.Domain.id
+      in
+      ignore
+        (Xenbus.watch ctx.Xen_ctx.xb domain ~path:base ~token:"blkback"
+           (fun ~path:_ ~token:_ -> scan t)));
+  t

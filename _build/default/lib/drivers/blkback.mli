@@ -1,0 +1,40 @@
+(** Blkback: Kite's from-scratch storage backend driver.
+
+    One instance per blkfront.  Implements the paper's §3.3/§4.4 design:
+
+    - a dedicated request thread woken by the event handler drains all
+      pending ring requests;
+    - requests complete {e asynchronously} — each is handed to its own
+      worker, so a slow request does not block the ones behind it;
+    - {e batching}: consecutive segments (within and across requests
+      drained together) become a single physical device operation;
+    - {e persistent references}: with the feature negotiated, data pages
+      stay mapped and a lookup table reuses mappings (modelled by the
+      grant table's map fast path) instead of paying map/unmap hypercalls
+      per request;
+    - {e indirect segments}: descriptor pages are mapped and parsed,
+      lifting requests to 32 segments (128 KiB). *)
+
+type t
+type instance
+
+val serve :
+  Xen_ctx.t ->
+  domain:Kite_xen.Domain.t ->
+  overheads:Overheads.t ->
+  device:Kite_devices.Nvme.t ->
+  ?feature_persistent:bool ->
+  ?feature_indirect:bool ->
+  ?batching:bool ->
+  unit ->
+  t
+(** Start the backend in [domain], exporting [device].  Flags exist for
+    the ablation benchmarks; they default to on, matching Kite. *)
+
+val instances : t -> instance list
+val frontend_domid : instance -> int
+
+val requests_served : instance -> int
+val segments_served : instance -> int
+val device_ops : instance -> int
+(** Physical operations issued; < requests when batching merges them. *)

@@ -1,0 +1,314 @@
+open Kite_sim
+open Kite_xen
+
+let sector_size = 512
+let sectors_per_page = Page.size / sector_size
+
+exception Io_error of string
+
+type pending = {
+  cond : Condition.t;
+  mutable status : int option;  (* response status once completed *)
+}
+
+type t = {
+  ctx : Xen_ctx.t;
+  domain : Domain.t;
+  backend : Domain.t;
+  devid : int;
+  want_persistent : bool;
+  want_indirect : bool;
+  ring : Blkif.ring;
+  mutable port : Event_channel.port;
+  mutable connected : bool;
+  mutable capacity : int;
+  mutable backend_persistent : bool;
+  mutable backend_indirect : int;  (* max indirect segments; 0 = none *)
+  conn_cond : Condition.t;
+  slot_cond : Condition.t;
+  pending : (int, pending) Hashtbl.t;
+  mutable pool : (Grant_table.ref_ * Page.t) list;  (* persistent pages *)
+  mutable next_id : int;
+  mutable requests : int;
+}
+
+let capacity_sectors t = t.capacity
+let requests_issued t = t.requests
+let indirect_enabled t = t.want_indirect && t.backend_indirect > 0
+let persistent_enabled t = t.want_persistent && t.backend_persistent
+
+let fpath t = Xenbus.frontend_path ~frontend:t.domain ~ty:"vbd" ~devid:t.devid
+
+let bpath t =
+  Xenbus.backend_path ~backend:t.backend ~frontend:t.domain ~ty:"vbd"
+    ~devid:t.devid
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  id
+
+(* Data pages: persistent mode reuses a granted pool so the backend's
+   mappings stay valid; otherwise grant fresh pages per request and revoke
+   them afterwards. *)
+let get_page t =
+  if persistent_enabled t then
+    match t.pool with
+    | (gref, page) :: rest ->
+        t.pool <- rest;
+        (gref, page)
+    | [] ->
+        let page = Page.alloc () in
+        let gref =
+          Grant_table.grant_access t.ctx.Xen_ctx.gt ~granter:t.domain
+            ~grantee:t.backend ~page ~writable:true
+        in
+        (gref, page)
+  else
+    let page = Page.alloc () in
+    let gref =
+      Grant_table.grant_access t.ctx.Xen_ctx.gt ~granter:t.domain
+        ~grantee:t.backend ~page ~writable:true
+    in
+    (gref, page)
+
+let put_pages t pages =
+  if persistent_enabled t then t.pool <- pages @ t.pool
+  else
+    List.iter
+      (fun (gref, _) ->
+        Grant_table.end_access t.ctx.Xen_ctx.gt ~granter:t.domain gref)
+      pages
+
+(* One blkif request covering [count] sectors starting at [sector].
+   [data] is the write payload, or None for reads/flush. *)
+let submit t op ~sector ~count data =
+  let npages = (count + sectors_per_page - 1) / sectors_per_page in
+  let pages = List.init npages (fun _ -> get_page t) in
+  (* Fill pages for writes. *)
+  (match data with
+  | Some buf ->
+      List.iteri
+        (fun pi (_, page) ->
+          let off = pi * Page.size in
+          let len = min Page.size (Bytes.length buf - off) in
+          if len > 0 then Page.write page ~off:0 (Bytes.sub buf off len))
+        pages
+  | None -> ());
+  let segments =
+    List.mapi
+      (fun pi (gref, _) ->
+        let remaining = count - (pi * sectors_per_page) in
+        {
+          Blkif.gref;
+          first_sect = 0;
+          last_sect = min (sectors_per_page - 1) (remaining - 1);
+        })
+      pages
+  in
+  let body, indirect_grants =
+    if List.length segments <= Blkif.max_direct_segments then
+      (Blkif.Direct segments, [])
+    else begin
+      (* Pack descriptors into granted pages, exactly like the ABI. *)
+      let descriptor_pages =
+        List.map
+          (fun bytes ->
+            let page = Page.alloc () in
+            Page.write page ~off:0 bytes;
+            let gref =
+              Grant_table.grant_access t.ctx.Xen_ctx.gt ~granter:t.domain
+                ~grantee:t.backend ~page ~writable:false
+            in
+            (gref, page))
+          (Blkif.pack_segments segments)
+      in
+      ( Blkif.Indirect
+          (List.map fst descriptor_pages, List.length segments),
+        descriptor_pages )
+    end
+  in
+  (* Wait for a ring slot. *)
+  while Ring.free_requests t.ring = 0 do
+    Condition.wait t.slot_cond
+  done;
+  let id = fresh_id t in
+  let p = { cond = Condition.create (); status = None } in
+  Hashtbl.replace t.pending id p;
+  Ring.push_request t.ring { Blkif.req_id = id; op; sector; body };
+  t.requests <- t.requests + 1;
+  if Ring.push_requests_and_check_notify t.ring then
+    Event_channel.notify t.ctx.Xen_ctx.ec t.port ~from:t.domain;
+  (* Block until the response arrives. *)
+  while p.status = None do
+    Condition.wait p.cond
+  done;
+  Hashtbl.remove t.pending id;
+  (* Indirect descriptor pages are single-use. *)
+  List.iter
+    (fun (gref, _) ->
+      Grant_table.end_access t.ctx.Xen_ctx.gt ~granter:t.domain gref)
+    indirect_grants;
+  let result =
+    if p.status = Some Blkif.status_ok then begin
+      match data with
+      | Some _ -> Bytes.empty
+      | None when op = Blkif.Read ->
+          let out = Bytes.create (count * sector_size) in
+          List.iteri
+            (fun pi (_, page) ->
+              let off = pi * Page.size in
+              let len = min Page.size (Bytes.length out - off) in
+              Bytes.blit (Page.read page ~off:0 ~len) 0 out off len)
+            pages;
+          out
+      | None -> Bytes.empty
+    end
+    else begin
+      put_pages t pages;
+      raise
+        (Io_error
+           (Printf.sprintf "blkfront %s: request %d failed"
+              t.domain.Domain.name id))
+    end
+  in
+  put_pages t pages;
+  result
+
+let max_sectors_per_request t =
+  let max_segs =
+    if indirect_enabled t then min t.backend_indirect Blkif.max_indirect_segments
+    else Blkif.max_direct_segments
+  in
+  max_segs * sectors_per_page
+
+(* Split a large operation into ring requests running in parallel. *)
+let run_chunks t op ~sector ~count data =
+  let chunk = max_sectors_per_request t in
+  let nchunks = (count + chunk - 1) / chunk in
+  if nchunks = 1 then submit t op ~sector ~count data
+  else begin
+    let out =
+      if op = Blkif.Read then Bytes.create (count * sector_size)
+      else Bytes.empty
+    in
+    let remaining = ref nchunks in
+    let failure = ref None in
+    let done_cond = Condition.create () in
+    for ci = 0 to nchunks - 1 do
+      let first = ci * chunk in
+      let n = min chunk (count - first) in
+      let sub_data =
+        Option.map
+          (fun buf -> Some (Bytes.sub buf (first * sector_size) (n * sector_size)))
+          data
+        |> Option.value ~default:None
+      in
+      Hypervisor.spawn t.ctx.Xen_ctx.hv t.domain
+        ~name:(Printf.sprintf "blkfront-io-%d" ci)
+        (fun () ->
+          (try
+             let part = submit t op ~sector:(sector + first) ~count:n sub_data in
+             if op = Blkif.Read then
+               Bytes.blit part 0 out (first * sector_size) (n * sector_size)
+           with e -> failure := Some e);
+          decr remaining;
+          if !remaining = 0 then Condition.broadcast done_cond)
+    done;
+    while !remaining > 0 do
+      Condition.wait done_cond
+    done;
+    (match !failure with Some e -> raise e | None -> ());
+    out
+  end
+
+let read t ~sector ~count =
+  if count <= 0 then invalid_arg "Blkfront.read: count";
+  run_chunks t Blkif.Read ~sector ~count None
+
+let write t ~sector data =
+  let len = Bytes.length data in
+  if len = 0 || len mod sector_size <> 0 then
+    invalid_arg "Blkfront.write: length not sector-aligned";
+  ignore (run_chunks t Blkif.Write ~sector ~count:(len / sector_size) (Some data))
+
+let flush t = ignore (submit t Blkif.Flush ~sector:0 ~count:0 None)
+
+(* Responses carry no payload copying that needs process context, so they
+   are completed inline in the interrupt handler. *)
+let handle_event t () =
+  let rec drain () =
+    match Ring.take_response t.ring with
+    | Some rsp ->
+        (match Hashtbl.find_opt t.pending rsp.Blkif.rsp_id with
+        | Some p ->
+            p.status <- Some rsp.Blkif.status;
+            Condition.broadcast p.cond
+        | None -> ());
+        Condition.broadcast t.slot_cond;
+        drain ()
+    | None -> if Ring.final_check_for_responses t.ring then drain ()
+  in
+  drain ()
+
+let handshake t () =
+  let xb = t.ctx.Xen_ctx.xb in
+  Xenbus.wait_for_state xb t.domain ~path:(bpath t) Xenbus.Init_wait;
+  t.capacity <-
+    Option.value ~default:0 (Xenbus.read_int xb t.domain ~path:(bpath t ^ "/sectors"));
+  t.backend_persistent <-
+    Xenbus.read xb t.domain ~path:(bpath t ^ "/feature-persistent") = Some "1";
+  t.backend_indirect <-
+    Option.value ~default:0
+      (Xenbus.read_int xb t.domain
+         ~path:(bpath t ^ "/feature-max-indirect-segments"));
+  let ring_ref = Blkif.share t.ctx.Xen_ctx.blkrings t.ring in
+  t.port <-
+    Event_channel.alloc_unbound t.ctx.Xen_ctx.ec t.domain ~remote:t.backend;
+  Xenbus.write xb t.domain ~path:(fpath t ^ "/ring-ref")
+    (string_of_int ring_ref);
+  Xenbus.write xb t.domain
+    ~path:(fpath t ^ "/event-channel")
+    (string_of_int t.port);
+  Xenbus.write xb t.domain
+    ~path:(fpath t ^ "/feature-persistent")
+    (if t.want_persistent then "1" else "0");
+  Xenbus.switch_state xb t.domain ~path:(fpath t) Xenbus.Initialised;
+  Xenbus.wait_for_state xb t.domain ~path:(bpath t) Xenbus.Connected;
+  Event_channel.set_handler t.ctx.Xen_ctx.ec t.port t.domain
+    (handle_event t);
+  Xenbus.switch_state xb t.domain ~path:(fpath t) Xenbus.Connected;
+  t.connected <- true;
+  Condition.broadcast t.conn_cond
+
+let create ctx ~domain ~backend ~devid ?(use_persistent = true)
+    ?(use_indirect = true) () =
+  let t =
+    {
+      ctx;
+      domain;
+      backend;
+      devid;
+      want_persistent = use_persistent;
+      want_indirect = use_indirect;
+      ring = Ring.create ~order:Blkif.ring_order;
+      port = -1;
+      connected = false;
+      capacity = 0;
+      backend_persistent = false;
+      backend_indirect = 0;
+      conn_cond = Condition.create ();
+      slot_cond = Condition.create ();
+      pending = Hashtbl.create 64;
+      pool = [];
+      next_id = 0;
+      requests = 0;
+    }
+  in
+  Hypervisor.spawn ctx.Xen_ctx.hv domain ~name:"blkfront-setup" (handshake t);
+  t
+
+let wait_connected t =
+  while not t.connected do
+    Condition.wait t.conn_cond
+  done

@@ -1,0 +1,45 @@
+(** Blkfront: the paravirtual block frontend in a guest VM.
+
+    Presents a sector-addressable block device; operations become blkif
+    requests through the shared ring.  Large operations are split into
+    requests of at most 44 KiB (direct) or 128 KiB (indirect, when the
+    backend advertises it) that proceed in parallel.  With persistent
+    grants enabled, data pages come from a reusable granted pool so the
+    backend never remaps them. *)
+
+type t
+
+val create :
+  Xen_ctx.t ->
+  domain:Kite_xen.Domain.t ->
+  backend:Kite_xen.Domain.t ->
+  devid:int ->
+  ?use_persistent:bool ->
+  ?use_indirect:bool ->
+  unit ->
+  t
+(** Both features default to on (they also require backend support,
+    negotiated via xenstore). *)
+
+val wait_connected : t -> unit
+
+val sector_size : int
+(** 512. *)
+
+val capacity_sectors : t -> int
+(** From the backend's advertisement; valid once connected. *)
+
+exception Io_error of string
+
+val read : t -> sector:int -> count:int -> Bytes.t
+(** Blocking read of [count] sectors. *)
+
+val write : t -> sector:int -> Bytes.t -> unit
+(** Blocking write; length must be sector-aligned. *)
+
+val flush : t -> unit
+
+val requests_issued : t -> int
+
+val indirect_enabled : t -> bool
+val persistent_enabled : t -> bool

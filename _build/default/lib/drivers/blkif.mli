@@ -1,0 +1,68 @@
+(** The blkfront/blkback wire protocol (Xen blkif).
+
+    A request carries up to 11 {e direct} segments — the most that fits in
+    a ring slot, bounding direct requests at 44 KiB — or an {e indirect}
+    descriptor whose grant references point at pages containing packed
+    segment descriptors, lifting the limit to [max_indirect_segments]
+    pages (Kite follows Linux's cap of 32).  Each segment addresses a
+    whole-or-partial 4 KiB page in 512-byte sectors. *)
+
+type operation = Read | Write | Flush
+
+type segment = {
+  gref : Kite_xen.Grant_table.ref_;
+  first_sect : int;  (** 0..7: first 512-byte sector of the page used *)
+  last_sect : int;  (** 0..7: last sector used, inclusive *)
+}
+
+type body =
+  | Direct of segment list  (** at most {!max_direct_segments} *)
+  | Indirect of Kite_xen.Grant_table.ref_ list * int
+      (** pages of packed descriptors, and the total segment count *)
+
+type request = {
+  req_id : int;
+  op : operation;
+  sector : int;  (** starting device sector *)
+  body : body;
+}
+
+type response = { rsp_id : int; status : int }
+
+val status_ok : int
+val status_error : int
+
+val max_direct_segments : int
+(** 11. *)
+
+val max_indirect_segments : int
+(** 32 (Linux-compatible cap; the ABI itself allows 512 per page). *)
+
+val segments_per_indirect_page : int
+(** 512. *)
+
+val segment_bytes : segment -> int
+
+val ring_order : int
+(** 5 — the classic 32-slot block ring. *)
+
+type ring = (request, response) Kite_xen.Ring.t
+
+(** {1 Indirect descriptor encoding}
+
+    Descriptors are packed 8 bytes each into granted pages, exactly like
+    the C ABI — blkback genuinely parses bytes out of the shared page. *)
+
+val pack_segments : segment list -> Bytes.t list
+(** Pages' worth of packed descriptors. *)
+
+val unpack_segments : Bytes.t list -> count:int -> segment list
+
+(** {1 Shared-ring registry} *)
+
+type registry
+
+val registry : unit -> registry
+val share : registry -> ring -> int
+val map : registry -> int -> ring
+(** Raises [Not_found] on a bogus reference. *)

@@ -1,0 +1,38 @@
+type t = {
+  bridges : Kite_net.Bridge.t list;
+  netback : Netback.t;
+  nic_netdevs : Kite_net.Netdev.t list;
+}
+
+(* One bridge per physical NIC; VIFs are spread across bridges by their
+   frontend's domain id ("several NICs for better I/O scaling", §3.1). *)
+let run_multi ctx ~domain ~nics ~overheads =
+  let bridges_and_ifs =
+    List.mapi
+      (fun i nic ->
+        let bridge =
+          Kite_net.Bridge.create ~name:(Printf.sprintf "xenbr%d" i)
+        in
+        (* ifconfig: wrap and bring up the physical interface; brconfig:
+           add it to the bridge. *)
+        let nic_netdev = Netif.of_nic nic in
+        Kite_net.Bridge.add_port bridge nic_netdev;
+        (bridge, nic_netdev))
+      nics
+  in
+  let bridges = List.map fst bridges_and_ifs in
+  let n = List.length bridges in
+  let netback =
+    Netback.serve ctx ~domain ~overheads ~on_vif:(fun ~frontend ~devid vif ->
+        let bridge = List.nth bridges ((frontend + devid) mod n) in
+        Kite_net.Bridge.add_port bridge vif)
+  in
+  { bridges; netback; nic_netdevs = List.map snd bridges_and_ifs }
+
+let run ctx ~domain ~nic ~overheads =
+  run_multi ctx ~domain ~nics:[ nic ] ~overheads
+
+let bridge t = List.hd t.bridges
+let bridges t = t.bridges
+let netback t = t.netback
+let nic_netdev t = List.hd t.nic_netdevs

@@ -1,0 +1,268 @@
+open Kite_sim
+open Kite_xen
+open Kite_net
+
+let rx_backlog_limit = 4096
+
+type instance = {
+  ctx : Xen_ctx.t;
+  domain : Domain.t;  (* the driver domain *)
+  frontend : Domain.t;
+  devid : int;
+  ov : Overheads.t;
+  tx_ring : Netchannel.tx_ring;
+  rx_ring : Netchannel.rx_ring;
+  port : Event_channel.port;
+  mutable vif : Netdev.t option;
+  backlog : Bytes.t Queue.t;  (* frames from the bridge awaiting Rx slots *)
+  pusher_wake : Condition.t;
+  soft_wake : Condition.t;
+  mutable last_activity : Time.t;
+  mutable tx_packets : int;
+  mutable rx_packets : int;
+  mutable rx_dropped : int;
+}
+
+type t = {
+  sctx : Xen_ctx.t;
+  sdomain : Domain.t;
+  soverheads : Overheads.t;
+  on_vif : frontend:int -> devid:int -> Netdev.t -> unit;
+  mutable insts : instance list;
+  mutable known : (int * int) list;  (* (frontend domid, devid) seen *)
+  new_frontend : (int * int) Mailbox.t;
+}
+
+let instances t = t.insts
+let vif i = match i.vif with Some v -> v | None -> assert false
+let frontend_domid i = i.frontend.Domain.id
+let tx_packets i = i.tx_packets
+let rx_packets i = i.rx_packets
+let rx_dropped i = i.rx_dropped
+
+let hv i = i.ctx.Xen_ctx.hv
+
+(* Handler-to-thread wakeup cost: cold after an idle period, warm while
+   traffic flows (§3.2's motivation for fast handlers). *)
+let charge_wake i =
+  let now = Hypervisor.now (hv i) in
+  let idle = now - i.last_activity in
+  let cost =
+    if idle > i.ov.Overheads.warm_window then i.ov.Overheads.wake_cold
+    else if idle > i.ov.Overheads.busy_window then i.ov.Overheads.wake_warm
+    else i.ov.Overheads.wake_busy
+  in
+  Hypervisor.cpu_work (hv i) i.domain cost
+
+let touch i = i.last_activity <- Hypervisor.now (hv i)
+
+(* Guest -> wire.  Drains Tx requests, copies frames out of guest pages
+   via grant copy, hands them to the VIF (hence the bridge). *)
+let pusher i () =
+  let rec drain n =
+    match Ring.take_request i.tx_ring with
+    | Some req ->
+        let frame =
+          Grant_table.copy_from_granted i.ctx.Xen_ctx.gt ~caller:i.domain
+            req.Netchannel.tx_gref ~off:0 ~len:req.Netchannel.tx_len
+        in
+        Hypervisor.cpu_work (hv i) i.domain i.ov.Overheads.tx_per_packet;
+        i.tx_packets <- i.tx_packets + 1;
+        (match i.vif with Some v -> Netdev.deliver v frame | None -> ());
+        Ring.push_response i.tx_ring
+          {
+            Netchannel.tx_rsp_id = req.Netchannel.tx_id;
+            tx_status = Netchannel.status_ok;
+          };
+        drain (n + 1)
+    | None -> n
+  in
+  let rec loop () =
+    let n = drain 0 in
+    if n > 0 then begin
+      if Ring.push_responses_and_check_notify i.tx_ring then
+        Event_channel.notify i.ctx.Xen_ctx.ec i.port ~from:i.domain;
+      touch i
+    end;
+    if not (Ring.final_check_for_requests i.tx_ring) then begin
+      Condition.wait i.pusher_wake;
+      charge_wake i
+    end;
+    loop ()
+  in
+  loop ()
+
+(* Wire -> guest.  Matches backlogged frames with posted Rx buffers,
+   copies via grant copy, responds. *)
+let soft_start i () =
+  let rec drain n =
+    if Queue.is_empty i.backlog || Ring.pending_requests i.rx_ring = 0 then n
+    else begin
+      let frame = Queue.pop i.backlog in
+      match Ring.take_request i.rx_ring with
+      | Some req ->
+          Grant_table.copy_to_granted i.ctx.Xen_ctx.gt ~caller:i.domain
+            req.Netchannel.rx_gref ~off:0 frame;
+          Hypervisor.cpu_work (hv i) i.domain i.ov.Overheads.rx_per_packet;
+          i.rx_packets <- i.rx_packets + 1;
+          Ring.push_response i.rx_ring
+            {
+              Netchannel.rx_rsp_id = req.Netchannel.rx_id;
+              rx_len = Bytes.length frame;
+              rx_status = Netchannel.status_ok;
+            };
+          drain (n + 1)
+      | None -> n
+    end
+  in
+  let rec loop () =
+    let n = drain 0 in
+    if n > 0 then begin
+      if Ring.push_responses_and_check_notify i.rx_ring then
+        Event_channel.notify i.ctx.Xen_ctx.ec i.port ~from:i.domain;
+      touch i
+    end;
+    if Queue.is_empty i.backlog || Ring.pending_requests i.rx_ring = 0 then begin
+      (* Re-arm request notifications before sleeping. *)
+      if not (Ring.final_check_for_requests i.rx_ring) then begin
+        Condition.wait i.soft_wake;
+        charge_wake i
+      end
+      else if Queue.is_empty i.backlog then begin
+        Condition.wait i.soft_wake;
+        charge_wake i
+      end
+    end;
+    loop ()
+  in
+  loop ()
+
+let make_instance t ~frontend ~devid =
+  let ctx = t.sctx in
+  let xb = ctx.Xen_ctx.xb in
+  let domain = t.sdomain in
+  let bpath =
+    Xenbus.backend_path ~backend:domain ~frontend ~ty:"vif" ~devid
+  in
+  let fpath = Xenbus.frontend_path ~frontend ~ty:"vif" ~devid in
+  Xenbus.write xb domain ~path:(bpath ^ "/feature-rx-copy") "1";
+  Xenbus.switch_state xb domain ~path:bpath Xenbus.Init_wait;
+  Xenbus.wait_for_state xb domain ~path:fpath Xenbus.Initialised;
+  let want key =
+    match Xenbus.read_int xb domain ~path:(fpath ^ "/" ^ key) with
+    | Some v -> v
+    | None -> failwith ("netback: frontend did not publish " ^ key)
+  in
+  let tx_ref = want "tx-ring-ref" in
+  let rx_ref = want "rx-ring-ref" in
+  let port = want "event-channel" in
+  let tx_ring = Netchannel.map_tx ctx.Xen_ctx.netrings tx_ref in
+  let rx_ring = Netchannel.map_rx ctx.Xen_ctx.netrings rx_ref in
+  (* Mapping the two ring pages costs two map hypercalls. *)
+  Hypervisor.hypercall ctx.Xen_ctx.hv domain "grant_map"
+    ~extra:(2 * (Hypervisor.costs ctx.Xen_ctx.hv).Costs.grant_map);
+  Event_channel.bind ctx.Xen_ctx.ec port domain;
+  let i =
+    {
+      ctx;
+      domain;
+      frontend;
+      devid;
+      ov = t.soverheads;
+      tx_ring;
+      rx_ring;
+      port;
+      vif = None;
+      backlog = Queue.create ();
+      pusher_wake = Condition.create ();
+      soft_wake = Condition.create ();
+      last_activity = Time.zero;
+      tx_packets = 0;
+      rx_packets = 0;
+      rx_dropped = 0;
+    }
+  in
+  (* The VIF's transmit side (bridge -> guest) feeds the backlog; it runs
+     in arbitrary context so it only enqueues and signals. *)
+  let vif =
+    Netdev.create
+      ~name:(Printf.sprintf "vif%d.%d" frontend.Domain.id devid)
+      ~transmit:(fun frame ->
+        if Queue.length i.backlog >= rx_backlog_limit then
+          i.rx_dropped <- i.rx_dropped + 1
+        else begin
+          Queue.push frame i.backlog;
+          Condition.signal i.soft_wake
+        end)
+      ()
+  in
+  i.vif <- Some vif;
+  Event_channel.set_handler ctx.Xen_ctx.ec port domain (fun () ->
+      Condition.signal i.pusher_wake;
+      Condition.signal i.soft_wake);
+  Xenbus.switch_state xb domain ~path:bpath Xenbus.Connected;
+  t.on_vif ~frontend:frontend.Domain.id ~devid vif;
+  Hypervisor.spawn ctx.Xen_ctx.hv domain
+    ~name:(Printf.sprintf "netback-pusher-%d.%d" frontend.Domain.id devid)
+    (pusher i);
+  Hypervisor.spawn ctx.Xen_ctx.hv domain
+    ~name:(Printf.sprintf "netback-soft_start-%d.%d" frontend.Domain.id devid)
+    (soft_start i);
+  i
+
+(* §4.1 backend invocation: a watch on the backend directory wakes a
+   dedicated thread that pairs new frontends. *)
+let watcher t () =
+  let rec loop () =
+    let front_domid, devid = Mailbox.recv t.new_frontend in
+    (match Hypervisor.find_domain t.sctx.Xen_ctx.hv front_domid with
+    | Some frontend ->
+        let i = make_instance t ~frontend ~devid in
+        t.insts <- i :: t.insts
+    | None -> ());
+    loop ()
+  in
+  loop ()
+
+let scan t =
+  let xs = Hypervisor.store t.sctx.Xen_ctx.hv in
+  let base = Printf.sprintf "/local/domain/%d/backend/vif" t.sdomain.Domain.id in
+  List.iter
+    (fun frontid ->
+      match int_of_string_opt frontid with
+      | None -> ()
+      | Some fid ->
+          List.iter
+            (fun devid ->
+              match int_of_string_opt devid with
+              | None -> ()
+              | Some did ->
+                  if not (List.mem (fid, did) t.known) then begin
+                    t.known <- (fid, did) :: t.known;
+                    Mailbox.send t.new_frontend (fid, did)
+                  end)
+            (Xenstore.directory xs ~path:(base ^ "/" ^ frontid)))
+    (Xenstore.directory xs ~path:base)
+
+let serve ctx ~domain ~overheads ~on_vif =
+  let t =
+    {
+      sctx = ctx;
+      sdomain = domain;
+      soverheads = overheads;
+      on_vif;
+      insts = [];
+      known = [];
+      new_frontend = Mailbox.create ();
+    }
+  in
+  Hypervisor.spawn ctx.Xen_ctx.hv domain ~name:"netback-watcher" (watcher t);
+  Hypervisor.spawn ctx.Xen_ctx.hv domain ~name:"netback-watch-setup"
+    (fun () ->
+      let base =
+        Printf.sprintf "/local/domain/%d/backend/vif" domain.Domain.id
+      in
+      ignore
+        (Xenbus.watch ctx.Xen_ctx.xb domain ~path:base ~token:"netback"
+           (fun ~path:_ ~token:_ -> scan t)));
+  t

@@ -1,0 +1,49 @@
+(** Netback: Kite's from-scratch network backend driver.
+
+    One instance per netfront in a guest.  Mirrors the paper's threaded
+    design (§3.2, §4.2): the event-channel handler only wakes dedicated
+    threads —
+
+    - {e pusher}: drains Tx ring requests, grant-copies the frames out of
+      guest memory and pushes them into the VIF (towards the bridge and
+      the physical NIC);
+    - {e soft_start}: takes frames arriving at the VIF, grant-copies them
+      into the guest's posted Rx buffers and sends Rx responses.
+
+    Kite vs Linux behaviour is captured by the {!Overheads.t} cost model.
+
+    [serve] runs the backend-invocation watcher of §4.1: a xenstore watch
+    on the backend directory spawns an instance for every frontend that
+    appears. *)
+
+type t
+(** A serving backend driver (watcher + instances). *)
+
+type instance
+
+val serve :
+  Xen_ctx.t ->
+  domain:Kite_xen.Domain.t ->
+  overheads:Overheads.t ->
+  on_vif:(frontend:int -> devid:int -> Kite_net.Netdev.t -> unit) ->
+  t
+(** Start the backend in [domain].  [on_vif] is invoked (in process
+    context) with each new VIF netdev and its frontend/devid — the
+    network application adds it to the right bridge.  The watcher picks
+    up frontends the toolstack registers under
+    [/local/domain/<id>/backend/vif]. *)
+
+val instances : t -> instance list
+
+val vif : instance -> Kite_net.Netdev.t
+val frontend_domid : instance -> int
+
+val tx_packets : instance -> int
+(** Guest-to-wire packets forwarded. *)
+
+val rx_packets : instance -> int
+(** Wire-to-guest packets delivered into posted buffers. *)
+
+val rx_dropped : instance -> int
+(** Frames dropped because the guest posted no Rx buffers (or the
+    backlog overflowed). *)

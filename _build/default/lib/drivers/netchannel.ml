@@ -1,0 +1,45 @@
+type tx_request = {
+  tx_id : int;
+  tx_gref : Kite_xen.Grant_table.ref_;
+  tx_len : int;
+}
+
+type tx_response = { tx_rsp_id : int; tx_status : int }
+
+type rx_request = { rx_id : int; rx_gref : Kite_xen.Grant_table.ref_ }
+
+type rx_response = { rx_rsp_id : int; rx_len : int; rx_status : int }
+
+let status_ok = 0
+let status_error = -1
+let status_dropped = -2
+
+type tx_ring = (tx_request, tx_response) Kite_xen.Ring.t
+type rx_ring = (rx_request, rx_response) Kite_xen.Ring.t
+
+let ring_order = 8
+
+type shared = Tx of tx_ring | Rx of rx_ring
+
+type registry = { mutable next : int; rings : (int, shared) Hashtbl.t }
+
+let registry () = { next = 1; rings = Hashtbl.create 16 }
+
+let share r shared =
+  let id = r.next in
+  r.next <- r.next + 1;
+  Hashtbl.add r.rings id shared;
+  id
+
+let share_tx r ring = share r (Tx ring)
+let share_rx r ring = share r (Rx ring)
+
+let map_tx r id =
+  match Hashtbl.find_opt r.rings id with
+  | Some (Tx ring) -> ring
+  | Some (Rx _) | None -> raise Not_found
+
+let map_rx r id =
+  match Hashtbl.find_opt r.rings id with
+  | Some (Rx ring) -> ring
+  | Some (Tx _) | None -> raise Not_found

@@ -1,0 +1,46 @@
+(** The netfront/netback wire protocol: request/response formats for the
+    Tx and Rx rings, and the shared-ring registry standing in for
+    mapping a ring's grant reference into the backend's address space. *)
+
+type tx_request = {
+  tx_id : int;
+  tx_gref : Kite_xen.Grant_table.ref_;  (** page holding the frame *)
+  tx_len : int;
+}
+
+type tx_response = { tx_rsp_id : int; tx_status : int }
+
+type rx_request = {
+  rx_id : int;
+  rx_gref : Kite_xen.Grant_table.ref_;  (** empty buffer posted by netfront *)
+}
+
+type rx_response = { rx_rsp_id : int; rx_len : int; rx_status : int }
+
+val status_ok : int
+val status_error : int
+val status_dropped : int
+
+type tx_ring = (tx_request, tx_response) Kite_xen.Ring.t
+type rx_ring = (rx_request, rx_response) Kite_xen.Ring.t
+
+val ring_order : int
+(** 8 — 256-slot rings, as in the Xen netif ABI. *)
+
+(** {1 Shared-ring registry}
+
+    The frontend allocates rings in granted pages and advertises the
+    references via xenstore; the backend "maps" them.  The registry
+    resolves a reference to the shared structure. *)
+
+type registry
+
+val registry : unit -> registry
+
+val share_tx : registry -> tx_ring -> int
+val share_rx : registry -> rx_ring -> int
+
+val map_tx : registry -> int -> tx_ring
+(** Raises [Not_found] on a bogus reference. *)
+
+val map_rx : registry -> int -> rx_ring

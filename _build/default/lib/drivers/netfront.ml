@@ -1,0 +1,196 @@
+open Kite_sim
+open Kite_xen
+open Kite_net
+
+type t = {
+  ctx : Xen_ctx.t;
+  domain : Domain.t;
+  backend : Domain.t;
+  devid : int;
+  tx_ring : Netchannel.tx_ring;
+  rx_ring : Netchannel.rx_ring;
+  mutable port : Event_channel.port;
+  mutable dev : Netdev.t option;
+  tx_slots : Condition.t;
+  rx_wake : Condition.t;
+  conn_cond : Condition.t;
+  tx_pending : (int, Grant_table.ref_ * Page.t) Hashtbl.t;
+  rx_buffers : (int, Grant_table.ref_ * Page.t) Hashtbl.t;
+  mutable connected : bool;
+  mutable next_id : int;
+  mutable tx_packets : int;
+  mutable rx_packets : int;
+  mutable tx_dropped : int;
+}
+
+let connected t = t.connected
+let tx_packets t = t.tx_packets
+let rx_packets t = t.rx_packets
+let tx_dropped t = t.tx_dropped
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  id
+
+let fpath t =
+  Xenbus.frontend_path ~frontend:t.domain ~ty:"vif" ~devid:t.devid
+
+let bpath t =
+  Xenbus.backend_path ~backend:t.backend ~frontend:t.domain ~ty:"vif"
+    ~devid:t.devid
+
+(* Guest stack -> Tx ring.  Runs in the transmitting process's context. *)
+let transmit t frame =
+  if not t.connected then t.tx_dropped <- t.tx_dropped + 1
+  else begin
+    while Ring.free_requests t.tx_ring = 0 do
+      Condition.wait t.tx_slots
+    done;
+    let len = Bytes.length frame in
+    let page = Page.alloc () in
+    Page.write page ~off:0 frame;
+    let gref =
+      Grant_table.grant_access t.ctx.Xen_ctx.gt ~granter:t.domain
+        ~grantee:t.backend ~page ~writable:false
+    in
+    let id = fresh_id t in
+    Hashtbl.replace t.tx_pending id (gref, page);
+    Ring.push_request t.tx_ring
+      { Netchannel.tx_id = id; tx_gref = gref; tx_len = len };
+    t.tx_packets <- t.tx_packets + 1;
+    if Ring.push_requests_and_check_notify t.tx_ring then
+      Event_channel.notify t.ctx.Xen_ctx.ec t.port ~from:t.domain
+  end
+
+(* Tx completions involve only pure grant-table updates, so they are safe
+   to process inline in the interrupt handler. *)
+let drain_tx_responses t =
+  let rec go () =
+    match Ring.take_response t.tx_ring with
+    | Some rsp ->
+        (match Hashtbl.find_opt t.tx_pending rsp.Netchannel.tx_rsp_id with
+        | Some (gref, _page) ->
+            Hashtbl.remove t.tx_pending rsp.Netchannel.tx_rsp_id;
+            Grant_table.end_access t.ctx.Xen_ctx.gt ~granter:t.domain gref
+        | None -> ());
+        Condition.broadcast t.tx_slots;
+        go ()
+    | None -> if Ring.final_check_for_responses t.tx_ring then go ()
+  in
+  go ()
+
+let post_rx_buffer t gref page =
+  let id = fresh_id t in
+  Hashtbl.replace t.rx_buffers id (gref, page);
+  Ring.push_request t.rx_ring { Netchannel.rx_id = id; rx_gref = gref }
+
+(* Rx completions: copy frames out of our own posted pages (local memcpy)
+   and hand them to the guest netdev, then recycle the buffers.  Runs in a
+   dedicated thread because re-posting may need a notify hypercall. *)
+let rx_thread t () =
+  let rec loop () =
+    let rec drain reposted =
+      match Ring.take_response t.rx_ring with
+      | Some rsp ->
+          (match Hashtbl.find_opt t.rx_buffers rsp.Netchannel.rx_rsp_id with
+          | Some (gref, page) ->
+              Hashtbl.remove t.rx_buffers rsp.Netchannel.rx_rsp_id;
+              if rsp.Netchannel.rx_status = Netchannel.status_ok then begin
+                let frame = Page.read page ~off:0 ~len:rsp.Netchannel.rx_len in
+                t.rx_packets <- t.rx_packets + 1;
+                match t.dev with
+                | Some dev -> Netdev.deliver dev frame
+                | None -> ()
+              end;
+              post_rx_buffer t gref page;
+              drain (reposted + 1)
+          | None -> drain reposted)
+      | None -> reposted
+    in
+    let reposted = drain 0 in
+    if reposted > 0 && Ring.push_requests_and_check_notify t.rx_ring then
+      Event_channel.notify t.ctx.Xen_ctx.ec t.port ~from:t.domain;
+    if not (Ring.final_check_for_responses t.rx_ring) then
+      Condition.wait t.rx_wake;
+    loop ()
+  in
+  loop ()
+
+let handshake t () =
+  let xb = t.ctx.Xen_ctx.xb in
+  Xenbus.wait_for_state xb t.domain ~path:(bpath t) Xenbus.Init_wait;
+  let tx_ref = Netchannel.share_tx t.ctx.Xen_ctx.netrings t.tx_ring in
+  let rx_ref = Netchannel.share_rx t.ctx.Xen_ctx.netrings t.rx_ring in
+  t.port <-
+    Event_channel.alloc_unbound t.ctx.Xen_ctx.ec t.domain ~remote:t.backend;
+  Xenbus.write xb t.domain ~path:(fpath t ^ "/tx-ring-ref")
+    (string_of_int tx_ref);
+  Xenbus.write xb t.domain ~path:(fpath t ^ "/rx-ring-ref")
+    (string_of_int rx_ref);
+  Xenbus.write xb t.domain
+    ~path:(fpath t ^ "/event-channel")
+    (string_of_int t.port);
+  Xenbus.write xb t.domain ~path:(fpath t ^ "/request-rx-copy") "1";
+  Xenbus.switch_state xb t.domain ~path:(fpath t) Xenbus.Initialised;
+  Xenbus.wait_for_state xb t.domain ~path:(bpath t) Xenbus.Connected;
+  Event_channel.set_handler t.ctx.Xen_ctx.ec t.port t.domain (fun () ->
+      drain_tx_responses t;
+      Condition.signal t.rx_wake);
+  (* Pre-post a full ring of receive buffers. *)
+  for _ = 1 to Ring.size t.rx_ring do
+    let page = Page.alloc () in
+    let gref =
+      Grant_table.grant_access t.ctx.Xen_ctx.gt ~granter:t.domain
+        ~grantee:t.backend ~page ~writable:true
+    in
+    post_rx_buffer t gref page
+  done;
+  if Ring.push_requests_and_check_notify t.rx_ring then
+    Event_channel.notify t.ctx.Xen_ctx.ec t.port ~from:t.domain;
+  Xenbus.switch_state xb t.domain ~path:(fpath t) Xenbus.Connected;
+  t.connected <- true;
+  Condition.broadcast t.conn_cond;
+  Process.spawn (Hypervisor.sched t.ctx.Xen_ctx.hv)
+    ~name:(t.domain.Domain.name ^ "/netfront-rx")
+    (rx_thread t)
+
+let create ctx ~domain ~backend ~devid =
+  let t =
+    {
+      ctx;
+      domain;
+      backend;
+      devid;
+      tx_ring = Ring.create ~order:Netchannel.ring_order;
+      rx_ring = Ring.create ~order:Netchannel.ring_order;
+      port = -1;
+      dev = None;
+      tx_slots = Condition.create ();
+      rx_wake = Condition.create ();
+      conn_cond = Condition.create ();
+      tx_pending = Hashtbl.create 64;
+      rx_buffers = Hashtbl.create 512;
+      connected = false;
+      next_id = 0;
+      tx_packets = 0;
+      rx_packets = 0;
+      tx_dropped = 0;
+    }
+  in
+  let dev =
+    Netdev.create
+      ~name:(Printf.sprintf "xn%d" devid)
+      ~transmit:(fun frame -> transmit t frame)
+      ()
+  in
+  t.dev <- Some dev;
+  Hypervisor.spawn ctx.Xen_ctx.hv domain ~name:"netfront-setup" (handshake t);
+  t
+
+let netdev t = match t.dev with Some d -> d | None -> assert false
+
+let wait_connected t =
+  while not t.connected do
+    Condition.wait t.conn_cond
+  done

@@ -1,0 +1,31 @@
+(** Netfront: the paravirtual network frontend in a guest VM.
+
+    Exposes a {!Kite_net.Netdev} to the guest's network stack; behind it,
+    frames travel through the Tx/Rx shared rings to the netback instance
+    in the driver domain.  Uses the copy-based receive path
+    (feature-rx-copy), like modern Linux/NetBSD frontends and Kite. *)
+
+type t
+
+val create :
+  Xen_ctx.t ->
+  domain:Kite_xen.Domain.t ->
+  backend:Kite_xen.Domain.t ->
+  devid:int ->
+  t
+(** Start the frontend; the xenbus handshake proceeds in the background.
+    The toolstack must already have created the xenstore skeleton (see
+    {!Toolstack.add_vif}). *)
+
+val netdev : t -> Kite_net.Netdev.t
+(** The guest-visible interface.  Frames transmitted before the handshake
+    completes are dropped, as on real hardware while the carrier is off. *)
+
+val wait_connected : t -> unit
+(** Block the calling process until the handshake reaches Connected. *)
+
+val connected : t -> bool
+
+val tx_packets : t -> int
+val rx_packets : t -> int
+val tx_dropped : t -> int

@@ -1,0 +1,11 @@
+open Kite_net
+
+let of_nic nic =
+  let dev =
+    Netdev.create
+      ~name:(Kite_devices.Nic.name nic)
+      ~transmit:(fun frame -> Kite_devices.Nic.transmit nic frame)
+      ()
+  in
+  Kite_devices.Nic.set_rx_handler nic (fun frame -> Netdev.deliver dev frame);
+  dev

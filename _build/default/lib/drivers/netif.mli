@@ -1,0 +1,7 @@
+(** Glue between physical NIC models and the netdev abstraction. *)
+
+val of_nic : Kite_devices.Nic.t -> Kite_net.Netdev.t
+(** Wrap a physical NIC as a netdev: transmit feeds the NIC's transmit
+    queue, arriving frames are delivered to the netdev.  This is the IF
+    that Kite's network application adds to the bridge alongside the
+    VIFs. *)

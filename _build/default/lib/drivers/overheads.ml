@@ -1,0 +1,52 @@
+open Kite_sim
+
+type t = {
+  wake_cold : Time.span;
+  wake_warm : Time.span;
+  wake_busy : Time.span;
+  warm_window : Time.span;
+  busy_window : Time.span;
+  tx_per_packet : Time.span;
+  rx_per_packet : Time.span;
+  blk_per_request : Time.span;
+  blk_per_segment : Time.span;
+}
+
+let kite =
+  {
+    wake_cold = Time.us 306;
+    wake_warm = Time.us 78;
+    wake_busy = Time.us 3;
+    warm_window = Time.ms 20;
+    busy_window = Time.us 150;
+    tx_per_packet = Time.ns 420;
+    rx_per_packet = Time.ns 300;
+    blk_per_request = Time.ns 1500;
+    blk_per_segment = Time.ns 300;
+  }
+
+let linux =
+  {
+    wake_cold = Time.us 515;
+    wake_warm = Time.us 154;
+    wake_busy = Time.us 5;
+    warm_window = Time.ms 20;
+    busy_window = Time.us 150;
+    tx_per_packet = Time.ns 460;
+    rx_per_packet = Time.ns 220;
+    blk_per_request = Time.us 2;
+    blk_per_segment = Time.ns 350;
+  }
+
+let zero =
+  {
+    wake_cold = 0;
+    wake_warm = 0;
+    wake_busy = 0;
+    warm_window = Time.ms 20;
+    busy_window = Time.us 150;
+    tx_per_packet = 0;
+    rx_per_packet = 0;
+    blk_per_request = 0;
+    blk_per_segment = 0;
+  }

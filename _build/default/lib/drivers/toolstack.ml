@@ -1,0 +1,20 @@
+open Kite_xen
+
+let add_device ctx ~backend ~frontend ~ty ~devid =
+  let xs = Hypervisor.store ctx.Xen_ctx.hv in
+  let bpath = Xenbus.backend_path ~backend ~frontend ~ty ~devid in
+  let fpath = Xenbus.frontend_path ~frontend ~ty ~devid in
+  Xenstore.mkdir xs ~domid:0 ~path:fpath;
+  Xenstore.write xs ~domid:0 ~path:(fpath ^ "/backend") bpath;
+  Xenstore.write xs ~domid:0
+    ~path:(fpath ^ "/backend-id")
+    (string_of_int backend.Domain.id);
+  (* Created last: this is what fires the backend's directory watch. *)
+  Xenstore.mkdir xs ~domid:0 ~path:bpath;
+  Xenstore.write xs ~domid:0 ~path:(bpath ^ "/frontend") fpath
+
+let add_vif ctx ~backend ~frontend ~devid =
+  add_device ctx ~backend ~frontend ~ty:"vif" ~devid
+
+let add_vbd ctx ~backend ~frontend ~devid =
+  add_device ctx ~backend ~frontend ~ty:"vbd" ~devid

@@ -1,0 +1,18 @@
+(** The minimal toolstack: what [xl] does when a guest config names a
+    device — create the xenstore skeleton that pairs a frontend with a
+    backend domain.  The backend's watch (§4.1) notices the new entry and
+    spawns an instance. *)
+
+val add_vif :
+  Xen_ctx.t ->
+  backend:Kite_xen.Domain.t ->
+  frontend:Kite_xen.Domain.t ->
+  devid:int ->
+  unit
+
+val add_vbd :
+  Xen_ctx.t ->
+  backend:Kite_xen.Domain.t ->
+  frontend:Kite_xen.Domain.t ->
+  devid:int ->
+  unit

@@ -1,0 +1,25 @@
+(* The bundle of hypervisor services a split driver needs: xenbus for the
+   handshake, event channels for notifications, a grant table for shared
+   memory, plus the shared-ring registries that stand in for mapping ring
+   pages.  One per simulated machine. *)
+
+open Kite_xen
+
+type t = {
+  hv : Hypervisor.t;
+  xb : Xenbus.t;
+  ec : Event_channel.t;
+  gt : Grant_table.t;
+  netrings : Netchannel.registry;
+  blkrings : Blkif.registry;
+}
+
+let create hv =
+  {
+    hv;
+    xb = Xenbus.create hv;
+    ec = Event_channel.create hv;
+    gt = Grant_table.create hv;
+    netrings = Netchannel.registry ();
+    blkrings = Blkif.registry ();
+  }

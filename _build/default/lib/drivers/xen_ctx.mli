@@ -1,0 +1,12 @@
+(** Per-machine bundle of the hypervisor services split drivers use. *)
+
+type t = {
+  hv : Kite_xen.Hypervisor.t;
+  xb : Kite_xen.Xenbus.t;
+  ec : Kite_xen.Event_channel.t;
+  gt : Kite_xen.Grant_table.t;
+  netrings : Netchannel.registry;
+  blkrings : Blkif.registry;
+}
+
+val create : Kite_xen.Hypervisor.t -> t

@@ -1,0 +1,1 @@
+lib/net/arp.ml: Bytes Ipv4addr Macaddr Wire

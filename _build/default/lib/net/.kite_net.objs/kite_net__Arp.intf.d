@@ -1,0 +1,1 @@
+lib/net/arp.mli: Bytes Ipv4addr Macaddr

@@ -1,0 +1,1 @@
+lib/net/bridge.ml: Ethernet Hashtbl List Macaddr Netdev Printf

@@ -1,0 +1,1 @@
+lib/net/bridge.mli: Macaddr Netdev

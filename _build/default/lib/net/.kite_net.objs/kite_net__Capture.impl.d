@@ -1,0 +1,1 @@
+lib/net/capture.ml: Arp Bytes Dhcp_wire Engine Ethernet Icmp Ipv4 Ipv4addr Kite_sim List Macaddr Netdev Printf String Tcp_wire Time Udp

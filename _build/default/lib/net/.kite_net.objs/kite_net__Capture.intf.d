@@ -1,0 +1,1 @@
+lib/net/capture.mli: Bytes Kite_sim Netdev

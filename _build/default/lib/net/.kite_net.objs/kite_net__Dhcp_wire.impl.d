@@ -1,0 +1,1 @@
+lib/net/dhcp_wire.ml: Buffer Bytes Char Ipv4addr Macaddr Option Wire

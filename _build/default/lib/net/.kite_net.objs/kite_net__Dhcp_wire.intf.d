@@ -1,0 +1,1 @@
+lib/net/dhcp_wire.mli: Bytes Ipv4addr Macaddr

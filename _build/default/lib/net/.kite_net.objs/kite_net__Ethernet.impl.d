@@ -1,0 +1,1 @@
+lib/net/ethernet.ml: Bytes Macaddr Wire

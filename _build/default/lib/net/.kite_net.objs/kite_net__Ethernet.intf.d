@@ -1,0 +1,1 @@
+lib/net/ethernet.mli: Bytes Macaddr

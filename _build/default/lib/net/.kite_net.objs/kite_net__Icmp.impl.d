@@ -1,0 +1,1 @@
+lib/net/icmp.ml: Bytes Wire

@@ -1,0 +1,1 @@
+lib/net/ipv4.ml: Bytes Ipv4addr Wire

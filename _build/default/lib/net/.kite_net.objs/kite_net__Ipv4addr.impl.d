@@ -1,0 +1,1 @@
+lib/net/ipv4addr.ml: Format Int32 Printf String

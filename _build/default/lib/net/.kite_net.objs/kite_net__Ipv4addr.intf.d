@@ -1,0 +1,1 @@
+lib/net/ipv4addr.mli: Format

@@ -1,0 +1,1 @@
+lib/net/macaddr.ml: Bytes Char Format List Printf String

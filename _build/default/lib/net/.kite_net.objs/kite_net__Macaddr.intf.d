@@ -1,0 +1,1 @@
+lib/net/macaddr.mli: Bytes Format

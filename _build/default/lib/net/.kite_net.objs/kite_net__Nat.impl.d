@@ -1,0 +1,1 @@
+lib/net/nat.ml: Arp Bytes Ethernet Hashtbl Ipv4 Ipv4addr Macaddr Netdev Udp Wire

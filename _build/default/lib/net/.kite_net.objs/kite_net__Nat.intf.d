@@ -1,0 +1,1 @@
+lib/net/nat.mli: Ipv4addr Macaddr Netdev

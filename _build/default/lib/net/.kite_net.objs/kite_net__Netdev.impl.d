@@ -1,0 +1,1 @@
+lib/net/netdev.ml: Bytes Ethernet

@@ -1,0 +1,1 @@
+lib/net/netdev.mli: Bytes

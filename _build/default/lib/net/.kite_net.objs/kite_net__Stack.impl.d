@@ -1,0 +1,1 @@
+lib/net/stack.ml: Arp Bytes Condition Engine Ethernet Hashtbl Icmp Ipv4 Ipv4addr Kite_sim List Macaddr Mailbox Netdev Printf Process Time Udp

@@ -1,0 +1,1 @@
+lib/net/stack.mli: Bytes Ipv4 Ipv4addr Kite_sim Macaddr Netdev

@@ -1,0 +1,1 @@
+lib/net/tcp.ml: Bytes Condition Engine Hashtbl Ipv4 Ipv4addr Kite_sim List Mailbox Printf Process Stack Tcp_wire Time

@@ -1,0 +1,1 @@
+lib/net/tcp.mli: Bytes Ipv4addr Kite_sim Stack

@@ -1,0 +1,1 @@
+lib/net/tcp_wire.ml: Bytes Int32 Ipv4 Wire

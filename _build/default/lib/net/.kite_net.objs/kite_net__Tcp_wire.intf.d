@@ -1,0 +1,1 @@
+lib/net/tcp_wire.mli: Bytes Ipv4addr

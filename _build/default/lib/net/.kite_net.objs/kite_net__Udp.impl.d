@@ -1,0 +1,1 @@
+lib/net/udp.ml: Bytes Ipv4 Wire

@@ -1,0 +1,1 @@
+lib/net/udp.mli: Bytes Ipv4addr

@@ -1,0 +1,20 @@
+(** ARP for IPv4 over Ethernet. *)
+
+type op = Request | Reply
+
+type packet = {
+  op : op;
+  sender_mac : Macaddr.t;
+  sender_ip : Ipv4addr.t;
+  target_mac : Macaddr.t;
+  target_ip : Ipv4addr.t;
+}
+
+val encode : packet -> Bytes.t
+val decode : Bytes.t -> packet option
+
+val request : sender_mac:Macaddr.t -> sender_ip:Ipv4addr.t ->
+  target_ip:Ipv4addr.t -> packet
+
+val reply_to : packet -> my_mac:Macaddr.t -> packet
+(** Build a reply answering a request for our address. *)

@@ -1,0 +1,53 @@
+type t = {
+  name : string;
+  mutable ports : Netdev.t list;
+  fdb : (Macaddr.t, Netdev.t) Hashtbl.t;  (* forwarding database *)
+  mutable forwarded : int;
+  mutable flooded : int;
+}
+
+let create ~name =
+  { name; ports = []; fdb = Hashtbl.create 16; forwarded = 0; flooded = 0 }
+
+let name t = t.name
+
+let handle_frame t ingress frame =
+  match Ethernet.decode frame with
+  | None -> ()
+  | Some (h, _) ->
+      (* Learn the sender's location. *)
+      Hashtbl.replace t.fdb h.Ethernet.src ingress;
+      let flood () =
+        t.flooded <- t.flooded + 1;
+        List.iter
+          (fun p -> if p != ingress then Netdev.transmit p frame)
+          t.ports
+      in
+      if Macaddr.is_broadcast h.Ethernet.dst then flood ()
+      else
+        match Hashtbl.find_opt t.fdb h.Ethernet.dst with
+        | Some port when port != ingress ->
+            t.forwarded <- t.forwarded + 1;
+            Netdev.transmit port frame
+        | Some _ -> ()  (* destination is behind the ingress port *)
+        | None -> flood ()
+
+let add_port t dev =
+  if List.memq dev t.ports then
+    invalid_arg
+      (Printf.sprintf "Bridge.add_port: %s already in %s" (Netdev.name dev)
+         t.name);
+  t.ports <- t.ports @ [ dev ];
+  Netdev.set_rx dev (fun frame -> handle_frame t dev frame);
+  Netdev.set_up dev true
+
+let remove_port t dev =
+  t.ports <- List.filter (fun p -> p != dev) t.ports;
+  Hashtbl.iter
+    (fun mac port -> if port == dev then Hashtbl.remove t.fdb mac)
+    (Hashtbl.copy t.fdb)
+
+let ports t = t.ports
+let forwarded t = t.forwarded
+let flooded t = t.flooded
+let lookup t mac = Hashtbl.find_opt t.fdb mac

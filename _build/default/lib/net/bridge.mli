@@ -1,0 +1,26 @@
+(** Learning Ethernet bridge.
+
+    Kite's network application creates one bridge per network domain and
+    adds the physical interface plus every netback VIF to it (the paper's
+    ported brconfig(8)).  The bridge learns source MACs and forwards
+    unicast frames to the learned port, flooding broadcasts and unknown
+    destinations to all other ports. *)
+
+type t
+
+val create : name:string -> t
+
+val name : t -> string
+
+val add_port : t -> Netdev.t -> unit
+(** Raises [Invalid_argument] if the port is already a member. *)
+
+val remove_port : t -> Netdev.t -> unit
+
+val ports : t -> Netdev.t list
+
+val forwarded : t -> int
+val flooded : t -> int
+
+val lookup : t -> Macaddr.t -> Netdev.t option
+(** The port a MAC was learned on, if any. *)

@@ -1,0 +1,135 @@
+open Kite_sim
+
+type direction = Tx | Rx
+
+type record = { at : Time.t; direction : direction; frame : Bytes.t }
+
+type t = {
+  dev : Netdev.t;
+  limit : int;
+  mutable entries : record list;  (* reversed *)
+  mutable kept : int;
+  mutable seen : int;
+}
+
+let attach engine ?(limit = 1024) dev =
+  let t = { dev; limit; entries = []; kept = 0; seen = 0 } in
+  Netdev.set_tap dev (fun dir frame ->
+      t.seen <- t.seen + 1;
+      let direction = match dir with `Tx -> Tx | `Rx -> Rx in
+      t.entries <-
+        { at = Engine.now engine; direction; frame = Bytes.copy frame }
+        :: t.entries;
+      t.kept <- t.kept + 1;
+      if t.kept > t.limit then begin
+        (* Drop the oldest entry. *)
+        t.entries <- List.filteri (fun i _ -> i < t.limit) t.entries;
+        t.kept <- t.limit
+      end);
+  t
+
+let detach t = Netdev.clear_tap t.dev
+
+let records t = List.rev t.entries
+let captured t = t.seen
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let tcp_flags_string (f : Tcp_wire.flags) =
+  let parts =
+    List.filter_map
+      (fun (set, s) -> if set then Some s else None)
+      [
+        (f.Tcp_wire.syn, "S"); (f.Tcp_wire.fin, "F"); (f.Tcp_wire.rst, "R");
+        (f.Tcp_wire.psh, "P"); (f.Tcp_wire.ack, ".");
+      ]
+  in
+  if parts = [] then "none" else String.concat "" parts
+
+let summarize_ip (ih : Ipv4.header) body =
+  let src = Ipv4addr.to_string ih.Ipv4.src in
+  let dst = Ipv4addr.to_string ih.Ipv4.dst in
+  match ih.Ipv4.protocol with
+  | Ipv4.Icmp -> (
+      match Icmp.decode body with
+      | Some (Icmp.Echo_request e) ->
+          Printf.sprintf "IP %s > %s: ICMP echo request id %d seq %d, %d bytes"
+            src dst e.Icmp.id e.Icmp.seq (Bytes.length e.Icmp.payload)
+      | Some (Icmp.Echo_reply e) ->
+          Printf.sprintf "IP %s > %s: ICMP echo reply id %d seq %d" src dst
+            e.Icmp.id e.Icmp.seq
+      | None -> Printf.sprintf "IP %s > %s: ICMP (undecodable)" src dst)
+  | Ipv4.Udp -> (
+      match Udp.decode body ~src:ih.Ipv4.src ~dst:ih.Ipv4.dst with
+      | Some (uh, data) ->
+          let extra =
+            if uh.Udp.dst_port = Dhcp_wire.server_port
+               || uh.Udp.dst_port = Dhcp_wire.client_port
+            then
+              match Dhcp_wire.decode data with
+              | Some m ->
+                  let ty =
+                    match m.Dhcp_wire.message_type with
+                    | Dhcp_wire.Discover -> "DISCOVER"
+                    | Dhcp_wire.Offer -> "OFFER"
+                    | Dhcp_wire.Request -> "REQUEST"
+                    | Dhcp_wire.Ack -> "ACK"
+                    | Dhcp_wire.Nak -> "NAK"
+                    | Dhcp_wire.Release -> "RELEASE"
+                  in
+                  " DHCP " ^ ty
+              | None -> ""
+            else ""
+          in
+          Printf.sprintf "IP %s.%d > %s.%d: UDP %d bytes%s" src
+            uh.Udp.src_port dst uh.Udp.dst_port (Bytes.length data) extra
+      | None -> Printf.sprintf "IP %s > %s: UDP (bad checksum)" src dst)
+  | Ipv4.Tcp -> (
+      match Tcp_wire.decode body ~src:ih.Ipv4.src ~dst:ih.Ipv4.dst with
+      | Some (th, data) ->
+          Printf.sprintf "IP %s.%d > %s.%d: TCP [%s] seq %d ack %d win %d, %d bytes"
+            src th.Tcp_wire.src_port dst th.Tcp_wire.dst_port
+            (tcp_flags_string th.Tcp_wire.flags)
+            th.Tcp_wire.seq th.Tcp_wire.ack_num th.Tcp_wire.window
+            (Bytes.length data)
+      | None -> Printf.sprintf "IP %s > %s: TCP (bad checksum)" src dst)
+  | Ipv4.Other_proto p ->
+      Printf.sprintf "IP %s > %s: protocol %d" src dst p
+
+let summarize frame =
+  match Ethernet.decode frame with
+  | None -> Printf.sprintf "undecodable frame (%d bytes)" (Bytes.length frame)
+  | Some (eh, payload) -> (
+      match eh.Ethernet.ethertype with
+      | Ethernet.Arp -> (
+          match Arp.decode payload with
+          | Some a -> (
+              match a.Arp.op with
+              | Arp.Request ->
+                  Printf.sprintf "ARP who-has %s tell %s"
+                    (Ipv4addr.to_string a.Arp.target_ip)
+                    (Ipv4addr.to_string a.Arp.sender_ip)
+              | Arp.Reply ->
+                  Printf.sprintf "ARP %s is-at %s"
+                    (Ipv4addr.to_string a.Arp.sender_ip)
+                    (Macaddr.to_string a.Arp.sender_mac))
+          | None -> "ARP (undecodable)")
+      | Ethernet.Ipv4 -> (
+          match Ipv4.decode payload with
+          | Some (ih, body) -> summarize_ip ih body
+          | None -> "IP (bad header checksum)")
+      | Ethernet.Other ty ->
+          Printf.sprintf "%s > %s: ethertype 0x%04x, %d bytes"
+            (Macaddr.to_string eh.Ethernet.src)
+            (Macaddr.to_string eh.Ethernet.dst)
+            ty (Bytes.length payload))
+
+let dump t =
+  List.map
+    (fun r ->
+      Printf.sprintf "%10s %s %s" (Time.to_string r.at)
+        (match r.direction with Tx -> "->" | Rx -> "<-")
+        (summarize r.frame))
+    (records t)

@@ -1,0 +1,35 @@
+type ethertype = Ipv4 | Arp | Other of int
+
+let ethertype_code = function
+  | Ipv4 -> 0x0800
+  | Arp -> 0x0806
+  | Other c -> c
+
+let ethertype_of_code = function
+  | 0x0800 -> Ipv4
+  | 0x0806 -> Arp
+  | c -> Other c
+
+type header = { dst : Macaddr.t; src : Macaddr.t; ethertype : ethertype }
+
+let header_size = 14
+
+let encode h ~payload =
+  let b = Bytes.create (header_size + Bytes.length payload) in
+  Macaddr.write h.dst b ~off:0;
+  Macaddr.write h.src b ~off:6;
+  Wire.set_u16 b 12 (ethertype_code h.ethertype);
+  Bytes.blit payload 0 b header_size (Bytes.length payload);
+  b
+
+let decode b =
+  if Bytes.length b < header_size then None
+  else
+    let h =
+      {
+        dst = Macaddr.of_bytes b ~off:0;
+        src = Macaddr.of_bytes b ~off:6;
+        ethertype = ethertype_of_code (Wire.get_u16 b 12);
+      }
+    in
+    Some (h, Bytes.sub b header_size (Bytes.length b - header_size))

@@ -1,0 +1,18 @@
+(** Ethernet II framing. *)
+
+type ethertype = Ipv4 | Arp | Other of int
+
+val ethertype_code : ethertype -> int
+val ethertype_of_code : int -> ethertype
+
+type header = { dst : Macaddr.t; src : Macaddr.t; ethertype : ethertype }
+
+val header_size : int
+(** 14 bytes. *)
+
+val encode : header -> payload:Bytes.t -> Bytes.t
+(** Header followed by payload (no FCS; the link is assumed reliable at
+    the bit level). *)
+
+val decode : Bytes.t -> (header * Bytes.t) option
+(** [None] for a runt frame. *)

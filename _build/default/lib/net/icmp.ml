@@ -1,0 +1,30 @@
+type t = Echo_request of echo | Echo_reply of echo
+and echo = { id : int; seq : int; payload : Bytes.t }
+
+let encode t =
+  let ty, e = match t with Echo_request e -> (8, e) | Echo_reply e -> (0, e) in
+  let b = Bytes.create (8 + Bytes.length e.payload) in
+  Wire.set_u8 b 0 ty;
+  Wire.set_u8 b 1 0;
+  Wire.set_u16 b 2 0;
+  Wire.set_u16 b 4 e.id;
+  Wire.set_u16 b 6 e.seq;
+  Bytes.blit e.payload 0 b 8 (Bytes.length e.payload);
+  Wire.set_u16 b 2 (Wire.checksum b ~off:0 ~len:(Bytes.length b));
+  b
+
+let decode b =
+  if Bytes.length b < 8 then None
+  else if Wire.checksum b ~off:0 ~len:(Bytes.length b) <> 0 then None
+  else
+    let e =
+      {
+        id = Wire.get_u16 b 4;
+        seq = Wire.get_u16 b 6;
+        payload = Bytes.sub b 8 (Bytes.length b - 8);
+      }
+    in
+    match Wire.get_u8 b 0 with
+    | 8 -> Some (Echo_request e)
+    | 0 -> Some (Echo_reply e)
+    | _ -> None

@@ -1,0 +1,8 @@
+(** ICMP echo (what ping sends). *)
+
+type t = Echo_request of echo | Echo_reply of echo
+and echo = { id : int; seq : int; payload : Bytes.t }
+
+val encode : t -> Bytes.t
+val decode : Bytes.t -> t option
+(** Verifies the ICMP checksum. *)

@@ -1,0 +1,80 @@
+type protocol = Icmp | Tcp | Udp | Other_proto of int
+
+let protocol_code = function
+  | Icmp -> 1
+  | Tcp -> 6
+  | Udp -> 17
+  | Other_proto c -> c
+
+let protocol_of_code = function
+  | 1 -> Icmp
+  | 6 -> Tcp
+  | 17 -> Udp
+  | c -> Other_proto c
+
+type header = {
+  src : Ipv4addr.t;
+  dst : Ipv4addr.t;
+  protocol : protocol;
+  ttl : int;
+  id : int;  (* identification, shared by a datagram's fragments *)
+  more_fragments : bool;
+  frag_offset : int;  (* byte offset of this fragment's payload *)
+}
+
+let header_size = 20
+
+let make_header ~src ~dst ~protocol ~ttl =
+  { src; dst; protocol; ttl; id = 0; more_fragments = false; frag_offset = 0 }
+
+let encode h ~payload =
+  let total = header_size + Bytes.length payload in
+  let b = Bytes.create total in
+  Wire.set_u8 b 0 0x45;  (* version 4, IHL 5 *)
+  Wire.set_u8 b 1 0;  (* DSCP *)
+  Wire.set_u16 b 2 total;
+  Wire.set_u16 b 4 h.id;
+  (* flags (bit 13 = MF) and the 8-byte-unit fragment offset *)
+  Wire.set_u16 b 6
+    ((if h.more_fragments then 0x2000 else 0) lor (h.frag_offset / 8));
+  Wire.set_u8 b 8 h.ttl;
+  Wire.set_u8 b 9 (protocol_code h.protocol);
+  Wire.set_u16 b 10 0;  (* checksum placeholder *)
+  Wire.set_u32 b 12 (Ipv4addr.to_int32 h.src);
+  Wire.set_u32 b 16 (Ipv4addr.to_int32 h.dst);
+  Wire.set_u16 b 10 (Wire.checksum b ~off:0 ~len:header_size);
+  Bytes.blit payload 0 b header_size (Bytes.length payload);
+  b
+
+let decode b =
+  if Bytes.length b < header_size then None
+  else if Wire.get_u8 b 0 <> 0x45 then None
+  else if Wire.checksum b ~off:0 ~len:header_size <> 0 then None
+  else
+    let total = Wire.get_u16 b 2 in
+    if total > Bytes.length b || total < header_size then None
+    else
+      let flags_frag = Wire.get_u16 b 6 in
+      let h =
+        {
+          src = Ipv4addr.of_int32 (Wire.get_u32 b 12);
+          dst = Ipv4addr.of_int32 (Wire.get_u32 b 16);
+          protocol = protocol_of_code (Wire.get_u8 b 9);
+          ttl = Wire.get_u8 b 8;
+          id = Wire.get_u16 b 4;
+          more_fragments = flags_frag land 0x2000 <> 0;
+          frag_offset = (flags_frag land 0x1fff) * 8;
+        }
+      in
+      Some (h, Bytes.sub b header_size (total - header_size))
+
+let is_fragment h = h.more_fragments || h.frag_offset > 0
+
+let pseudo_header ~src ~dst ~protocol ~len =
+  let b = Bytes.create 12 in
+  Wire.set_u32 b 0 (Ipv4addr.to_int32 src);
+  Wire.set_u32 b 4 (Ipv4addr.to_int32 dst);
+  Wire.set_u8 b 8 0;
+  Wire.set_u8 b 9 (protocol_code protocol);
+  Wire.set_u16 b 10 len;
+  b

@@ -1,0 +1,36 @@
+(** IPv4 packet encoding (20-byte header, no options) with fragmentation
+    support — needed because nuttcp's 8 KiB UDP writes exceed the 1500-byte
+    MTU, exactly as in the paper's setup. *)
+
+type protocol = Icmp | Tcp | Udp | Other_proto of int
+
+val protocol_code : protocol -> int
+val protocol_of_code : int -> protocol
+
+type header = {
+  src : Ipv4addr.t;
+  dst : Ipv4addr.t;
+  protocol : protocol;
+  ttl : int;
+  id : int;  (** identification, shared by a datagram's fragments *)
+  more_fragments : bool;
+  frag_offset : int;  (** byte offset of this fragment's payload *)
+}
+
+val make_header :
+  src:Ipv4addr.t -> dst:Ipv4addr.t -> protocol:protocol -> ttl:int -> header
+(** An unfragmented header (id 0, no MF, offset 0). *)
+
+val header_size : int
+
+val is_fragment : header -> bool
+
+val encode : header -> payload:Bytes.t -> Bytes.t
+(** Computes the header checksum. *)
+
+val decode : Bytes.t -> (header * Bytes.t) option
+(** Verifies the header checksum; [None] on corruption or truncation. *)
+
+val pseudo_header : src:Ipv4addr.t -> dst:Ipv4addr.t -> protocol:protocol ->
+  len:int -> Bytes.t
+(** The 12-byte pseudo-header used by UDP/TCP checksums. *)

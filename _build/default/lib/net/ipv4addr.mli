@@ -1,0 +1,25 @@
+(** IPv4 addresses. *)
+
+type t
+
+val of_string : string -> t
+(** Parse dotted-quad.  Raises [Invalid_argument] on malformed input. *)
+
+val to_string : t -> string
+
+val of_int32 : int32 -> t
+val to_int32 : t -> int32
+
+val any : t
+(** 0.0.0.0 *)
+
+val broadcast : t
+(** 255.255.255.255 *)
+
+val localhost : t
+
+val same_subnet : t -> t -> netmask:t -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,177 @@
+type mapping = {
+  inside_ip : Ipv4addr.t;
+  inside_port : int;
+  inside_mac : Macaddr.t;
+}
+
+type t = {
+  inside : Netdev.t;
+  outside : Netdev.t;
+  inside_ip : Ipv4addr.t;  (* the gateway address inside hosts route to *)
+  public_ip : Ipv4addr.t;
+  public_mac : Macaddr.t;
+  gateway_mac : Macaddr.t;
+  (* (protocol code, public port) -> inside endpoint *)
+  map : (int * int, mapping) Hashtbl.t;
+  (* (protocol code, inside ip, inside port) -> public port *)
+  rev : (int * Ipv4addr.t * int, int) Hashtbl.t;
+  mutable next_port : int;
+  mutable out_count : int;
+  mutable in_count : int;
+}
+
+let alloc_port t proto inside_ip inside_port inside_mac =
+  match Hashtbl.find_opt t.rev (proto, inside_ip, inside_port) with
+  | Some p -> p
+  | None ->
+      let p = t.next_port in
+      t.next_port <- (if t.next_port >= 65000 then 20000 else t.next_port + 1);
+      Hashtbl.replace t.rev (proto, inside_ip, inside_port) p;
+      Hashtbl.replace t.map (proto, p) { inside_ip; inside_port; inside_mac };
+      p
+
+(* Transport ports live in the first four bytes of both TCP and UDP. *)
+let get_src_port body = Wire.get_u16 body 0
+let get_dst_port body = Wire.get_u16 body 2
+
+(* Rewrite the ports and recompute the pseudo-header checksum by
+   rebuilding the datagram/segment. *)
+let reencode_udp body ~src ~dst ~src_port ~dst_port =
+  let payload = Bytes.sub body 8 (Bytes.length body - 8) in
+  Udp.encode { Udp.src_port; dst_port } ~src ~dst ~payload
+
+let reencode_tcp body ~src ~dst ~src_port ~dst_port =
+  let b = Bytes.copy body in
+  Wire.set_u16 b 0 src_port;
+  Wire.set_u16 b 2 dst_port;
+  Wire.set_u16 b 16 0;
+  let ph =
+    Ipv4.pseudo_header ~src ~dst ~protocol:Ipv4.Tcp ~len:(Bytes.length b)
+  in
+  Wire.set_u16 b 16
+    (Wire.checksum_list [ (ph, 0, 12); (b, 0, Bytes.length b) ]);
+  b
+
+let answer_arp t dev ~my_ip payload =
+  match Arp.decode payload with
+  | Some pkt when pkt.Arp.op = Arp.Request && Ipv4addr.equal pkt.Arp.target_ip my_ip ->
+      Netdev.transmit dev
+        (Ethernet.encode
+           {
+             Ethernet.dst = pkt.Arp.sender_mac;
+             src = t.public_mac;
+             ethertype = Ethernet.Arp;
+           }
+           ~payload:(Arp.encode (Arp.reply_to pkt ~my_mac:t.public_mac)))
+  | Some _ | None -> ()
+
+let outbound t frame =
+  match Ethernet.decode frame with
+  | Some (eh, payload) when eh.Ethernet.ethertype = Ethernet.Arp ->
+      ignore eh;
+      answer_arp t t.inside ~my_ip:t.inside_ip payload
+  | Some (eh, payload) when eh.Ethernet.ethertype = Ethernet.Ipv4 -> (
+      match Ipv4.decode payload with
+      | Some (ih, body) -> (
+          let proto = Ipv4.protocol_code ih.Ipv4.protocol in
+          match ih.Ipv4.protocol with
+          | Ipv4.Tcp | Ipv4.Udp ->
+              let sport = get_src_port body in
+              let public_port =
+                alloc_port t proto ih.Ipv4.src sport eh.Ethernet.src
+              in
+              let new_body =
+                match ih.Ipv4.protocol with
+                | Ipv4.Udp ->
+                    reencode_udp body ~src:t.public_ip ~dst:ih.Ipv4.dst
+                      ~src_port:public_port ~dst_port:(get_dst_port body)
+                | _ ->
+                    reencode_tcp body ~src:t.public_ip ~dst:ih.Ipv4.dst
+                      ~src_port:public_port ~dst_port:(get_dst_port body)
+              in
+              let packet =
+                Ipv4.encode
+                  { ih with Ipv4.src = t.public_ip }
+                  ~payload:new_body
+              in
+              t.out_count <- t.out_count + 1;
+              Netdev.transmit t.outside
+                (Ethernet.encode
+                   {
+                     Ethernet.dst = t.gateway_mac;
+                     src = t.public_mac;
+                     ethertype = Ethernet.Ipv4;
+                   }
+                   ~payload:packet)
+          | Ipv4.Icmp | Ipv4.Other_proto _ -> ())
+      | None -> ())
+  | Some _ | None -> ()
+
+let inbound t frame =
+  match Ethernet.decode frame with
+  | Some (eh, payload) when eh.Ethernet.ethertype = Ethernet.Arp ->
+      ignore eh;
+      answer_arp t t.outside ~my_ip:t.public_ip payload
+  | Some (eh, payload) when eh.Ethernet.ethertype = Ethernet.Ipv4 -> (
+      match Ipv4.decode payload with
+      | Some (ih, body) -> (
+          let proto = Ipv4.protocol_code ih.Ipv4.protocol in
+          match ih.Ipv4.protocol with
+          | Ipv4.Tcp | Ipv4.Udp -> (
+              let dport = get_dst_port body in
+              match Hashtbl.find_opt t.map (proto, dport) with
+              | None -> ()
+              | Some m ->
+                  let new_body =
+                    match ih.Ipv4.protocol with
+                    | Ipv4.Udp ->
+                        reencode_udp body ~src:ih.Ipv4.src ~dst:m.inside_ip
+                          ~src_port:(get_src_port body)
+                          ~dst_port:m.inside_port
+                    | _ ->
+                        reencode_tcp body ~src:ih.Ipv4.src ~dst:m.inside_ip
+                          ~src_port:(get_src_port body)
+                          ~dst_port:m.inside_port
+                  in
+                  let packet =
+                    Ipv4.encode
+                      { ih with Ipv4.dst = m.inside_ip }
+                      ~payload:new_body
+                  in
+                  t.in_count <- t.in_count + 1;
+                  Netdev.transmit t.inside
+                    (Ethernet.encode
+                       {
+                         Ethernet.dst = m.inside_mac;
+                         src = t.public_mac;
+                         ethertype = Ethernet.Ipv4;
+                       }
+                       ~payload:packet))
+          | Ipv4.Icmp | Ipv4.Other_proto _ -> ())
+      | None -> ())
+  | Some _ | None -> ()
+
+let create ~inside ~outside ~inside_ip ~public_ip ~public_mac ~gateway_mac () =
+  let t =
+    {
+      inside;
+      outside;
+      inside_ip;
+      public_ip;
+      public_mac;
+      gateway_mac;
+      map = Hashtbl.create 64;
+      rev = Hashtbl.create 64;
+      next_port = 20000;
+      out_count = 0;
+      in_count = 0;
+    }
+  in
+  Netdev.set_rx inside (outbound t);
+  Netdev.set_rx outside (inbound t);
+  Netdev.set_up inside true;
+  Netdev.set_up outside true;
+  t
+
+let translations t = Hashtbl.length t.map
+let stats t = (t.out_count, t.in_count)

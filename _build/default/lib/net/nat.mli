@@ -1,0 +1,29 @@
+(** Network address / port translation (NAPT).
+
+    The alternative to bridging that Kite's network application supports
+    for linking netback VIFs to the physical NIC: inside hosts use private
+    addresses; the NAT rewrites outbound TCP/UDP sources to its public
+    address with a fresh port, and reverses the mapping for inbound
+    traffic.  Checksums are recomputed by re-encoding. *)
+
+type t
+
+val create :
+  inside:Netdev.t ->
+  outside:Netdev.t ->
+  inside_ip:Ipv4addr.t ->
+  public_ip:Ipv4addr.t ->
+  public_mac:Macaddr.t ->
+  gateway_mac:Macaddr.t ->
+  unit ->
+  t
+(** [inside_ip] is the gateway address inside hosts route to; the NAT
+    answers ARP for it on the inside leg, and for [public_ip] on the
+    outside leg.  [gateway_mac] is where outbound frames are addressed on
+    the outside segment (the peer on a point-to-point link). *)
+
+val translations : t -> int
+(** Active port mappings. *)
+
+val stats : t -> int * int
+(** (outbound packets translated, inbound packets translated). *)

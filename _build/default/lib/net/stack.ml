@@ -1,0 +1,358 @@
+open Kite_sim
+
+exception Network_unreachable of string
+exception Host_unreachable of string
+
+type udp_socket = {
+  port : int;
+  incoming : (Ipv4addr.t * int * Bytes.t) Mailbox.t;
+}
+
+(* A partially reassembled datagram: fragments received so far, and the
+   total length once the final (MF=0) fragment has arrived. *)
+type reasm = {
+  mutable frags : (int * Bytes.t) list;
+  mutable total : int option;
+}
+
+type ping_waiter = {
+  id : int;
+  seq : int;
+  mutable reply_at : Time.t option;
+  cond : Condition.t;
+}
+
+type t = {
+  sched : Process.sched;
+  name : string;
+  dev : Netdev.t;
+  mac : Macaddr.t;
+  mutable ip : Ipv4addr.t;
+  netmask : Ipv4addr.t;
+  gateway : Ipv4addr.t option;
+  rx_cost : Time.span;
+  rxq : Bytes.t Mailbox.t;
+  arp_cache : (Ipv4addr.t, Macaddr.t) Hashtbl.t;
+  arp_waiters : (Ipv4addr.t, Condition.t) Hashtbl.t;
+  udp_socks : (int, udp_socket) Hashtbl.t;
+  mutable pings : ping_waiter list;
+  mutable tcp_handler : (Ipv4.header -> Bytes.t -> unit) option;
+  (* Reassembly buffers keyed by (source, datagram id). *)
+  reassembly : (Ipv4addr.t * int, reasm) Hashtbl.t;
+  mutable rx_packets : int;
+  mutable tx_packets : int;
+  mutable next_ping_id : int;
+  mutable next_ip_id : int;
+}
+
+let sched t = t.sched
+let name t = t.name
+let mac t = t.mac
+let ip t = t.ip
+let set_ip t ip = t.ip <- ip
+let dev t = t.dev
+let mtu t = Netdev.mtu t.dev
+let arp_cache_size t = Hashtbl.length t.arp_cache
+let rx_packets t = t.rx_packets
+let tx_packets t = t.tx_packets
+let set_tcp_handler t f = t.tcp_handler <- Some f
+
+let emit t ~dst_mac ~ethertype payload =
+  t.tx_packets <- t.tx_packets + 1;
+  Netdev.transmit t.dev
+    (Ethernet.encode
+       { Ethernet.dst = dst_mac; src = t.mac; ethertype }
+       ~payload)
+
+(* ------------------------------------------------------------------ *)
+(* ARP                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let arp_learn t ip mac =
+  if not (Ipv4addr.equal ip Ipv4addr.any) then begin
+    Hashtbl.replace t.arp_cache ip mac;
+    match Hashtbl.find_opt t.arp_waiters ip with
+    | Some c -> Condition.broadcast c
+    | None -> ()
+  end
+
+let send_arp_request t target_ip =
+  let pkt = Arp.request ~sender_mac:t.mac ~sender_ip:t.ip ~target_ip in
+  emit t ~dst_mac:Macaddr.broadcast ~ethertype:Ethernet.Arp (Arp.encode pkt)
+
+let resolve t dst =
+  match Hashtbl.find_opt t.arp_cache dst with
+  | Some mac -> mac
+  | None ->
+      let cond =
+        match Hashtbl.find_opt t.arp_waiters dst with
+        | Some c -> c
+        | None ->
+            let c = Condition.create () in
+            Hashtbl.add t.arp_waiters dst c;
+            c
+      in
+      let rec attempt n =
+        if n = 0 then
+          raise
+            (Host_unreachable
+               (Printf.sprintf "%s: no ARP reply from %s" t.name
+                  (Ipv4addr.to_string dst)))
+        else begin
+          send_arp_request t dst;
+          match Condition.timed_wait cond (Time.sec 1) with
+          | `Signaled | `Timeout -> (
+              match Hashtbl.find_opt t.arp_cache dst with
+              | Some mac -> mac
+              | None -> attempt (n - 1))
+        end
+      in
+      attempt 3
+
+(* ------------------------------------------------------------------ *)
+(* Transmit paths                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let next_hop t dst =
+  if Ipv4addr.same_subnet dst t.ip ~netmask:t.netmask then dst
+  else
+    match t.gateway with
+    | Some gw -> gw
+    | None ->
+        raise
+          (Network_unreachable
+             (Printf.sprintf "%s: no route to %s" t.name
+                (Ipv4addr.to_string dst)))
+
+let send_ip t ~dst ~protocol payload =
+  let dst_mac =
+    if Ipv4addr.equal dst Ipv4addr.broadcast then Macaddr.broadcast
+    else resolve t (next_hop t dst)
+  in
+  let base = Ipv4.make_header ~src:t.ip ~dst ~protocol ~ttl:64 in
+  let max_payload = Netdev.mtu t.dev - Ipv4.header_size in
+  if Bytes.length payload <= max_payload then
+    emit t ~dst_mac ~ethertype:Ethernet.Ipv4 (Ipv4.encode base ~payload)
+  else begin
+    (* Fragment: all pieces but the last carry an 8-byte-aligned payload
+       and the MF flag; all share a fresh identification. *)
+    let id = t.next_ip_id in
+    t.next_ip_id <- (t.next_ip_id + 1) land 0xffff;
+    let chunk = max_payload / 8 * 8 in
+    let total = Bytes.length payload in
+    let rec send_frag off =
+      if off < total then begin
+        let len = min chunk (total - off) in
+        let last = off + len >= total in
+        let h =
+          { base with Ipv4.id; more_fragments = not last; frag_offset = off }
+        in
+        emit t ~dst_mac ~ethertype:Ethernet.Ipv4
+          (Ipv4.encode h ~payload:(Bytes.sub payload off len));
+        send_frag (off + len)
+      end
+    in
+    send_frag 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* UDP                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let udp_bind t ~port =
+  if Hashtbl.mem t.udp_socks port then
+    invalid_arg (Printf.sprintf "Stack.udp_bind: port %d in use" port);
+  let sock = { port; incoming = Mailbox.create () } in
+  Hashtbl.add t.udp_socks port sock;
+  sock
+
+let udp_close t sock = Hashtbl.remove t.udp_socks sock.port
+
+let udp_send t sock ~dst ~dst_port payload =
+  let datagram =
+    Udp.encode
+      { Udp.src_port = sock.port; dst_port }
+      ~src:t.ip ~dst ~payload
+  in
+  send_ip t ~dst ~protocol:Ipv4.Udp datagram
+
+let udp_recv sock = Mailbox.recv sock.incoming
+let udp_recv_timeout sock span = Mailbox.recv_timeout sock.incoming span
+
+(* ------------------------------------------------------------------ *)
+(* ICMP                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let ping t ~dst ?(payload_len = 56) ?(timeout = Time.sec 1) ~seq () =
+  let id = t.next_ping_id in
+  t.next_ping_id <- t.next_ping_id + 1;
+  let w = { id; seq; reply_at = None; cond = Condition.create () } in
+  t.pings <- w :: t.pings;
+  let start = Engine.now (Process.engine t.sched) in
+  let payload = Bytes.make payload_len 'p' in
+  (* An unreachable host simply never answers. *)
+  (try
+     send_ip t ~dst ~protocol:Ipv4.Icmp
+       (Icmp.encode (Icmp.Echo_request { Icmp.id; seq; payload }))
+   with Host_unreachable _ -> ());
+  let result =
+    match w.reply_at with
+    | Some at -> Some (at - start)
+    | None -> (
+        match Condition.timed_wait w.cond timeout with
+        | `Signaled | `Timeout -> (
+            match w.reply_at with Some at -> Some (at - start) | None -> None))
+  in
+  t.pings <- List.filter (fun p -> p != w) t.pings;
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Receive path                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let handle_arp t payload =
+  match Arp.decode payload with
+  | None -> ()
+  | Some pkt ->
+      arp_learn t pkt.Arp.sender_ip pkt.Arp.sender_mac;
+      if
+        pkt.Arp.op = Arp.Request
+        && Ipv4addr.equal pkt.Arp.target_ip t.ip
+        && not (Ipv4addr.equal t.ip Ipv4addr.any)
+      then
+        emit t ~dst_mac:pkt.Arp.sender_mac ~ethertype:Ethernet.Arp
+          (Arp.encode (Arp.reply_to pkt ~my_mac:t.mac))
+
+let handle_icmp t (h : Ipv4.header) payload =
+  match Icmp.decode payload with
+  | Some (Icmp.Echo_request e) ->
+      send_ip t ~dst:h.Ipv4.src ~protocol:Ipv4.Icmp
+        (Icmp.encode (Icmp.Echo_reply e))
+  | Some (Icmp.Echo_reply e) ->
+      List.iter
+        (fun w ->
+          if w.id = e.Icmp.id && w.seq = e.Icmp.seq && w.reply_at = None then begin
+            w.reply_at <- Some (Engine.now (Process.engine t.sched));
+            Condition.broadcast w.cond
+          end)
+        t.pings
+  | None -> ()
+
+let handle_udp t (h : Ipv4.header) payload =
+  match Udp.decode payload ~src:h.Ipv4.src ~dst:h.Ipv4.dst with
+  | None -> ()
+  | Some (uh, data) -> (
+      match Hashtbl.find_opt t.udp_socks uh.Udp.dst_port with
+      | Some sock ->
+          Mailbox.send sock.incoming (h.Ipv4.src, uh.Udp.src_port, data)
+      | None -> ())
+
+(* Collect fragments; deliver the whole datagram once every byte from 0
+   through the final fragment's end has arrived.  Stale partial datagrams
+   are overwritten when their (source, id) pair is reused. *)
+let reassemble t (h : Ipv4.header) body =
+  if not (Ipv4.is_fragment h) then Some body
+  else begin
+    let key = (h.Ipv4.src, h.Ipv4.id) in
+    let r =
+      match Hashtbl.find_opt t.reassembly key with
+      | Some r -> r
+      | None ->
+          let r = { frags = []; total = None } in
+          Hashtbl.replace t.reassembly key r;
+          r
+    in
+    r.frags <- (h.Ipv4.frag_offset, body) :: r.frags;
+    if not h.Ipv4.more_fragments then
+      r.total <- Some (h.Ipv4.frag_offset + Bytes.length body);
+    match r.total with
+    | None -> None
+    | Some total ->
+        let sorted = List.sort compare r.frags in
+        let rec contiguous expect = function
+          | [] -> expect = total
+          | (off, b) :: rest ->
+              off = expect && contiguous (off + Bytes.length b) rest
+        in
+        if contiguous 0 sorted then begin
+          Hashtbl.remove t.reassembly key;
+          let out = Bytes.create total in
+          List.iter
+            (fun (off, b) -> Bytes.blit b 0 out off (Bytes.length b))
+            sorted;
+          Some out
+        end
+        else None
+  end
+
+let for_us t (h : Ipv4.header) =
+  Ipv4addr.equal h.Ipv4.dst t.ip
+  || Ipv4addr.equal h.Ipv4.dst Ipv4addr.broadcast
+  || Ipv4addr.equal t.ip Ipv4addr.any
+
+let handle_frame t frame =
+  match Ethernet.decode frame with
+  | None -> ()
+  | Some (eh, payload) -> (
+      match eh.Ethernet.ethertype with
+      | Ethernet.Arp -> handle_arp t payload
+      | Ethernet.Ipv4 -> (
+          match Ipv4.decode payload with
+          | None -> ()
+          | Some (ih, body) ->
+              if for_us t ih then begin
+                (* Opportunistically learn the sender's MAC so replies do
+                   not need a blocking ARP exchange in the rx loop. *)
+                arp_learn t ih.Ipv4.src eh.Ethernet.src;
+                match reassemble t ih body with
+                | None -> ()  (* incomplete datagram *)
+                | Some body -> (
+                    match ih.Ipv4.protocol with
+                    | Ipv4.Icmp -> handle_icmp t ih body
+                    | Ipv4.Udp -> handle_udp t ih body
+                    | Ipv4.Tcp -> (
+                        match t.tcp_handler with
+                        | Some f -> f ih body
+                        | None -> ())
+                    | Ipv4.Other_proto _ -> ())
+              end)
+      | Ethernet.Other _ -> ())
+
+let rx_loop t () =
+  let rec loop () =
+    let frame = Mailbox.recv t.rxq in
+    t.rx_packets <- t.rx_packets + 1;
+    if t.rx_cost > 0 then Process.sleep t.rx_cost;
+    handle_frame t frame;
+    loop ()
+  in
+  loop ()
+
+let create sched ~name ~dev ~mac ~ip ~netmask ?gateway ?(rx_cost = 0) () =
+  let t =
+    {
+      sched;
+      name;
+      dev;
+      mac;
+      ip;
+      netmask;
+      gateway;
+      rx_cost;
+      rxq = Mailbox.create ();
+      arp_cache = Hashtbl.create 16;
+      arp_waiters = Hashtbl.create 4;
+      udp_socks = Hashtbl.create 8;
+      pings = [];
+      tcp_handler = None;
+      reassembly = Hashtbl.create 8;
+      rx_packets = 0;
+      tx_packets = 0;
+      next_ping_id = 1;
+      next_ip_id = 1;
+    }
+  in
+  Netdev.set_rx dev (fun frame -> Mailbox.send t.rxq frame);
+  Netdev.set_up dev true;
+  Process.spawn sched ~name:(name ^ "-rx") (rx_loop t);
+  t

@@ -1,0 +1,84 @@
+type flags = { syn : bool; ack : bool; fin : bool; rst : bool; psh : bool }
+
+let no_flags = { syn = false; ack = false; fin = false; rst = false; psh = false }
+
+type header = {
+  src_port : int;
+  dst_port : int;
+  seq : int;
+  ack_num : int;
+  flags : flags;
+  window : int;
+}
+
+let header_size = 20
+
+let flags_byte f =
+  (if f.fin then 1 else 0)
+  lor (if f.syn then 2 else 0)
+  lor (if f.rst then 4 else 0)
+  lor (if f.psh then 8 else 0)
+  lor if f.ack then 16 else 0
+
+let flags_of_byte b =
+  {
+    fin = b land 1 <> 0;
+    syn = b land 2 <> 0;
+    rst = b land 4 <> 0;
+    psh = b land 8 <> 0;
+    ack = b land 16 <> 0;
+  }
+
+(* The 16-bit window field cannot express multi-megabyte windows, so we use
+   a fixed window scale of 2^8, as a modern stack would negotiate. *)
+let window_scale = 8
+
+let encode h ~src ~dst ~payload =
+  let len = header_size + Bytes.length payload in
+  let b = Bytes.create len in
+  Wire.set_u16 b 0 h.src_port;
+  Wire.set_u16 b 2 h.dst_port;
+  Wire.set_u32 b 4 (Int32.of_int (h.seq land 0xffffffff));
+  Wire.set_u32 b 8 (Int32.of_int (h.ack_num land 0xffffffff));
+  Wire.set_u8 b 12 (5 lsl 4);  (* data offset 5 words *)
+  Wire.set_u8 b 13 (flags_byte h.flags);
+  Wire.set_u16 b 14 (min 0xffff (h.window lsr window_scale));
+  Wire.set_u16 b 16 0;  (* checksum *)
+  Wire.set_u16 b 18 0;  (* urgent *)
+  Bytes.blit payload 0 b header_size (Bytes.length payload);
+  let ph = Ipv4.pseudo_header ~src ~dst ~protocol:Ipv4.Tcp ~len in
+  Wire.set_u16 b 16 (Wire.checksum_list [ (ph, 0, 12); (b, 0, len) ]);
+  b
+
+let decode b ~src ~dst =
+  if Bytes.length b < header_size then None
+  else
+    let len = Bytes.length b in
+    let ph = Ipv4.pseudo_header ~src ~dst ~protocol:Ipv4.Tcp ~len in
+    if Wire.checksum_list [ (ph, 0, 12); (b, 0, len) ] <> 0 then None
+    else
+      let data_off = (Wire.get_u8 b 12 lsr 4) * 4 in
+      if data_off < header_size || data_off > len then None
+      else
+        let h =
+          {
+            src_port = Wire.get_u16 b 0;
+            dst_port = Wire.get_u16 b 2;
+            seq = Int32.to_int (Wire.get_u32 b 4) land 0xffffffff;
+            ack_num = Int32.to_int (Wire.get_u32 b 8) land 0xffffffff;
+            flags = flags_of_byte (Wire.get_u8 b 13);
+            window = Wire.get_u16 b 14 lsl window_scale;
+          }
+        in
+        Some (h, Bytes.sub b data_off (len - data_off))
+
+let modulus = 1 lsl 32
+
+let seq_add a b = (a + b) mod modulus
+
+let seq_lt a b =
+  let d = (b - a) mod modulus in
+  let d = if d < 0 then d + modulus else d in
+  d > 0 && d < modulus / 2
+
+let seq_leq a b = a = b || seq_lt a b

@@ -1,0 +1,29 @@
+type header = { src_port : int; dst_port : int }
+
+let header_size = 8
+
+let encode h ~src ~dst ~payload =
+  let len = header_size + Bytes.length payload in
+  let b = Bytes.create len in
+  Wire.set_u16 b 0 h.src_port;
+  Wire.set_u16 b 2 h.dst_port;
+  Wire.set_u16 b 4 len;
+  Wire.set_u16 b 6 0;
+  Bytes.blit payload 0 b header_size (Bytes.length payload);
+  let ph = Ipv4.pseudo_header ~src ~dst ~protocol:Ipv4.Udp ~len in
+  let csum = Wire.checksum_list [ (ph, 0, 12); (b, 0, len) ] in
+  Wire.set_u16 b 6 (if csum = 0 then 0xffff else csum);
+  b
+
+let decode b ~src ~dst =
+  if Bytes.length b < header_size then None
+  else
+    let len = Wire.get_u16 b 4 in
+    if len < header_size || len > Bytes.length b then None
+    else
+      let ph = Ipv4.pseudo_header ~src ~dst ~protocol:Ipv4.Udp ~len in
+      if Wire.checksum_list [ (ph, 0, 12); (b, 0, len) ] <> 0 then None
+      else
+        Some
+          ( { src_port = Wire.get_u16 b 0; dst_port = Wire.get_u16 b 2 },
+            Bytes.sub b header_size (len - header_size) )

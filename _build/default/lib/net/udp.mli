@@ -1,0 +1,12 @@
+(** UDP datagram encoding. *)
+
+type header = { src_port : int; dst_port : int }
+
+val header_size : int
+
+val encode :
+  header -> src:Ipv4addr.t -> dst:Ipv4addr.t -> payload:Bytes.t -> Bytes.t
+(** Includes the pseudo-header checksum. *)
+
+val decode :
+  Bytes.t -> src:Ipv4addr.t -> dst:Ipv4addr.t -> (header * Bytes.t) option

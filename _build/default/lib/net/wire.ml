@@ -1,0 +1,48 @@
+let get_u8 b i = Char.code (Bytes.get b i)
+let set_u8 b i v = Bytes.set b i (Char.chr (v land 0xff))
+
+let get_u16 b i = (get_u8 b i lsl 8) lor get_u8 b (i + 1)
+
+let set_u16 b i v =
+  set_u8 b i ((v lsr 8) land 0xff);
+  set_u8 b (i + 1) (v land 0xff)
+
+let get_u32 b i =
+  let a = Int32.of_int (get_u16 b i) in
+  let c = Int32.of_int (get_u16 b (i + 2)) in
+  Int32.logor (Int32.shift_left a 16) c
+
+let set_u32 b i v =
+  set_u16 b i (Int32.to_int (Int32.shift_right_logical v 16) land 0xffff);
+  set_u16 b (i + 2) (Int32.to_int v land 0xffff)
+
+let sum_range acc b off len =
+  let acc = ref acc in
+  let i = ref off in
+  let remaining = ref len in
+  while !remaining >= 2 do
+    acc := !acc + get_u16 b !i;
+    i := !i + 2;
+    remaining := !remaining - 2
+  done;
+  if !remaining = 1 then acc := !acc + (get_u8 b !i lsl 8);
+  !acc
+
+let fold_carries acc =
+  let acc = ref acc in
+  while !acc lsr 16 <> 0 do
+    acc := (!acc land 0xffff) + (!acc lsr 16)
+  done;
+  lnot !acc land 0xffff
+
+let checksum b ~off ~len = fold_carries (sum_range 0 b off len)
+
+let checksum_list ranges =
+  (* Odd-length intermediate ranges would need byte-shifting across range
+     boundaries; all our pseudo-header ranges are even-length except
+     possibly the final payload, so sum ranges independently.  This is the
+     same simplification real stacks make by padding. *)
+  let acc =
+    List.fold_left (fun acc (b, off, len) -> sum_range acc b off len) 0 ranges
+  in
+  fold_carries acc

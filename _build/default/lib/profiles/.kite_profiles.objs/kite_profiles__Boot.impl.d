@@ -1,0 +1,1 @@
+lib/profiles/boot.ml: Engine Kite_sim List Process Time

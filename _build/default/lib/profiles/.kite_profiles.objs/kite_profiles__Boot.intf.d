@@ -1,0 +1,1 @@
+lib/profiles/boot.mli: Kite_sim

@@ -1,0 +1,1 @@
+lib/profiles/image.mli: Format

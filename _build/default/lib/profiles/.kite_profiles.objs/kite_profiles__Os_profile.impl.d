@@ -1,0 +1,1 @@
+lib/profiles/os_profile.ml: Boot Format Image Kite_sim List Syscalls

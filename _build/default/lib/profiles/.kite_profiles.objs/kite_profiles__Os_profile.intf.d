@@ -1,0 +1,1 @@
+lib/profiles/os_profile.mli: Boot Format Image Syscalls

@@ -1,0 +1,1 @@
+lib/profiles/syscalls.ml: Set String

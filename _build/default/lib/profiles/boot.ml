@@ -1,0 +1,80 @@
+open Kite_sim
+
+type stage = { stage_name : string; duration : Time.span }
+
+type t = { name : string; stages : stage list }
+
+let name t = t.name
+let stages t = t.stages
+let total t = List.fold_left (fun acc s -> acc + s.duration) 0 t.stages
+
+let s stage_name duration = { stage_name; duration }
+
+let kite_common_front =
+  [
+    s "hvmloader + firmware tables" (Time.ms 900);
+    s "bmk core init (memory, clocks, smp)" (Time.ms 350);
+  ]
+
+let kite_network =
+  {
+    name = "kite-network";
+    stages =
+      kite_common_front
+      @ [
+          s "pci passthrough attach + ixgbe probe" (Time.ms 2300);
+          s "rump kernel faction init (net)" (Time.ms 700);
+          s "xenbus/xenstore registration" (Time.ms 450);
+          s "bridge app: ifconfig + brconfig" (Time.ms 1400);
+          s "netback ready, watch armed" (Time.ms 900);
+        ];
+  }
+
+let kite_storage =
+  {
+    name = "kite-storage";
+    stages =
+      kite_common_front
+      @ [
+          s "pci passthrough attach + nvme probe" (Time.ms 2600);
+          s "rump kernel faction init (vfs/block)" (Time.ms 800);
+          s "xenbus/xenstore registration" (Time.ms 450);
+          s "vbd app: publish device properties" (Time.ms 1100);
+          s "blkback ready, watch armed" (Time.ms 800);
+        ];
+  }
+
+let kite_dhcp =
+  {
+    name = "kite-dhcp";
+    stages =
+      kite_common_front
+      @ [
+          s "rump kernel faction init (net)" (Time.ms 700);
+          s "OpenDHCP lease database load" (Time.ms 500);
+          s "server listening" (Time.ms 300);
+        ];
+  }
+
+let linux_driver_domain =
+  {
+    name = "linux-driver-domain";
+    stages =
+      [
+        s "hvmloader + firmware tables" (Time.ms 1200);
+        s "grub menu + kernel load" (Time.ms 3800);
+        s "kernel decompress + early init" (Time.ms 5200);
+        s "initramfs: udev coldplug + module probe" (Time.ms 11500);
+        s "root pivot + systemd start" (Time.ms 7400);
+        s "systemd units (journald, dbus, logind, cron, ...)"
+          (Time.ms 24800);
+        s "networking.service + ifupdown scripts" (Time.ms 9800);
+        s "xen-utils: xenstored client, xl devd" (Time.ms 6900);
+        s "getty + login prompt" (Time.ms 4400);
+      ];
+  }
+
+let run sched t ~on_ready =
+  Process.spawn sched ~name:("boot-" ^ t.name) (fun () ->
+      List.iter (fun st -> Process.sleep st.duration) t.stages;
+      on_ready (Engine.now (Process.engine sched)))

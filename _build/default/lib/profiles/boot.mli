@@ -1,0 +1,30 @@
+(** Boot-sequence models (Figure 4c).
+
+    A boot is a list of stages with durations; [run] replays it on the
+    simulator so the figure's numbers come out of the DES like every other
+    experiment (and so restart-time experiments can overlap boots with
+    other work). *)
+
+type stage = { stage_name : string; duration : Kite_sim.Time.span }
+
+type t
+
+val name : t -> string
+val stages : t -> stage list
+val total : t -> Kite_sim.Time.span
+
+val kite_network : t
+(** ~7 s: hvmloader, BMK init, PCI attach + driver probe, xenstore
+    registration, bridge app start. *)
+
+val kite_storage : t
+val kite_dhcp : t
+
+val linux_driver_domain : t
+(** ~75 s: firmware, GRUB, kernel, initramfs, systemd, network/udev
+    settling, xen-utils. *)
+
+val run :
+  Kite_sim.Process.sched -> t -> on_ready:(Kite_sim.Time.t -> unit) -> unit
+(** Spawn a process that sleeps through the stages and reports the instant
+    the domain becomes ready. *)

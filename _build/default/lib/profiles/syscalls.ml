@@ -1,0 +1,136 @@
+module S = Set.Make (String)
+
+type set = { name : string; calls : S.t }
+
+let name t = t.name
+let count t = S.cardinal t.calls
+let contains t c = S.mem c t.calls
+let to_list t = S.elements t.calls
+
+let make name calls = { name; calls = S.of_list calls }
+
+(* The network domain touches sockets, polling and memory only. *)
+let kite_network =
+  make "kite-network"
+    [
+      "read"; "write"; "open"; "close"; "ioctl"; "fcntl"; "socket"; "bind";
+      "sendto"; "recvfrom"; "poll"; "mmap"; "clock_gettime"; "exit";
+    ]
+
+(* The storage domain adds file/block I/O calls. *)
+let kite_storage =
+  make "kite-storage"
+    [
+      "read"; "write"; "open"; "close"; "ioctl"; "fcntl"; "lseek"; "fsync";
+      "stat"; "fstat"; "pread"; "pwrite"; "mmap"; "munmap"; "poll";
+      "clock_gettime"; "sync"; "exit";
+    ]
+
+let kite_dhcp =
+  make "kite-dhcp"
+    [
+      "read"; "write"; "open"; "close"; "socket"; "bind"; "sendto";
+      "recvfrom"; "setsockopt"; "poll"; "mmap"; "clock_gettime"; "exit";
+    ]
+
+(* The calls strace reveals on a minimal Ubuntu 18.04 driver domain over a
+   full boot + xl devd + one device attach: kernel threads, systemd,
+   udev, the shell fragments that remain, and xen-utils. *)
+let linux_driver_domain_calls =
+  [
+    (* process control *)
+    "clone"; "fork"; "vfork"; "execve"; "exit"; "exit_group"; "wait4";
+    "kill"; "tgkill"; "getpid"; "getppid"; "gettid";
+    "setsid"; "setpgid"; "getpgrp"; "prctl"; "arch_prctl"; "ptrace";
+    "setpriority"; "getpriority"; "sched_yield"; "sched_setaffinity";
+    "sched_getaffinity"; "sched_getscheduler";
+    "capset";
+    (* signals *)
+    "rt_sigaction"; "rt_sigprocmask"; "rt_sigreturn"; "rt_sigpending";
+    "sigaltstack";
+    "restart_syscall";
+    (* memory *)
+    "mmap"; "munmap"; "mremap"; "mprotect"; "madvise"; "brk"; "mlock";
+    "munlock"; "modify_ldt";
+    "membarrier";
+    (* files *)
+    "open"; "openat"; "close"; "read"; "write"; "readv"; "writev";
+    "pread64"; "pwrite64"; "lseek"; "truncate";
+    "ftruncate"; "stat"; "fstat"; "newfstatat"; "fstatfs";
+    "access"; "faccessat"; "chdir"; "fchdir"; "getcwd"; "rename"; "renameat";
+    "mkdir"; "mkdirat"; "rmdir"; "unlink"; "unlinkat"; "link"; "linkat";
+    "symlink"; "readlink"; "chmod"; "fchmod";
+    "chown"; "fchown"; "umask"; "utime";
+    "dup"; "dup2"; "pipe"; "pipe2"; "fcntl"; "flock";
+    "fsync"; "fdatasync"; "sync"; "getdents"; "getdents64";
+    "ioctl"; "copy_file_range";
+    "inotify_rm_watch";
+    "open_by_handle_at";
+    (* sockets *)
+    "socket"; "bind"; "listen"; "accept"; "accept4";
+    "connect"; "getsockname"; "getpeername"; "sendto"; "recvfrom";
+    "sendmsg"; "recvmsg"; "shutdown"; "setsockopt";
+    "getsockopt";
+    (* polling *)
+    "select"; "pselect6"; "poll"; "ppoll"; "epoll_create"; "epoll_create1";
+    "epoll_ctl"; "epoll_wait"; "epoll_pwait"; "eventfd"; "eventfd2";
+    "timerfd_create"; "timerfd_settime";
+    "timerfd_gettime";
+    (* time *)
+    "clock_gettime"; "clock_nanosleep";
+    "nanosleep"; "gettimeofday"; "timer_create";
+    "timer_settime"; "timer_gettime"; "timer_delete"; "getitimer";
+    "setitimer";
+    (* identity *)
+    "getuid"; "geteuid"; "getgid"; "getegid"; "setuid"; "setgid"; "setreuid";
+    "setresuid"; "setresgid"; "getresgid";
+    "getgroups"; "setgroups";
+    (* misc kernel *)
+    "uname"; "sysinfo"; "getrlimit"; "setrlimit"; "prlimit64"; "getrusage";
+    "umount2"; "mount"; "reboot";
+    "init_module"; "finit_module"; "delete_module"; "syslog";
+    "getrandom"; "futex"; "set_tid_address"; "set_robust_list";
+    "get_robust_list"; "setns";
+    (* 32-bit compatibility paths the distro kernel keeps enabled *)
+    "compat_sys_setsockopt"; "compat_sys_nanosleep";
+    (* odds and ends from udev and the initramfs *)
+    "statfs"; "lstat"; "socketpair"; "utimensat"; "mknod";
+  ]
+
+let linux_driver_domain = make "linux-driver-domain" linux_driver_domain_calls
+
+(* The remaining table entries on top of the driver-domain set. *)
+let linux_full =
+  make "linux-full"
+    (linux_driver_domain_calls
+    @ [
+        "acct"; "add_key"; "adjtimex"; "afs_syscall"; "bpf"; "clock_adjtime";
+        "create_module"; "epoll_ctl_old"; "epoll_wait_old"; "fanotify_init";
+        "fanotify_mark"; "fchmodat2"; "fgetxattr"; "flistxattr";
+        "fremovexattr"; "fsetxattr"; "get_kernel_syms"; "get_mempolicy";
+        "get_thread_area"; "getcpu"; "getpmsg"; "getxattr"; "io_cancel";
+        "io_destroy"; "io_getevents"; "io_setup"; "io_submit"; "ioperm";
+        "iopl"; "kcmp"; "keyctl"; "lgetxattr"; "listxattr"; "llistxattr";
+        "lookup_dcookie"; "lremovexattr"; "lsetxattr"; "mbind"; "memfd_create";
+        "migrate_pages"; "mknodat"; "move_pages"; "mq_getsetattr";
+        "mq_notify"; "mq_open"; "mq_timedreceive"; "mq_timedsend";
+        "mq_unlink"; "msgctl"; "msgget"; "msgrcv"; "msgsnd"; "nfsservctl";
+        "perf_event_open"; "pkey_alloc"; "pkey_free"; "pkey_mprotect";
+        "process_vm_readv"; "process_vm_writev"; "putpmsg"; "query_module";
+        "quotactl"; "readahead"; "remap_file_pages"; "removexattr";
+        "request_key"; "rseq"; "security"; "semctl"; "semget"; "semop";
+        "semtimedop"; "set_mempolicy"; "set_thread_area"; "setdomainname";
+        "setfsgid"; "setfsuid"; "shmat"; "shmctl"; "shmdt"; "shmget";
+        "statx"; "swapoff"; "swapon"; "sync_file_range"; "sysfs";
+        "userfaultfd"; "ustat"; "utimes"; "vhangup"; "vmsplice"; "vserver";
+        "setxattr"; "mlock2"; "preadv2"; "pwritev2"; "io_pgetevents";
+        (* 32-bit compatibility entry points exposed by the kernel *)
+        "ftruncate64";
+        "truncate64"; "stat64"; "lstat64"; "fstat64"; "mmap2"; "llseek";
+        "sendfile64"; "fcntl64"; "getegid32"; "geteuid32"; "getgid32";
+        "getuid32"; "setgid32"; "setuid32"; "chown32"; "fchown32";
+        "lchown32"; "setregid32"; "setreuid32"; "setresgid32";
+        "setresuid32";
+      ])
+
+let removed ~from ~kept = S.elements (S.diff from.calls kept.calls)

@@ -1,0 +1,34 @@
+(** System-call surfaces (§5.1.1).
+
+    Rumprun turns NetBSD system calls into plain function calls and Kite
+    discards every syscall the single application does not use at link
+    time; a Linux driver domain cannot shed the calls its kernel and
+    userspace need to boot.  These sets drive Figure 4a (counts) and
+    Table 3 (CVEs mitigated by absent syscalls). *)
+
+type set
+
+val name : set -> string
+val count : set -> int
+val contains : set -> string -> bool
+val to_list : set -> string list
+(** Sorted. *)
+
+val kite_network : set
+(** The 14 calls rumprun retains for the network domain. *)
+
+val kite_storage : set
+(** The 18 calls for the storage domain. *)
+
+val kite_dhcp : set
+(** The daemon VM's surface. *)
+
+val linux_driver_domain : set
+(** The 171 calls a minimal Ubuntu driver domain exercises. *)
+
+val linux_full : set
+(** The full Linux syscall table (~300 entries). *)
+
+val removed : from:set -> kept:set -> string list
+(** Calls in [from] but not in [kept], sorted — the attack surface Kite
+    eliminates. *)

@@ -1,0 +1,1 @@
+lib/security/cve_db.ml: Kite_profiles List

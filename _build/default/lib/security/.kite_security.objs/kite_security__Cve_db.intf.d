@@ -1,0 +1,1 @@
+lib/security/cve_db.mli: Kite_profiles

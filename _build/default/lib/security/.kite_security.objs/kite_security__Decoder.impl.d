@@ -1,0 +1,1 @@
+lib/security/decoder.ml: Bytes Char

@@ -1,0 +1,1 @@
+lib/security/gadget.ml: Bytes Decoder Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/security/gadget.mli: Bytes Decoder Format

@@ -1,0 +1,1 @@
+lib/security/image_gen.ml: Buffer Char Hashtbl Kite_sim Rng

@@ -1,0 +1,1 @@
+lib/security/image_gen.mli: Bytes

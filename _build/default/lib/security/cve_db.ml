@@ -1,0 +1,146 @@
+type precondition =
+  | Syscall of string list
+  | Shell
+  | Crafted_application
+  | Component of string
+
+type t = {
+  id : string;
+  year : int;
+  summary : string;
+  preconditions : precondition list;
+}
+
+(* Table 3 of the paper. *)
+let table3 =
+  [
+    {
+      id = "CVE-2021-35039";
+      year = 2021;
+      summary =
+        "loading unsigned kernel modules via the init_module syscall";
+      preconditions = [ Syscall [ "init_module"; "finit_module" ] ];
+    };
+    {
+      id = "CVE-2019-3901";
+      year = 2019;
+      summary =
+        "race condition lets local attackers leak data from setuid programs";
+      preconditions = [ Syscall [ "execve" ] ];
+    };
+    {
+      id = "CVE-2018-18281";
+      year = 2018;
+      summary = "access to an already freed and reused physical page";
+      preconditions = [ Syscall [ "ftruncate"; "mremap" ] ];
+    };
+    {
+      id = "CVE-2018-1068";
+      year = 2018;
+      summary =
+        "privileged user can arbitrarily write to a limited range of kernel memory";
+      preconditions = [ Syscall [ "compat_sys_setsockopt" ] ];
+    };
+    {
+      id = "CVE-2017-18344";
+      year = 2017;
+      summary = "userspace applications can read arbitrary kernel memory";
+      preconditions = [ Syscall [ "timer_create" ] ];
+    };
+    {
+      id = "CVE-2017-17053";
+      year = 2017;
+      summary = "use-after-free reachable by running a crafted program";
+      preconditions = [ Syscall [ "modify_ldt"; "clone" ] ];
+    };
+    {
+      id = "CVE-2016-6198";
+      year = 2016;
+      summary = "local users can cause a denial of service";
+      preconditions = [ Syscall [ "rename" ] ];
+    };
+    {
+      id = "CVE-2016-6197";
+      year = 2016;
+      summary = "local users can cause a denial of service";
+      preconditions = [ Syscall [ "rename"; "unlink" ] ];
+    };
+    {
+      id = "CVE-2014-3180";
+      year = 2014;
+      summary = "uninitialized data enables an out-of-bounds read";
+      preconditions = [ Syscall [ "compat_sys_nanosleep" ] ];
+    };
+    {
+      id = "CVE-2009-0028";
+      year = 2009;
+      summary =
+        "unprivileged child process can send arbitrary signals to a parent";
+      preconditions = [ Syscall [ "clone" ] ];
+    };
+    {
+      id = "CVE-2009-0835";
+      year = 2009;
+      summary = "bypass of intended access restrictions via crafted syscalls";
+      (* The exploit drives chmod; stat is only used to observe the
+         result, and Kite's storage domain legitimately keeps stat. *)
+      preconditions = [ Syscall [ "chmod" ] ];
+    };
+  ]
+
+let tooling =
+  [
+    {
+      id = "CVE-2016-4963";
+      year = 2016;
+      summary =
+        "libxl device-handling allows guests with driver domain access to \
+         corrupt configuration";
+      preconditions = [ Component "libxl" ];
+    };
+    {
+      id = "CVE-2013-2072";
+      year = 2013;
+      summary =
+        "buffer overflow in the Python xc bindings of the Xen toolstack";
+      preconditions = [ Component "python-xc"; Crafted_application ];
+    };
+    {
+      id = "CVE-2015-7504-class";
+      year = 2015;
+      summary = "shell-reachable attacks on driver domain userland";
+      preconditions = [ Shell ];
+    };
+  ]
+
+let satisfies (p : Kite_profiles.Os_profile.t) = function
+  | Syscall alternatives ->
+      List.exists
+        (fun c -> Kite_profiles.Syscalls.contains p.Kite_profiles.Os_profile.syscalls c)
+        alternatives
+  | Shell -> p.Kite_profiles.Os_profile.has_shell
+  | Crafted_application -> p.Kite_profiles.Os_profile.can_run_crafted_apps
+  | Component _ ->
+      (* Kite domains link exactly one application: no xen-tools, no
+         Python, no libxl.  Linux driver domains carry them. *)
+      not (Kite_profiles.Os_profile.is_kite p)
+
+let applicable profile cve =
+  List.for_all (satisfies profile) cve.preconditions
+
+let mitigated_by_kite ~kite ~linux cve =
+  applicable linux cve && not (applicable kite cve)
+
+type yearly = { year_ : int; linux_driver_cves : int; windows_driver_cves : int }
+
+(* cve.mitre.org keyword counts for driver vulnerabilities, as plotted in
+   Figure 1a: both OSs trend upward, Linux consistently higher. *)
+let driver_cves_by_year =
+  [
+    { year_ = 2016; linux_driver_cves = 39; windows_driver_cves = 22 };
+    { year_ = 2017; linux_driver_cves = 95; windows_driver_cves = 40 };
+    { year_ = 2018; linux_driver_cves = 87; windows_driver_cves = 55 };
+    { year_ = 2019; linux_driver_cves = 103; windows_driver_cves = 68 };
+    { year_ = 2020; linux_driver_cves = 114; windows_driver_cves = 89 };
+    { year_ = 2021; linux_driver_cves = 119; windows_driver_cves = 101 };
+  ]

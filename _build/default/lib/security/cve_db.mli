@@ -1,0 +1,43 @@
+(** CVE database and applicability analysis (Figure 1a, Table 3, §5.1.1).
+
+    Each vulnerability carries the preconditions an attacker needs inside
+    the domain: specific system calls, a shell, the ability to run crafted
+    applications, or a particular userspace component.  A CVE is
+    {e applicable} to a domain profile when all its preconditions hold
+    there; Kite mitigates a CVE when Linux satisfies the preconditions and
+    the Kite profile does not. *)
+
+type precondition =
+  | Syscall of string list
+      (** needs at least one of these system calls reachable *)
+  | Shell  (** needs an interactive shell *)
+  | Crafted_application  (** needs to launch an attacker-supplied program *)
+  | Component of string  (** needs a userspace component, e.g. "libxl" *)
+
+type t = {
+  id : string;
+  year : int;
+  summary : string;
+  preconditions : precondition list;
+}
+
+val table3 : t list
+(** The 11 syscall-gated CVEs of Table 3, in paper order. *)
+
+val tooling : t list
+(** CVEs in Xen userspace tooling that Kite sheds entirely
+    (CVE-2016-4963, CVE-2013-2072, CVE-2021-28687-style libxl issues). *)
+
+val applicable : Kite_profiles.Os_profile.t -> t -> bool
+
+val mitigated_by_kite :
+  kite:Kite_profiles.Os_profile.t -> linux:Kite_profiles.Os_profile.t ->
+  t -> bool
+(** Applicable on the Linux profile but not on the Kite one. *)
+
+(** {1 Figure 1a data} *)
+
+type yearly = { year_ : int; linux_driver_cves : int; windows_driver_cves : int }
+
+val driver_cves_by_year : yearly list
+(** 2016-2021, from the cve.mitre.org keyword counts the paper plots. *)

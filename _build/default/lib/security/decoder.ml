@@ -1,0 +1,174 @@
+type category =
+  | Data_move
+  | Arithmetic
+  | Logic
+  | Control_flow
+  | Shift_rotate
+  | Setting_flags
+  | String_op
+  | Floating
+  | Misc
+  | Mmx
+  | Nop
+  | Ret
+
+let category_name = function
+  | Data_move -> "DataMove"
+  | Arithmetic -> "Arithmetic"
+  | Logic -> "Logic"
+  | Control_flow -> "ControlFlow"
+  | Shift_rotate -> "ShiftAndRotate"
+  | Setting_flags -> "SettingFlags"
+  | String_op -> "String"
+  | Floating -> "Floating"
+  | Misc -> "Misc"
+  | Mmx -> "MMX"
+  | Nop -> "Nop"
+  | Ret -> "Ret"
+
+let all_categories =
+  [
+    Data_move; Arithmetic; Logic; Control_flow; Shift_rotate; Setting_flags;
+    String_op; Floating; Misc; Mmx; Nop; Ret;
+  ]
+
+type insn = { category : category; length : int }
+
+let byte code off =
+  if off >= 0 && off < Bytes.length code then
+    Some (Char.code (Bytes.get code off))
+  else None
+
+(* Length of a ModRM-encoded operand (modrm byte + SIB + displacement),
+   64-bit addressing. *)
+let modrm_len code off =
+  match byte code off with
+  | None -> None
+  | Some m ->
+      let md = m lsr 6 and rm = m land 7 in
+      let sib = if md <> 3 && rm = 4 then 1 else 0 in
+      let disp =
+        match md with
+        | 0 -> if rm = 5 then 4 else 0
+        | 1 -> 1
+        | 2 -> 4
+        | _ -> 0
+      in
+      (* SIB with base=101 and mod=0 carries disp32. *)
+      let extra =
+        if sib = 1 && md = 0 then
+          match byte code (off + 1) with
+          | Some s when s land 7 = 5 -> 4
+          | Some _ | None -> 0
+        else 0
+      in
+      Some (1 + sib + disp + extra)
+
+let with_modrm code off category extra_imm =
+  match modrm_len code off with
+  | Some n -> Some { category; length = 1 + n + extra_imm }
+  | None -> None
+
+let rec decode_at code off rex_len =
+  match byte code off with
+  | None -> None
+  | Some op -> (
+      let ret c len = Some { category = c; length = len + rex_len } in
+      let mr c imm =
+        match with_modrm code (off + 1) c imm with
+        | Some i -> Some { i with length = i.length + rex_len }
+        | None -> None
+      in
+      match op with
+      (* REX prefixes: consume and continue (at most a few). *)
+      | x when x >= 0x40 && x <= 0x4f && rex_len < 3 ->
+          decode_at code (off + 1) (rex_len + 1)
+      (* ret *)
+      | 0xC3 -> ret Ret 1
+      | 0xC2 -> ret Ret 3
+      (* nop *)
+      | 0x90 -> ret Nop 1
+      (* mov *)
+      | 0x88 | 0x89 | 0x8A | 0x8B | 0x8D (* lea *) -> mr Data_move 0
+      | x when x >= 0xB0 && x <= 0xB7 -> ret Data_move 2 (* mov r8, imm8 *)
+      | x when x >= 0xB8 && x <= 0xBF ->
+          (* mov r32/r64, imm; REX.W widens the immediate to 8 bytes *)
+          ret Data_move (if rex_len > 0 then 9 else 5)
+      | 0xC6 -> mr Data_move 1
+      | 0xC7 -> mr Data_move 4
+      (* push/pop *)
+      | x when x >= 0x50 && x <= 0x5F -> ret Data_move 1
+      | 0x68 -> ret Data_move 5
+      | 0x6A -> ret Data_move 2
+      (* xchg *)
+      | x when x >= 0x91 && x <= 0x97 -> ret Data_move 1
+      (* arithmetic *)
+      | 0x00 | 0x01 | 0x02 | 0x03 | 0x28 | 0x29 | 0x2A | 0x2B -> mr Arithmetic 0
+      | 0x04 | 0x2C -> ret Arithmetic 2 (* add/sub al, imm8 *)
+      | 0x05 | 0x2D -> ret Arithmetic 5
+      | 0x83 -> mr Arithmetic 1 (* grp1 imm8 *)
+      | 0x81 -> mr Arithmetic 4
+      | 0xF7 | 0xF6 -> mr Arithmetic 0 (* mul/div/not/neg group *)
+      | 0xFE -> mr Arithmetic 0 (* inc/dec r/m8 *)
+      | 0x69 -> mr Arithmetic 4 (* imul r, r/m, imm32 *)
+      | 0x6B -> mr Arithmetic 1
+      (* logic *)
+      | 0x08 | 0x09 | 0x0A | 0x0B | 0x20 | 0x21 | 0x22 | 0x23 | 0x30 | 0x31
+      | 0x32 | 0x33 ->
+          mr Logic 0
+      | 0x0C | 0x24 | 0x34 -> ret Logic 2
+      | 0x0D | 0x25 | 0x35 -> ret Logic 5
+      (* compare / test -> flags *)
+      | 0x38 | 0x39 | 0x3A | 0x3B | 0x84 | 0x85 -> mr Setting_flags 0
+      | 0x3C -> ret Setting_flags 2
+      | 0x3D -> ret Setting_flags 5
+      | 0xF5 | 0xF8 | 0xF9 | 0xFC | 0xFD -> ret Setting_flags 1
+      (* shifts *)
+      | 0xC0 | 0xC1 -> mr Shift_rotate 1
+      | 0xD0 | 0xD1 | 0xD2 | 0xD3 -> mr Shift_rotate 0
+      (* control flow *)
+      | 0xE8 | 0xE9 -> ret Control_flow 5
+      | 0xEB -> ret Control_flow 2
+      | x when x >= 0x70 && x <= 0x7F -> ret Control_flow 2
+      | 0xFF -> mr Control_flow 0 (* call/jmp/push group *)
+      | 0xC9 -> ret Control_flow 1 (* leave *)
+      (* string ops *)
+      | x when x >= 0xA4 && x <= 0xA7 -> ret String_op 1
+      | x when x >= 0xAA && x <= 0xAF -> ret String_op 1
+      (* x87 floating point *)
+      | x when x >= 0xD8 && x <= 0xDF -> mr Floating 0
+      (* misc single-byte *)
+      | 0x98 | 0x99 (* cwde/cdq *) | 0xCC (* int3 *) -> ret Misc 1
+      | 0xF4 (* hlt *) | 0xFA | 0xFB (* cli/sti *) -> ret Misc 1
+      (* two-byte opcodes *)
+      | 0x0F -> (
+          match byte code (off + 1) with
+          | None -> None
+          | Some op2 -> (
+              let mr2 c imm =
+                match with_modrm code (off + 2) c imm with
+                | Some i -> Some { i with length = i.length + 1 + rex_len }
+                | None -> None
+              in
+              match op2 with
+              | x when x >= 0x80 && x <= 0x8F ->
+                  ret Control_flow 6 (* jcc rel32 *)
+              | x when x >= 0x90 && x <= 0x9F -> mr2 Setting_flags 0 (* setcc *)
+              | 0xA2 -> ret Misc 2 (* cpuid *)
+              | 0x05 -> ret Control_flow 2 (* syscall *)
+              | 0x1F -> mr2 Nop 0 (* multi-byte nop *)
+              | 0xAF -> mr2 Arithmetic 0 (* imul *)
+              | 0xB6 | 0xB7 | 0xBE | 0xBF -> mr2 Data_move 0 (* movzx/movsx *)
+              | x when x >= 0x40 && x <= 0x4F -> mr2 Data_move 0 (* cmovcc *)
+              | x when (x >= 0x10 && x <= 0x17) || (x >= 0x28 && x <= 0x2F)
+                -> mr2 Mmx 0 (* movups etc *)
+              | x when x >= 0x60 && x <= 0x7F -> mr2 Mmx 0 (* mmx/sse2 *)
+              | x when x >= 0xD0 && x <= 0xEF -> mr2 Mmx 0
+              | 0xC6 -> mr2 Mmx 1 (* shufps *)
+              | _ -> None))
+      | _ -> None)
+
+let decode code off = decode_at code off 0
+
+let is_ret code off =
+  match byte code off with Some 0xC3 | Some 0xC2 -> true | Some _ | None -> false

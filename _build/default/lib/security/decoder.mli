@@ -1,0 +1,37 @@
+(** A compact x86-64 instruction classifier.
+
+    Decodes enough of the instruction set to support ROP gadget scanning:
+    given bytes and an offset, identifies the instruction's length and its
+    Follner et al. category.  REX prefixes are consumed; ModRM/SIB and
+    displacement/immediate sizes are computed properly, so lengths are
+    exact for the encodings we accept. *)
+
+(** The gadget categories of Follner et al. (plus [Unknown] for bytes we
+    refuse to decode, which terminate a gadget walk). *)
+type category =
+  | Data_move
+  | Arithmetic
+  | Logic
+  | Control_flow
+  | Shift_rotate
+  | Setting_flags
+  | String_op
+  | Floating
+  | Misc
+  | Mmx
+  | Nop
+  | Ret
+
+val category_name : category -> string
+
+val all_categories : category list
+(** In Figure 5 order. *)
+
+type insn = { category : category; length : int }
+
+val decode : Bytes.t -> int -> insn option
+(** [decode code off] decodes the instruction at [off]; [None] when the
+    bytes do not form an instruction we model (or run off the end). *)
+
+val is_ret : Bytes.t -> int -> bool
+(** True when a RET (C3, or C2 imm16) starts at the offset. *)

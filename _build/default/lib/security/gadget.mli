@@ -1,0 +1,19 @@
+(** ROP gadget scanner (Figures 1b and 5).
+
+    Follows the methodology of Follner et al.: every suffix of the
+    instruction stream that decodes cleanly into at most [max_insns]
+    instructions ending in a RET is a gadget; it is categorized by the
+    operation of the instruction immediately preceding the RET (a bare
+    RET counts in the Ret category). *)
+
+type counts = (Decoder.category * int) list
+(** Per-category gadget counts, in {!Decoder.all_categories} order. *)
+
+val scan : ?max_insns:int -> ?max_back:int -> Bytes.t -> counts
+(** [scan code] finds gadgets.  [max_back] (default 20) bounds how many
+    bytes before a RET a gadget may start; [max_insns] (default 5) bounds
+    its instruction count. *)
+
+val total : counts -> int
+
+val pp : Format.formatter -> counts -> unit

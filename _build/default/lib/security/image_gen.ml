@@ -1,0 +1,116 @@
+open Kite_sim
+
+type kernel_config = { config_name : string; text_kb : int }
+
+let kite = { config_name = "Kite"; text_kb = 2_800 }
+let linux_default = { config_name = "Default"; text_kb = 11_200 }
+let centos8 = { config_name = "CentOS"; text_kb = 26_500 }
+let fedora = { config_name = "Fedora"; text_kb = 31_800 }
+let debian = { config_name = "Debian"; text_kb = 21_300 }
+let ubuntu = { config_name = "Ubuntu"; text_kb = 24_400 }
+
+let all = [ kite; linux_default; centos8; fedora; debian; ubuntu ]
+
+(* Opcode palette approximating compiler output: heavy on moves and
+   ModRM-encoded ALU ops, a sprinkle of calls, the occasional function
+   epilogue (pop; ret). *)
+let emit_instruction buf rng =
+  let r n = Rng.int rng n in
+  let byte v = Buffer.add_char buf (Char.chr (v land 0xff)) in
+  let modrm () =
+    (* Bias towards register-register and small displacements. *)
+    match r 4 with
+    | 0 -> byte (0xC0 lor r 64)  (* mod=11 *)
+    | 1 ->
+        byte (0x40 lor r 64 land 0x7f);
+        byte (r 256)  (* mod=01 disp8 *)
+    | _ -> byte (r 0xC0 land 0xBF)
+    (* mod 00/10 handled loosely; scanner re-decodes *)
+  in
+  match r 100 with
+  | x when x < 30 ->
+      (* mov r/m *)
+      if r 3 = 0 then byte (0x48 + r 8);
+      byte (match r 4 with 0 -> 0x89 | 1 -> 0x8B | 2 -> 0x88 | _ -> 0x8A);
+      modrm ()
+  | x when x < 42 ->
+      (* ALU modrm *)
+      byte (match r 6 with 0 -> 0x01 | 1 -> 0x03 | 2 -> 0x29 | 3 -> 0x2B | 4 -> 0x31 | _ -> 0x21);
+      modrm ()
+  | x when x < 50 ->
+      (* grp1 imm8 *)
+      byte 0x83;
+      modrm ();
+      byte (r 256)
+  | x when x < 58 ->
+      (* push/pop *)
+      byte (0x50 + r 16)
+  | x when x < 66 ->
+      (* call rel32 *)
+      byte 0xE8;
+      for _ = 1 to 4 do
+        byte (r 256)
+      done
+  | x when x < 72 ->
+      (* jcc rel8 *)
+      byte (0x70 + r 16);
+      byte (r 256)
+  | x when x < 78 ->
+      (* cmp/test *)
+      byte (if r 2 = 0 then 0x39 else 0x85);
+      modrm ()
+  | x when x < 82 ->
+      (* mov imm32 *)
+      byte (0xB8 + r 8);
+      for _ = 1 to 4 do
+        byte (r 256)
+      done
+  | x when x < 85 ->
+      (* shifts *)
+      byte 0xC1;
+      modrm ();
+      byte (r 32)
+  | x when x < 88 ->
+      (* two-byte: movzx / cmov / sse mov *)
+      byte 0x0F;
+      byte (match r 3 with 0 -> 0xB6 | 1 -> 0x44 | _ -> 0x10);
+      modrm ()
+  | x when x < 90 ->
+      (* string / misc *)
+      byte (match r 4 with 0 -> 0xA4 | 1 -> 0xAA | 2 -> 0x99 | _ -> 0x90)
+  | x when x < 93 ->
+      (* x87 *)
+      byte (0xD8 + r 8);
+      modrm ()
+  | x when x < 95 ->
+      (* longer mov imm chains pad between returns *)
+      byte (0xB8 + r 8);
+      for _ = 1 to 4 do
+        byte (r 256)
+      done
+  | x when x < 97 ->
+      (* function epilogue: pop rbp; ret *)
+      byte 0x5D;
+      byte 0xC3
+  | x when x < 98 ->
+      (* leave; ret *)
+      byte 0xC9;
+      byte 0xC3
+  | x when x < 99 ->
+      byte 0xC3
+  | _ ->
+      (* embedded data / padding — bytes the decoder may refuse *)
+      for _ = 1 to 1 + r 4 do
+        byte (r 256)
+      done
+
+let generate config =
+  let target = config.text_kb * 1024 in
+  let buf = Buffer.create target in
+  (* Deterministic per configuration. *)
+  let seed = Hashtbl.hash config.config_name + config.text_kb in
+  let rng = Rng.create seed in
+  while Buffer.length buf < target do
+    emit_instruction buf rng
+  done;
+  Buffer.to_bytes buf

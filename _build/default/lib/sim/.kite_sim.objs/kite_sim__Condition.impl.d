@@ -1,0 +1,1 @@
+lib/sim/condition.ml: Engine Process Queue

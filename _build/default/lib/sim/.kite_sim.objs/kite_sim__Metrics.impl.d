@@ -1,0 +1,1 @@
+lib/sim/metrics.ml: Float Format Hashtbl List String Time

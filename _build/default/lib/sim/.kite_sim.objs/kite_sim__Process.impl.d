@@ -1,0 +1,1 @@
+lib/sim/process.ml: Effect Engine Time

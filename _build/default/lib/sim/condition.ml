@@ -1,0 +1,68 @@
+type waiter = { mutable live : bool; resume : unit -> unit }
+
+type t = { q : waiter Queue.t }
+
+let create () = { q = Queue.create () }
+
+let wait t =
+  Process.suspend (fun _eng resume ->
+      Queue.push { live = true; resume } t.q)
+
+let timed_wait t span =
+  let outcome = ref `Timeout in
+  Process.suspend (fun eng resume ->
+      (* Whichever of the timer and the signal fires first claims the
+         suspension; the loser is disarmed so it can neither resume the
+         process twice nor swallow a signal meant for another waiter. *)
+      let fired = ref false in
+      let fire o =
+        if not !fired then begin
+          fired := true;
+          outcome := o;
+          resume ()
+        end
+      in
+      let timer = ref None in
+      let w =
+        {
+          live = true;
+          resume =
+            (fun () ->
+              (match !timer with Some h -> Engine.cancel h | None -> ());
+              fire `Signaled);
+        }
+      in
+      timer :=
+        Some
+          (Engine.schedule_after eng span (fun () ->
+               w.live <- false;
+               fire `Timeout));
+      Queue.push w t.q);
+  !outcome
+
+let rec signal t =
+  match Queue.take_opt t.q with
+  | None -> ()
+  | Some w ->
+      if w.live then begin
+        w.live <- false;
+        w.resume ()
+      end
+      else signal t
+
+let broadcast t =
+  (* Snapshot: processes woken by this broadcast that immediately re-wait
+     must not be woken again by the same call. *)
+  let n = Queue.length t.q in
+  for _ = 1 to n do
+    match Queue.take_opt t.q with
+    | None -> ()
+    | Some w ->
+        if w.live then begin
+          w.live <- false;
+          w.resume ()
+        end
+  done
+
+let waiters t =
+  Queue.fold (fun acc w -> if w.live then acc + 1 else acc) 0 t.q

@@ -1,0 +1,44 @@
+type handle = { mutable cancelled : bool; thunk : unit -> unit }
+
+type t = { mutable clock : Time.t; queue : handle Heap.t }
+
+let create () = { clock = Time.zero; queue = Heap.create () }
+
+let now t = t.clock
+
+let schedule_at t when_ f =
+  if when_ < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: %d is in the past (now %d)" when_
+         t.clock);
+  let h = { cancelled = false; thunk = f } in
+  Heap.add t.queue ~key:when_ h;
+  h
+
+let schedule_after t span f = schedule_at t (t.clock + span) f
+
+let cancel h = h.cancelled <- true
+let cancelled h = h.cancelled
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (when_, h) ->
+      t.clock <- when_;
+      if not h.cancelled then h.thunk ();
+      true
+
+let run t = while step t do () done
+
+let run_until t limit =
+  let continue = ref true in
+  while !continue do
+    match Heap.min_key t.queue with
+    | Some k when k <= limit -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  if t.clock < limit then t.clock <- limit
+
+let run_for t span = run_until t (t.clock + span)
+
+let pending t = Heap.size t.queue

@@ -1,0 +1,43 @@
+(** Discrete-event simulation engine.
+
+    The engine owns the simulated clock and an event queue.  Events are
+    thunks executed at a scheduled instant; among events scheduled for the
+    same instant, execution follows scheduling order, so runs are fully
+    deterministic. *)
+
+type t
+
+type handle
+(** A scheduled event; can be cancelled before it fires. *)
+
+val create : unit -> t
+
+val now : t -> Time.t
+(** Current simulated time. *)
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> handle
+(** [schedule_at t when_ f] runs [f] at instant [when_].  Scheduling in the
+    past raises [Invalid_argument]. *)
+
+val schedule_after : t -> Time.span -> (unit -> unit) -> handle
+(** [schedule_after t span f] runs [f] [span] nanoseconds from now. *)
+
+val cancel : handle -> unit
+(** Cancel a pending event.  Cancelling a fired or already-cancelled event
+    is a no-op. *)
+
+val cancelled : handle -> bool
+
+val run : t -> unit
+(** Execute events until the queue is empty. *)
+
+val run_until : t -> Time.t -> unit
+(** Execute events with timestamps <= the given instant; afterwards the
+    clock reads exactly that instant. *)
+
+val run_for : t -> Time.span -> unit
+(** [run_for t span] is [run_until t (now t + span)]. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled ones not yet
+    reaped). *)

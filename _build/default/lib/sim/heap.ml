@@ -1,0 +1,77 @@
+(* Binary min-heap over (key, seq) pairs.  [seq] is a monotonically
+   increasing insertion counter used to break ties deterministically. *)
+
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; len = 0; next_seq = 0 }
+
+let is_empty h = h.len = 0
+let size h = h.len
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow h =
+  let cap = Array.length h.data in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  (* The dummy cell is never read: [len] guards all accesses. *)
+  let dummy = h.data.(0) in
+  let ndata = Array.make ncap dummy in
+  Array.blit h.data 0 ndata 0 h.len;
+  h.data <- ndata
+
+let add h ~key value =
+  let e = { key; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  if h.len = 0 && Array.length h.data = 0 then h.data <- Array.make 16 e
+  else if h.len = Array.length h.data then grow h;
+  h.data.(h.len) <- e;
+  h.len <- h.len + 1;
+  (* Sift up. *)
+  let i = ref (h.len - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    less h.data.(!i) h.data.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = h.data.(parent) in
+    h.data.(parent) <- h.data.(!i);
+    h.data.(!i) <- tmp;
+    i := parent
+  done
+
+let min_key h = if h.len = 0 then None else Some h.data.(0).key
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && less h.data.(l) h.data.(!smallest) then smallest := l;
+        if r < h.len && less h.data.(r) h.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.data.(!smallest) in
+          h.data.(!smallest) <- h.data.(!i);
+          h.data.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.key, top.value)
+  end

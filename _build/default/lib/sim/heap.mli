@@ -1,0 +1,22 @@
+(** Binary min-heap keyed by integer priority.
+
+    Used as the event queue of the simulation engine.  Ties are broken by
+    insertion order so that the simulation is deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val add : 'a t -> key:int -> 'a -> unit
+(** [add h ~key v] inserts [v] with priority [key]. *)
+
+val min_key : 'a t -> int option
+(** Smallest key currently in the heap, if any. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum element.  Among equal keys, elements are
+    returned in insertion order. *)

@@ -1,0 +1,35 @@
+type 'a t = { q : 'a Queue.t; nonempty : Condition.t }
+
+let create () = { q = Queue.create (); nonempty = Condition.create () }
+
+let send t v =
+  Queue.push v t.q;
+  Condition.signal t.nonempty
+
+let rec recv t =
+  match Queue.take_opt t.q with
+  | Some v -> v
+  | None ->
+      Condition.wait t.nonempty;
+      recv t
+
+let rec recv_timeout t span =
+  match Queue.take_opt t.q with
+  | Some v -> Some v
+  | None -> (
+      match Condition.timed_wait t.nonempty span with
+      | `Timeout -> Queue.take_opt t.q
+      | `Signaled ->
+          (* A competing receiver may have taken the message; retry with the
+             full span only if something is queued, otherwise report empty.
+             Retrying with the original span would be unbounded under
+             contention; in this cooperative setting a single re-check
+             suffices because sends wake exactly one receiver. *)
+          recv_timeout_once t span)
+
+and recv_timeout_once t _span = Queue.take_opt t.q
+
+let try_recv t = Queue.take_opt t.q
+
+let length t = Queue.length t.q
+let is_empty t = Queue.is_empty t.q

@@ -1,0 +1,78 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  busy : (string, int ref) Hashtbl.t;
+  series : (string, float list ref) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 64;
+    busy = Hashtbl.create 16;
+    series = Hashtbl.create 16;
+  }
+
+let cell tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add tbl name r;
+      r
+
+let add t name n =
+  let r = cell t.counters name in
+  r := !r + n
+
+let incr t name = add t name 1
+
+let count t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let add_busy t name span =
+  let r = cell t.busy name in
+  r := !r + span
+
+let busy t name =
+  match Hashtbl.find_opt t.busy name with Some r -> !r | None -> 0
+
+let utilization t name ~total =
+  if total <= 0 then 0.0
+  else
+    let b = float_of_int (busy t name) /. float_of_int total in
+    Float.min 1.0 b
+
+let record_sample t name v =
+  match Hashtbl.find_opt t.series name with
+  | Some r -> r := v :: !r
+  | None -> Hashtbl.add t.series name (ref [ v ])
+
+let samples t name =
+  match Hashtbl.find_opt t.series name with
+  | Some r -> List.rev !r
+  | None -> []
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.counters []
+  |> List.sort String.compare
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.busy;
+  Hashtbl.reset t.series
+
+let pp ppf t =
+  let counters =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+    |> List.sort compare
+  in
+  List.iter (fun (k, v) -> Format.fprintf ppf "%s = %d@." k v) counters;
+  let busies =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.busy []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "%s busy = %a@." k Time.pp v)
+    busies;
+  Hashtbl.iter
+    (fun k r -> Format.fprintf ppf "%s samples = %d@." k (List.length !r))
+    t.series

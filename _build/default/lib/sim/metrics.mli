@@ -1,0 +1,36 @@
+(** Named counters and time accounting for a simulation run.
+
+    One [Metrics.t] per scenario collects hypercall counts, packet/request
+    counts, bytes moved, and per-resource busy time (used for the CPU
+    utilization figures). *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val count : t -> string -> int
+(** [count t name] is the accumulated value; 0 if never touched. *)
+
+val add_busy : t -> string -> Time.span -> unit
+(** Record that the named resource was busy for the span. *)
+
+val busy : t -> string -> Time.span
+
+val utilization : t -> string -> total:Time.span -> float
+(** Busy fraction in [\[0, 1\]] over a window of the given length. *)
+
+val record_sample : t -> string -> float -> unit
+(** Append a sample to a named series (latencies, throughputs, ...). *)
+
+val samples : t -> string -> float list
+(** Samples in recording order; [] if none. *)
+
+val names : t -> string list
+(** All counter names, sorted. *)
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Dump all counters, busy times and sample counts. *)

@@ -1,0 +1,63 @@
+type sched = { engine : Engine.t; mutable live : int }
+
+exception Process_failure of string * exn
+
+type _ Effect.t +=
+  | Sleep : Time.span -> unit Effect.t
+  | Yield : unit Effect.t
+  | Suspend : (Engine.t -> (unit -> unit) -> unit) -> unit Effect.t
+
+let scheduler engine = { engine; live = 0 }
+let engine t = t.engine
+let live t = t.live
+
+let sleep span = Effect.perform (Sleep span)
+let yield () = Effect.perform Yield
+let suspend register = Effect.perform (Suspend register)
+
+let spawn t ~name body =
+  t.live <- t.live + 1;
+  let run () =
+    let open Effect.Deep in
+    match_with body ()
+      {
+        retc = (fun () -> t.live <- t.live - 1);
+        exnc =
+          (fun e ->
+            t.live <- t.live - 1;
+            raise (Process_failure (name, e)));
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Sleep span ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    ignore
+                      (Engine.schedule_after t.engine span (fun () ->
+                           continue k ())))
+            | Yield ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    ignore
+                      (Engine.schedule_after t.engine 0 (fun () ->
+                           continue k ())))
+            | Suspend register ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    (* [resume] re-enters through the event queue so that a
+                       waker always finishes its step before the woken
+                       process runs. *)
+                    let resumed = ref false in
+                    let resume () =
+                      if !resumed then
+                        invalid_arg "Process: double resume of a suspension";
+                      resumed := true;
+                      ignore
+                        (Engine.schedule_after t.engine 0 (fun () ->
+                             continue k ()))
+                    in
+                    register t.engine resume)
+            | _ -> None);
+      }
+  in
+  ignore (Engine.schedule_after t.engine 0 run)

@@ -1,0 +1,47 @@
+(** Cooperative processes over the simulation engine.
+
+    Processes model the threads of the simulated OSs — in particular
+    rumprun's non-preemptive BMK threads, whose cooperative behaviour is
+    central to Kite's netback/blkback design.  A process runs until it
+    performs a blocking operation ([sleep], [yield], [suspend] or a wait on
+    a {!Condition}/{!Mailbox}); it is then resumed through the engine's
+    event queue, keeping execution deterministic.
+
+    Implemented with OCaml 5 effect handlers; the blocking operations may
+    only be called from inside a process body. *)
+
+type sched
+
+val scheduler : Engine.t -> sched
+(** A scheduler bound to an engine.  Several schedulers may share one
+    engine (e.g. one per simulated machine). *)
+
+val engine : sched -> Engine.t
+
+val spawn : sched -> name:string -> (unit -> unit) -> unit
+(** [spawn sched ~name body] starts a process at the current instant.
+    [name] appears in the error raised if [body] raises. *)
+
+val live : sched -> int
+(** Number of spawned processes that have not yet terminated. *)
+
+exception Process_failure of string * exn
+(** [(process name, original exception)] — raised out of the engine loop
+    when a process body raises. *)
+
+(** {1 Blocking operations (process context only)} *)
+
+val sleep : Time.span -> unit
+(** Block for a simulated duration. *)
+
+val yield : unit -> unit
+(** Reschedule at the current instant, letting other runnable processes
+    execute first.  This is the explicit CPU-yield that Kite's
+    orchestration applications perform to avoid monopolizing the
+    cooperative scheduler. *)
+
+val suspend : (Engine.t -> (unit -> unit) -> unit) -> unit
+(** [suspend register] blocks the current process; [register] is called
+    with the engine and a one-shot [resume] closure that makes the process
+    runnable again at the instant [resume] is invoked.  Building block for
+    {!Condition} and {!Mailbox}. *)

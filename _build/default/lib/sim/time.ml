@@ -1,0 +1,21 @@
+type t = int
+type span = int
+
+let zero = 0
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let sec n = n * 1_000_000_000
+let of_sec_f s = int_of_float (s *. 1e9)
+let to_sec_f s = float_of_int s /. 1e9
+let to_ms_f s = float_of_int s /. 1e6
+let to_us_f s = float_of_int s /. 1e3
+
+let pp ppf s =
+  let f = float_of_int s in
+  if s < 1_000 then Format.fprintf ppf "%dns" s
+  else if s < 1_000_000 then Format.fprintf ppf "%.2fus" (f /. 1e3)
+  else if s < 1_000_000_000 then Format.fprintf ppf "%.2fms" (f /. 1e6)
+  else Format.fprintf ppf "%.3fs" (f /. 1e9)
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,1 @@
+lib/stats/series.mli:

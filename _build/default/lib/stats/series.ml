@@ -1,0 +1,36 @@
+type point = { x : float; y : float }
+type t = { label : string; points : point list }
+
+let make ~label pts = { label; points = List.map (fun (x, y) -> { x; y }) pts }
+
+let ys t = List.map (fun p -> p.y) t.points
+let xs t = List.map (fun p -> p.x) t.points
+
+let at t x =
+  List.find_opt (fun p -> p.x = x) t.points |> Option.map (fun p -> p.y)
+
+let ratio a b =
+  if xs a <> xs b then invalid_arg "Series.ratio: mismatched xs";
+  List.map2 (fun pa pb -> pa.y /. pb.y) a.points b.points
+
+let crossovers a b =
+  if xs a <> xs b then invalid_arg "Series.crossovers: mismatched xs";
+  let diffs = List.map2 (fun pa pb -> (pa.x, pa.y -. pb.y)) a.points b.points in
+  let rec walk acc = function
+    | (_, d1) :: ((x2, d2) :: _ as rest) ->
+        if (d1 < 0.0 && d2 > 0.0) || (d1 > 0.0 && d2 < 0.0) then
+          walk (x2 :: acc) rest
+        else walk acc rest
+    | _ -> List.rev acc
+  in
+  walk [] diffs
+
+let max_y t =
+  match t.points with
+  | [] -> invalid_arg "Series.max_y: empty"
+  | p :: ps -> List.fold_left (fun a b -> if b.y > a.y then b else a) p ps
+
+let min_y t =
+  match t.points with
+  | [] -> invalid_arg "Series.min_y: empty"
+  | p :: ps -> List.fold_left (fun a b -> if b.y < a.y then b else a) p ps

@@ -1,0 +1,23 @@
+(** Parameter-sweep helpers: (x, y) series produced by experiments. *)
+
+type point = { x : float; y : float }
+type t = { label : string; points : point list }
+
+val make : label:string -> (float * float) list -> t
+
+val ys : t -> float list
+val xs : t -> float list
+
+val at : t -> float -> float option
+(** Exact-x lookup. *)
+
+val ratio : t -> t -> float list
+(** Pointwise [a/b] for series sharing the same xs.
+    Raises [Invalid_argument] when xs differ. *)
+
+val crossovers : t -> t -> float list
+(** The x positions where the sign of (a.y - b.y) changes — i.e. where one
+    system overtakes the other. *)
+
+val max_y : t -> point
+val min_y : t -> point

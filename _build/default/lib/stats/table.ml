@@ -1,0 +1,79 @@
+type align = Left | Right
+
+type t = {
+  title : string;
+  columns : (string * align) list;
+  mutable rows : string list list;  (* reversed *)
+  mutable notes : string list;  (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = []; notes = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row (%s): got %d cells, expected %d" t.title
+         (List.length row) (List.length t.columns));
+  t.rows <- row :: t.rows
+
+let add_rows t rows = List.iter (add_row t) rows
+
+let note t s = t.notes <- s :: t.notes
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render t =
+  let headers = List.map fst t.columns in
+  let aligns = List.map snd t.columns in
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let buf = Buffer.create 512 in
+  let hline () =
+    List.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let render_row cells =
+    List.iteri
+      (fun i c ->
+        let w = List.nth widths i in
+        let a = List.nth aligns i in
+        Buffer.add_string buf ("| " ^ pad a w c ^ " "))
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  hline ();
+  render_row headers;
+  hline ();
+  List.iter render_row rows;
+  hline ();
+  List.iter
+    (fun n -> Buffer.add_string buf ("  note: " ^ n ^ "\n"))
+    (List.rev t.notes);
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_f ?(prec = 2) v = Printf.sprintf "%.*f" prec v
+
+let fmt_si v =
+  let a = abs_float v in
+  if a >= 1e9 then Printf.sprintf "%.2fG" (v /. 1e9)
+  else if a >= 1e6 then Printf.sprintf "%.2fM" (v /. 1e6)
+  else if a >= 1e3 then Printf.sprintf "%.2fK" (v /. 1e3)
+  else Printf.sprintf "%.2f" v
+
+let fmt_pct v = Printf.sprintf "%.2f%%" v

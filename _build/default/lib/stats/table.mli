@@ -1,0 +1,32 @@
+(** ASCII tables for experiment reports.
+
+    Every figure and table in the benchmark harness is rendered through
+    this module so reports have a uniform look. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> columns:(string * align) list -> t
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the row width differs from the header. *)
+
+val add_rows : t -> string list list -> unit
+
+val note : t -> string -> unit
+(** Attach a footnote printed under the table (e.g. the paper's reported
+    values for comparison). *)
+
+val render : t -> string
+val print : t -> unit
+
+(** {1 Cell formatting helpers} *)
+
+val fmt_f : ?prec:int -> float -> string
+(** Fixed-point float, default precision 2. *)
+
+val fmt_si : float -> string
+(** Engineering notation with K/M/G suffixes, e.g. [12.3K]. *)
+
+val fmt_pct : float -> string

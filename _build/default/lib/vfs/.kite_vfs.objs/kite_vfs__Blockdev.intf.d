@@ -1,0 +1,1 @@
+lib/vfs/blockdev.mli: Bytes

@@ -1,0 +1,1 @@
+lib/vfs/fs.ml: Blockdev Bytes Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/vfs/fs.mli: Blockdev Bytes

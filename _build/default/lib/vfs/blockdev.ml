@@ -1,0 +1,46 @@
+type t = {
+  name : string;
+  capacity_sectors : int;
+  read : sector:int -> count:int -> Bytes.t;
+  write : sector:int -> Bytes.t -> unit;
+  flush : unit -> unit;
+}
+
+let sector_size = 512
+
+let ram ~name ~capacity_sectors =
+  let store : (int, Bytes.t) Hashtbl.t = Hashtbl.create 1024 in
+  let read ~sector ~count =
+    (* Absent sectors must read as zeroes, so the buffer needs explicit
+       initialization — Bytes.create leaves heap garbage. *)
+    let out = Bytes.make (count * sector_size) '\000' in
+    for i = 0 to count - 1 do
+      match Hashtbl.find_opt store (sector + i) with
+      | Some b -> Bytes.blit b 0 out (i * sector_size) sector_size
+      | None -> ()
+    done;
+    out
+  in
+  let write ~sector data =
+    let count = Bytes.length data / sector_size in
+    for i = 0 to count - 1 do
+      Hashtbl.replace store (sector + i)
+        (Bytes.sub data (i * sector_size) sector_size)
+    done
+  in
+  { name; capacity_sectors; read; write; flush = (fun () -> ()) }
+
+let counting dev =
+  let reads = ref 0 and writes = ref 0 in
+  ( {
+      dev with
+      read =
+        (fun ~sector ~count ->
+          incr reads;
+          dev.read ~sector ~count);
+      write =
+        (fun ~sector data ->
+          incr writes;
+          dev.write ~sector data);
+    },
+    fun () -> (!reads, !writes) )

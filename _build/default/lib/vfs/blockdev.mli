@@ -1,0 +1,24 @@
+(** Abstract block devices.
+
+    The filesystem is written against this record-of-operations so the
+    same code runs over a RAM disk in unit tests and over
+    blkfront -> blkback -> NVMe in the experiments (the glue lives in the
+    top-level [kite] library, keeping this library free of driver
+    dependencies). *)
+
+type t = {
+  name : string;
+  capacity_sectors : int;
+  read : sector:int -> count:int -> Bytes.t;  (** blocking *)
+  write : sector:int -> Bytes.t -> unit;  (** blocking *)
+  flush : unit -> unit;
+}
+
+val sector_size : int
+(** 512. *)
+
+val ram : name:string -> capacity_sectors:int -> t
+(** In-memory device for tests. *)
+
+val counting : t -> t * (unit -> int * int)
+(** Wrap a device; the closure reports (reads, writes) performed. *)

@@ -1,0 +1,1 @@
+lib/xen/costs.ml: Kite_sim Time

@@ -1,0 +1,1 @@
+lib/xen/costs.mli: Kite_sim

@@ -1,0 +1,1 @@
+lib/xen/domain.mli: Format

@@ -1,0 +1,1 @@
+lib/xen/event_channel.ml: Costs Domain Engine Hashtbl Hypervisor Kite_sim Printf

@@ -1,0 +1,1 @@
+lib/xen/event_channel.mli: Domain Hypervisor

@@ -1,0 +1,1 @@
+lib/xen/grant_table.ml: Bytes Costs Domain Hashtbl Hypervisor List Page Printf

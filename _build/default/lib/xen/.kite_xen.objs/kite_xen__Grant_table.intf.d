@@ -1,0 +1,1 @@
+lib/xen/grant_table.mli: Bytes Domain Hypervisor Page

@@ -1,0 +1,1 @@
+lib/xen/hypervisor.ml: Array Costs Domain Engine Hashtbl Kite_sim List Metrics Printf Process Rng Time Xenstore

@@ -1,0 +1,1 @@
+lib/xen/hypervisor.mli: Costs Domain Kite_sim Xenstore

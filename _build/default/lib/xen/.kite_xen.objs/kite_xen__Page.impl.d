@@ -1,0 +1,1 @@
+lib/xen/page.ml: Bytes Printf

@@ -1,0 +1,1 @@
+lib/xen/ring.ml: Array

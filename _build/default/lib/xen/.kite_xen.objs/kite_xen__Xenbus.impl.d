@@ -1,0 +1,1 @@
+lib/xen/xenbus.ml: Condition Costs Domain Engine Format Hypervisor Kite_sim Option Printf Xenstore

@@ -1,0 +1,1 @@
+lib/xen/xenbus.mli: Domain Format Hypervisor Xenstore

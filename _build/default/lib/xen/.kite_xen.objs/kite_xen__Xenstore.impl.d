@@ -1,0 +1,1 @@
+lib/xen/xenstore.ml: Hashtbl List Printf String

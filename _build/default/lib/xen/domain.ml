@@ -1,0 +1,20 @@
+type kind = Dom0 | Driver_domain | Dom_u
+
+type t = {
+  id : int;
+  name : string;
+  kind : kind;
+  mutable vcpus : int;
+  mutable mem_mb : int;
+}
+
+let pp_kind ppf = function
+  | Dom0 -> Format.pp_print_string ppf "Dom0"
+  | Driver_domain -> Format.pp_print_string ppf "driver-domain"
+  | Dom_u -> Format.pp_print_string ppf "DomU"
+
+let pp ppf t =
+  Format.fprintf ppf "%s (id %d, %a, %d vCPU, %d MB)" t.name t.id pp_kind
+    t.kind t.vcpus t.mem_mb
+
+let is_privileged t = t.kind = Dom0

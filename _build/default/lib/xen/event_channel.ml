@@ -1,0 +1,126 @@
+open Kite_sim
+
+exception Evtchn_error of string
+
+type side = {
+  domid : int;
+  mutable handler : (unit -> unit) option;
+  mutable pending : bool;
+}
+
+type channel = {
+  port : int;
+  a : side;  (* allocator *)
+  mutable b : side option;  (* bound remote *)
+  remote_domid : int;  (* who may bind *)
+  mutable closed : bool;
+}
+
+type port = int
+
+type t = {
+  hv : Hypervisor.t;
+  channels : (int, channel) Hashtbl.t;
+  mutable next_port : int;
+  mutable sent : int;
+  mutable delivered : int;
+}
+
+let create hv =
+  { hv; channels = Hashtbl.create 16; next_port = 1; sent = 0; delivered = 0 }
+
+let alloc_unbound t dom ~remote =
+  let port = t.next_port in
+  t.next_port <- t.next_port + 1;
+  let ch =
+    {
+      port;
+      a = { domid = dom.Domain.id; handler = None; pending = false };
+      b = None;
+      remote_domid = remote.Domain.id;
+      closed = false;
+    }
+  in
+  Hashtbl.add t.channels port ch;
+  port
+
+let get t port =
+  match Hashtbl.find_opt t.channels port with
+  | Some ch when not ch.closed -> ch
+  | Some _ -> raise (Evtchn_error (Printf.sprintf "port %d is closed" port))
+  | None -> raise (Evtchn_error (Printf.sprintf "no such port %d" port))
+
+let bind t port dom =
+  let ch = get t port in
+  if ch.b <> None then
+    raise (Evtchn_error (Printf.sprintf "port %d already bound" port));
+  if dom.Domain.id <> ch.remote_domid then
+    raise
+      (Evtchn_error
+         (Printf.sprintf "port %d is reserved for domain %d" port
+            ch.remote_domid));
+  ch.b <- Some { domid = dom.Domain.id; handler = None; pending = false }
+
+let side_of ch domid =
+  if ch.a.domid = domid then Some ch.a
+  else
+    match ch.b with
+    | Some s when s.domid = domid -> Some s
+    | Some _ | None -> None
+
+let set_handler t port dom f =
+  let ch = get t port in
+  match side_of ch dom.Domain.id with
+  | Some s -> s.handler <- Some f
+  | None ->
+      raise
+        (Evtchn_error
+           (Printf.sprintf "domain %d not an endpoint of port %d"
+              dom.Domain.id port))
+
+let peer_of ch domid =
+  if ch.a.domid = domid then ch.b
+  else
+    match ch.b with
+    | Some s when s.domid = domid -> Some ch.a
+    | Some _ | None -> None
+
+let notify t port ~from =
+  let ch = get t port in
+  (match side_of ch from.Domain.id with
+  | Some _ -> ()
+  | None ->
+      raise
+        (Evtchn_error
+           (Printf.sprintf "domain %d not an endpoint of port %d"
+              from.Domain.id port)));
+  Hypervisor.hypercall t.hv from "evtchn_send"
+    ~extra:(Hypervisor.costs t.hv).Costs.evtchn_send;
+  t.sent <- t.sent + 1;
+  match peer_of ch from.Domain.id with
+  | None -> ()  (* not yet bound: event is lost, as in Xen *)
+  | Some peer ->
+      if not peer.pending then begin
+        peer.pending <- true;
+        let latency = (Hypervisor.costs t.hv).Costs.interrupt_latency in
+        ignore
+          (Engine.schedule_after (Hypervisor.engine t.hv) latency (fun () ->
+               peer.pending <- false;
+               if not ch.closed then begin
+                 t.delivered <- t.delivered + 1;
+                 match peer.handler with Some f -> f () | None -> ()
+               end))
+      end
+
+let close t port =
+  match Hashtbl.find_opt t.channels port with
+  | Some ch -> ch.closed <- true
+  | None -> ()
+
+let is_connected t port =
+  match Hashtbl.find_opt t.channels port with
+  | Some ch -> (not ch.closed) && ch.b <> None
+  | None -> false
+
+let notifications_sent t = t.sent
+let notifications_delivered t = t.delivered

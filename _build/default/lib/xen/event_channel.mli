@@ -1,0 +1,45 @@
+(** Event channels: Xen's inter-domain virtual interrupts.
+
+    A channel connects two domains.  [notify] from one side raises a
+    virtual interrupt on the other side after the interrupt-delivery
+    latency; like real event channels, notifications are {e level
+    triggered} — sends arriving while a delivery is pending are coalesced
+    into it.
+
+    Handlers run in "interrupt context" (directly from the event loop).
+    Following Kite's threaded design, driver handlers should only wake a
+    dedicated thread (see the paper's [pusher] and [soft_start]). *)
+
+type t
+(** The per-machine channel table. *)
+
+type port = int
+
+exception Evtchn_error of string
+
+val create : Hypervisor.t -> t
+
+val alloc_unbound : t -> Domain.t -> remote:Domain.t -> port
+(** Allocate a port for [remote] to bind (what a backend does, publishing
+    the port in xenstore). *)
+
+val bind : t -> port -> Domain.t -> unit
+(** The remote domain completes the connection.  Fails on a port not
+    allocated for it. *)
+
+val set_handler : t -> port -> Domain.t -> (unit -> unit) -> unit
+(** Install the side's interrupt handler. *)
+
+val notify : t -> port -> from:Domain.t -> unit
+(** Send an event to the peer.  Charges the hypercall cost to the sender;
+    must run in process context. *)
+
+val close : t -> port -> unit
+
+val is_connected : t -> port -> bool
+
+val notifications_sent : t -> int
+(** Total notify hypercalls issued (before coalescing). *)
+
+val notifications_delivered : t -> int
+(** Handler invocations actually performed (after coalescing). *)

@@ -1,0 +1,131 @@
+
+exception Grant_error of string
+
+type entry = {
+  granter : int;
+  grantee : int;
+  page : Page.t;
+  writable : bool;
+  mutable mapped : bool;
+}
+
+type ref_ = int
+
+type t = {
+  hv : Hypervisor.t;
+  entries : (int, entry) Hashtbl.t;
+  mutable next_ref : int;
+  mutable maps : int;
+}
+
+let create hv = { hv; entries = Hashtbl.create 64; next_ref = 8; maps = 0 }
+
+let grant_access t ~granter ~grantee ~page ~writable =
+  let r = t.next_ref in
+  t.next_ref <- t.next_ref + 1;
+  Hashtbl.add t.entries r
+    {
+      granter = granter.Domain.id;
+      grantee = grantee.Domain.id;
+      page;
+      writable;
+      mapped = false;
+    };
+  r
+
+let get t r =
+  match Hashtbl.find_opt t.entries r with
+  | Some e -> e
+  | None -> raise (Grant_error (Printf.sprintf "bad grant reference %d" r))
+
+let end_access t ~granter r =
+  let e = get t r in
+  if e.granter <> granter.Domain.id then
+    raise (Grant_error (Printf.sprintf "grant %d not owned by domain %d" r
+                          granter.Domain.id));
+  if e.mapped then
+    raise (Grant_error (Printf.sprintf "grant %d is still mapped" r));
+  Hashtbl.remove t.entries r
+
+let check_grantee e r dom =
+  if e.grantee <> dom.Domain.id then
+    raise
+      (Grant_error
+         (Printf.sprintf "grant %d not for domain %d" r dom.Domain.id))
+
+(* Mapping a page that this domain already has mapped is free: this is the
+   persistent-reference fast path.  Kite's blkback looks the reference up
+   in its own table first; modelling it here keeps the accounting honest
+   even if a driver calls [map] twice. *)
+let map_one t ~grantee r =
+  let e = get t r in
+  check_grantee e r grantee;
+  let fresh = not e.mapped in
+  e.mapped <- true;
+  if fresh then t.maps <- t.maps + 1;
+  (fresh, e.page)
+
+let map t ~grantee r =
+  let fresh, page = map_one t ~grantee r in
+  if fresh then
+    Hypervisor.hypercall t.hv grantee "grant_map"
+      ~extra:(Hypervisor.costs t.hv).Costs.grant_map;
+  page
+
+let map_many t ~grantee refs =
+  let results = List.map (map_one t ~grantee) refs in
+  let fresh = List.length (List.filter fst results) in
+  if fresh > 0 then
+    Hypervisor.hypercall t.hv grantee "grant_map"
+      ~extra:(fresh * (Hypervisor.costs t.hv).Costs.grant_map);
+  List.map snd results
+
+let unmap_one t ~grantee r =
+  let e = get t r in
+  check_grantee e r grantee;
+  if not e.mapped then
+    raise (Grant_error (Printf.sprintf "grant %d is not mapped" r));
+  e.mapped <- false
+
+let unmap t ~grantee r =
+  unmap_one t ~grantee r;
+  Hypervisor.hypercall t.hv grantee "grant_unmap"
+    ~extra:(Hypervisor.costs t.hv).Costs.grant_unmap
+
+let unmap_many t ~grantee refs =
+  List.iter (unmap_one t ~grantee) refs;
+  if refs <> [] then
+    Hypervisor.hypercall t.hv grantee "grant_unmap"
+      ~extra:(List.length refs * (Hypervisor.costs t.hv).Costs.grant_unmap)
+
+let copy_cost t len =
+  let costs = Hypervisor.costs t.hv in
+  costs.Costs.grant_copy_base
+  + (len + 1023) / 1024 * costs.Costs.grant_copy_per_kb
+
+let copy_to_granted t ~caller r ~off data =
+  let e = get t r in
+  if e.grantee <> caller.Domain.id && e.granter <> caller.Domain.id then
+    raise (Grant_error (Printf.sprintf "grant %d not visible to domain %d" r
+                          caller.Domain.id));
+  if not e.writable then
+    raise (Grant_error (Printf.sprintf "grant %d is read-only" r));
+  Hypervisor.hypercall t.hv caller "grant_copy"
+    ~extra:(copy_cost t (Bytes.length data));
+  Page.write e.page ~off data
+
+let copy_from_granted t ~caller r ~off ~len =
+  let e = get t r in
+  if e.grantee <> caller.Domain.id && e.granter <> caller.Domain.id then
+    raise (Grant_error (Printf.sprintf "grant %d not visible to domain %d" r
+                          caller.Domain.id));
+  Hypervisor.hypercall t.hv caller "grant_copy" ~extra:(copy_cost t len);
+  Page.read e.page ~off ~len
+
+let is_mapped t r =
+  match Hashtbl.find_opt t.entries r with
+  | Some e -> e.mapped
+  | None -> false
+
+let active_grants t = Hashtbl.length t.entries
+let map_count t = t.maps

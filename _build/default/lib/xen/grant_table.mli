@@ -1,0 +1,57 @@
+(** Grant tables: Xen's page-sharing mechanism.
+
+    A domain grants a specific foreign domain access to one of its pages
+    and passes the grant reference through the I/O ring or xenstore; the
+    grantee then either {e maps} the page into its own address space or
+    asks the hypervisor to {e copy} into/out of it (grant copy — what
+    modern netfront/netback use, and what Kite implements for its network
+    path).
+
+    Mapping and unmapping are hypercalls and dominate backend overhead,
+    which is why Kite's blkback keeps {e persistent references}: pages stay
+    mapped and a lookup table reuses the mapping on later requests (see
+    {!val:map}'s behaviour when the page is already mapped). *)
+
+type t
+type ref_ = int
+
+exception Grant_error of string
+
+val create : Hypervisor.t -> t
+
+val grant_access :
+  t -> granter:Domain.t -> grantee:Domain.t -> page:Page.t -> writable:bool ->
+  ref_
+(** Make [page] available to [grantee].  Pure table update (no
+    hypercall): grant entries live in pre-shared frames. *)
+
+val end_access : t -> granter:Domain.t -> ref_ -> unit
+(** Revoke a grant.  Raises {!Grant_error} if the grant is still mapped. *)
+
+val map : t -> grantee:Domain.t -> ref_ -> Page.t
+(** Map a granted page; charges one map hypercall.  Raises {!Grant_error}
+    on bad ref, wrong grantee, or revoked grant. *)
+
+val map_many : t -> grantee:Domain.t -> ref_ list -> Page.t list
+(** Batched map: one hypercall trap for the whole list (what blkback does
+    for a request's segments). *)
+
+val unmap : t -> grantee:Domain.t -> ref_ -> unit
+val unmap_many : t -> grantee:Domain.t -> ref_ list -> unit
+
+val copy_to_granted :
+  t -> caller:Domain.t -> ref_ -> off:int -> Bytes.t -> unit
+(** GNTTABOP_copy into the granted page without mapping it. *)
+
+val copy_from_granted :
+  t -> caller:Domain.t -> ref_ -> off:int -> len:int -> Bytes.t
+(** GNTTABOP_copy out of the granted page. *)
+
+val is_mapped : t -> ref_ -> bool
+
+val active_grants : t -> int
+(** Number of grants currently in the table. *)
+
+val map_count : t -> int
+(** Total map hypercall operations performed (for the persistent-grant
+    ablation). *)

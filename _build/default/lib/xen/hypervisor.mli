@@ -1,0 +1,54 @@
+(** The hypervisor: the only trusted component of the stack.
+
+    Owns the simulated machine — engine, scheduler, domains, the xenstore
+    database, and the hypercall cost model.  All hypercall-shaped
+    operations of the other modules go through {!charge} so that every
+    experiment accounts hypercall counts and time uniformly. *)
+
+type t
+
+val create :
+  ?costs:Costs.t -> ?seed:int -> unit -> t
+(** A fresh machine with an empty event queue, a Dom0, and an empty
+    xenstore.  [costs] defaults to {!Costs.default}. *)
+
+val engine : t -> Kite_sim.Engine.t
+val sched : t -> Kite_sim.Process.sched
+val metrics : t -> Kite_sim.Metrics.t
+val costs : t -> Costs.t
+val store : t -> Xenstore.t
+val rng : t -> Kite_sim.Rng.t
+
+val now : t -> Kite_sim.Time.t
+
+val dom0 : t -> Domain.t
+
+val create_domain :
+  t -> name:string -> kind:Domain.kind -> vcpus:int -> mem_mb:int -> Domain.t
+
+val domains : t -> Domain.t list
+(** All domains, Dom0 first, then in creation order. *)
+
+val find_domain : t -> int -> Domain.t option
+
+val spawn : t -> Domain.t -> name:string -> (unit -> unit) -> unit
+(** Start a process belonging to a domain; the process name is prefixed
+    with the domain name for diagnostics. *)
+
+val charge : t -> Domain.t -> string -> Kite_sim.Time.span -> unit
+(** [charge hv dom what span] models [dom] spending [span] on hypercall or
+    device work named [what]: the calling process sleeps for [span] (on
+    one of the domain's vCPUs, contending with its other work), the
+    [what] counter increments globally and under ["dom.<name>.<what>"],
+    and the domain's vCPU busy time grows.  Must run in process
+    context. *)
+
+val hypercall : t -> Domain.t -> string -> extra:Kite_sim.Time.span -> unit
+(** [hypercall hv dom name ~extra] charges [hypercall_base + extra] and
+    counts ["hypercall." ^ name]. *)
+
+val cpu_work : t -> Domain.t -> Kite_sim.Time.span -> unit
+(** Plain computation on the domain's vCPU (no hypercall counter). *)
+
+val run : t -> unit
+val run_for : t -> Kite_sim.Time.span -> unit

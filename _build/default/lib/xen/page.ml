@@ -1,0 +1,33 @@
+let size = 4096
+
+type t = { frame : int; data : Bytes.t }
+
+let next_frame = ref 0
+
+let frame t = t.frame
+
+let alloc () =
+  let f = !next_frame in
+  incr next_frame;
+  { frame = f; data = Bytes.make size '\000' }
+
+let check off len =
+  if off < 0 || len < 0 || off + len > size then
+    invalid_arg (Printf.sprintf "Page: range %d+%d out of bounds" off len)
+
+let read t ~off ~len =
+  check off len;
+  Bytes.sub t.data off len
+
+let write t ~off b =
+  check off (Bytes.length b);
+  Bytes.blit b 0 t.data off (Bytes.length b)
+
+let blit ~src ~src_off ~dst ~dst_off ~len =
+  check src_off len;
+  check dst_off len;
+  Bytes.blit src.data src_off dst.data dst_off len
+
+let fill t c = Bytes.fill t.data 0 size c
+
+let contents t = t.data

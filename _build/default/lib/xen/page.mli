@@ -1,0 +1,29 @@
+(** Machine pages.
+
+    A page is a 4 KiB byte buffer with a machine frame number.  Sharing a
+    page between domains (the effect of mapping a grant) is modelled by
+    sharing the same [Page.t] value. *)
+
+val size : int
+(** 4096. *)
+
+type t
+
+val frame : t -> int
+(** Machine frame number; unique per page. *)
+
+val alloc : unit -> t
+(** A fresh zeroed page. *)
+
+val read : t -> off:int -> len:int -> Bytes.t
+(** Copy out of the page.  Raises [Invalid_argument] if out of bounds. *)
+
+val write : t -> off:int -> Bytes.t -> unit
+(** Copy into the page.  Raises [Invalid_argument] if out of bounds. *)
+
+val blit : src:t -> src_off:int -> dst:t -> dst_off:int -> len:int -> unit
+
+val fill : t -> char -> unit
+
+val contents : t -> Bytes.t
+(** The page's backing buffer (not a copy). *)

@@ -1,0 +1,109 @@
+(* Indices are free-running (mod 2^62 in practice); slot = idx land mask.
+   Separate request and response arrays stand in for the union-typed slot
+   array of the C ABI; occupancy arithmetic is identical. *)
+
+type ('req, 'rsp) t = {
+  size : int;
+  mask : int;
+  reqs : 'req option array;
+  rsps : 'rsp option array;
+  (* Shared indices. *)
+  mutable req_prod : int;
+  mutable rsp_prod : int;
+  (* Private cursors. *)
+  mutable req_prod_pvt : int;  (* frontend *)
+  mutable req_cons : int;  (* backend *)
+  mutable rsp_prod_pvt : int;  (* backend *)
+  mutable rsp_cons : int;  (* frontend *)
+  (* Notification thresholds. *)
+  mutable req_event : int;
+  mutable rsp_event : int;
+}
+
+let create ~order =
+  if order < 0 || order > 20 then invalid_arg "Ring.create: bad order";
+  let size = 1 lsl order in
+  {
+    size;
+    mask = size - 1;
+    reqs = Array.make size None;
+    rsps = Array.make size None;
+    req_prod = 0;
+    rsp_prod = 0;
+    req_prod_pvt = 0;
+    req_cons = 0;
+    rsp_prod_pvt = 0;
+    rsp_cons = 0;
+    req_event = 1;
+    rsp_event = 1;
+  }
+
+let size t = t.size
+
+(* Unconsumed responses pending plus in-flight requests bound the number of
+   slots the frontend may still fill. *)
+let free_requests t = t.size - (t.req_prod_pvt - t.rsp_cons)
+
+let push_request t req =
+  if free_requests t <= 0 then invalid_arg "Ring.push_request: ring full";
+  t.reqs.(t.req_prod_pvt land t.mask) <- Some req;
+  t.req_prod_pvt <- t.req_prod_pvt + 1
+
+let push_requests_and_check_notify t =
+  let old = t.req_prod in
+  t.req_prod <- t.req_prod_pvt;
+  (* notify iff the consumer's event threshold lies in (old, new]. *)
+  t.req_prod - t.req_event < t.req_prod - old
+
+let pending_requests t = t.req_prod - t.req_cons
+
+let take_request t =
+  if t.req_cons = t.req_prod then None
+  else begin
+    let i = t.req_cons land t.mask in
+    let r = t.reqs.(i) in
+    t.reqs.(i) <- None;
+    t.req_cons <- t.req_cons + 1;
+    match r with
+    | Some _ -> r
+    | None -> invalid_arg "Ring.take_request: corrupt slot"
+  end
+
+let push_response t rsp =
+  if t.rsp_prod_pvt - t.rsp_cons >= t.size then
+    invalid_arg "Ring.push_response: ring full";
+  t.rsps.(t.rsp_prod_pvt land t.mask) <- Some rsp;
+  t.rsp_prod_pvt <- t.rsp_prod_pvt + 1
+
+let push_responses_and_check_notify t =
+  let old = t.rsp_prod in
+  t.rsp_prod <- t.rsp_prod_pvt;
+  t.rsp_prod - t.rsp_event < t.rsp_prod - old
+
+let pending_responses t = t.rsp_prod - t.rsp_cons
+
+let take_response t =
+  if t.rsp_cons = t.rsp_prod then None
+  else begin
+    let i = t.rsp_cons land t.mask in
+    let r = t.rsps.(i) in
+    t.rsps.(i) <- None;
+    t.rsp_cons <- t.rsp_cons + 1;
+    match r with
+    | Some _ -> r
+    | None -> invalid_arg "Ring.take_response: corrupt slot"
+  end
+
+let final_check_for_requests t =
+  if pending_requests t > 0 then true
+  else begin
+    t.req_event <- t.req_cons + 1;
+    pending_requests t > 0
+  end
+
+let final_check_for_responses t =
+  if pending_responses t > 0 then true
+  else begin
+    t.rsp_event <- t.rsp_cons + 1;
+    pending_responses t > 0
+  end

@@ -1,0 +1,55 @@
+(** Xen-ABI shared I/O rings.
+
+    The classic split-driver ring from [xen/include/public/io/ring.h]: a
+    power-of-two array of slots shared between a frontend (which produces
+    requests and consumes responses) and a backend (which consumes
+    requests and produces responses), plus the [req_event]/[rsp_event]
+    notification-suppression protocol — producers only notify when the
+    consumer asked to be woken, which is what keeps event-channel traffic
+    low under load.
+
+    ['req] and ['rsp] are the request/response payload types (network and
+    block define their own). *)
+
+type ('req, 'rsp) t
+
+val create : order:int -> ('req, 'rsp) t
+(** A ring with [2^order] slots.  The paper's block ring holds 32 slots,
+    network rings 256. *)
+
+val size : ('req, 'rsp) t -> int
+
+(** {1 Frontend side} *)
+
+val free_requests : ('req, 'rsp) t -> int
+(** Slots available for new requests. *)
+
+val push_request : ('req, 'rsp) t -> 'req -> unit
+(** Place a request in the private producer index.  Raises
+    [Invalid_argument] when the ring is full. *)
+
+val push_requests_and_check_notify : ('req, 'rsp) t -> bool
+(** Publish pending private requests; true when the backend asked to be
+    notified (RING_PUSH_REQUESTS_AND_CHECK_NOTIFY). *)
+
+val pending_responses : ('req, 'rsp) t -> int
+
+val take_response : ('req, 'rsp) t -> 'rsp option
+(** Consume one response, if any. *)
+
+val final_check_for_responses : ('req, 'rsp) t -> bool
+(** Re-arm response notifications; true if responses raced in while
+    re-arming (the frontend should drain again instead of sleeping). *)
+
+(** {1 Backend side} *)
+
+val pending_requests : ('req, 'rsp) t -> int
+
+val take_request : ('req, 'rsp) t -> 'req option
+
+val push_response : ('req, 'rsp) t -> 'rsp -> unit
+
+val push_responses_and_check_notify : ('req, 'rsp) t -> bool
+
+val final_check_for_requests : ('req, 'rsp) t -> bool
+(** Re-arm request notifications; true if requests raced in. *)

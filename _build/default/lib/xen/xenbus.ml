@@ -1,0 +1,123 @@
+open Kite_sim
+
+type state =
+  | Initialising
+  | Init_wait
+  | Initialised
+  | Connected
+  | Closing
+  | Closed
+
+let state_to_string = function
+  | Initialising -> "1"
+  | Init_wait -> "2"
+  | Initialised -> "3"
+  | Connected -> "4"
+  | Closing -> "5"
+  | Closed -> "6"
+
+let state_of_string = function
+  | "1" -> Some Initialising
+  | "2" -> Some Init_wait
+  | "3" -> Some Initialised
+  | "4" -> Some Connected
+  | "5" -> Some Closing
+  | "6" -> Some Closed
+  | _ -> None
+
+let pp_state ppf s =
+  Format.pp_print_string ppf
+    (match s with
+    | Initialising -> "Initialising"
+    | Init_wait -> "InitWait"
+    | Initialised -> "Initialised"
+    | Connected -> "Connected"
+    | Closing -> "Closing"
+    | Closed -> "Closed")
+
+type t = { hv : Hypervisor.t }
+
+let create hv = { hv }
+let hv t = t.hv
+
+let charge t dom =
+  Hypervisor.hypercall t.hv dom "xenstore_op"
+    ~extra:(Hypervisor.costs t.hv).Costs.xenstore_op
+
+let write t dom ~path value =
+  charge t dom;
+  Xenstore.write (Hypervisor.store t.hv) ~domid:dom.Domain.id ~path value
+
+let read t dom ~path =
+  charge t dom;
+  Xenstore.read (Hypervisor.store t.hv) ~path
+
+let read_int t dom ~path =
+  match read t dom ~path with
+  | Some s -> int_of_string_opt s
+  | None -> None
+
+let mkdir t dom ~path =
+  charge t dom;
+  Xenstore.mkdir (Hypervisor.store t.hv) ~domid:dom.Domain.id ~path
+
+let rm t dom ~path =
+  charge t dom;
+  Xenstore.rm (Hypervisor.store t.hv) ~domid:dom.Domain.id ~path
+
+let directory t dom ~path =
+  charge t dom;
+  Xenstore.directory (Hypervisor.store t.hv) ~path
+
+let watch t dom ~path ~token callback =
+  charge t dom;
+  let engine = Hypervisor.engine t.hv in
+  let latency = (Hypervisor.costs t.hv).Costs.xenstore_op in
+  Xenstore.watch (Hypervisor.store t.hv) ~path ~token
+    (fun ~path ~token ->
+      ignore
+        (Engine.schedule_after engine latency (fun () ->
+             callback ~path ~token)))
+
+let unwatch t id = Xenstore.unwatch (Hypervisor.store t.hv) id
+
+let switch_state t dom ~path st =
+  write t dom ~path:(path ^ "/state") (state_to_string st)
+
+let read_state t dom ~path =
+  match read t dom ~path:(path ^ "/state") with
+  | Some s -> Option.value (state_of_string s) ~default:Closed
+  | None -> Closed
+
+let wait_for_state t dom ~path target =
+  let cond = Condition.create () in
+  let store = Hypervisor.store t.hv in
+  let state_path = path ^ "/state" in
+  let current () =
+    match Xenstore.read store ~path:state_path with
+    | Some s -> state_of_string s
+    | None -> None
+  in
+  if current () = Some target then ()
+  else begin
+    let wid =
+      watch t dom ~path:state_path ~token:"wait_for_state"
+        (fun ~path:_ ~token:_ ->
+          if current () = Some target then Condition.broadcast cond)
+    in
+    let rec loop () =
+      if current () <> Some target then begin
+        Condition.wait cond;
+        loop ()
+      end
+    in
+    loop ();
+    unwatch t wid
+  end
+
+let backend_path ~backend ~frontend ~ty ~devid =
+  Printf.sprintf "/local/domain/%d/backend/%s/%d/%d" backend.Domain.id ty
+    frontend.Domain.id devid
+
+let frontend_path ~frontend ~ty ~devid =
+  Printf.sprintf "/local/domain/%d/device/%s/%d" frontend.Domain.id ty devid

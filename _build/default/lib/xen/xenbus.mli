@@ -1,0 +1,72 @@
+(** Xenbus: the driver-facing interface to xenstore.
+
+    Real drivers never touch xenstored's database directly — they go
+    through xenbus, which adds the access cost (a ring round trip to
+    xenstored in Dom0), asynchronous watch delivery, the device state
+    machine used by the frontend/backend handshake, and the standard
+    device path layout.  This is the layer Kite had to implement for
+    rumprun HVM. *)
+
+(** Device connection states, with the xenstore encoding of
+    [enum xenbus_state]. *)
+type state =
+  | Initialising  (** 1 *)
+  | Init_wait  (** 2 *)
+  | Initialised  (** 3 *)
+  | Connected  (** 4 *)
+  | Closing  (** 5 *)
+  | Closed  (** 6 *)
+
+val state_to_string : state -> string
+(** The numeric wire encoding, e.g. [Connected] -> "4". *)
+
+val state_of_string : string -> state option
+
+val pp_state : Format.formatter -> state -> unit
+
+type t
+
+val create : Hypervisor.t -> t
+
+val hv : t -> Hypervisor.t
+
+(** {1 Charged xenstore access}
+
+    Each call costs one xenstore round trip to the calling domain. *)
+
+val write : t -> Domain.t -> path:string -> string -> unit
+val read : t -> Domain.t -> path:string -> string option
+val read_int : t -> Domain.t -> path:string -> int option
+val mkdir : t -> Domain.t -> path:string -> unit
+val rm : t -> Domain.t -> path:string -> unit
+val directory : t -> Domain.t -> path:string -> string list
+
+val watch :
+  t -> Domain.t -> path:string -> token:string ->
+  (path:string -> token:string -> unit) -> Xenstore.watch_id
+(** Watch events are delivered asynchronously, one xenstore latency after
+    the triggering write, mirroring xenstored's notification path. *)
+
+val unwatch : t -> Xenstore.watch_id -> unit
+
+(** {1 Device state machine} *)
+
+val switch_state : t -> Domain.t -> path:string -> state -> unit
+(** Write [<path>/state]. *)
+
+val read_state : t -> Domain.t -> path:string -> state
+(** Defaults to [Closed] when absent or unparsable. *)
+
+val wait_for_state :
+  t -> Domain.t -> path:string -> state -> unit
+(** Block the calling process until [<path>/state] reads the given state.
+    Returns immediately if already there. *)
+
+(** {1 Standard device paths} *)
+
+val backend_path :
+  backend:Domain.t -> frontend:Domain.t -> ty:string -> devid:int -> string
+(** ["/local/domain/<b>/backend/<ty>/<f>/<devid>"]. *)
+
+val frontend_path : frontend:Domain.t -> ty:string -> devid:int -> string
+(** ["/local/domain/<f>/device/<ty>/<devid>"]. *)

@@ -1,0 +1,197 @@
+exception Permission_denied of string
+
+type node = {
+  mutable value : string;
+  mutable owner : int;
+  children : (string, node) Hashtbl.t;
+}
+
+type watch = {
+  id : int;
+  wpath : string list;
+  token : string;
+  callback : path:string -> token:string -> unit;
+}
+
+type watch_id = int
+
+type t = {
+  root : node;
+  mutable watches : watch list;
+  mutable next_watch : int;
+  mutable gen : int;
+}
+
+let make_node owner = { value = ""; owner; children = Hashtbl.create 4 }
+
+let create () =
+  { root = make_node 0; watches = []; next_watch = 0; gen = 0 }
+
+let split_path p =
+  if p = "" then invalid_arg "Xenstore.split_path: empty path";
+  String.split_on_char '/' p |> List.filter (fun s -> s <> "")
+
+let join_path segs = "/" ^ String.concat "/" segs
+
+let rec find node = function
+  | [] -> Some node
+  | seg :: rest -> (
+      match Hashtbl.find_opt node.children seg with
+      | Some child -> find child rest
+      | None -> None)
+
+let find_path t path = find t.root (split_path path)
+
+(* Permission model: domain 0 is all-powerful; any other domain may only
+   mutate at or below a node it owns. *)
+let rec may_write node domid = function
+  | [] -> domid = 0 || node.owner = domid
+  | seg :: rest -> (
+      domid = 0 || node.owner = domid
+      ||
+      match Hashtbl.find_opt node.children seg with
+      | Some child -> may_write child domid rest
+      | None -> false)
+
+let is_prefix prefix path =
+  let rec go = function
+    | [], _ -> true
+    | _, [] -> false
+    | a :: pa, b :: pb -> a = b && go (pa, pb)
+  in
+  go (prefix, path)
+
+let fire_watches t segs =
+  let path = join_path segs in
+  List.iter
+    (fun w ->
+      if is_prefix w.wpath segs then w.callback ~path ~token:w.token)
+    (* Snapshot so callbacks adding/removing watches are safe. *)
+    (List.rev t.watches)
+
+(* Walk to [segs], creating intermediate nodes owned by the nearest
+   existing ancestor's owner. *)
+let rec ensure node = function
+  | [] -> node
+  | seg :: rest ->
+      let child =
+        match Hashtbl.find_opt node.children seg with
+        | Some c -> c
+        | None ->
+            let c = make_node node.owner in
+            Hashtbl.add node.children seg c;
+            c
+      in
+      ensure child rest
+
+let check_write t domid segs =
+  if not (may_write t.root domid segs) then
+    raise
+      (Permission_denied
+         (Printf.sprintf "domain %d cannot write %s" domid (join_path segs)))
+
+let write_segs t ~domid segs value =
+  check_write t domid segs;
+  let node = ensure t.root segs in
+  node.value <- value;
+  t.gen <- t.gen + 1;
+  fire_watches t segs
+
+let write t ~domid ~path value = write_segs t ~domid (split_path path) value
+
+let read t ~path =
+  match find_path t path with Some n -> Some n.value | None -> None
+
+let mkdir t ~domid ~path =
+  let segs = split_path path in
+  check_write t domid segs;
+  ignore (ensure t.root segs);
+  t.gen <- t.gen + 1;
+  fire_watches t segs
+
+let rm t ~domid ~path =
+  let segs = split_path path in
+  match segs with
+  | [] -> invalid_arg "Xenstore.rm: cannot remove root"
+  | _ ->
+      if find t.root segs <> None then begin
+        check_write t domid segs;
+        let parent_segs = List.filteri (fun i _ -> i < List.length segs - 1) segs in
+        let leaf = List.nth segs (List.length segs - 1) in
+        (match find t.root parent_segs with
+        | Some parent -> Hashtbl.remove parent.children leaf
+        | None -> ());
+        t.gen <- t.gen + 1;
+        fire_watches t segs
+      end
+
+let exists t ~path = find_path t path <> None
+
+let directory t ~path =
+  match find_path t path with
+  | None -> []
+  | Some n ->
+      Hashtbl.fold (fun k _ acc -> k :: acc) n.children []
+      |> List.sort String.compare
+
+let set_owner t ~path ~domid =
+  match find_path t path with
+  | Some n ->
+      let rec set n =
+        n.owner <- domid;
+        Hashtbl.iter (fun _ c -> set c) n.children
+      in
+      set n
+  | None -> ()
+
+let generation t = t.gen
+
+let watch t ~path ~token callback =
+  let id = t.next_watch in
+  t.next_watch <- t.next_watch + 1;
+  let w = { id; wpath = split_path path; token; callback } in
+  t.watches <- w :: t.watches;
+  (* Xen fires a watch once immediately upon registration. *)
+  callback ~path ~token;
+  id
+
+let unwatch t id = t.watches <- List.filter (fun w -> w.id <> id) t.watches
+
+(* ------------------------------------------------------------------ *)
+(* Transactions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type tx = {
+  store : t;
+  start_gen : int;
+  mutable ops : (int * string list * string) list;  (* domid, path, value; reversed *)
+  mutable aborted : bool;
+}
+
+let tx_start t = { store = t; start_gen = t.gen; ops = []; aborted = false }
+
+let tx_write tx ~domid ~path value =
+  if tx.aborted then invalid_arg "Xenstore.tx_write: aborted transaction";
+  tx.ops <- (domid, split_path path, value) :: tx.ops
+
+let tx_read tx ~path =
+  let segs = split_path path in
+  (* Own buffered writes win over the store. *)
+  let rec search = function
+    | [] -> read tx.store ~path
+    | (_, s, v) :: rest -> if s = segs then Some v else search rest
+  in
+  search tx.ops
+
+let tx_commit tx =
+  if tx.aborted then invalid_arg "Xenstore.tx_commit: aborted transaction";
+  if tx.store.gen <> tx.start_gen && tx.ops <> [] then `Conflict
+  else begin
+    List.iter
+      (fun (domid, segs, v) -> write_segs tx.store ~domid segs v)
+      (List.rev tx.ops);
+    tx.aborted <- true;
+    `Committed
+  end
+
+let tx_abort tx = tx.aborted <- true

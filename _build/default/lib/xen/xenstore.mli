@@ -1,0 +1,84 @@
+(** The xenstore database.
+
+    A hierarchical key/value store shared between domains, maintained by
+    the xenstored daemon in Dom0.  Backends and frontends advertise their
+    capabilities and exchange connection parameters through it, and set
+    {e watches} to learn about the other end's activity — exactly the
+    mechanism Kite had to add to rumprun's HVM mode.
+
+    This module is the pure database: paths, nodes, permissions, watches
+    and transactions.  Access costs and asynchronous watch delivery are
+    added by {!Xenbus}, which is what driver code uses. *)
+
+type t
+
+exception Permission_denied of string
+(** Raised when a domain writes outside the subtrees it owns. *)
+
+val create : unit -> t
+
+(** {1 Basic operations}
+
+    Paths are ['/']-separated, e.g. ["/local/domain/3/device/vif/0/state"].
+    [domid] identifies the calling domain; domain 0 may write anywhere,
+    other domains only below nodes they own. *)
+
+val write : t -> domid:int -> path:string -> string -> unit
+(** Create or update a value; intermediate nodes are created and owned by
+    the owner of the nearest existing ancestor. *)
+
+val read : t -> path:string -> string option
+
+val mkdir : t -> domid:int -> path:string -> unit
+
+val rm : t -> domid:int -> path:string -> unit
+(** Remove a subtree.  Removing a missing path is a no-op. *)
+
+val exists : t -> path:string -> bool
+
+val directory : t -> path:string -> string list
+(** Child names, sorted; [] for a missing path. *)
+
+val set_owner : t -> path:string -> domid:int -> unit
+(** Give a domain ownership of a subtree (what [xl] does when it creates
+    [/local/domain/<id>]).  Only meaningful on existing paths. *)
+
+val generation : t -> int
+(** Bumped on every successful mutation. *)
+
+(** {1 Watches}
+
+    A watch fires (synchronously, from the mutating call) whenever a node
+    at or below the watched path is created, modified or removed.  Per Xen
+    semantics it also fires once immediately upon registration. *)
+
+type watch_id
+
+val watch :
+  t -> path:string -> token:string -> (path:string -> token:string -> unit) ->
+  watch_id
+
+val unwatch : t -> watch_id -> unit
+
+(** {1 Transactions}
+
+    Coarse-grained optimistic concurrency, like xenstored's: a transaction
+    buffers writes and commits them atomically; if the store changed since
+    the transaction started, the commit fails with [`Conflict] and the
+    caller retries. *)
+
+type tx
+
+val tx_start : t -> tx
+val tx_write : tx -> domid:int -> path:string -> string -> unit
+val tx_read : tx -> path:string -> string option
+(** Reads see the transaction's own buffered writes. *)
+
+val tx_commit : tx -> [ `Committed | `Conflict ]
+val tx_abort : tx -> unit
+
+(** {1 Paths} *)
+
+val split_path : string -> string list
+(** ["/a/b//c"] -> [["a"; "b"; "c"]].  Raises [Invalid_argument] on the
+    empty path. *)

@@ -1,0 +1,1 @@
+test/test_devices.ml: Alcotest Bytes Engine Kite_devices Kite_sim Kite_xen List Metrics Nic Nvme Pci Printf Process Time

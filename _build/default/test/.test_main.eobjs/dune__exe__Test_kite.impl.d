@@ -1,0 +1,1 @@
+test/test_kite.ml: Alcotest Bytes Experiments Kite Kite_devices Kite_drivers Kite_net Kite_sim Kite_stats Kite_vfs Kite_xen List Option Printf Scenario String Time

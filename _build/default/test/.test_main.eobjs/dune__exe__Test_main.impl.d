@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_apps Test_bench_tools Test_devices Test_drivers Test_kite Test_net Test_profiles Test_security Test_sim Test_stats Test_vfs Test_xen

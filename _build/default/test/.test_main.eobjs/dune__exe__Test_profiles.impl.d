@@ -1,0 +1,1 @@
+test/test_profiles.ml: Alcotest Boot Engine Image Kite_profiles Kite_sim List Os_profile Printf Process QCheck QCheck_alcotest String Syscalls Time

@@ -1,0 +1,1 @@
+test/test_security.ml: Alcotest Bytes Cve_db Decoder Gadget Gen Image_gen Kite_profiles Kite_security List Os_profile Printf QCheck QCheck_alcotest

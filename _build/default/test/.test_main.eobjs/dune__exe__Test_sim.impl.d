@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Condition Engine Gen Heap Kite_sim List Mailbox Metrics Option Process QCheck QCheck_alcotest Rng Time

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Gen Histogram Kite_stats List QCheck QCheck_alcotest Series String Summary Table

@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Blockdev Bytes Char Fs Kite_vfs List Printf QCheck QCheck_alcotest String

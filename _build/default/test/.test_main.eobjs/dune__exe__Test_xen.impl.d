@@ -1,0 +1,1 @@
+test/test_xen.ml: Alcotest Bytes Costs Domain Event_channel Grant_table Hashtbl Hypervisor Kite_sim Kite_xen List Metrics Page Printf QCheck QCheck_alcotest Ring String Time Xenbus Xenstore

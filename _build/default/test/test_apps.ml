@@ -1,0 +1,502 @@
+open Kite_sim
+open Kite_net
+open Kite_apps
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* Two directly connected hosts: a server and a client. *)
+let setup () =
+  let e = Engine.create () in
+  let s = Process.scheduler e in
+  let da, db = Netdev.pipe ~name_a:"srv" ~name_b:"cli" in
+  let server =
+    Stack.create s ~name:"server" ~dev:da ~mac:(Macaddr.make_local 1)
+      ~ip:(Ipv4addr.of_string "10.1.0.1")
+      ~netmask:(Ipv4addr.of_string "255.255.255.0")
+      ()
+  in
+  let client =
+    Stack.create s ~name:"client" ~dev:db ~mac:(Macaddr.make_local 2)
+      ~ip:(Ipv4addr.of_string "10.1.0.2")
+      ~netmask:(Ipv4addr.of_string "255.255.255.0")
+      ()
+  in
+  (e, s, server, client)
+
+let server_ip = Ipv4addr.of_string "10.1.0.1"
+
+(* ------------------------------------------------------------------ *)
+(* HTTP                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let http_get conn path ~keepalive =
+  Tcp.send conn
+    (Bytes.of_string
+       (Printf.sprintf "GET %s HTTP/1.1\r\nHost: x\r\n%s\r\n" path
+          (if keepalive then "" else "Connection: close\r\n")));
+  (* Read the response head. *)
+  let buf = Buffer.create 256 in
+  let rec head () =
+    let s = Buffer.contents buf in
+    match
+      let rec find i =
+        if i + 4 > String.length s then None
+        else if String.sub s i 4 = "\r\n\r\n" then Some (i + 4)
+        else find (i + 1)
+      in
+      find 0
+    with
+    | Some body_start -> Some (s, body_start)
+    | None -> (
+        match Tcp.recv conn ~max:4096 with
+        | Some b ->
+            Buffer.add_bytes buf b;
+            head ()
+        | None -> None)
+  in
+  match head () with
+  | None -> None
+  | Some (s, body_start) ->
+      let clen =
+        List.fold_left
+          (fun acc line ->
+            match String.index_opt line ':' with
+            | Some i
+              when String.lowercase_ascii (String.sub line 0 i)
+                   = "content-length" ->
+                int_of_string
+                  (String.trim
+                     (String.sub line (i + 1) (String.length line - i - 1)))
+            | _ -> acc)
+          0
+          (String.split_on_char '\n' s)
+      in
+      let already = String.length s - body_start in
+      let rec drain n = if n <= 0 then () else (
+        match Tcp.recv conn ~max:n with
+        | Some b -> drain (n - Bytes.length b)
+        | None -> ())
+      in
+      drain (clen - already);
+      let status = List.nth (String.split_on_char ' ' s) 1 in
+      Some (status, clen)
+
+let test_httpd_basic () =
+  let e, s, server, client = setup () in
+  let tcp_s = Tcp.attach server and tcp_c = Tcp.attach client in
+  let httpd = Httpd.start tcp_s ~sched:s () in
+  let result = ref None in
+  Process.spawn s ~name:"client" (fun () ->
+      let conn = Tcp.connect tcp_c ~dst:server_ip ~port:80 in
+      result := http_get conn (Httpd.path_for 2048) ~keepalive:false);
+  Engine.run_until e (Time.sec 5);
+  check_bool "200 with right length" true (!result = Some ("200", 2048));
+  check_int "served" 1 (Httpd.requests_served httpd);
+  check_int "bytes" 2048 (Httpd.bytes_served httpd)
+
+let test_httpd_keepalive_pipeline () =
+  let e, s, server, client = setup () in
+  let tcp_s = Tcp.attach server and tcp_c = Tcp.attach client in
+  let httpd = Httpd.start tcp_s ~sched:s () in
+  let statuses = ref [] in
+  Process.spawn s ~name:"client" (fun () ->
+      let conn = Tcp.connect tcp_c ~dst:server_ip ~port:80 in
+      for _ = 1 to 5 do
+        match http_get conn (Httpd.path_for 512) ~keepalive:true with
+        | Some (st, _) -> statuses := st :: !statuses
+        | None -> ()
+      done;
+      Tcp.close conn);
+  Engine.run_until e (Time.sec 5);
+  check_int "five responses" 5 (List.length !statuses);
+  check_int "one connection served all" 5 (Httpd.requests_served httpd)
+
+let test_httpd_404 () =
+  let e, s, server, client = setup () in
+  let tcp_s = Tcp.attach server and tcp_c = Tcp.attach client in
+  ignore (Httpd.start tcp_s ~sched:s ());
+  let result = ref None in
+  Process.spawn s ~name:"client" (fun () ->
+      let conn = Tcp.connect tcp_c ~dst:server_ip ~port:80 in
+      result := http_get conn "/no/such/path" ~keepalive:false);
+  Engine.run_until e (Time.sec 5);
+  match !result with
+  | Some (st, _) -> check_str "status" "404" st
+  | None -> Alcotest.fail "no response"
+
+(* ------------------------------------------------------------------ *)
+(* Kvstore                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let recv_line conn =
+  let buf = Buffer.create 64 in
+  let rec go () =
+    match Tcp.recv conn ~max:1 with
+    | Some b when Bytes.get b 0 = '\n' -> Some (Buffer.contents buf)
+    | Some b ->
+        Buffer.add_bytes buf b;
+        go ()
+    | None -> None
+  in
+  go ()
+
+let test_kvstore_set_get () =
+  let e, s, server, client = setup () in
+  let tcp_s = Tcp.attach server and tcp_c = Tcp.attach client in
+  let kv = Kvstore.start tcp_s ~sched:s () in
+  let got = ref None in
+  Process.spawn s ~name:"client" (fun () ->
+      let conn = Tcp.connect tcp_c ~dst:server_ip ~port:6379 in
+      Tcp.send conn (Bytes.of_string "SET mykey 5\nhello");
+      (match recv_line conn with
+      | Some "+OK" -> ()
+      | other -> Alcotest.failf "bad SET reply %s" (Option.value other ~default:"<eof>"));
+      Tcp.send conn (Bytes.of_string "GET mykey\n");
+      (match recv_line conn with
+      | Some hdr when String.length hdr > 1 && hdr.[0] = '$' ->
+          let n = int_of_string (String.sub hdr 1 (String.length hdr - 1)) in
+          got := Tcp.recv_exact conn ~len:n |> Option.map Bytes.to_string
+      | other -> Alcotest.failf "bad GET reply %s" (Option.value other ~default:"<eof>"));
+      Tcp.close conn);
+  Engine.run_until e (Time.sec 5);
+  check_bool "value roundtrip" true (!got = Some "hello");
+  check_int "sets" 1 (Kvstore.sets kv);
+  check_int "gets" 1 (Kvstore.gets kv)
+
+let test_kvstore_get_missing () =
+  let e, s, server, client = setup () in
+  let tcp_s = Tcp.attach server and tcp_c = Tcp.attach client in
+  ignore (Kvstore.start tcp_s ~sched:s ());
+  let reply = ref None in
+  Process.spawn s ~name:"client" (fun () ->
+      let conn = Tcp.connect tcp_c ~dst:server_ip ~port:6379 in
+      Tcp.send conn (Bytes.of_string "GET nope\n");
+      reply := recv_line conn;
+      Tcp.close conn);
+  Engine.run_until e (Time.sec 5);
+  check_bool "nil" true (!reply = Some "$-1")
+
+let test_kvstore_pipeline () =
+  (* Many commands in one burst, replies arrive in order. *)
+  let e, s, server, client = setup () in
+  let tcp_s = Tcp.attach server and tcp_c = Tcp.attach client in
+  let kv = Kvstore.start tcp_s ~sched:s () in
+  let oks = ref 0 in
+  Process.spawn s ~name:"client" (fun () ->
+      let conn = Tcp.connect tcp_c ~dst:server_ip ~port:6379 in
+      let b = Buffer.create 1024 in
+      for i = 1 to 50 do
+        Buffer.add_string b (Printf.sprintf "SET k%d 3\nv%02d" i i)
+      done;
+      Tcp.send conn (Buffer.to_bytes b);
+      for _ = 1 to 50 do
+        match recv_line conn with
+        | Some "+OK" -> incr oks
+        | _ -> ()
+      done;
+      Tcp.close conn);
+  Engine.run_until e (Time.sec 10);
+  check_int "all pipelined acks" 50 !oks;
+  check_int "all stored" 50 (Kvstore.keys kv)
+
+(* ------------------------------------------------------------------ *)
+(* Memcache                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_memcache_protocol () =
+  let e, s, server, client = setup () in
+  let tcp_s = Tcp.attach server and tcp_c = Tcp.attach client in
+  let mc = Memcache.start tcp_s ~sched:s () in
+  let stored = ref false and value = ref None and miss = ref false in
+  Process.spawn s ~name:"client" (fun () ->
+      let conn = Tcp.connect tcp_c ~dst:server_ip ~port:11211 in
+      Tcp.send conn (Bytes.of_string "set foo 7 0 3\r\nbar\r\n");
+      (match recv_line conn with
+      | Some "STORED\r" -> stored := true
+      | _ -> ());
+      Tcp.send conn (Bytes.of_string "get foo\r\n");
+      (match recv_line conn with
+      | Some hdr when String.length hdr >= 5 && String.sub hdr 0 5 = "VALUE" ->
+          (match Tcp.recv_exact conn ~len:5 (* data + crlf *) with
+          | Some raw -> value := Some (Bytes.sub_string raw 0 3)
+          | None -> ());
+          ignore (recv_line conn)  (* END *)
+      | _ -> ());
+      Tcp.send conn (Bytes.of_string "get missing\r\n");
+      (match recv_line conn with
+      | Some "END\r" -> miss := true
+      | _ -> ());
+      Tcp.close conn);
+  Engine.run_until e (Time.sec 5);
+  check_bool "stored" true !stored;
+  check_bool "value" true (!value = Some "bar");
+  check_bool "miss returns END" true !miss;
+  check_int "hits" 1 (Memcache.hits mc);
+  check_int "gets" 2 (Memcache.gets mc)
+
+(* ------------------------------------------------------------------ *)
+(* Sqldb                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_sqldb_memory_queries () =
+  let e, s, server, client = setup () in
+  let tcp_s = Tcp.attach server and tcp_c = Tcp.attach client in
+  let db =
+    Sqldb.start tcp_s ~backend:Sqldb.Memory ~tables:4 ~rows_per_table:1000
+      ~sched:s ()
+  in
+  let row_len = ref 0 and range_ok = ref false and val_ok = ref false in
+  Process.spawn s ~name:"client" (fun () ->
+      let conn = Tcp.connect tcp_c ~dst:server_ip ~port:3306 in
+      Tcp.send conn (Bytes.of_string "PSELECT 1 42\n");
+      (match recv_line conn with
+      | Some hdr -> (
+          match String.split_on_char ' ' hdr with
+          | [ "ROW"; n ] ->
+              row_len := int_of_string n;
+              ignore (Tcp.recv_exact conn ~len:!row_len)
+          | _ -> ())
+      | None -> ());
+      Tcp.send conn (Bytes.of_string "RANGE 1 10 8\n");
+      (match recv_line conn with
+      | Some hdr -> (
+          match String.split_on_char ' ' hdr with
+          | [ "ROWS"; "8"; total ] ->
+              range_ok := true;
+              ignore (Tcp.recv_exact conn ~len:(int_of_string total))
+          | _ -> ())
+      | None -> ());
+      Tcp.send conn (Bytes.of_string "SUM 0 0 100\n");
+      (match recv_line conn with
+      | Some hdr ->
+          val_ok := String.length hdr > 4 && String.sub hdr 0 4 = "VAL "
+      | None -> ());
+      Tcp.close conn);
+  Engine.run_until e (Time.sec 5);
+  check_int "row size" Sqldb.row_size !row_len;
+  check_bool "range" true !range_ok;
+  check_bool "sum" true !val_ok;
+  check_int "queries" 3 (Sqldb.queries db);
+  check_int "no disk" 0 (Sqldb.disk_reads db)
+
+let test_sqldb_disk_backend () =
+  let e, s, server, client = setup () in
+  let tcp_s = Tcp.attach server and tcp_c = Tcp.attach client in
+  let dev = Kite_vfs.Blockdev.ram ~name:"db" ~capacity_sectors:(1 lsl 20) in
+  let db =
+    Sqldb.start tcp_s
+      ~backend:
+        (Sqldb.Raw
+           {
+             read = dev.Kite_vfs.Blockdev.read;
+             write = dev.Kite_vfs.Blockdev.write;
+             buffer_pool_rows = 8;
+           })
+      ~tables:2 ~rows_per_table:1000 ~sched:s ()
+  in
+  Process.spawn s ~name:"client" (fun () ->
+      let conn = Tcp.connect tcp_c ~dst:server_ip ~port:3306 in
+      (* Touch many distinct rows: the tiny pool forces disk reads. *)
+      for i = 0 to 49 do
+        Tcp.send conn (Bytes.of_string (Printf.sprintf "PSELECT 0 %d\n" (i * 10)));
+        match recv_line conn with
+        | Some hdr -> (
+            match String.split_on_char ' ' hdr with
+            | [ "ROW"; n ] -> ignore (Tcp.recv_exact conn ~len:(int_of_string n))
+            | _ -> ())
+        | None -> ()
+      done;
+      (* Re-read the last row: should hit the pool. *)
+      Tcp.send conn (Bytes.of_string "PSELECT 0 490\n");
+      (match recv_line conn with
+      | Some hdr -> (
+          match String.split_on_char ' ' hdr with
+          | [ "ROW"; n ] -> ignore (Tcp.recv_exact conn ~len:(int_of_string n))
+          | _ -> ())
+      | None -> ());
+      Tcp.close conn);
+  Engine.run_until e (Time.sec 10);
+  check_bool "disk reads happened" true (Sqldb.disk_reads db >= 50);
+  check_bool "pool hit on re-read" true (Sqldb.buffer_pool_hits db >= 1)
+
+let test_sqldb_update_persists () =
+  let e, s, server, client = setup () in
+  let tcp_s = Tcp.attach server and tcp_c = Tcp.attach client in
+  ignore
+    (Sqldb.start tcp_s ~backend:Sqldb.Memory ~tables:1 ~rows_per_table:100
+       ~sched:s ());
+  let byte0 = ref ' ' in
+  Process.spawn s ~name:"client" (fun () ->
+      let conn = Tcp.connect tcp_c ~dst:server_ip ~port:3306 in
+      Tcp.send conn (Bytes.of_string "UPDATE 0 5 4\nZZZZ");
+      (match recv_line conn with Some "+OK" -> () | _ -> Alcotest.fail "update");
+      Tcp.send conn (Bytes.of_string "PSELECT 0 5\n");
+      (match recv_line conn with
+      | Some hdr -> (
+          match String.split_on_char ' ' hdr with
+          | [ "ROW"; n ] -> (
+              match Tcp.recv_exact conn ~len:(int_of_string n) with
+              | Some row -> byte0 := Bytes.get row 0
+              | None -> ())
+          | _ -> ())
+      | None -> ());
+      Tcp.close conn);
+  Engine.run_until e (Time.sec 5);
+  check_bool "updated row read back" true (!byte0 = 'Z')
+
+(* ------------------------------------------------------------------ *)
+(* DHCP server                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_dhcp_discover_request () =
+  let e, s, server, client = setup () in
+  let dhcpd =
+    Dhcp_server.start server ~sched:s ~server_ip
+      ~pool_start:(Ipv4addr.of_string "10.1.0.100")
+      ~pool_size:10 ()
+  in
+  let offered = ref None and acked = ref None in
+  Process.spawn s ~name:"dhcp-client" (fun () ->
+      let mac = Macaddr.make_local 77 in
+      let sock = Stack.udp_bind client ~port:Dhcp_wire.client_port in
+      Stack.udp_send client sock ~dst:server_ip
+        ~dst_port:Dhcp_wire.server_port
+        (Dhcp_wire.encode
+           (Dhcp_wire.make ~op:`Boot_request ~xid:1l ~chaddr:mac
+              ~message_type:Dhcp_wire.Discover ()));
+      (match Stack.udp_recv sock with
+      | _, _, payload -> (
+          match Dhcp_wire.decode payload with
+          | Some m when m.Dhcp_wire.message_type = Dhcp_wire.Offer ->
+              offered := Some m.Dhcp_wire.yiaddr
+          | _ -> ()));
+      (match !offered with
+      | Some ip ->
+          Stack.udp_send client sock ~dst:server_ip
+            ~dst_port:Dhcp_wire.server_port
+            (Dhcp_wire.encode
+               (Dhcp_wire.make ~op:`Boot_request ~xid:2l ~chaddr:mac
+                  ~message_type:Dhcp_wire.Request ~requested_ip:ip
+                  ~server_id:server_ip ()));
+          let _, _, payload = Stack.udp_recv sock in
+          (match Dhcp_wire.decode payload with
+          | Some m when m.Dhcp_wire.message_type = Dhcp_wire.Ack ->
+              acked := Some m.Dhcp_wire.yiaddr
+          | _ -> ())
+      | None -> ()));
+  Engine.run_until e (Time.sec 5);
+  check_bool "offer from pool" true
+    (!offered = Some (Ipv4addr.of_string "10.1.0.100"));
+  check_bool "ack matches offer" true (!acked = !offered);
+  check_int "one lease" 1 (Dhcp_server.active_leases dhcpd);
+  check_int "offers" 1 (Dhcp_server.offers dhcpd);
+  check_int "acks" 1 (Dhcp_server.acks dhcpd)
+
+let test_dhcp_pool_exhaustion () =
+  let e, s, server, client = setup () in
+  let dhcpd =
+    Dhcp_server.start server ~sched:s ~server_ip
+      ~pool_start:(Ipv4addr.of_string "10.1.0.100")
+      ~pool_size:2 ()
+  in
+  let offers_seen = ref 0 in
+  Process.spawn s ~name:"clients" (fun () ->
+      let sock = Stack.udp_bind client ~port:Dhcp_wire.client_port in
+      for i = 1 to 3 do
+        Stack.udp_send client sock ~dst:server_ip
+          ~dst_port:Dhcp_wire.server_port
+          (Dhcp_wire.encode
+             (Dhcp_wire.make ~op:`Boot_request ~xid:(Int32.of_int i)
+                ~chaddr:(Macaddr.make_local i)
+                ~message_type:Dhcp_wire.Discover ()));
+        match Stack.udp_recv_timeout sock (Time.ms 100) with
+        | Some _ -> incr offers_seen
+        | None -> ()
+      done);
+  Engine.run_until e (Time.sec 5);
+  check_int "only pool-size offers" 2 !offers_seen;
+  check_int "two leases" 2 (Dhcp_server.active_leases dhcpd)
+
+let test_dhcp_nak_on_wrong_request () =
+  let e, s, server, client = setup () in
+  let dhcpd =
+    Dhcp_server.start server ~sched:s ~server_ip
+      ~pool_start:(Ipv4addr.of_string "10.1.0.100")
+      ~pool_size:4 ()
+  in
+  let nak = ref false in
+  Process.spawn s ~name:"client" (fun () ->
+      let mac = Macaddr.make_local 5 in
+      let sock = Stack.udp_bind client ~port:Dhcp_wire.client_port in
+      (* Request an address we were never offered. *)
+      Stack.udp_send client sock ~dst:server_ip
+        ~dst_port:Dhcp_wire.server_port
+        (Dhcp_wire.encode
+           (Dhcp_wire.make ~op:`Boot_request ~xid:9l ~chaddr:mac
+              ~message_type:Dhcp_wire.Request
+              ~requested_ip:(Ipv4addr.of_string "10.9.9.9")
+              ~server_id:server_ip ()));
+      match Stack.udp_recv_timeout sock (Time.ms 500) with
+      | Some (_, _, payload) -> (
+          match Dhcp_wire.decode payload with
+          | Some m when m.Dhcp_wire.message_type = Dhcp_wire.Nak -> nak := true
+          | _ -> ())
+      | None -> ());
+  Engine.run_until e (Time.sec 5);
+  check_bool "nak" true !nak;
+  check_int "naks counted" 1 (Dhcp_server.naks dhcpd)
+
+let test_line_reader () =
+  (* Drive the reader over a local TCP pipe with fragmented writes. *)
+  let e, s, server, client = setup () in
+  let tcp_s = Tcp.attach server and tcp_c = Tcp.attach client in
+  let lines = ref [] in
+  let blob = ref None in
+  Process.spawn s ~name:"server" (fun () ->
+      let l = Tcp.listen tcp_s ~port:1234 in
+      let c = Tcp.accept l in
+      let r = Line_reader.create c in
+      for _ = 1 to 3 do
+        match Line_reader.line r with
+        | Some line -> lines := line :: !lines
+        | None -> ()
+      done;
+      blob := Line_reader.exactly r 10;
+      (* EOF surfaces as None from both operations. *)
+      (match Line_reader.line r with
+      | None -> lines := "<eof>" :: !lines
+      | Some _ -> ()));
+  Process.spawn s ~name:"client" (fun () ->
+      let c = Tcp.connect tcp_c ~dst:server_ip ~port:1234 in
+      (* Split writes mid-line to exercise buffering. *)
+      Tcp.send c (Bytes.of_string "al");
+      Tcp.send c (Bytes.of_string "pha\nbeta\nga");
+      Tcp.send c (Bytes.of_string "mma\n0123456789");
+      Tcp.close c);
+  Engine.run_until e (Time.sec 5);
+  Alcotest.(check (list string))
+    "lines across fragmented writes"
+    [ "alpha"; "beta"; "gamma"; "<eof>" ]
+    (List.rev !lines);
+  check_bool "exact body" true
+    (!blob = Some (Bytes.of_string "0123456789"))
+
+let suite =
+  [
+    ("httpd basic GET", `Quick, test_httpd_basic);
+    ("httpd keep-alive pipelining", `Quick, test_httpd_keepalive_pipeline);
+    ("httpd 404", `Quick, test_httpd_404);
+    ("kvstore set/get", `Quick, test_kvstore_set_get);
+    ("kvstore missing key", `Quick, test_kvstore_get_missing);
+    ("kvstore pipeline burst", `Quick, test_kvstore_pipeline);
+    ("memcache protocol", `Quick, test_memcache_protocol);
+    ("sqldb memory queries", `Quick, test_sqldb_memory_queries);
+    ("sqldb disk backend + pool", `Quick, test_sqldb_disk_backend);
+    ("sqldb update persists", `Quick, test_sqldb_update_persists);
+    ("dhcp discover/request", `Quick, test_dhcp_discover_request);
+    ("dhcp pool exhaustion", `Quick, test_dhcp_pool_exhaustion);
+    ("dhcp nak", `Quick, test_dhcp_nak_on_wrong_request);
+    ("line reader buffering", `Quick, test_line_reader);
+  ]

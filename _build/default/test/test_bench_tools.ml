@@ -1,0 +1,248 @@
+open Kite_sim
+open Kite_net
+open Kite_bench_tools
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let setup () =
+  let e = Engine.create () in
+  let s = Process.scheduler e in
+  let da, db = Netdev.pipe ~name_a:"srv" ~name_b:"cli" in
+  let server =
+    Stack.create s ~name:"server" ~dev:da ~mac:(Macaddr.make_local 1)
+      ~ip:(Ipv4addr.of_string "10.2.0.1")
+      ~netmask:(Ipv4addr.of_string "255.255.255.0")
+      ()
+  in
+  let client =
+    Stack.create s ~name:"client" ~dev:db ~mac:(Macaddr.make_local 2)
+      ~ip:(Ipv4addr.of_string "10.2.0.2")
+      ~netmask:(Ipv4addr.of_string "255.255.255.0")
+      ()
+  in
+  (e, s, server, client)
+
+let server_ip = Ipv4addr.of_string "10.2.0.1"
+
+let test_nuttcp_lossless_under_capacity () =
+  let e, s, server, client = setup () in
+  let result = ref None in
+  Nuttcp.run ~sched:s ~client ~server ~server_ip ~offered_gbps:0.5
+    ~duration:(Time.ms 50)
+    ~on_done:(fun r -> result := Some r)
+    ();
+  Engine.run_until e (Time.sec 2);
+  match !result with
+  | Some r ->
+      check_bool "no loss on idle pipe" true (r.Nuttcp.loss_pct < 0.5);
+      check_bool "throughput near offered" true
+        (r.Nuttcp.throughput_gbps > 0.4 && r.Nuttcp.throughput_gbps < 0.6)
+  | None -> Alcotest.fail "nuttcp did not finish"
+
+let test_ping_bench () =
+  let e, s, _server, client = setup () in
+  let result = ref None in
+  Ping_bench.run ~sched:s ~client ~dst:server_ip ~count:10
+    ~interval:(Time.ms 10)
+    ~on_done:(fun r -> result := Some r)
+    ();
+  Engine.run_until e (Time.sec 5);
+  match !result with
+  | Some r ->
+      check_int "all answered" 10 r.Ping_bench.received;
+      check_int "sample count" 10 (List.length r.Ping_bench.rtts_ms);
+      check_bool "avg positive" true (r.Ping_bench.avg_ms >= 0.0)
+  | None -> Alcotest.fail "ping did not finish"
+
+let test_netperf_rr () =
+  let e, s, server, client = setup () in
+  let result = ref None in
+  Netperf.run ~sched:s ~client ~server ~server_ip ~requests:100
+    ~rate_per_sec:10000
+    ~on_done:(fun r -> result := Some r)
+    ();
+  Engine.run_until e (Time.sec 5);
+  match !result with
+  | Some r ->
+      check_int "all responses" 100 r.Netperf.responses;
+      check_bool "latency sane" true (r.Netperf.avg_ms < 1.0)
+  | None -> Alcotest.fail "netperf did not finish"
+
+let test_memtier () =
+  let e, s, server, client = setup () in
+  let tcp_s = Tcp.attach server and tcp_c = Tcp.attach client in
+  ignore (Kite_apps.Memcache.start tcp_s ~sched:s ());
+  let result = ref None in
+  Memtier.run ~sched:s ~client_tcp:tcp_c ~server_ip ~ops:220 ~clients:2
+    ~value_size:1024
+    ~on_done:(fun r -> result := Some r)
+    ();
+  Engine.run_until e (Time.sec 20);
+  match !result with
+  | Some r ->
+      check_int "ops" 220 r.Memtier.ops;
+      check_bool "1:10 ratio" true (r.Memtier.gets = 10 * r.Memtier.sets);
+      check_bool "ops rate positive" true (r.Memtier.ops_per_sec > 0.0)
+  | None -> Alcotest.fail "memtier did not finish"
+
+let test_ab () =
+  let e, s, server, client = setup () in
+  let tcp_s = Tcp.attach server and tcp_c = Tcp.attach client in
+  ignore (Kite_apps.Httpd.start tcp_s ~sched:s ());
+  let result = ref None in
+  Ab.run ~sched:s ~client_tcp:tcp_c ~server_ip ~requests:200 ~concurrency:8
+    ~file_size:4096
+    ~on_done:(fun r -> result := Some r)
+    ();
+  Engine.run_until e (Time.sec 30);
+  match !result with
+  | Some r ->
+      check_int "all requests" 200 r.Ab.completed;
+      check_bool "rps positive" true (r.Ab.requests_per_sec > 0.0);
+      check_bool "throughput positive" true (r.Ab.throughput_mbps > 0.0)
+  | None -> Alcotest.fail "ab did not finish"
+
+let test_redis_bench () =
+  let e, s, server, client = setup () in
+  let tcp_s = Tcp.attach server and tcp_c = Tcp.attach client in
+  let kv = Kite_apps.Kvstore.start tcp_s ~sched:s () in
+  let result = ref None in
+  Redis_bench.run ~sched:s ~client_tcp:tcp_c ~server_ip ~threads:2
+    ~pipeline:50 ~ops_per_thread:200 ~value_size:32
+    ~on_done:(fun r -> result := Some r)
+    ();
+  Engine.run_until e (Time.sec 30);
+  match !result with
+  | Some r ->
+      check_int "total ops" 800 r.Redis_bench.total_ops;
+      check_bool "set rate" true (r.Redis_bench.set_ops_per_sec > 0.0);
+      check_bool "get rate" true (r.Redis_bench.get_ops_per_sec > 0.0);
+      check_int "server saw sets" 400 (Kite_apps.Kvstore.sets kv);
+      check_int "server saw gets" 400 (Kite_apps.Kvstore.gets kv)
+  | None -> Alcotest.fail "redis-benchmark did not finish"
+
+let test_sysbench_db () =
+  let e, s, server, client = setup () in
+  let tcp_s = Tcp.attach server and tcp_c = Tcp.attach client in
+  let db =
+    Kite_apps.Sqldb.start tcp_s ~backend:Kite_apps.Sqldb.Memory ~tables:4
+      ~rows_per_table:1000 ~sched:s ()
+  in
+  let result = ref None in
+  Sysbench_db.run ~sched:s ~client_tcp:tcp_c ~server_ip ~threads:3
+    ~tables:4 ~rows_per_table:1000 ~transactions_per_thread:5 ~range_size:20
+    ~seed:99
+    ~on_done:(fun r -> result := Some r)
+    ();
+  Engine.run_until e (Time.sec 30);
+  match !result with
+  | Some r ->
+      check_int "transactions" 15 r.Sysbench_db.transactions;
+      check_int "queries (14 per tx)" (15 * 14) r.Sysbench_db.queries;
+      check_bool "tps" true (r.Sysbench_db.tps > 0.0);
+      check_bool "server counted queries" true
+        (Kite_apps.Sqldb.queries db >= 15 * 14)
+  | None -> Alcotest.fail "sysbench did not finish"
+
+(* Storage tools over a RAM filesystem. *)
+
+let fs_setup () =
+  let e = Engine.create () in
+  let s = Process.scheduler e in
+  let fs =
+    Kite_vfs.Fs.format
+      (Kite_vfs.Blockdev.ram ~name:"bench" ~capacity_sectors:(1 lsl 18))
+  in
+  (e, s, fs)
+
+let test_sysbench_fileio () =
+  let e, s, fs = fs_setup () in
+  Sysbench_fileio.prepare fs ~files:4 ~file_size:(256 * 1024);
+  let result = ref None in
+  Sysbench_fileio.run ~sched:s ~fs ~files:4 ~file_size:(256 * 1024)
+    ~block_size:16384 ~threads:3 ~ops_per_thread:20 ~seed:5
+    ~on_done:(fun r -> result := Some r)
+    ();
+  Engine.run_until e (Time.sec 30);
+  match !result with
+  | Some r ->
+      check_int "ops" 60 (r.Sysbench_fileio.reads + r.Sysbench_fileio.writes);
+      (* 3:2 ratio over a 5-op cycle *)
+      check_int "reads" 36 r.Sysbench_fileio.reads;
+      check_int "writes" 24 r.Sysbench_fileio.writes;
+      check_int "bytes" (60 * 16384) r.Sysbench_fileio.bytes_moved
+  | None -> Alcotest.fail "fileio did not finish"
+
+let test_dd () =
+  let e, s, _ = fs_setup () in
+  let dev = Kite_vfs.Blockdev.ram ~name:"dd" ~capacity_sectors:(1 lsl 18) in
+  let wrote = ref None and read = ref None in
+  Dd.run ~sched:s ~dev ~direction:`Write ~block_size:65536
+    ~total:(4 * 1024 * 1024)
+    ~on_done:(fun r ->
+      wrote := Some r;
+      Dd.run ~sched:s ~dev ~direction:`Read ~block_size:65536
+        ~total:(4 * 1024 * 1024)
+        ~on_done:(fun r -> read := Some r)
+        ())
+    ();
+  Engine.run_until e (Time.sec 30);
+  (match !wrote with
+  | Some r -> check_int "wrote all" (4 * 1024 * 1024) r.Dd.bytes
+  | None -> Alcotest.fail "dd write did not finish");
+  match !read with
+  | Some r -> check_int "read all" (4 * 1024 * 1024) r.Dd.bytes
+  | None -> Alcotest.fail "dd read did not finish"
+
+let test_filebench_personalities () =
+  List.iter
+    (fun personality ->
+      let e, s, fs = fs_setup () in
+      Filebench.prepare fs personality ~files:6 ~mean_file_size:32768;
+      let result = ref None in
+      Filebench.run ~sched:s ~fs personality ~files:6 ~mean_file_size:32768
+        ~io_size:16384 ~threads:2 ~ops_per_thread:10 ~seed:3
+        ~on_done:(fun r -> result := Some r)
+        ();
+      Engine.run_until e (Time.sec 30);
+      match !result with
+      | Some r ->
+          check_int "ops" 20 r.Filebench.ops;
+          check_bool "moved bytes" true (r.Filebench.bytes_moved > 0)
+      | None -> Alcotest.fail "filebench did not finish")
+    [ Filebench.Fileserver; Filebench.Webserver; Filebench.Mongodb ]
+
+let test_perfdhcp () =
+  let e, s, server, client = setup () in
+  ignore
+    (Kite_apps.Dhcp_server.start server ~sched:s ~server_ip
+       ~pool_start:(Ipv4addr.of_string "10.2.0.100")
+       ~pool_size:64 ());
+  let result = ref None in
+  Perfdhcp.run ~sched:s ~client ~server_ip ~clients:20 ~interval:(Time.ms 1)
+    ~on_done:(fun r -> result := Some r)
+    ();
+  Engine.run_until e (Time.sec 10);
+  match !result with
+  | Some r ->
+      check_int "all exchanges" 20 r.Perfdhcp.exchanges;
+      check_bool "offer delay positive" true
+        (r.Perfdhcp.avg_discover_offer_ms > 0.0);
+      check_bool "ack delay positive" true (r.Perfdhcp.avg_request_ack_ms > 0.0)
+  | None -> Alcotest.fail "perfdhcp did not finish"
+
+let suite =
+  [
+    ("nuttcp under capacity", `Quick, test_nuttcp_lossless_under_capacity);
+    ("ping bench", `Quick, test_ping_bench);
+    ("netperf request/response", `Quick, test_netperf_rr);
+    ("memtier", `Quick, test_memtier);
+    ("apachebench", `Quick, test_ab);
+    ("redis-benchmark pipeline", `Quick, test_redis_bench);
+    ("sysbench oltp", `Quick, test_sysbench_db);
+    ("sysbench fileio", `Quick, test_sysbench_fileio);
+    ("dd", `Quick, test_dd);
+    ("filebench personalities", `Quick, test_filebench_personalities);
+    ("perfdhcp", `Quick, test_perfdhcp);
+  ]

@@ -1,0 +1,230 @@
+(* Integration tests over the top-level scenarios and experiment
+   runners — the checks behind EXPERIMENTS.md's shape claims. *)
+
+open Kite_sim
+open Kite
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_network_scenario_boots () =
+  let s = Scenario.network ~flavor:Scenario.Kite () in
+  let ready = ref false in
+  Scenario.when_net_ready s (fun () -> ready := true);
+  Kite_xen.Hypervisor.run_for s.Scenario.hv (Time.sec 2);
+  check_bool "netfront connected" true !ready;
+  check_bool "netback instance exists" true
+    (Kite_drivers.Netback.instances
+       (Kite_drivers.Net_app.netback s.Scenario.net_app)
+    <> []);
+  (* Domain inventory matches the paper's testbed. *)
+  check_int "domains: dom0 + dd + domu" 3
+    (List.length (Kite_xen.Hypervisor.domains s.Scenario.hv))
+
+let test_storage_scenario_boots () =
+  let s = Scenario.storage ~flavor:Scenario.Linux () in
+  let ready = ref false in
+  Scenario.when_blk_ready s (fun () -> ready := true);
+  Kite_xen.Hypervisor.run_for s.Scenario.bhv (Time.sec 2);
+  check_bool "blkfront connected" true !ready;
+  check_bool "capacity visible" true
+    (Kite_drivers.Blkfront.capacity_sectors s.Scenario.blkfront > 0)
+
+let test_scenario_blockdev_end_to_end () =
+  let s = Scenario.storage ~flavor:Scenario.Kite () in
+  let dev = Scenario.blockdev s in
+  let ok = ref false in
+  Scenario.when_blk_ready s (fun () ->
+      let data = Bytes.make 4096 'e' in
+      dev.Kite_vfs.Blockdev.write ~sector:64 data;
+      let back = dev.Kite_vfs.Blockdev.read ~sector:64 ~count:8 in
+      ok := Bytes.equal back data);
+  Kite_xen.Hypervisor.run_for s.Scenario.bhv (Time.sec 5);
+  check_bool "write/read through the split driver" true !ok;
+  check_bool "reached the physical device" true
+    (Kite_devices.Nvme.writes s.Scenario.nvme > 0)
+
+let test_scenario_flavors_differ () =
+  (* Same workload, both flavors: Kite must be strictly faster on the
+     cold-latency path, and both must complete. *)
+  let ping flavor =
+    let s = Scenario.network ~flavor () in
+    let rtt = ref None in
+    Scenario.when_net_ready s (fun () ->
+        rtt := Kite_net.Stack.ping s.Scenario.client_stack ~dst:s.Scenario.guest_ip ~seq:1 ());
+    Kite_xen.Hypervisor.run_for s.Scenario.hv (Time.sec 5);
+    Option.get !rtt
+  in
+  let k = ping Scenario.Kite and l = ping Scenario.Linux in
+  check_bool
+    (Printf.sprintf "kite (%s) < linux (%s)" (Time.to_string k)
+       (Time.to_string l))
+    true (k < l)
+
+let test_overheads_override () =
+  let s =
+    Scenario.network_with_overheads ~overheads:Kite_drivers.Overheads.zero ()
+  in
+  let rtt = ref None in
+  Scenario.when_net_ready s (fun () ->
+      rtt :=
+        Kite_net.Stack.ping s.Scenario.client_stack ~dst:s.Scenario.guest_ip
+          ~seq:1 ());
+  Kite_xen.Hypervisor.run_for s.Scenario.hv (Time.sec 5);
+  match !rtt with
+  | Some span ->
+      (* With zero overheads the path cost is just devices + hypercalls. *)
+      check_bool "well under the kite cold latency" true (span < Time.us 120)
+  | None -> Alcotest.fail "ping failed"
+
+(* ------------------------------------------------------------------ *)
+(* Experiment registry                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_complete () =
+  let ids = List.map (fun (id, _, _) -> id) Experiments.all in
+  (* Every table/figure of the paper's evaluation section has a runner. *)
+  List.iter
+    (fun required ->
+      check_bool ("registry has " ^ required) true (List.mem required ids))
+    [
+      "fig1a"; "fig4a"; "fig4b"; "fig4c"; "fig5"; "table3"; "fig6"; "fig7";
+      "fig8a"; "fig8b"; "fig9"; "fig10"; "table4"; "fig11"; "fig12"; "fig13";
+      "fig14"; "fig15"; "fig16"; "dhcp"; "table1"; "restart"; "scale";
+      "memory"; "abl-persist"; "abl-batch"; "abl-indirect"; "abl-threads";
+    ];
+  check_bool "find works" true (Experiments.find "fig9" <> None);
+  check_bool "find rejects junk" true (Experiments.find "fig99" = None);
+  check_bool "ids unique" true
+    (List.length ids = List.length (List.sort_uniq compare ids))
+
+let run_exp id =
+  match Experiments.find id with
+  | Some f -> f ~quick:true
+  | None -> Alcotest.failf "no experiment %s" id
+
+let cell_matrix table =
+  (* Parse the rendered table back into rows of trimmed cells. *)
+  let lines = String.split_on_char '\n' (Kite_stats.Table.render table) in
+  List.filter_map
+    (fun line ->
+      if String.length line > 0 && line.[0] = '|' then
+        Some
+          (String.split_on_char '|' line
+          |> List.map String.trim
+          |> List.filter (fun c -> c <> ""))
+      else None)
+    lines
+
+let float_cell row i = float_of_string (List.nth row i)
+
+let test_fig4c_boot_claim () =
+  (* Claim C1: Kite boots at least 10x faster. *)
+  let o = run_exp "fig4c" in
+  let rows = cell_matrix (List.hd o.Experiments.tables) in
+  let time_of name =
+    match List.find_opt (fun r -> List.hd r = name) rows with
+    | Some r -> float_cell r 1
+    | None -> Alcotest.failf "missing row %s" name
+  in
+  let kite = time_of "kite-network" and linux = time_of "linux-driver-domain" in
+  check_bool
+    (Printf.sprintf "10x boot (%.1f vs %.1f)" kite linux)
+    true
+    (linux /. kite >= 10.0)
+
+let test_fig6_throughput_claim () =
+  (* Claim C2-throughput: both ~7 Gbps, loss under 1.5%. *)
+  let o = run_exp "fig6" in
+  let rows = cell_matrix (List.hd o.Experiments.tables) in
+  List.iter
+    (fun row ->
+      match row with
+      | [ _name; gbps; loss ] ->
+          check_bool "about 7 Gbps" true
+            (float_of_string gbps > 6.0 && float_of_string gbps < 7.5);
+          check_bool "loss < 1.5%" true (float_of_string loss < 1.5)
+      | _ -> ())
+    (List.tl rows)
+
+let test_fig7_latency_claim () =
+  (* Kite's latency is lower than Linux's on every benchmark. *)
+  let o = run_exp "fig7" in
+  let rows = cell_matrix (List.hd o.Experiments.tables) in
+  List.iter
+    (fun row ->
+      match row with
+      | [ name; linux; kite ] when name <> "benchmark" ->
+          check_bool (name ^ ": kite <= linux") true
+            (float_of_string kite <= float_of_string linux +. 0.01)
+      | _ -> ())
+    rows
+
+let test_table3_claim () =
+  (* All eleven CVEs mitigated on both Kite domains. *)
+  let o = run_exp "table3" in
+  let rows = cell_matrix (List.hd o.Experiments.tables) in
+  let cve_rows =
+    List.filter (fun r -> String.length (List.hd r) > 3
+                          && String.sub (List.hd r) 0 3 = "CVE") rows
+  in
+  check_int "eleven CVE rows" 11 (List.length cve_rows);
+  List.iter
+    (fun row ->
+      check_bool (List.hd row ^ " mitigated everywhere") true
+        (List.nth row 3 = "yes" && List.nth row 4 = "yes"))
+    cve_rows
+
+let test_abl_persistent_claim () =
+  let o = run_exp "abl-persist" in
+  let rows = cell_matrix (List.hd o.Experiments.tables) in
+  match rows with
+  | _hdr :: [ _; on_maps; _; _ ] :: [ _; off_maps; _; _ ] :: _ ->
+      check_bool "persistent needs far fewer maps" true
+        (int_of_string on_maps * 10 < int_of_string off_maps)
+  | _ -> Alcotest.fail "unexpected table shape"
+
+let test_scale_claim () =
+  let o = run_exp "scale" in
+  let rows = cell_matrix (List.hd o.Experiments.tables) in
+  match rows with
+  | _hdr :: [ _; one ] :: [ _; two ] :: _ ->
+      let f = float_of_string two /. float_of_string one in
+      check_bool (Printf.sprintf "near-linear scaling (%.2fx)" f) true
+        (f > 1.8)
+  | _ -> Alcotest.fail "unexpected table shape"
+
+let test_restart_claim () =
+  let o = run_exp "restart" in
+  let rows = cell_matrix (List.hd o.Experiments.tables) in
+  (* Outage strings like "7.006s": compare the seconds. *)
+  let outage name =
+    match List.find_opt (fun r -> List.hd r = name) rows with
+    | Some r ->
+        let s = List.nth r 3 in
+        float_of_string (String.sub s 0 (String.length s - 1))
+    | None -> Alcotest.failf "missing %s" name
+  in
+  check_bool "kite recovers 10x faster" true
+    (outage "Linux" /. outage "Kite" >= 10.0)
+
+let suite =
+  [
+    ("network scenario boots", `Quick, test_network_scenario_boots);
+    ("storage scenario boots", `Quick, test_storage_scenario_boots);
+    ("blockdev end to end", `Quick, test_scenario_blockdev_end_to_end);
+    ("flavors differ on cold latency", `Quick, test_scenario_flavors_differ);
+    ("overheads override", `Quick, test_overheads_override);
+    ("experiment registry complete", `Quick, test_registry_complete);
+    ("fig4c: 10x faster boot (C1)", `Quick, test_fig4c_boot_claim);
+    ("fig6: ~7Gbps, low loss (C2)", `Slow, test_fig6_throughput_claim);
+    ("fig7: kite latency lower", `Slow, test_fig7_latency_claim);
+    ("table3: all CVEs mitigated", `Quick, test_table3_claim);
+    ("ablation: persistent grants", `Quick, test_abl_persistent_claim);
+    ("extension: multi-NIC scaling", `Slow, test_scale_claim);
+    ("extension: restart recovery", `Quick, test_restart_claim);
+  ]

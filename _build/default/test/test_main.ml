@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "kite"
+    [
+      ("sim", Test_sim.suite);
+      ("stats", Test_stats.suite);
+      ("xen", Test_xen.suite);
+      ("devices", Test_devices.suite);
+      ("net", Test_net.suite);
+      ("drivers", Test_drivers.suite);
+      ("vfs", Test_vfs.suite);
+      ("profiles", Test_profiles.suite);
+      ("security", Test_security.suite);
+      ("apps", Test_apps.suite);
+      ("bench_tools", Test_bench_tools.suite);
+      ("kite", Test_kite.suite);
+    ]

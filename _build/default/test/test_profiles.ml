@@ -1,0 +1,157 @@
+open Kite_sim
+open Kite_profiles
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_syscall_counts () =
+  (* The paper's Figure 4a numbers. *)
+  check_int "kite network" 14 (Syscalls.count Syscalls.kite_network);
+  check_int "kite storage" 18 (Syscalls.count Syscalls.kite_storage);
+  check_int "linux driver domain" 171
+    (Syscalls.count Syscalls.linux_driver_domain);
+  check_bool "linux full ~300" true
+    (Syscalls.count Syscalls.linux_full >= 280)
+
+let test_syscall_reduction_factor () =
+  (* §5.1.1: 10x fewer syscalls. *)
+  let ratio =
+    float_of_int (Syscalls.count Syscalls.linux_driver_domain)
+    /. float_of_int (Syscalls.count Syscalls.kite_network)
+  in
+  check_bool "at least 10x reduction" true (ratio >= 10.0)
+
+let test_syscall_membership () =
+  check_bool "kite net keeps sendto" true
+    (Syscalls.contains Syscalls.kite_network "sendto");
+  check_bool "kite net drops execve" false
+    (Syscalls.contains Syscalls.kite_network "execve");
+  check_bool "kite storage drops clone" false
+    (Syscalls.contains Syscalls.kite_storage "clone");
+  (* Linux cannot remove these: they are needed to boot. *)
+  List.iter
+    (fun c ->
+      check_bool (c ^ " required by linux dd") true
+        (Syscalls.contains Syscalls.linux_driver_domain c))
+    [ "clone"; "execve"; "init_module"; "modify_ldt"; "mount" ]
+
+let test_syscall_removed () =
+  let gone =
+    Syscalls.removed ~from:Syscalls.linux_driver_domain
+      ~kept:Syscalls.kite_network
+  in
+  check_bool "many removed" true (List.length gone > 150);
+  check_bool "execve among them" true (List.mem "execve" gone);
+  check_bool "read kept" false (List.mem "read" gone)
+
+let test_kite_storage_superset_props () =
+  (* Every Table-3 syscall must be absent from both Kite sets. *)
+  List.iter
+    (fun c ->
+      check_bool (c ^ " not in kite net") false
+        (Syscalls.contains Syscalls.kite_network c);
+      check_bool (c ^ " not in kite storage") false
+        (Syscalls.contains Syscalls.kite_storage c))
+    [
+      "init_module"; "execve"; "ftruncate"; "mremap"; "compat_sys_setsockopt";
+      "timer_create"; "modify_ldt"; "clone"; "rename"; "unlink";
+      "compat_sys_nanosleep"; "chmod";
+    ]
+
+let test_image_sizes () =
+  (* Figure 4b: the Linux image is ~10x the Kite image. *)
+  let kite = Image.total_mb Image.kite_network in
+  let linux = Image.total_mb Image.linux_driver_domain in
+  check_bool "kite under 8 MB" true (kite < 8.0);
+  check_bool "linux over 40 MB" true (linux > 40.0);
+  check_bool
+    (Printf.sprintf "ratio ~10x (got %.1f)" (linux /. kite))
+    true
+    (linux /. kite >= 8.0 && linux /. kite <= 13.0)
+
+let test_image_categories () =
+  let cats = Image.by_category Image.kite_network in
+  let total = List.fold_left (fun a (_, kb) -> a + kb) 0 cats in
+  check_int "categories partition the image" (Image.total_kb Image.kite_network) total;
+  check_bool "has application code" true
+    (List.exists
+       (fun (c, kb) -> c = Image.Application && kb > 0)
+       cats)
+
+let test_boot_totals () =
+  (* Figure 4c: Kite ~7 s, Linux ~75 s, at least 10x. *)
+  let kite = Boot.total Boot.kite_network in
+  let linux = Boot.total Boot.linux_driver_domain in
+  check_bool "kite ~7s" true (kite > Time.sec 5 && kite < Time.sec 9);
+  check_bool "linux ~75s" true (linux > Time.sec 65 && linux < Time.sec 85);
+  check_bool "10x faster boot" true (linux / kite >= 10)
+
+let test_boot_runs_on_simulator () =
+  let e = Engine.create () in
+  let s = Process.scheduler e in
+  let ready_at = ref (-1) in
+  Boot.run s Boot.kite_storage ~on_ready:(fun at -> ready_at := at);
+  Engine.run e;
+  check_int "simulated boot time" (Boot.total Boot.kite_storage) !ready_at
+
+let test_profiles_consistency () =
+  List.iter
+    (fun p ->
+      check_bool
+        (p.Os_profile.profile_name ^ " has components")
+        true
+        (List.length (Image.components p.Os_profile.image) > 0);
+      check_bool
+        (p.Os_profile.profile_name ^ " has stages")
+        true
+        (List.length (Boot.stages p.Os_profile.boot) > 0))
+    Os_profile.all;
+  let kite = Os_profile.get Os_profile.Kite_network in
+  let linux = Os_profile.get Os_profile.Linux_network in
+  check_bool "kite is kite" true (Os_profile.is_kite kite);
+  check_bool "linux is not" false (Os_profile.is_kite linux);
+  (* Kite VMs get less memory because their footprint is smaller. *)
+  check_bool "kite smaller assignment" true
+    (kite.Os_profile.assigned_mem_mb < linux.Os_profile.assigned_mem_mb);
+  check_bool "kite resident ~8x smaller" true
+    (linux.Os_profile.resident_mem_mb / kite.Os_profile.resident_mem_mb >= 5);
+  List.iter
+    (fun p ->
+      check_bool
+        (p.Os_profile.profile_name ^ " resident fits assignment")
+        true
+        (p.Os_profile.resident_mem_mb < p.Os_profile.assigned_mem_mb))
+    Os_profile.all;
+  (* No shell, no crafted applications on unikernels. *)
+  check_bool "no shell" false kite.Os_profile.has_shell;
+  check_bool "linux has shell" true linux.Os_profile.has_shell
+
+let prop_syscall_sets_sorted =
+  QCheck.Test.make ~name:"syscall listings are sorted and unique" ~count:1
+    QCheck.unit (fun () ->
+      List.for_all
+        (fun set ->
+          let l = Syscalls.to_list set in
+          l = List.sort_uniq String.compare l)
+        [
+          Syscalls.kite_network;
+          Syscalls.kite_storage;
+          Syscalls.kite_dhcp;
+          Syscalls.linux_driver_domain;
+          Syscalls.linux_full;
+        ])
+
+let suite =
+  [
+    ("syscall counts (fig 4a)", `Quick, test_syscall_counts);
+    ("syscall 10x reduction", `Quick, test_syscall_reduction_factor);
+    ("syscall membership", `Quick, test_syscall_membership);
+    ("syscall removed set", `Quick, test_syscall_removed);
+    ("table-3 syscalls absent from kite", `Quick, test_kite_storage_superset_props);
+    ("image sizes (fig 4b)", `Quick, test_image_sizes);
+    ("image categories", `Quick, test_image_categories);
+    ("boot totals (fig 4c)", `Quick, test_boot_totals);
+    ("boot runs on simulator", `Quick, test_boot_runs_on_simulator);
+    ("profile consistency", `Quick, test_profiles_consistency);
+    QCheck_alcotest.to_alcotest prop_syscall_sets_sorted;
+  ]

@@ -1,0 +1,304 @@
+open Kite_security
+open Kite_profiles
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Decoder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let decode_one bytes =
+  Decoder.decode (Bytes.of_string bytes) 0
+
+let test_decode_ret () =
+  (match decode_one "\xc3" with
+  | Some { Decoder.category = Decoder.Ret; length = 1 } -> ()
+  | _ -> Alcotest.fail "plain ret");
+  match decode_one "\xc2\x08\x00" with
+  | Some { Decoder.category = Decoder.Ret; length = 3 } -> ()
+  | _ -> Alcotest.fail "ret imm16"
+
+let test_decode_mov_reg_reg () =
+  (* mov rax, rbx = 48 89 d8 *)
+  match decode_one "\x48\x89\xd8" with
+  | Some { Decoder.category = Decoder.Data_move; length = 3 } -> ()
+  | Some i ->
+      Alcotest.failf "mov: got %s len %d"
+        (Decoder.category_name i.Decoder.category)
+        i.Decoder.length
+  | None -> Alcotest.fail "mov undecoded"
+
+let test_decode_modrm_disp () =
+  (* mov rax, [rbp+8] = 48 8b 45 08: mod=01 disp8 *)
+  (match decode_one "\x48\x8b\x45\x08" with
+  | Some { Decoder.category = Decoder.Data_move; length = 4 } -> ()
+  | _ -> Alcotest.fail "disp8 form");
+  (* mov rax, [rbx+imm32] = 48 8b 83 44 33 22 11 *)
+  match decode_one "\x48\x8b\x83\x44\x33\x22\x11" with
+  | Some { Decoder.category = Decoder.Data_move; length = 7 } -> ()
+  | _ -> Alcotest.fail "disp32 form"
+
+let test_decode_sib () =
+  (* add rax, [rbx+rcx*4] = 48 03 04 8b: modrm=04 (rm=100 -> SIB) *)
+  match decode_one "\x48\x03\x04\x8b" with
+  | Some { Decoder.category = Decoder.Arithmetic; length = 4 } -> ()
+  | _ -> Alcotest.fail "sib form"
+
+let test_decode_categories () =
+  let cases =
+    [
+      ("\x50", Decoder.Data_move);  (* push rax *)
+      ("\x31\xc0", Decoder.Logic);  (* xor eax, eax *)
+      ("\xc1\xe0\x04", Decoder.Shift_rotate);  (* shl eax, 4 *)
+      ("\xe8\x00\x00\x00\x00", Decoder.Control_flow);  (* call *)
+      ("\x74\x05", Decoder.Control_flow);  (* je +5 *)
+      ("\x85\xc0", Decoder.Setting_flags);  (* test eax, eax *)
+      ("\xa4", Decoder.String_op);  (* movsb *)
+      ("\xd8\xc1", Decoder.Floating);  (* fadd st(1) *)
+      ("\x90", Decoder.Nop);
+      ("\x0f\x10\xc1", Decoder.Mmx);  (* movups xmm0, xmm1 *)
+      ("\x99", Decoder.Misc);  (* cdq *)
+    ]
+  in
+  List.iter
+    (fun (bytes, expect) ->
+      match decode_one bytes with
+      | Some i ->
+          Alcotest.(check string)
+            (Printf.sprintf "%S" bytes)
+            (Decoder.category_name expect)
+            (Decoder.category_name i.Decoder.category)
+      | None -> Alcotest.failf "undecoded %S" bytes)
+    cases
+
+let test_decode_rejects_garbage () =
+  check_bool "0x06 invalid in 64-bit" true (decode_one "\x06" = None);
+  check_bool "empty" true (decode_one "" = None);
+  check_bool "truncated modrm" true (decode_one "\x89" = None)
+
+let test_is_ret () =
+  let b = Bytes.of_string "\x90\xc3\xc2" in
+  check_bool "not ret" false (Decoder.is_ret b 0);
+  check_bool "c3" true (Decoder.is_ret b 1);
+  check_bool "c2" true (Decoder.is_ret b 2)
+
+(* ------------------------------------------------------------------ *)
+(* Gadget scanner                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let count_of counts cat =
+  List.assoc cat counts
+
+let test_gadget_simple () =
+  (* pop rbp; ret — one Data_move gadget plus the bare ret. *)
+  let code = Bytes.of_string "\x5d\xc3" in
+  let counts = Gadget.scan code in
+  check_int "data move gadget" 1 (count_of counts Decoder.Data_move);
+  check_int "bare ret" 1 (count_of counts Decoder.Ret);
+  check_int "total" 2 (Gadget.total counts)
+
+let test_gadget_category_from_last_insn () =
+  (* mov eax,ebx(89 d8); shl eax,4(c1 e0 04); ret:
+     suffixes: [shl;ret] -> ShiftAndRotate, [mov;shl;ret] -> ShiftAndRotate
+     — category comes from the instruction before ret. *)
+  let code = Bytes.of_string "\x89\xd8\xc1\xe0\x04\xc3" in
+  let counts = Gadget.scan code in
+  check_int "shift gadgets" 2 (count_of counts Decoder.Shift_rotate);
+  check_int "ret" 1 (count_of counts Decoder.Ret)
+
+let test_gadget_no_ret_no_gadgets () =
+  let code = Bytes.of_string "\x89\xd8\x89\xd8\x89\xd8" in
+  check_int "nothing" 0 (Gadget.total (Gadget.scan code))
+
+let test_gadget_unaligned_starts () =
+  (* The scanner considers every byte offset, like a real ROP tool:
+     b8 5d c3 ... contains mov eax,imm32 whose immediate bytes include a
+     pop;ret when decoded from offset 1. *)
+  let code = Bytes.of_string "\xb8\x5d\xc3\x00\x00\xc3" in
+  let counts = Gadget.scan code in
+  check_bool "found unaligned gadget" true
+    (count_of counts Decoder.Data_move >= 1)
+
+let test_gadget_max_insns () =
+  (* Five one-byte pushes before a ret: with max_insns 2 only the two
+     shortest suffixes qualify (1 insn + ret is within budget). *)
+  let code = Bytes.of_string "\x50\x50\x50\x50\x50\xc3" in
+  let all = Gadget.scan ~max_insns:5 code in
+  let limited = Gadget.scan ~max_insns:2 code in
+  check_int "all suffixes" 5 (count_of all Decoder.Data_move);
+  check_int "budgeted" 2 (count_of limited Decoder.Data_move)
+
+let test_gadget_scales_with_size () =
+  let small = Image_gen.generate { Image_gen.config_name = "s"; text_kb = 64 } in
+  let large = Image_gen.generate { Image_gen.config_name = "s"; text_kb = 256 } in
+  let ns = Gadget.total (Gadget.scan small) in
+  let nl = Gadget.total (Gadget.scan large) in
+  check_bool "roughly linear" true
+    (float_of_int nl /. float_of_int ns > 3.0
+    && float_of_int nl /. float_of_int ns < 5.0)
+
+let test_image_gen_deterministic () =
+  let a = Image_gen.generate { Image_gen.config_name = "x"; text_kb = 32 } in
+  let b = Image_gen.generate { Image_gen.config_name = "x"; text_kb = 32 } in
+  check_bool "same bytes" true (Bytes.equal a b);
+  let c = Image_gen.generate { Image_gen.config_name = "y"; text_kb = 32 } in
+  check_bool "different config differs" false (Bytes.equal a c)
+
+let test_fig5_shape_small_scale () =
+  (* Scaled-down versions of the Fig 5 configurations keep the ordering:
+     Kite < Default < Debian < Ubuntu < CentOS < Fedora. *)
+  let scaled name kb = { Image_gen.config_name = name; text_kb = kb } in
+  let count cfg = Gadget.total (Gadget.scan (Image_gen.generate cfg)) in
+  let kite = count (scaled "Kite" 128) in
+  let default = count (scaled "Default" 512) in
+  let fedora = count (scaled "Fedora" 1454) in
+  check_bool "default ~4x kite" true
+    (let r = float_of_int default /. float_of_int kite in
+     r > 3.0 && r < 5.0);
+  check_bool "fedora largest" true (fedora > default)
+
+(* ------------------------------------------------------------------ *)
+(* CVE analysis                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let kite_net = Os_profile.get Os_profile.Kite_network
+let kite_stor = Os_profile.get Os_profile.Kite_storage
+let linux_net = Os_profile.get Os_profile.Linux_network
+
+let test_table3_all_mitigated () =
+  (* Every Table 3 CVE applies to the Linux driver domain and is blocked
+     by syscall removal on both Kite domains. *)
+  check_int "eleven CVEs" 11 (List.length Cve_db.table3);
+  List.iter
+    (fun cve ->
+      check_bool (cve.Cve_db.id ^ " applies to linux") true
+        (Cve_db.applicable linux_net cve);
+      check_bool
+        (cve.Cve_db.id ^ " mitigated by kite network")
+        true
+        (Cve_db.mitigated_by_kite ~kite:kite_net ~linux:linux_net cve);
+      check_bool
+        (cve.Cve_db.id ^ " mitigated by kite storage")
+        true
+        (Cve_db.mitigated_by_kite ~kite:kite_stor ~linux:linux_net cve))
+    Cve_db.table3
+
+let test_tooling_cves () =
+  List.iter
+    (fun cve ->
+      check_bool (cve.Cve_db.id ^ " hits linux tooling") true
+        (Cve_db.applicable linux_net cve);
+      check_bool (cve.Cve_db.id ^ " not kite") false
+        (Cve_db.applicable kite_net cve))
+    Cve_db.tooling
+
+let test_fig1a_data_shape () =
+  let data = Cve_db.driver_cves_by_year in
+  check_int "six years" 6 (List.length data);
+  List.iter
+    (fun y ->
+      check_bool "linux >= windows each year" true
+        (y.Cve_db.linux_driver_cves >= y.Cve_db.windows_driver_cves))
+    data;
+  (* Upward trend for Windows (monotone in the figure). *)
+  let rec windows_monotone = function
+    | a :: (b :: _ as rest) ->
+        a.Cve_db.windows_driver_cves <= b.Cve_db.windows_driver_cves
+        && windows_monotone rest
+    | _ -> true
+  in
+  check_bool "windows trend up" true (windows_monotone data)
+
+let test_shell_gating () =
+  (* A shell-only CVE is not mitigated by syscall filtering but by the
+     absence of userland. *)
+  let shell_cve =
+    {
+      Cve_db.id = "TEST-0001";
+      year = 2020;
+      summary = "test";
+      preconditions = [ Cve_db.Shell ];
+    }
+  in
+  check_bool "linux vulnerable" true (Cve_db.applicable linux_net shell_cve);
+  check_bool "kite safe" false (Cve_db.applicable kite_net shell_cve)
+
+let test_multi_precondition () =
+  (* All preconditions must hold. *)
+  let cve =
+    {
+      Cve_db.id = "TEST-0002";
+      year = 2020;
+      summary = "test";
+      preconditions = [ Cve_db.Syscall [ "read" ]; Cve_db.Shell ];
+    }
+  in
+  (* Kite has read but no shell. *)
+  check_bool "conjunction" false (Cve_db.applicable kite_net cve)
+
+let prop_gadget_counts_nonneg =
+  QCheck.Test.make ~name:"gadget counts are nonnegative over random bytes"
+    ~count:50
+    QCheck.(string_of_size Gen.(0 -- 2048))
+    (fun s ->
+      let counts = Gadget.scan (Bytes.of_string s) in
+      List.for_all (fun (_, n) -> n >= 0) counts)
+
+let prop_decoder_length_positive =
+  QCheck.Test.make ~name:"decoded instructions have positive bounded length"
+    ~count:200
+    QCheck.(string_of_size Gen.(1 -- 32))
+    (fun s ->
+      match Decoder.decode (Bytes.of_string s) 0 with
+      | Some i -> i.Decoder.length > 0 && i.Decoder.length <= 16
+      | None -> true)
+
+let prop_gadget_deterministic =
+  QCheck.Test.make ~name:"gadget scan is deterministic" ~count:20
+    QCheck.(string_of_size Gen.(64 -- 1024))
+    (fun s ->
+      let b = Bytes.of_string s in
+      Gadget.scan b = Gadget.scan b)
+
+let prop_decode_never_past_end =
+  QCheck.Test.make ~name:"decoded length never exceeds the buffer" ~count:300
+    QCheck.(string_of_size Gen.(1 -- 24))
+    (fun s ->
+      let b = Bytes.of_string s in
+      let rec check off =
+        if off >= Bytes.length b then true
+        else
+          match Decoder.decode b off with
+          | Some i -> i.Decoder.length > 0 && check (off + 1)
+          | None -> check (off + 1)
+      in
+      check 0)
+
+let suite =
+  [
+    ("decode ret", `Quick, test_decode_ret);
+    ("decode mov reg/reg", `Quick, test_decode_mov_reg_reg);
+    ("decode modrm displacement", `Quick, test_decode_modrm_disp);
+    ("decode sib", `Quick, test_decode_sib);
+    ("decode categories", `Quick, test_decode_categories);
+    ("decode rejects garbage", `Quick, test_decode_rejects_garbage);
+    ("is_ret", `Quick, test_is_ret);
+    ("gadget simple", `Quick, test_gadget_simple);
+    ("gadget category from last insn", `Quick, test_gadget_category_from_last_insn);
+    ("gadget none without ret", `Quick, test_gadget_no_ret_no_gadgets);
+    ("gadget unaligned starts", `Quick, test_gadget_unaligned_starts);
+    ("gadget insn budget", `Quick, test_gadget_max_insns);
+    ("gadget scales with size", `Quick, test_gadget_scales_with_size);
+    ("image gen deterministic", `Quick, test_image_gen_deterministic);
+    ("fig5 shape at small scale", `Quick, test_fig5_shape_small_scale);
+    ("table 3 all mitigated", `Quick, test_table3_all_mitigated);
+    ("tooling CVEs", `Quick, test_tooling_cves);
+    ("fig1a data shape", `Quick, test_fig1a_data_shape);
+    ("shell gating", `Quick, test_shell_gating);
+    ("multi precondition", `Quick, test_multi_precondition);
+    QCheck_alcotest.to_alcotest prop_gadget_counts_nonneg;
+    QCheck_alcotest.to_alcotest prop_decoder_length_positive;
+    QCheck_alcotest.to_alcotest prop_gadget_deterministic;
+    QCheck_alcotest.to_alcotest prop_decode_never_past_end;
+  ]

@@ -1,0 +1,459 @@
+(* Tests for the discrete-event engine and cooperative process package. *)
+
+open Kite_sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.add h ~key:k k) [ 5; 1; 9; 3; 7; 2; 8; 4; 6; 0 ];
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | None -> ()
+    | Some (_, v) ->
+        out := v :: !out;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int))
+    "sorted" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (List.rev !out)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.add h ~key:7 v) [ "a"; "b"; "c"; "d" ];
+  let next () = match Heap.pop h with Some (_, v) -> v | None -> "?" in
+  let x1 = next () in
+  let x2 = next () in
+  let x3 = next () in
+  let x4 = next () in
+  Alcotest.(check (list string))
+    "insertion order on equal keys"
+    [ "a"; "b"; "c"; "d" ]
+    [ x1; x2; x3; x4 ]
+
+let test_heap_interleaved () =
+  let h = Heap.create () in
+  Heap.add h ~key:3 3;
+  Heap.add h ~key:1 1;
+  check_int "min" 1 (Option.get (Heap.min_key h));
+  (match Heap.pop h with
+  | Some (k, v) ->
+      check_int "key" 1 k;
+      check_int "val" 1 v
+  | None -> Alcotest.fail "empty");
+  Heap.add h ~key:2 2;
+  check_int "size" 2 (Heap.size h);
+  check_int "min2" 2 (Option.get (Heap.min_key h))
+
+let test_heap_empty () =
+  let h = Heap.create () in
+  check_bool "empty" true (Heap.is_empty h);
+  check_bool "pop none" true (Heap.pop h = None);
+  check_bool "min none" true (Heap.min_key h = None)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in nondecreasing key order" ~count:200
+    QCheck.(list small_int)
+    (fun keys ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.add h ~key:k k) keys;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some (k, _) -> drain (k :: acc)
+      in
+      let out = drain [] in
+      out = List.sort compare keys)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Rng.bits64 a = Rng.bits64 b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 1 in
+  let b = Rng.split a in
+  let xa = Rng.bits64 a and xb = Rng.bits64 b in
+  check_bool "streams differ" true (xa <> xb)
+
+let test_rng_float_range () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    check_bool "float range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_gaussian_mean () =
+  let r = Rng.create 11 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.gaussian r ~mean:10.0 ~stdev:2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "mean near 10" true (abs_float (mean -. 10.0) < 0.1)
+
+let test_rng_exponential_positive () =
+  let r = Rng.create 13 in
+  for _ = 1 to 1000 do
+    check_bool "positive" true (Rng.exponential r ~mean:5.0 > 0.0)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule_at e (Time.us 30) (fun () -> log := 3 :: !log));
+  ignore (Engine.schedule_at e (Time.us 10) (fun () -> log := 1 :: !log));
+  ignore (Engine.schedule_at e (Time.us 20) (fun () -> log := 2 :: !log));
+  Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  check_int "clock at last event" (Time.us 30) (Engine.now e)
+
+let test_engine_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule_at e (Time.us 5) (fun () -> log := i :: !log))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule_after e (Time.ms 1) (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run e;
+  check_bool "not fired" false !fired;
+  check_bool "marked" true (Engine.cancelled h)
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Engine.schedule_at e (Time.ms i) (fun () -> incr count))
+  done;
+  Engine.run_until e (Time.ms 5);
+  check_int "first five" 5 !count;
+  check_int "clock advanced" (Time.ms 5) (Engine.now e);
+  Engine.run e;
+  check_int "rest" 10 !count
+
+let test_engine_past_rejected () =
+  let e = Engine.create () in
+  ignore (Engine.schedule_at e (Time.ms 2) (fun () -> ()));
+  Engine.run e;
+  Alcotest.check_raises "past"
+    (Invalid_argument
+       "Engine.schedule_at: 1000000 is in the past (now 2000000)") (fun () ->
+      ignore (Engine.schedule_at e (Time.ms 1) (fun () -> ())))
+
+let test_engine_cascading () =
+  (* Events scheduling further events at the same instant run this step. *)
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule_at e (Time.us 1) (fun () ->
+         log := "a" :: !log;
+         ignore
+           (Engine.schedule_at e (Time.us 1) (fun () -> log := "b" :: !log))));
+  Engine.run e;
+  Alcotest.(check (list string)) "cascade" [ "a"; "b" ] (List.rev !log)
+
+(* ------------------------------------------------------------------ *)
+(* Process                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_sim f =
+  let e = Engine.create () in
+  let s = Process.scheduler e in
+  f e s;
+  Engine.run e;
+  (e, s)
+
+let test_process_sleep () =
+  let wake = ref (-1) in
+  let e, _ =
+    run_sim (fun e s ->
+        Process.spawn s ~name:"sleeper" (fun () ->
+            Process.sleep (Time.ms 5);
+            wake := Engine.now e))
+  in
+  ignore e;
+  check_int "woke at 5ms" (Time.ms 5) !wake
+
+let test_process_interleave () =
+  let log = ref [] in
+  let _ =
+    run_sim (fun _ s ->
+        Process.spawn s ~name:"a" (fun () ->
+            log := "a1" :: !log;
+            Process.sleep (Time.ms 2);
+            log := "a2" :: !log);
+        Process.spawn s ~name:"b" (fun () ->
+            log := "b1" :: !log;
+            Process.sleep (Time.ms 1);
+            log := "b2" :: !log))
+  in
+  Alcotest.(check (list string))
+    "interleaving" [ "a1"; "b1"; "b2"; "a2" ] (List.rev !log)
+
+let test_process_yield () =
+  let log = ref [] in
+  let _ =
+    run_sim (fun _ s ->
+        Process.spawn s ~name:"a" (fun () ->
+            log := "a1" :: !log;
+            Process.yield ();
+            log := "a2" :: !log);
+        Process.spawn s ~name:"b" (fun () -> log := "b" :: !log))
+  in
+  Alcotest.(check (list string)) "yield lets b run" [ "a1"; "b"; "a2" ]
+    (List.rev !log)
+
+let test_process_live_count () =
+  let e = Engine.create () in
+  let s = Process.scheduler e in
+  Process.spawn s ~name:"p" (fun () -> Process.sleep (Time.ms 1));
+  check_int "one live" 1 (Process.live s);
+  Engine.run e;
+  check_int "none live" 0 (Process.live s)
+
+let test_process_failure () =
+  let e = Engine.create () in
+  let s = Process.scheduler e in
+  Process.spawn s ~name:"boom" (fun () -> failwith "bang");
+  (try
+     Engine.run e;
+     Alcotest.fail "expected Process_failure"
+   with Process.Process_failure (name, Failure msg) ->
+     Alcotest.(check string) "name" "boom" name;
+     Alcotest.(check string) "msg" "bang" msg)
+
+let test_condition_signal () =
+  let log = ref [] in
+  let _ =
+    run_sim (fun e s ->
+        let c = Condition.create () in
+        Process.spawn s ~name:"waiter" (fun () ->
+            Condition.wait c;
+            log := Engine.now e :: !log);
+        Process.spawn s ~name:"signaler" (fun () ->
+            Process.sleep (Time.ms 3);
+            Condition.signal c))
+  in
+  Alcotest.(check (list int)) "woke at 3ms" [ Time.ms 3 ] !log
+
+let test_condition_fifo () =
+  let log = ref [] in
+  let _ =
+    run_sim (fun _ s ->
+        let c = Condition.create () in
+        for i = 1 to 3 do
+          Process.spawn s ~name:"w" (fun () ->
+              Condition.wait c;
+              log := i :: !log)
+        done;
+        Process.spawn s ~name:"sig" (fun () ->
+            Process.sleep (Time.us 1);
+            Condition.signal c;
+            Condition.signal c;
+            Condition.signal c))
+  in
+  Alcotest.(check (list int)) "fifo wakeups" [ 1; 2; 3 ] (List.rev !log)
+
+let test_condition_broadcast () =
+  let woke = ref 0 in
+  let _ =
+    run_sim (fun _ s ->
+        let c = Condition.create () in
+        for _ = 1 to 5 do
+          Process.spawn s ~name:"w" (fun () ->
+              Condition.wait c;
+              incr woke)
+        done;
+        Process.spawn s ~name:"b" (fun () ->
+            Process.sleep (Time.us 1);
+            Condition.broadcast c))
+  in
+  check_int "all woke" 5 !woke
+
+let test_condition_timeout () =
+  let out = ref `Signaled in
+  let t = ref 0 in
+  let _ =
+    run_sim (fun e s ->
+        let c = Condition.create () in
+        Process.spawn s ~name:"w" (fun () ->
+            out := Condition.timed_wait c (Time.ms 2);
+            t := Engine.now e))
+  in
+  check_bool "timed out" true (!out = `Timeout);
+  check_int "at 2ms" (Time.ms 2) !t
+
+let test_condition_timed_wait_signaled () =
+  let out = ref `Timeout in
+  let _ =
+    run_sim (fun _ s ->
+        let c = Condition.create () in
+        Process.spawn s ~name:"w" (fun () ->
+            out := Condition.timed_wait c (Time.ms 10));
+        Process.spawn s ~name:"s" (fun () ->
+            Process.sleep (Time.ms 1);
+            Condition.signal c))
+  in
+  check_bool "signaled" true (!out = `Signaled)
+
+let test_condition_timeout_not_stealing () =
+  (* After a timed_wait times out, its stale queue entry must not swallow a
+     signal destined for a later waiter. *)
+  let woke = ref false in
+  let _ =
+    run_sim (fun _ s ->
+        let c = Condition.create () in
+        Process.spawn s ~name:"t" (fun () ->
+            ignore (Condition.timed_wait c (Time.ms 1)));
+        Process.spawn s ~name:"w" (fun () ->
+            Process.sleep (Time.ms 2);
+            Condition.wait c;
+            woke := true);
+        Process.spawn s ~name:"s" (fun () ->
+            Process.sleep (Time.ms 3);
+            Condition.signal c))
+  in
+  check_bool "real waiter woke" true !woke
+
+let test_mailbox_order () =
+  let got = ref [] in
+  let _ =
+    run_sim (fun _ s ->
+        let mb = Mailbox.create () in
+        Process.spawn s ~name:"rx" (fun () ->
+            for _ = 1 to 3 do
+              got := Mailbox.recv mb :: !got
+            done);
+        Process.spawn s ~name:"tx" (fun () ->
+            Mailbox.send mb 1;
+            Process.sleep (Time.us 1);
+            Mailbox.send mb 2;
+            Mailbox.send mb 3))
+  in
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !got)
+
+let test_mailbox_blocking_recv () =
+  let t = ref 0 in
+  let _ =
+    run_sim (fun e s ->
+        let mb = Mailbox.create () in
+        Process.spawn s ~name:"rx" (fun () ->
+            ignore (Mailbox.recv mb);
+            t := Engine.now e);
+        Process.spawn s ~name:"tx" (fun () ->
+            Process.sleep (Time.ms 7);
+            Mailbox.send mb ()))
+  in
+  check_int "recv completed at send time" (Time.ms 7) !t
+
+let test_mailbox_timeout () =
+  let out = ref (Some 0) in
+  let _ =
+    run_sim (fun _ s ->
+        let mb : int Mailbox.t = Mailbox.create () in
+        Process.spawn s ~name:"rx" (fun () ->
+            out := Mailbox.recv_timeout mb (Time.ms 1)))
+  in
+  check_bool "timed out empty" true (!out = None)
+
+let test_metrics () =
+  let m = Metrics.create () in
+  Metrics.incr m "hypercalls";
+  Metrics.add m "hypercalls" 4;
+  check_int "count" 5 (Metrics.count m "hypercalls");
+  check_int "missing" 0 (Metrics.count m "nope");
+  Metrics.add_busy m "vcpu0" (Time.ms 30);
+  Alcotest.(check (float 1e-9))
+    "util" 0.3
+    (Metrics.utilization m "vcpu0" ~total:(Time.ms 100));
+  Metrics.record_sample m "lat" 1.5;
+  Metrics.record_sample m "lat" 2.5;
+  Alcotest.(check (list (float 1e-9))) "samples" [ 1.5; 2.5 ]
+    (Metrics.samples m "lat");
+  Metrics.reset m;
+  check_int "reset" 0 (Metrics.count m "hypercalls")
+
+let test_time_pp () =
+  Alcotest.(check string) "ns" "17ns" (Time.to_string (Time.ns 17));
+  Alcotest.(check string) "us" "2.00us" (Time.to_string (Time.us 2));
+  Alcotest.(check string) "ms" "3.50ms" (Time.to_string (Time.ns 3_500_000));
+  Alcotest.(check string) "s" "2.000s" (Time.to_string (Time.sec 2))
+
+let prop_sleep_accumulates =
+  QCheck.Test.make ~name:"sequential sleeps accumulate" ~count:50
+    QCheck.(list_of_size Gen.(1 -- 10) (1 -- 1000))
+    (fun spans ->
+      let e = Engine.create () in
+      let s = Process.scheduler e in
+      let finish = ref 0 in
+      Process.spawn s ~name:"p" (fun () ->
+          List.iter (fun sp -> Process.sleep (Time.us sp)) spans;
+          finish := Engine.now e);
+      Engine.run e;
+      !finish = Time.us (List.fold_left ( + ) 0 spans))
+
+let suite =
+  [
+    ("heap ordering", `Quick, test_heap_order);
+    ("heap fifo ties", `Quick, test_heap_fifo_ties);
+    ("heap interleaved ops", `Quick, test_heap_interleaved);
+    ("heap empty", `Quick, test_heap_empty);
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng int bounds", `Quick, test_rng_bounds);
+    ("rng split independence", `Quick, test_rng_split_independent);
+    ("rng float range", `Quick, test_rng_float_range);
+    ("rng gaussian mean", `Quick, test_rng_gaussian_mean);
+    ("rng exponential positive", `Quick, test_rng_exponential_positive);
+    ("engine time ordering", `Quick, test_engine_ordering);
+    ("engine same-time fifo", `Quick, test_engine_same_time_fifo);
+    ("engine cancel", `Quick, test_engine_cancel);
+    ("engine run_until", `Quick, test_engine_run_until);
+    ("engine rejects past", `Quick, test_engine_past_rejected);
+    ("engine cascading events", `Quick, test_engine_cascading);
+    ("process sleep", `Quick, test_process_sleep);
+    ("process interleave", `Quick, test_process_interleave);
+    ("process yield", `Quick, test_process_yield);
+    ("process live count", `Quick, test_process_live_count);
+    ("process failure propagates", `Quick, test_process_failure);
+    ("condition signal", `Quick, test_condition_signal);
+    ("condition fifo", `Quick, test_condition_fifo);
+    ("condition broadcast", `Quick, test_condition_broadcast);
+    ("condition timeout", `Quick, test_condition_timeout);
+    ("condition timed_wait signaled", `Quick, test_condition_timed_wait_signaled);
+    ("condition timeout not stealing", `Quick, test_condition_timeout_not_stealing);
+    ("mailbox order", `Quick, test_mailbox_order);
+    ("mailbox blocking recv", `Quick, test_mailbox_blocking_recv);
+    ("mailbox timeout", `Quick, test_mailbox_timeout);
+    ("metrics", `Quick, test_metrics);
+    ("time pretty-printing", `Quick, test_time_pp);
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    QCheck_alcotest.to_alcotest prop_sleep_accumulates;
+  ]

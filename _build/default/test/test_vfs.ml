@@ -1,0 +1,216 @@
+open Kite_vfs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let mk () = Fs.format (Blockdev.ram ~name:"ram0" ~capacity_sectors:(1 lsl 16))
+
+let test_create_write_read () =
+  let fs = mk () in
+  Fs.create fs ~path:"/hello.txt";
+  Fs.write fs ~path:"/hello.txt" ~off:0 (Bytes.of_string "hello world");
+  check_str "read back" "hello world"
+    (Bytes.to_string (Fs.read fs ~path:"/hello.txt" ~off:0 ~len:100));
+  check_int "size" 11 (Fs.size fs ~path:"/hello.txt");
+  check_str "offset read" "world"
+    (Bytes.to_string (Fs.read fs ~path:"/hello.txt" ~off:6 ~len:5))
+
+let test_append () =
+  let fs = mk () in
+  Fs.create fs ~path:"/log";
+  Fs.append fs ~path:"/log" (Bytes.of_string "one,");
+  Fs.append fs ~path:"/log" (Bytes.of_string "two,");
+  Fs.append fs ~path:"/log" (Bytes.of_string "three");
+  check_str "appended" "one,two,three"
+    (Bytes.to_string (Fs.read fs ~path:"/log" ~off:0 ~len:100))
+
+let test_large_file_multiblock () =
+  let fs = mk () in
+  Fs.create fs ~path:"/big";
+  let data = Bytes.init 100_000 (fun i -> Char.chr (i land 0xff)) in
+  Fs.write fs ~path:"/big" ~off:0 data;
+  check_int "size" 100_000 (Fs.size fs ~path:"/big");
+  let back = Fs.read fs ~path:"/big" ~off:0 ~len:100_000 in
+  check_bool "content" true (Bytes.equal back data);
+  (* Unaligned read in the middle. *)
+  check_bool "middle" true
+    (Bytes.equal
+       (Fs.read fs ~path:"/big" ~off:5000 ~len:9999)
+       (Bytes.sub data 5000 9999))
+
+let test_sparse_overwrite () =
+  let fs = mk () in
+  Fs.create fs ~path:"/f";
+  Fs.write fs ~path:"/f" ~off:0 (Bytes.make 10_000 'a');
+  (* Overwrite a window crossing block boundaries. *)
+  Fs.write fs ~path:"/f" ~off:4000 (Bytes.make 200 'b');
+  let s = Bytes.to_string (Fs.read fs ~path:"/f" ~off:3999 ~len:203) in
+  check_str "rmw window" ("a" ^ String.make 200 'b' ^ "aa") s;
+  check_int "size unchanged" 10_000 (Fs.size fs ~path:"/f")
+
+let test_extend_with_hole () =
+  let fs = mk () in
+  Fs.create fs ~path:"/f";
+  Fs.write fs ~path:"/f" ~off:8192 (Bytes.of_string "tail");
+  check_int "size" 8196 (Fs.size fs ~path:"/f");
+  (* The hole reads as zeroes. *)
+  let hole = Fs.read fs ~path:"/f" ~off:0 ~len:4 in
+  check_bool "zeroed" true (Bytes.equal hole (Bytes.make 4 '\000'))
+
+let test_short_read_at_eof () =
+  let fs = mk () in
+  Fs.create fs ~path:"/f";
+  Fs.write fs ~path:"/f" ~off:0 (Bytes.of_string "abc");
+  check_str "clipped" "bc" (Bytes.to_string (Fs.read fs ~path:"/f" ~off:1 ~len:10));
+  check_str "past eof" "" (Bytes.to_string (Fs.read fs ~path:"/f" ~off:10 ~len:10))
+
+let test_dirs () =
+  let fs = mk () in
+  Fs.mkdir fs ~path:"/a/b/c";
+  Fs.create fs ~path:"/a/b/c/file1";
+  Fs.create fs ~path:"/a/b/file2";
+  Alcotest.(check (list string)) "ls /a/b" [ "c"; "file2" ]
+    (Fs.list_dir fs ~path:"/a/b");
+  Alcotest.(check (list string)) "ls /a/b/c" [ "file1" ]
+    (Fs.list_dir fs ~path:"/a/b/c");
+  check_bool "exists" true (Fs.exists fs ~path:"/a/b/c/file1");
+  check_bool "not exists" false (Fs.exists fs ~path:"/a/zz")
+
+let test_delete_frees_blocks () =
+  let fs = mk () in
+  let before = Fs.free_blocks fs in
+  Fs.create fs ~path:"/f";
+  Fs.write fs ~path:"/f" ~off:0 (Bytes.make 50_000 'x');
+  check_bool "blocks used" true (Fs.free_blocks fs < before);
+  Fs.delete fs ~path:"/f";
+  check_int "all freed" before (Fs.free_blocks fs);
+  check_int "no files" 0 (Fs.file_count fs);
+  check_bool "gone" false (Fs.exists fs ~path:"/f")
+
+let test_truncate_on_create () =
+  let fs = mk () in
+  Fs.create fs ~path:"/f";
+  Fs.write fs ~path:"/f" ~off:0 (Bytes.make 9000 'x');
+  Fs.create fs ~path:"/f";
+  check_int "truncated" 0 (Fs.size fs ~path:"/f")
+
+let test_rename () =
+  let fs = mk () in
+  Fs.mkdir fs ~path:"/dir";
+  Fs.create fs ~path:"/old";
+  Fs.write fs ~path:"/old" ~off:0 (Bytes.of_string "data");
+  Fs.rename fs ~src:"/old" ~dst:"/dir/new";
+  check_bool "src gone" false (Fs.exists fs ~path:"/old");
+  check_str "content moved" "data"
+    (Bytes.to_string (Fs.read fs ~path:"/dir/new" ~off:0 ~len:10))
+
+let test_stat () =
+  let fs = mk () in
+  Fs.mkdir fs ~path:"/d";
+  Fs.create fs ~path:"/d/f";
+  Fs.write fs ~path:"/d/f" ~off:0 (Bytes.make 5000 'x');
+  let st = Fs.stat fs ~path:"/d/f" in
+  check_int "size" 5000 st.Fs.st_size;
+  check_int "blocks" 2 st.Fs.st_blocks;
+  check_bool "file" false st.Fs.st_is_dir;
+  check_bool "dir" true (Fs.stat fs ~path:"/d").Fs.st_is_dir
+
+let test_errors () =
+  let fs = mk () in
+  Fs.mkdir fs ~path:"/d";
+  (try
+     ignore (Fs.read fs ~path:"/nope" ~off:0 ~len:1);
+     Alcotest.fail "expected Fs_error"
+   with Fs.Fs_error _ -> ());
+  (try
+     Fs.delete fs ~path:"/d";
+     Alcotest.fail "expected Fs_error (dir delete)"
+   with Fs.Fs_error _ -> ());
+  (try
+     Fs.create fs ~path:"/missing/f";
+     Alcotest.fail "expected Fs_error (missing parent)"
+   with Fs.Fs_error _ -> ())
+
+let test_fs_full () =
+  let fs =
+    Fs.format (Blockdev.ram ~name:"tiny" ~capacity_sectors:(8 * 8))
+    (* 8 blocks *)
+  in
+  Fs.create fs ~path:"/f";
+  try
+    Fs.write fs ~path:"/f" ~off:0 (Bytes.make (9 * 4096) 'x');
+    Alcotest.fail "expected Fs_error (full)"
+  with Fs.Fs_error _ -> ()
+
+let test_many_files () =
+  let fs = mk () in
+  Fs.mkdir fs ~path:"/data";
+  for i = 0 to 199 do
+    let p = Printf.sprintf "/data/file%03d" i in
+    Fs.create fs ~path:p;
+    Fs.write fs ~path:p ~off:0 (Bytes.make 100 (Char.chr (i land 0xff)))
+  done;
+  check_int "count" 200 (Fs.file_count fs);
+  check_int "listing" 200 (List.length (Fs.list_dir fs ~path:"/data"));
+  (* Spot-check a few. *)
+  List.iter
+    (fun i ->
+      let p = Printf.sprintf "/data/file%03d" i in
+      let b = Fs.read fs ~path:p ~off:0 ~len:1 in
+      check_int "content" (i land 0xff) (Char.code (Bytes.get b 0)))
+    [ 0; 57; 199 ]
+
+let test_sequential_allocation_contiguous () =
+  (* Next-fit allocation should keep a sequentially-written file in few
+     extents so blkback batching has work to merge. *)
+  let dev, counts = Blockdev.counting (Blockdev.ram ~name:"c" ~capacity_sectors:(1 lsl 16)) in
+  let fs = Fs.format dev in
+  Fs.create fs ~path:"/seq";
+  for i = 0 to 63 do
+    Fs.write fs ~path:"/seq" ~off:(i * 4096) (Bytes.make 4096 'x')
+  done;
+  let st = Fs.stat fs ~path:"/seq" in
+  check_int "64 blocks" 64 st.Fs.st_blocks;
+  let _, writes = counts () in
+  check_int "one device write per block" 64 writes
+
+let prop_write_read_random_windows =
+  QCheck.Test.make ~name:"fs: random window writes read back" ~count:60
+    QCheck.(small_list (pair (0 -- 20_000) (1 -- 3_000)))
+    (fun windows ->
+      let fs = mk () in
+      Fs.create fs ~path:"/f";
+      let model = Bytes.make 32_768 '\000' in
+      let model_size = ref 0 in
+      List.iter
+        (fun (off, len) ->
+          let data = Bytes.init len (fun i -> Char.chr ((off + i) land 0xff)) in
+          if len > 0 && off + len <= Bytes.length model then begin
+            Fs.write fs ~path:"/f" ~off data;
+            Bytes.blit data 0 model off len;
+            model_size := max !model_size (off + len)
+          end)
+        windows;
+      let back = Fs.read fs ~path:"/f" ~off:0 ~len:!model_size in
+      Bytes.equal back (Bytes.sub model 0 !model_size))
+
+let suite =
+  [
+    ("create/write/read", `Quick, test_create_write_read);
+    ("append", `Quick, test_append);
+    ("large multi-block file", `Quick, test_large_file_multiblock);
+    ("partial-block overwrite", `Quick, test_sparse_overwrite);
+    ("extend with hole", `Quick, test_extend_with_hole);
+    ("short read at eof", `Quick, test_short_read_at_eof);
+    ("directories", `Quick, test_dirs);
+    ("delete frees blocks", `Quick, test_delete_frees_blocks);
+    ("create truncates", `Quick, test_truncate_on_create);
+    ("rename", `Quick, test_rename);
+    ("stat", `Quick, test_stat);
+    ("errors", `Quick, test_errors);
+    ("fs full", `Quick, test_fs_full);
+    ("many files", `Quick, test_many_files);
+    ("sequential allocation", `Quick, test_sequential_allocation_contiguous);
+    QCheck_alcotest.to_alcotest prop_write_read_random_windows;
+  ]
