@@ -60,6 +60,70 @@ let run_cmd =
     Term.(ret (const run $ quick_arg $ id_arg))
 
 (* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let id_arg =
+    let doc =
+      "Experiment id to check (see $(b,list)); 'all' checks everything."
+    in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let strict_arg =
+    let doc = "Exit nonzero on warnings too, not just errors." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the findings as JSON instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let full_arg =
+    let doc = "Check the experiments at full scale (default: quick)." in
+    Arg.(value & flag & info [ "full" ] ~doc)
+  in
+  let run full strict json id =
+    let report = Kite_check.Report.create () in
+    Kite_check.Check.set_default
+      (Some (Kite_check.Check.default_config, report));
+    let quick = not full in
+    let run_one (eid, _desc, f) =
+      if not json then Printf.printf "checking %s...\n%!" eid;
+      ignore (f ~quick);
+      (* Tear the experiment's testbeds down so the leak audits run. *)
+      Kite.Scenario.teardown_all ()
+    in
+    let outcome =
+      if id = "all" then begin
+        List.iter run_one Kite.Experiments.all;
+        `Ok ()
+      end
+      else
+        match List.find_opt (fun (i, _, _) -> i = id) Kite.Experiments.all with
+        | Some exp ->
+            run_one exp;
+            `Ok ()
+        | None -> `Error (false, "unknown experiment " ^ id ^ "; try 'list'")
+    in
+    Kite_check.Check.set_default None;
+    match outcome with
+    | `Error _ as e -> e
+    | `Ok () ->
+        if json then print_string (Kite_check.Report.to_json report)
+        else Kite_check.Report.print report;
+        let errors = Kite_check.Report.errors report in
+        let warnings = Kite_check.Report.warnings report in
+        if errors > 0 || (strict && warnings > 0) then exit 1;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run experiments under the protocol-invariant checker (grants, \
+          rings, xenstore, scheduler) and report violations.")
+    Term.(ret (const run $ full_arg $ strict_arg $ json_arg $ id_arg))
+
+(* ------------------------------------------------------------------ *)
 (* boot                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -208,4 +272,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; boot_cmd; security_cmd; topology_cmd; trace_cmd ]))
+          [
+            list_cmd;
+            run_cmd;
+            check_cmd;
+            boot_cmd;
+            security_cmd;
+            topology_cmd;
+            trace_cmd;
+          ]))

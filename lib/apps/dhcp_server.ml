@@ -107,7 +107,7 @@ let start stack ~sched ~server_ip ~pool_start ~pool_size
     }
   in
   let sock = Stack.udp_bind stack ~port:Dhcp_wire.server_port in
-  Process.spawn sched ~name:"dhcpd" (serve t stack sock);
+  Process.spawn sched ~daemon:true ~name:"dhcpd" (serve t stack sock);
   t
 
 let offers t = t.offers

@@ -99,7 +99,7 @@ let handle_connection t conn () =
 let start tcp ?(port = 80) ?(cpu_per_request = Time.us 40) ~sched () =
   let t = { sched; cpu_per_request; requests_served = 0; bytes_served = 0 } in
   let listener = Tcp.listen tcp ~port in
-  Process.spawn sched ~name:"httpd-acceptor" (fun () ->
+  Process.spawn sched ~daemon:true ~name:"httpd-acceptor" (fun () ->
       let rec accept_loop () =
         let conn = Tcp.accept listener in
         Process.spawn sched ~name:"httpd-worker" (handle_connection t conn);

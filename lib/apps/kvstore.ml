@@ -48,7 +48,7 @@ let handle t conn () =
 let start tcp ?(port = 6379) ?(cpu_per_op = Time.us 2) ~sched () =
   let t = { store = Hashtbl.create 1024; cpu_per_op; sets = 0; gets = 0 } in
   let listener = Tcp.listen tcp ~port in
-  Process.spawn sched ~name:"kvstore-acceptor" (fun () ->
+  Process.spawn sched ~daemon:true ~name:"kvstore-acceptor" (fun () ->
       let rec loop () =
         let conn = Tcp.accept listener in
         Process.spawn sched ~name:"kvstore-worker" (handle t conn);

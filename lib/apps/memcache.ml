@@ -61,7 +61,7 @@ let start tcp ?(port = 11211) ?(cpu_per_op = Time.us 2) ~sched () =
     { store = Hashtbl.create 1024; cpu_per_op; sets = 0; gets = 0; hits = 0 }
   in
   let listener = Tcp.listen tcp ~port in
-  Process.spawn sched ~name:"memcache-acceptor" (fun () ->
+  Process.spawn sched ~daemon:true ~name:"memcache-acceptor" (fun () ->
       let rec loop () =
         let conn = Tcp.accept listener in
         Process.spawn sched ~name:"memcache-worker" (handle t conn);

@@ -171,7 +171,7 @@ let start tcp ?(port = 3306) ?(cpu_per_query = Time.us 8)
     }
   in
   let listener = Tcp.listen tcp ~port in
-  Process.spawn sched ~name:"sqldb-acceptor" (fun () ->
+  Process.spawn sched ~daemon:true ~name:"sqldb-acceptor" (fun () ->
       let rec loop () =
         let conn = Tcp.accept listener in
         Process.spawn sched ~name:"sqldb-worker" (handle t conn);

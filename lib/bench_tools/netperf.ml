@@ -12,7 +12,7 @@ let run ~sched ~client ~server ~server_ip ?(port = 12865)
     ?(rate_per_sec = 1000) ?(requests = 1000) ?(payload = 64) ~on_done () =
   (* Echo server. *)
   let ssock = Stack.udp_bind server ~port in
-  Process.spawn sched ~name:"netperf-server" (fun () ->
+  Process.spawn sched ~daemon:true ~name:"netperf-server" (fun () ->
       let rec loop () =
         let src, sport, data = Stack.udp_recv ssock in
         Stack.udp_send server ssock ~dst:src ~dst_port:sport data;

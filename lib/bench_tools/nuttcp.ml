@@ -14,7 +14,7 @@ let run ~sched ~client ~server ~server_ip ?(port = 5001) ?(payload = 8192)
   let sent = ref 0 in
   (* Receiver: drain datagrams, count them. *)
   let sock_server = Stack.udp_bind server ~port in
-  Process.spawn sched ~name:"nuttcp-rx" (fun () ->
+  Process.spawn sched ~daemon:true ~name:"nuttcp-rx" (fun () ->
       let rec loop () =
         let _ = Stack.udp_recv sock_server in
         incr received;

@@ -16,6 +16,31 @@ let overheads_of = function
 let guest_rx_cost = Time.ns 1100
 let client_rx_cost = Time.us 1
 
+(* When a checker is active (Check.set_default), every testbed built here
+   wires it in and registers an orderly-teardown closure; [teardown_all]
+   runs them so the end-of-run audits (grant leaks, orphaned watches)
+   inspect a quiesced system rather than steady-state buffers. *)
+let scenario_seq = ref 0
+let teardowns : (unit -> unit) list ref = ref []
+
+let teardown_all () =
+  let fs = List.rev !teardowns in
+  teardowns := [];
+  List.iter (fun f -> try f () with _ -> ()) fs
+
+let attach_check ctx tag =
+  match Kite_check.Check.default () with
+  | None -> None
+  | Some (config, report) ->
+      incr scenario_seq;
+      let c =
+        Kite_check.Check.create ~config
+          ~name:(Printf.sprintf "%s%d" tag !scenario_seq)
+          report
+      in
+      Kite_drivers.Xen_ctx.enable_check ctx c;
+      Some c
+
 type net = {
   hv : Hypervisor.t;
   ctx : Xen_ctx.t;
@@ -36,6 +61,7 @@ type net = {
 let network ?overheads_override ~flavor ?(seed = 2022) () =
   let hv = Hypervisor.create ~seed () in
   let ctx = Xen_ctx.create hv in
+  let check = attach_check ctx ("net-" ^ flavor_name flavor ^ "-") in
   let sched = Hypervisor.sched hv in
   let metrics = Hypervisor.metrics hv in
   let profile =
@@ -91,6 +117,23 @@ let network ?overheads_override ~flavor ?(seed = 2022) () =
       ~netmask:(Ipv4addr.of_string "255.255.255.0")
       ~rx_cost:client_rx_cost ()
   in
+  (match check with
+  | Some c ->
+      teardowns :=
+        (fun () ->
+          (* Drain in-flight I/O, stop the backend (unregisters its watch),
+             give its threads a beat to park, then close the frontend and
+             audit. *)
+          Hypervisor.run_for hv (Time.sec 1);
+          Hypervisor.spawn hv dd ~name:"teardown" (fun () ->
+              Netback.stop (Net_app.netback net_app);
+              Process.sleep (Time.ms 1);
+              Netfront.shutdown netfront);
+          Hypervisor.run_for hv (Time.ms 50);
+          Kite_check.Check.finalize c
+            ~pending:(Engine.pending (Hypervisor.engine hv)))
+        :: !teardowns
+  | None -> ());
   {
     hv;
     ctx;
@@ -130,6 +173,7 @@ let storage ~flavor ?(seed = 2022) ?(feature_persistent = true)
     ?(feature_indirect = true) ?(batching = true) () =
   let hv = Hypervisor.create ~seed () in
   let ctx = Xen_ctx.create hv in
+  let check = attach_check ctx ("blk-" ^ flavor_name flavor ^ "-") in
   let sched = Hypervisor.sched hv in
   let metrics = Hypervisor.metrics hv in
   let profile =
@@ -165,6 +209,22 @@ let storage ~flavor ?(seed = 2022) ?(feature_persistent = true)
   in
   Toolstack.add_vbd ctx ~backend:dd ~frontend:domu ~devid:0;
   let blkfront = Blkfront.create ctx ~domain:domu ~backend:dd ~devid:0 () in
+  (match check with
+  | Some c ->
+      teardowns :=
+        (fun () ->
+          Hypervisor.run_for hv (Time.sec 1);
+          Hypervisor.spawn hv dd ~name:"teardown" (fun () ->
+              (* Backend first: its persistent-reference sweep must unmap
+                 before blkfront revokes the pool. *)
+              Blkback.stop (Blk_app.blkback blk_app);
+              Process.sleep (Time.ms 1);
+              Blkfront.shutdown blkfront);
+          Hypervisor.run_for hv (Time.ms 50);
+          Kite_check.Check.finalize c
+            ~pending:(Engine.pending (Hypervisor.engine hv)))
+        :: !teardowns
+  | None -> ());
   { bhv = hv; bctx = ctx; bsched = sched; bdd = dd; bdomu = domu;
     blkfront; blk_app; nvme }
 

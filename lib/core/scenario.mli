@@ -9,6 +9,13 @@ val flavor_name : flavor -> string
 
 val overheads_of : flavor -> Kite_drivers.Overheads.t
 
+val teardown_all : unit -> unit
+(** Run the orderly teardown of every testbed built while a checker was
+    active ({!Kite_check.Check.set_default}): quiesce, stop backends,
+    shut down frontends, then run the end-of-run audits (grant leaks,
+    orphaned watches, open transactions, quiescence).  No-op — and
+    nothing is registered — when no checker is set. *)
+
 (** {1 Network domain testbed} *)
 
 type net = {

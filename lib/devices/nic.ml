@@ -70,7 +70,8 @@ let create sched metrics ~name ?(line_rate_gbps = 10.0)
       dropped = 0;
     }
   in
-  Process.spawn sched ~name:("nic-" ^ name ^ "-tx") (transmitter t);
+  Process.spawn sched ~daemon:true ~name:("nic-" ^ name ^ "-tx")
+    (transmitter t);
   t
 
 let connect a b ~propagation =

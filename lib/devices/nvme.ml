@@ -120,7 +120,7 @@ let create sched metrics ~name ?(capacity_sectors = 976_773_168)
     }
   in
   for i = 1 to queue_depth do
-    Process.spawn sched
+    Process.spawn sched ~daemon:true
       ~name:(Printf.sprintf "nvme-%s-w%d" name i)
       (worker t)
   done;

@@ -15,10 +15,14 @@ type instance = {
   persistent : bool;  (* negotiated *)
   batching : bool;
   wake : Condition.t;
+  (* Grants held mapped across requests (the persistent-reference table of
+     Â§3.3); released in one sweep on disconnect. *)
+  pmap : (int, unit) Hashtbl.t;
   mutable last_activity : Time.t;
   mutable requests : int;
   mutable segments : int;
   mutable device_ops : int;
+  mutable stop : bool;
 }
 
 type t = {
@@ -32,6 +36,8 @@ type t = {
   mutable insts : instance list;
   mutable known : (int * int) list;
   new_frontend : (int * int) Mailbox.t;
+  mutable stopping : bool;
+  mutable watch_id : Xenstore.watch_id option;
 }
 
 let instances t = t.insts
@@ -79,6 +85,8 @@ let prepare i req =
   let grefs = List.map (fun s -> s.Blkif.gref) segs in
   (* Persistent grants hit the map fast path (already mapped => free). *)
   let pages = Grant_table.map_many i.ctx.Xen_ctx.gt ~grantee:i.domain grefs in
+  if i.persistent then
+    List.iter (fun g -> Hashtbl.replace i.pmap g ()) grefs;
   let total_bytes =
     List.fold_left (fun acc s -> acc + Blkif.segment_bytes s) 0 segs
   in
@@ -212,6 +220,8 @@ let request_thread i () =
     | None -> List.rev acc
   in
   let rec loop () =
+    if i.stop then ()
+    else begin
     let works = drain [] in
     if works <> [] then begin
       touch i;
@@ -225,9 +235,10 @@ let request_thread i () =
     end;
     if not (Ring.final_check_for_requests i.ring) then begin
       Condition.wait i.wake;
-      charge_wake i
+      if not i.stop then charge_wake i
     end;
     loop ()
+    end
   in
   loop ()
 
@@ -276,17 +287,19 @@ let make_instance t ~frontend ~devid =
       port;
       persistent = t.feature_persistent && front_persistent;
       batching = t.batching;
-      wake = Condition.create ();
+      wake = Condition.create ~label:"blkback ring" ();
+      pmap = Hashtbl.create 64;
       last_activity = Time.zero;
       requests = 0;
       segments = 0;
       device_ops = 0;
+      stop = false;
     }
   in
   Event_channel.set_handler ctx.Xen_ctx.ec port domain (fun () ->
       Condition.signal i.wake);
   Xenbus.switch_state xb domain ~path:bpath Xenbus.Connected;
-  Hypervisor.spawn ctx.Xen_ctx.hv domain
+  Hypervisor.spawn ctx.Xen_ctx.hv domain ~daemon:true
     ~name:(Printf.sprintf "blkback-req-%d.%d" frontend.Domain.id devid)
     (request_thread i);
   i
@@ -294,12 +307,15 @@ let make_instance t ~frontend ~devid =
 let watcher t () =
   let rec loop () =
     let front_domid, devid = Mailbox.recv t.new_frontend in
-    (match Hypervisor.find_domain t.sctx.Xen_ctx.hv front_domid with
-    | Some frontend ->
-        let i = make_instance t ~frontend ~devid in
-        t.insts <- i :: t.insts
-    | None -> ());
-    loop ()
+    if front_domid < 0 || t.stopping then ()
+    else begin
+      (match Hypervisor.find_domain t.sctx.Xen_ctx.hv front_domid with
+      | Some frontend ->
+          let i = make_instance t ~frontend ~devid in
+          t.insts <- i :: t.insts
+      | None -> ());
+      loop ()
+    end
   in
   loop ()
 
@@ -336,16 +352,42 @@ let serve ctx ~domain ~overheads ~device ?(feature_persistent = true)
       batching;
       insts = [];
       known = [];
-      new_frontend = Mailbox.create ();
+      new_frontend = Mailbox.create ~label:"blkback new frontends" ();
+      stopping = false;
+      watch_id = None;
     }
   in
-  Hypervisor.spawn ctx.Xen_ctx.hv domain ~name:"blkback-watcher" (watcher t);
+  Hypervisor.spawn ctx.Xen_ctx.hv domain ~daemon:true ~name:"blkback-watcher"
+    (watcher t);
   Hypervisor.spawn ctx.Xen_ctx.hv domain ~name:"blkback-watch-setup"
     (fun () ->
       let base =
         Printf.sprintf "/local/domain/%d/backend/vbd" domain.Domain.id
       in
-      ignore
-        (Xenbus.watch ctx.Xen_ctx.xb domain ~path:base ~token:"blkback"
-           (fun ~path:_ ~token:_ -> scan t)));
+      t.watch_id <-
+        Some
+          (Xenbus.watch ctx.Xen_ctx.xb domain ~path:base ~token:"blkback"
+             (fun ~path:_ ~token:_ -> scan t)));
   t
+
+(* Disconnect one instance: retire its request thread, unmap the whole
+   persistent-reference table (the real driver's gnttab_unmap sweep on
+   disconnect) and close the event channel.  Process context: the unmap
+   charges hypercall time. *)
+let stop_instance i =
+  i.stop <- true;
+  Condition.broadcast i.wake;
+  let grefs = Hashtbl.fold (fun g () acc -> g :: acc) i.pmap [] in
+  Hashtbl.reset i.pmap;
+  Grant_table.unmap_many i.ctx.Xen_ctx.gt ~grantee:i.domain grefs;
+  Event_channel.close i.ctx.Xen_ctx.ec i.port
+
+let stop t =
+  t.stopping <- true;
+  (match t.watch_id with
+  | Some id ->
+      Xenbus.unwatch t.sctx.Xen_ctx.xb id;
+      t.watch_id <- None
+  | None -> ());
+  Mailbox.send t.new_frontend (-1, -1);
+  List.iter stop_instance t.insts

@@ -31,6 +31,11 @@ val serve :
 (** Start the backend in [domain], exporting [device].  Flags exist for
     the ablation benchmarks; they default to on, matching Kite. *)
 
+val stop : t -> unit
+(** Orderly teardown: unregister the directory watch, retire the watcher
+    and request threads, unmap all persistent grants and close the event
+    channels.  Call from process context after I/O has quiesced. *)
+
 val instances : t -> instance list
 val frontend_domid : instance -> int
 

@@ -128,14 +128,20 @@ let submit t op ~sector ~count data =
         descriptor_pages )
     end
   in
-  (* Wait for a ring slot. *)
-  while Ring.free_requests t.ring = 0 do
-    Condition.wait t.slot_cond
-  done;
+  (* Wait for a ring slot; concurrent submitters can steal the slot we
+     saw, in which case push raises Ring_full and we go back to sleep. *)
   let id = fresh_id t in
-  let p = { cond = Condition.create (); status = None } in
+  let p = { cond = Condition.create ~label:"blkfront response" (); status = None } in
+  let rec claim_slot () =
+    while Ring.free_requests t.ring = 0 do
+      Condition.wait t.slot_cond
+    done;
+    match Ring.push_request t.ring { Blkif.req_id = id; op; sector; body } with
+    | () -> ()
+    | exception Ring.Ring_full -> claim_slot ()
+  in
+  claim_slot ();
   Hashtbl.replace t.pending id p;
-  Ring.push_request t.ring { Blkif.req_id = id; op; sector; body };
   t.requests <- t.requests + 1;
   if Ring.push_requests_and_check_notify t.ring then
     Event_channel.notify t.ctx.Xen_ctx.ec t.port ~from:t.domain;
@@ -297,14 +303,19 @@ let create ctx ~domain ~backend ~devid ?(use_persistent = true)
       capacity = 0;
       backend_persistent = false;
       backend_indirect = 0;
-      conn_cond = Condition.create ();
-      slot_cond = Condition.create ();
+      conn_cond = Condition.create ~label:"blkfront connect" ();
+      slot_cond = Condition.create ~label:"blkfront ring slots" ();
       pending = Hashtbl.create 64;
       pool = [];
       next_id = 0;
       requests = 0;
     }
   in
+  (match ctx.Xen_ctx.check with
+  | Some c ->
+      Ring.attach_check t.ring c
+        ~name:(Printf.sprintf "%s/vbd%d" domain.Domain.name devid)
+  | None -> ());
   Hypervisor.spawn ctx.Xen_ctx.hv domain ~name:"blkfront-setup" (handshake t);
   t
 
@@ -312,3 +323,16 @@ let wait_connected t =
   while not t.connected do
     Condition.wait t.conn_cond
   done
+
+(* Frontend close path.  The persistent pool's grants are still mapped on
+   the backend side, so this must run {e after} {!Blkback.stop} has swept
+   its persistent-reference table; [end_access] on a still-mapped grant is
+   a protocol violation the checker reports. *)
+let shutdown t =
+  t.connected <- false;
+  List.iter
+    (fun (gref, _) ->
+      Grant_table.end_access t.ctx.Xen_ctx.gt ~granter:t.domain gref)
+    t.pool;
+  t.pool <- [];
+  Event_channel.close t.ctx.Xen_ctx.ec t.port

@@ -23,6 +23,11 @@ val create :
 
 val wait_connected : t -> unit
 
+val shutdown : t -> unit
+(** Frontend close path: revoke the persistent page pool's grants and
+    close the event channel.  Must run after {!Blkback.stop} has unmapped
+    the backend's persistent references. *)
+
 val sector_size : int
 (** 512. *)
 

@@ -21,6 +21,7 @@ type instance = {
   mutable tx_packets : int;
   mutable rx_packets : int;
   mutable rx_dropped : int;
+  mutable stop : bool;
 }
 
 type t = {
@@ -31,6 +32,8 @@ type t = {
   mutable insts : instance list;
   mutable known : (int * int) list;  (* (frontend domid, devid) seen *)
   new_frontend : (int * int) Mailbox.t;
+  mutable stopping : bool;
+  mutable watch_id : Xenstore.watch_id option;
 }
 
 let instances t = t.insts
@@ -78,17 +81,20 @@ let pusher i () =
     | None -> n
   in
   let rec loop () =
-    let n = drain 0 in
-    if n > 0 then begin
-      if Ring.push_responses_and_check_notify i.tx_ring then
-        Event_channel.notify i.ctx.Xen_ctx.ec i.port ~from:i.domain;
-      touch i
-    end;
-    if not (Ring.final_check_for_requests i.tx_ring) then begin
-      Condition.wait i.pusher_wake;
-      charge_wake i
-    end;
-    loop ()
+    if i.stop then ()
+    else begin
+      let n = drain 0 in
+      if n > 0 then begin
+        if Ring.push_responses_and_check_notify i.tx_ring then
+          Event_channel.notify i.ctx.Xen_ctx.ec i.port ~from:i.domain;
+        touch i
+      end;
+      if not (Ring.final_check_for_requests i.tx_ring) then begin
+        Condition.wait i.pusher_wake;
+        if not i.stop then charge_wake i
+      end;
+      loop ()
+    end
   in
   loop ()
 
@@ -116,24 +122,28 @@ let soft_start i () =
     end
   in
   let rec loop () =
-    let n = drain 0 in
-    if n > 0 then begin
-      if Ring.push_responses_and_check_notify i.rx_ring then
-        Event_channel.notify i.ctx.Xen_ctx.ec i.port ~from:i.domain;
-      touch i
-    end;
-    if Queue.is_empty i.backlog || Ring.pending_requests i.rx_ring = 0 then begin
-      (* Re-arm request notifications before sleeping. *)
-      if not (Ring.final_check_for_requests i.rx_ring) then begin
-        Condition.wait i.soft_wake;
-        charge_wake i
-      end
-      else if Queue.is_empty i.backlog then begin
-        Condition.wait i.soft_wake;
-        charge_wake i
-      end
-    end;
-    loop ()
+    if i.stop then ()
+    else begin
+      let n = drain 0 in
+      if n > 0 then begin
+        if Ring.push_responses_and_check_notify i.rx_ring then
+          Event_channel.notify i.ctx.Xen_ctx.ec i.port ~from:i.domain;
+        touch i
+      end;
+      if Queue.is_empty i.backlog || Ring.pending_requests i.rx_ring = 0
+      then begin
+        (* Re-arm request notifications before sleeping. *)
+        if not (Ring.final_check_for_requests i.rx_ring) then begin
+          Condition.wait i.soft_wake;
+          if not i.stop then charge_wake i
+        end
+        else if Queue.is_empty i.backlog then begin
+          Condition.wait i.soft_wake;
+          if not i.stop then charge_wake i
+        end
+      end;
+      loop ()
+    end
   in
   loop ()
 
@@ -174,12 +184,13 @@ let make_instance t ~frontend ~devid =
       port;
       vif = None;
       backlog = Queue.create ();
-      pusher_wake = Condition.create ();
-      soft_wake = Condition.create ();
+      pusher_wake = Condition.create ~label:"netback tx ring" ();
+      soft_wake = Condition.create ~label:"netback rx backlog" ();
       last_activity = Time.zero;
       tx_packets = 0;
       rx_packets = 0;
       rx_dropped = 0;
+      stop = false;
     }
   in
   (* The VIF's transmit side (bridge -> guest) feeds the backlog; it runs
@@ -202,10 +213,10 @@ let make_instance t ~frontend ~devid =
       Condition.signal i.soft_wake);
   Xenbus.switch_state xb domain ~path:bpath Xenbus.Connected;
   t.on_vif ~frontend:frontend.Domain.id ~devid vif;
-  Hypervisor.spawn ctx.Xen_ctx.hv domain
+  Hypervisor.spawn ctx.Xen_ctx.hv domain ~daemon:true
     ~name:(Printf.sprintf "netback-pusher-%d.%d" frontend.Domain.id devid)
     (pusher i);
-  Hypervisor.spawn ctx.Xen_ctx.hv domain
+  Hypervisor.spawn ctx.Xen_ctx.hv domain ~daemon:true
     ~name:(Printf.sprintf "netback-soft_start-%d.%d" frontend.Domain.id devid)
     (soft_start i);
   i
@@ -215,12 +226,15 @@ let make_instance t ~frontend ~devid =
 let watcher t () =
   let rec loop () =
     let front_domid, devid = Mailbox.recv t.new_frontend in
-    (match Hypervisor.find_domain t.sctx.Xen_ctx.hv front_domid with
-    | Some frontend ->
-        let i = make_instance t ~frontend ~devid in
-        t.insts <- i :: t.insts
-    | None -> ());
-    loop ()
+    if front_domid < 0 || t.stopping then ()
+    else begin
+      (match Hypervisor.find_domain t.sctx.Xen_ctx.hv front_domid with
+      | Some frontend ->
+          let i = make_instance t ~frontend ~devid in
+          t.insts <- i :: t.insts
+      | None -> ());
+      loop ()
+    end
   in
   loop ()
 
@@ -253,16 +267,39 @@ let serve ctx ~domain ~overheads ~on_vif =
       on_vif;
       insts = [];
       known = [];
-      new_frontend = Mailbox.create ();
+      new_frontend = Mailbox.create ~label:"netback new frontends" ();
+      stopping = false;
+      watch_id = None;
     }
   in
-  Hypervisor.spawn ctx.Xen_ctx.hv domain ~name:"netback-watcher" (watcher t);
+  Hypervisor.spawn ctx.Xen_ctx.hv domain ~daemon:true ~name:"netback-watcher"
+    (watcher t);
   Hypervisor.spawn ctx.Xen_ctx.hv domain ~name:"netback-watch-setup"
     (fun () ->
       let base =
         Printf.sprintf "/local/domain/%d/backend/vif" domain.Domain.id
       in
-      ignore
-        (Xenbus.watch ctx.Xen_ctx.xb domain ~path:base ~token:"netback"
-           (fun ~path:_ ~token:_ -> scan t)));
+      t.watch_id <-
+        Some
+          (Xenbus.watch ctx.Xen_ctx.xb domain ~path:base ~token:"netback"
+             (fun ~path:_ ~token:_ -> scan t)));
   t
+
+(* Orderly teardown (what the real backend does on frontend Closing):
+   unregister the directory watch, retire the watcher and per-instance
+   threads, and close the event channels.  Must run in process context. *)
+let stop t =
+  t.stopping <- true;
+  (match t.watch_id with
+  | Some id ->
+      Xenbus.unwatch t.sctx.Xen_ctx.xb id;
+      t.watch_id <- None
+  | None -> ());
+  Mailbox.send t.new_frontend (-1, -1);
+  List.iter
+    (fun i ->
+      i.stop <- true;
+      Condition.broadcast i.pusher_wake;
+      Condition.broadcast i.soft_wake;
+      Event_channel.close i.ctx.Xen_ctx.ec i.port)
+    t.insts

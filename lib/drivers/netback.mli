@@ -33,6 +33,11 @@ val serve :
     up frontends the toolstack registers under
     [/local/domain/<id>/backend/vif]. *)
 
+val stop : t -> unit
+(** Orderly teardown: unregister the directory watch, retire the watcher
+    and per-instance threads, close the event channels.  Call from process
+    context.  In-flight ring work is abandoned, so quiesce traffic first. *)
+
 val instances : t -> instance list
 
 val vif : instance -> Kite_net.Netdev.t

@@ -17,6 +17,7 @@ type t = {
   tx_pending : (int, Grant_table.ref_ * Page.t) Hashtbl.t;
   rx_buffers : (int, Grant_table.ref_ * Page.t) Hashtbl.t;
   mutable connected : bool;
+  mutable stop : bool;
   mutable next_id : int;
   mutable tx_packets : int;
   mutable rx_packets : int;
@@ -90,6 +91,8 @@ let post_rx_buffer t gref page =
    dedicated thread because re-posting may need a notify hypercall. *)
 let rx_thread t () =
   let rec loop () =
+    if t.stop then ()
+    else begin
     let rec drain reposted =
       match Ring.take_response t.rx_ring with
       | Some rsp ->
@@ -114,6 +117,7 @@ let rx_thread t () =
     if not (Ring.final_check_for_responses t.rx_ring) then
       Condition.wait t.rx_wake;
     loop ()
+    end
   in
   loop ()
 
@@ -151,7 +155,7 @@ let handshake t () =
   Xenbus.switch_state xb t.domain ~path:(fpath t) Xenbus.Connected;
   t.connected <- true;
   Condition.broadcast t.conn_cond;
-  Process.spawn (Hypervisor.sched t.ctx.Xen_ctx.hv)
+  Process.spawn (Hypervisor.sched t.ctx.Xen_ctx.hv) ~daemon:true
     ~name:(t.domain.Domain.name ^ "/netfront-rx")
     (rx_thread t)
 
@@ -166,12 +170,13 @@ let create ctx ~domain ~backend ~devid =
       rx_ring = Ring.create ~order:Netchannel.ring_order;
       port = -1;
       dev = None;
-      tx_slots = Condition.create ();
-      rx_wake = Condition.create ();
-      conn_cond = Condition.create ();
+      tx_slots = Condition.create ~label:"netfront tx slots" ();
+      rx_wake = Condition.create ~label:"netfront rx ring" ();
+      conn_cond = Condition.create ~label:"netfront connect" ();
       tx_pending = Hashtbl.create 64;
       rx_buffers = Hashtbl.create 512;
       connected = false;
+      stop = false;
       next_id = 0;
       tx_packets = 0;
       rx_packets = 0;
@@ -185,6 +190,13 @@ let create ctx ~domain ~backend ~devid =
       ()
   in
   t.dev <- Some dev;
+  (match ctx.Xen_ctx.check with
+  | Some c ->
+      Ring.attach_check t.tx_ring c
+        ~name:(Printf.sprintf "%s/vif%d-tx" domain.Domain.name devid);
+      Ring.attach_check t.rx_ring c
+        ~name:(Printf.sprintf "%s/vif%d-rx" domain.Domain.name devid)
+  | None -> ());
   Hypervisor.spawn ctx.Xen_ctx.hv domain ~name:"netfront-setup" (handshake t);
   t
 
@@ -194,3 +206,23 @@ let wait_connected t =
   while not t.connected do
     Condition.wait t.conn_cond
   done
+
+(* Frontend close path: retire the Rx thread, revoke every outstanding
+   grant (Tx in-flight and posted Rx buffers -- both only ever used via
+   grant copy, so revocation is a pure table update) and close the event
+   channel. *)
+let shutdown t =
+  t.connected <- false;
+  t.stop <- true;
+  Condition.broadcast t.rx_wake;
+  Condition.broadcast t.tx_slots;
+  let gt = t.ctx.Xen_ctx.gt in
+  Hashtbl.iter
+    (fun _ (gref, _) -> Grant_table.end_access gt ~granter:t.domain gref)
+    t.tx_pending;
+  Hashtbl.reset t.tx_pending;
+  Hashtbl.iter
+    (fun _ (gref, _) -> Grant_table.end_access gt ~granter:t.domain gref)
+    t.rx_buffers;
+  Hashtbl.reset t.rx_buffers;
+  Event_channel.close t.ctx.Xen_ctx.ec t.port

@@ -24,6 +24,11 @@ val netdev : t -> Kite_net.Netdev.t
 val wait_connected : t -> unit
 (** Block the calling process until the handshake reaches Connected. *)
 
+val shutdown : t -> unit
+(** Frontend close path: retire the Rx thread, revoke all outstanding
+    grants (in-flight Tx and posted Rx buffers) and close the event
+    channel.  Run after the backend has stopped touching the rings. *)
+
 val connected : t -> bool
 
 val tx_packets : t -> int

@@ -12,6 +12,7 @@ type t = {
   gt : Grant_table.t;
   netrings : Netchannel.registry;
   blkrings : Blkif.registry;
+  mutable check : Kite_check.Check.t option;
 }
 
 let create hv =
@@ -22,4 +23,11 @@ let create hv =
     gt = Grant_table.create hv;
     netrings = Netchannel.registry ();
     blkrings = Blkif.registry ();
+    check = None;
   }
+
+let enable_check t c =
+  t.check <- Some c;
+  Kite_sim.Process.set_check (Hypervisor.sched t.hv) (Some c);
+  Grant_table.set_check t.gt (Some c);
+  Xenstore.set_check (Hypervisor.store t.hv) (Some c)

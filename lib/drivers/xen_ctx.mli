@@ -7,6 +7,12 @@ type t = {
   gt : Kite_xen.Grant_table.t;
   netrings : Netchannel.registry;
   blkrings : Blkif.registry;
+  mutable check : Kite_check.Check.t option;
 }
 
 val create : Kite_xen.Hypervisor.t -> t
+
+val enable_check : t -> Kite_check.Check.t -> unit
+(** Wire a protocol checker into this machine: scheduler hooks, the grant
+    table and the xenstore.  Rings are attached as drivers connect (they
+    see [check] through this record).  Call before spawning drivers. *)

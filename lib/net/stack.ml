@@ -354,5 +354,5 @@ let create sched ~name ~dev ~mac ~ip ~netmask ?gateway ?(rx_cost = 0) () =
   in
   Netdev.set_rx dev (fun frame -> Mailbox.send t.rxq frame);
   Netdev.set_up dev true;
-  Process.spawn sched ~name:(name ^ "-rx") (rx_loop t);
+  Process.spawn sched ~daemon:true ~name:(name ^ "-rx") (rx_loop t);
   t

@@ -298,7 +298,7 @@ let make_conn tcp ~local_port ~remote_ip ~remote_port ~state ~iss ~rcv_nxt =
     }
   in
   Hashtbl.replace tcp.conns (local_port, remote_ip, remote_port) c;
-  Process.spawn (Stack.sched tcp.stack)
+  Process.spawn (Stack.sched tcp.stack) ~daemon:true
     ~name:
       (Printf.sprintf "%s-tcp-%d-%s:%d" (Stack.name tcp.stack) local_port
          (Ipv4addr.to_string remote_ip) remote_port)

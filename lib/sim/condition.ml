@@ -1,16 +1,16 @@
 type waiter = { mutable live : bool; resume : unit -> unit }
 
-type t = { q : waiter Queue.t }
+type t = { q : waiter Queue.t; label : string option }
 
-let create () = { q = Queue.create () }
+let create ?label () = { q = Queue.create (); label }
 
 let wait t =
-  Process.suspend (fun _eng resume ->
+  Process.suspend ?label:t.label (fun _eng resume ->
       Queue.push { live = true; resume } t.q)
 
 let timed_wait t span =
   let outcome = ref `Timeout in
-  Process.suspend (fun eng resume ->
+  Process.suspend ?label:t.label (fun eng resume ->
       (* Whichever of the timer and the signal fires first claims the
          suspension; the loser is disarmed so it can neither resume the
          process twice nor swallow a signal meant for another waiter. *)

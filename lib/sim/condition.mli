@@ -7,7 +7,8 @@
 
 type t
 
-val create : unit -> t
+val create : ?label:string -> unit -> t
+(** [label] names the condition in the checker's deadlock report. *)
 
 val wait : t -> unit
 (** Block the calling process until {!signal} or {!broadcast}. *)

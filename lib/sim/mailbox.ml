@@ -1,6 +1,7 @@
 type 'a t = { q : 'a Queue.t; nonempty : Condition.t }
 
-let create () = { q = Queue.create (); nonempty = Condition.create () }
+let create ?label () =
+  { q = Queue.create (); nonempty = Condition.create ?label () }
 
 let send t v =
   Queue.push v t.q;

@@ -5,7 +5,8 @@
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?label:string -> unit -> 'a t
+(** [label] names the mailbox in the checker's deadlock report. *)
 
 val send : 'a t -> 'a -> unit
 (** Enqueue a message and wake one waiting receiver.  Never blocks. *)

@@ -1,30 +1,70 @@
-type sched = { engine : Engine.t; mutable live : int }
+type sched = {
+  engine : Engine.t;
+  mutable live : int;
+  mutable check : Kite_check.Check.t option;
+}
 
 exception Process_failure of string * exn
 
 type _ Effect.t +=
   | Sleep : Time.span -> unit Effect.t
   | Yield : unit Effect.t
-  | Suspend : (Engine.t -> (unit -> unit) -> unit) -> unit Effect.t
+  | Suspend :
+      (string option * (Engine.t -> (unit -> unit) -> unit))
+      -> unit Effect.t
 
-let scheduler engine = { engine; live = 0 }
+let scheduler engine = { engine; live = 0; check = None }
 let engine t = t.engine
 let live t = t.live
+let set_check t c = t.check <- c
 
 let sleep span = Effect.perform (Sleep span)
 let yield () = Effect.perform Yield
-let suspend register = Effect.perform (Suspend register)
+let suspend ?label register = Effect.perform (Suspend (label, register))
 
-let spawn t ~name body =
+let spawn t ?(daemon = false) ~name body =
   t.live <- t.live + 1;
+  (* The checker reference is captured at spawn time: enabling checking
+     mid-run only instruments processes spawned afterwards. *)
+  let check = t.check in
+  let pid =
+    match check with
+    | Some c -> Kite_check.Check.proc_spawned c ~name ~daemon
+    | None -> -1
+  in
+  let blocked kind =
+    match check with
+    | Some c -> Kite_check.Check.proc_blocked c pid ~kind
+    | None -> ()
+  in
+  (* Wrap every engine-queue (re-)entry of the process so the checker
+     knows which process events are attributed to. *)
+  let step f =
+    match check with
+    | None -> f
+    | Some c ->
+        fun () ->
+          Kite_check.Check.proc_enter c pid;
+          Fun.protect
+            ~finally:(fun () -> Kite_check.Check.proc_leave c)
+            f
+  in
   let run () =
     let open Effect.Deep in
     match_with body ()
       {
-        retc = (fun () -> t.live <- t.live - 1);
+        retc =
+          (fun () ->
+            t.live <- t.live - 1;
+            match check with
+            | Some c -> Kite_check.Check.proc_exited c pid
+            | None -> ());
         exnc =
           (fun e ->
             t.live <- t.live - 1;
+            (match check with
+            | Some c -> Kite_check.Check.proc_exited c pid
+            | None -> ());
             raise (Process_failure (name, e)));
         effc =
           (fun (type a) (eff : a Effect.t) ->
@@ -32,18 +72,21 @@ let spawn t ~name body =
             | Sleep span ->
                 Some
                   (fun (k : (a, _) continuation) ->
+                    blocked `Sleep;
                     ignore
-                      (Engine.schedule_after t.engine span (fun () ->
-                           continue k ())))
+                      (Engine.schedule_after t.engine span
+                         (step (fun () -> continue k ()))))
             | Yield ->
                 Some
                   (fun (k : (a, _) continuation) ->
+                    blocked `Yield;
                     ignore
-                      (Engine.schedule_after t.engine 0 (fun () ->
-                           continue k ())))
-            | Suspend register ->
+                      (Engine.schedule_after t.engine 0
+                         (step (fun () -> continue k ()))))
+            | Suspend (label, register) ->
                 Some
                   (fun (k : (a, _) continuation) ->
+                    blocked (`Suspend label);
                     (* [resume] re-enters through the event queue so that a
                        waker always finishes its step before the woken
                        process runs. *)
@@ -53,11 +96,11 @@ let spawn t ~name body =
                         invalid_arg "Process: double resume of a suspension";
                       resumed := true;
                       ignore
-                        (Engine.schedule_after t.engine 0 (fun () ->
-                             continue k ()))
+                        (Engine.schedule_after t.engine 0
+                           (step (fun () -> continue k ())))
                     in
                     register t.engine resume)
             | _ -> None);
       }
   in
-  ignore (Engine.schedule_after t.engine 0 run)
+  ignore (Engine.schedule_after t.engine 0 (step run))

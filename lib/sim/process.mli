@@ -18,9 +18,16 @@ val scheduler : Engine.t -> sched
 
 val engine : sched -> Engine.t
 
-val spawn : sched -> name:string -> (unit -> unit) -> unit
+val set_check : sched -> Kite_check.Check.t option -> unit
+(** Attach (or detach) an invariant checker.  Only processes spawned while
+    a checker is attached are instrumented; with [None] (the default) the
+    scheduler runs exactly as before. *)
+
+val spawn : sched -> ?daemon:bool -> name:string -> (unit -> unit) -> unit
 (** [spawn sched ~name body] starts a process at the current instant.
-    [name] appears in the error raised if [body] raises. *)
+    [name] appears in the error raised if [body] raises.  [daemon]
+    (default false) marks service loops that legitimately stay blocked
+    forever, so the checker's quiescence/deadlock report skips them. *)
 
 val live : sched -> int
 (** Number of spawned processes that have not yet terminated. *)
@@ -40,8 +47,9 @@ val yield : unit -> unit
     orchestration applications perform to avoid monopolizing the
     cooperative scheduler. *)
 
-val suspend : (Engine.t -> (unit -> unit) -> unit) -> unit
+val suspend : ?label:string -> (Engine.t -> (unit -> unit) -> unit) -> unit
 (** [suspend register] blocks the current process; [register] is called
     with the engine and a one-shot [resume] closure that makes the process
     runnable again at the instant [resume] is invoked.  Building block for
-    {!Condition} and {!Mailbox}. *)
+    {!Condition} and {!Mailbox}.  [label] names what is being waited on in
+    the checker's deadlock report. *)

@@ -16,13 +16,22 @@ type t = {
   entries : (int, entry) Hashtbl.t;
   mutable next_ref : int;
   mutable maps : int;
+  mutable check : Kite_check.Check.t option;
 }
 
-let create hv = { hv; entries = Hashtbl.create 64; next_ref = 8; maps = 0 }
+let create hv =
+  { hv; entries = Hashtbl.create 64; next_ref = 8; maps = 0; check = None }
+
+let set_check t c = t.check <- c
 
 let grant_access t ~granter ~grantee ~page ~writable =
   let r = t.next_ref in
   t.next_ref <- t.next_ref + 1;
+  (match t.check with
+  | Some c ->
+      Kite_check.Check.grant_granted c ~gref:r ~granter:granter.Domain.id
+        ~grantee:grantee.Domain.id
+  | None -> ());
   Hashtbl.add t.entries r
     {
       granter = granter.Domain.id;
@@ -39,6 +48,9 @@ let get t r =
   | None -> raise (Grant_error (Printf.sprintf "bad grant reference %d" r))
 
 let end_access t ~granter r =
+  (match t.check with
+  | Some c -> Kite_check.Check.grant_end c ~gref:r ~granter:granter.Domain.id
+  | None -> ());
   let e = get t r in
   if e.granter <> granter.Domain.id then
     raise (Grant_error (Printf.sprintf "grant %d not owned by domain %d" r
@@ -58,6 +70,9 @@ let check_grantee e r dom =
    in its own table first; modelling it here keeps the accounting honest
    even if a driver calls [map] twice. *)
 let map_one t ~grantee r =
+  (match t.check with
+  | Some c -> Kite_check.Check.grant_map c ~gref:r ~grantee:grantee.Domain.id
+  | None -> ());
   let e = get t r in
   check_grantee e r grantee;
   let fresh = not e.mapped in
@@ -81,6 +96,10 @@ let map_many t ~grantee refs =
   List.map snd results
 
 let unmap_one t ~grantee r =
+  (match t.check with
+  | Some c ->
+      Kite_check.Check.grant_unmap c ~gref:r ~grantee:grantee.Domain.id
+  | None -> ());
   let e = get t r in
   check_grantee e r grantee;
   if not e.mapped then
@@ -104,6 +123,9 @@ let copy_cost t len =
   + (len + 1023) / 1024 * costs.Costs.grant_copy_per_kb
 
 let copy_to_granted t ~caller r ~off data =
+  (match t.check with
+  | Some c -> Kite_check.Check.grant_copy c ~gref:r
+  | None -> ());
   let e = get t r in
   if e.grantee <> caller.Domain.id && e.granter <> caller.Domain.id then
     raise (Grant_error (Printf.sprintf "grant %d not visible to domain %d" r
@@ -115,6 +137,9 @@ let copy_to_granted t ~caller r ~off data =
   Page.write e.page ~off data
 
 let copy_from_granted t ~caller r ~off ~len =
+  (match t.check with
+  | Some c -> Kite_check.Check.grant_copy c ~gref:r
+  | None -> ());
   let e = get t r in
   if e.grantee <> caller.Domain.id && e.granter <> caller.Domain.id then
     raise (Grant_error (Printf.sprintf "grant %d not visible to domain %d" r

@@ -19,6 +19,10 @@ exception Grant_error of string
 
 val create : Hypervisor.t -> t
 
+val set_check : t -> Kite_check.Check.t option -> unit
+(** Attach the grant sanitizer: use-after-revoke, double unmap,
+    [end_access] while mapped, and the end-of-run leak audit. *)
+
 val grant_access :
   t -> granter:Domain.t -> grantee:Domain.t -> page:Page.t -> writable:bool ->
   ref_

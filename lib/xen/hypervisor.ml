@@ -58,8 +58,8 @@ let domains t = List.rev t.domains
 let find_domain t id =
   List.find_opt (fun d -> d.Domain.id = id) t.domains
 
-let spawn t dom ~name body =
-  Process.spawn t.sched ~name:(dom.Domain.name ^ "/" ^ name) body
+let spawn t dom ?daemon ~name body =
+  Process.spawn t.sched ?daemon ~name:(dom.Domain.name ^ "/" ^ name) body
 
 (* Occupy the domain's vCPU for [span].  Domains with one vCPU contend:
    concurrent work queues behind the cursor.  Multi-vCPU domains are

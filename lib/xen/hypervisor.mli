@@ -31,9 +31,11 @@ val domains : t -> Domain.t list
 
 val find_domain : t -> int -> Domain.t option
 
-val spawn : t -> Domain.t -> name:string -> (unit -> unit) -> unit
+val spawn :
+  t -> Domain.t -> ?daemon:bool -> name:string -> (unit -> unit) -> unit
 (** Start a process belonging to a domain; the process name is prefixed
-    with the domain name for diagnostics. *)
+    with the domain name for diagnostics.  [daemon] marks service loops
+    the checker's quiescence report skips. *)
 
 val charge : t -> Domain.t -> string -> Kite_sim.Time.span -> unit
 (** [charge hv dom what span] models [dom] spending [span] on hypercall or

@@ -2,6 +2,8 @@
    Separate request and response arrays stand in for the union-typed slot
    array of the C ABI; occupancy arithmetic is identical. *)
 
+exception Ring_full
+
 type ('req, 'rsp) t = {
   size : int;
   mask : int;
@@ -18,6 +20,7 @@ type ('req, 'rsp) t = {
   (* Notification thresholds. *)
   mutable req_event : int;
   mutable rsp_event : int;
+  mutable check : Kite_check.Check.ring option;
 }
 
 let create ~order =
@@ -36,21 +39,33 @@ let create ~order =
     rsp_cons = 0;
     req_event = 1;
     rsp_event = 1;
+    check = None;
   }
 
 let size t = t.size
+
+let attach_check t c ~name = t.check <- Some (Kite_check.Check.ring c ~name)
 
 (* Unconsumed responses pending plus in-flight requests bound the number of
    slots the frontend may still fill. *)
 let free_requests t = t.size - (t.req_prod_pvt - t.rsp_cons)
 
 let push_request t req =
-  if free_requests t <= 0 then invalid_arg "Ring.push_request: ring full";
+  (match t.check with
+  | Some rc ->
+      Kite_check.Check.ring_push rc `Req
+        ~used:(t.req_prod_pvt - t.rsp_cons) ~size:t.size
+  | None -> ());
+  if free_requests t <= 0 then raise Ring_full;
   t.reqs.(t.req_prod_pvt land t.mask) <- Some req;
   t.req_prod_pvt <- t.req_prod_pvt + 1
 
 let push_requests_and_check_notify t =
   let old = t.req_prod in
+  (match t.check with
+  | Some rc ->
+      Kite_check.Check.ring_publish rc `Req ~old_prod:old ~prod:t.req_prod_pvt
+  | None -> ());
   t.req_prod <- t.req_prod_pvt;
   (* notify iff the consumer's event threshold lies in (old, new]. *)
   t.req_prod - t.req_event < t.req_prod - old
@@ -58,7 +73,11 @@ let push_requests_and_check_notify t =
 let pending_requests t = t.req_prod - t.req_cons
 
 let take_request t =
-  if t.req_cons = t.req_prod then None
+  let got = t.req_cons <> t.req_prod in
+  (match t.check with
+  | Some rc -> Kite_check.Check.ring_take rc `Req ~got
+  | None -> ());
+  if not got then None
   else begin
     let i = t.req_cons land t.mask in
     let r = t.reqs.(i) in
@@ -70,20 +89,32 @@ let take_request t =
   end
 
 let push_response t rsp =
-  if t.rsp_prod_pvt - t.rsp_cons >= t.size then
-    invalid_arg "Ring.push_response: ring full";
+  (match t.check with
+  | Some rc ->
+      Kite_check.Check.ring_push rc `Rsp
+        ~used:(t.rsp_prod_pvt - t.rsp_cons) ~size:t.size
+  | None -> ());
+  if t.rsp_prod_pvt - t.rsp_cons >= t.size then raise Ring_full;
   t.rsps.(t.rsp_prod_pvt land t.mask) <- Some rsp;
   t.rsp_prod_pvt <- t.rsp_prod_pvt + 1
 
 let push_responses_and_check_notify t =
   let old = t.rsp_prod in
+  (match t.check with
+  | Some rc ->
+      Kite_check.Check.ring_publish rc `Rsp ~old_prod:old ~prod:t.rsp_prod_pvt
+  | None -> ());
   t.rsp_prod <- t.rsp_prod_pvt;
   t.rsp_prod - t.rsp_event < t.rsp_prod - old
 
 let pending_responses t = t.rsp_prod - t.rsp_cons
 
 let take_response t =
-  if t.rsp_cons = t.rsp_prod then None
+  let got = t.rsp_cons <> t.rsp_prod in
+  (match t.check with
+  | Some rc -> Kite_check.Check.ring_take rc `Rsp ~got
+  | None -> ());
+  if not got then None
   else begin
     let i = t.rsp_cons land t.mask in
     let r = t.rsps.(i) in
@@ -95,6 +126,9 @@ let take_response t =
   end
 
 let final_check_for_requests t =
+  (match t.check with
+  | Some rc -> Kite_check.Check.ring_final_check rc `Req
+  | None -> ());
   if pending_requests t > 0 then true
   else begin
     t.req_event <- t.req_cons + 1;
@@ -102,6 +136,9 @@ let final_check_for_requests t =
   end
 
 let final_check_for_responses t =
+  (match t.check with
+  | Some rc -> Kite_check.Check.ring_final_check rc `Rsp
+  | None -> ());
   if pending_responses t > 0 then true
   else begin
     t.rsp_event <- t.rsp_cons + 1;

@@ -13,11 +13,20 @@
 
 type ('req, 'rsp) t
 
+exception Ring_full
+(** Raised by {!push_request}/{!push_response} when every slot is in use —
+    pushing then would overwrite an in-flight slot.  Well-behaved drivers
+    check {!free_requests} (or their response accounting) first. *)
+
 val create : order:int -> ('req, 'rsp) t
 (** A ring with [2^order] slots.  The paper's block ring holds 32 slots,
     network rings 256. *)
 
 val size : ('req, 'rsp) t -> int
+
+val attach_check : ('req, 'rsp) t -> Kite_check.Check.t -> name:string -> unit
+(** Attach the ring-protocol lint.  Both endpoints are covered (they share
+    this value, like the shared ring page). *)
 
 (** {1 Frontend side} *)
 
@@ -25,8 +34,8 @@ val free_requests : ('req, 'rsp) t -> int
 (** Slots available for new requests. *)
 
 val push_request : ('req, 'rsp) t -> 'req -> unit
-(** Place a request in the private producer index.  Raises
-    [Invalid_argument] when the ring is full. *)
+(** Place a request in the private producer index.  Raises {!Ring_full}
+    when the ring is full. *)
 
 val push_requests_and_check_notify : ('req, 'rsp) t -> bool
 (** Publish pending private requests; true when the backend asked to be

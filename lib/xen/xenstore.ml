@@ -19,13 +19,24 @@ type t = {
   root : node;
   mutable watches : watch list;
   mutable next_watch : int;
+  mutable next_tx : int;
   mutable gen : int;
+  mutable check : Kite_check.Check.t option;
 }
 
 let make_node owner = { value = ""; owner; children = Hashtbl.create 4 }
 
 let create () =
-  { root = make_node 0; watches = []; next_watch = 0; gen = 0 }
+  {
+    root = make_node 0;
+    watches = [];
+    next_watch = 0;
+    next_tx = 0;
+    gen = 0;
+    check = None;
+  }
+
+let set_check t c = t.check <- c
 
 let split_path p =
   if p = "" then invalid_arg "Xenstore.split_path: empty path";
@@ -85,10 +96,15 @@ let rec ensure node = function
       ensure child rest
 
 let check_write t domid segs =
-  if not (may_write t.root domid segs) then
+  if not (may_write t.root domid segs) then begin
+    (match t.check with
+    | Some c ->
+        Kite_check.Check.write_denied c ~domid ~path:(join_path segs)
+    | None -> ());
     raise
       (Permission_denied
          (Printf.sprintf "domain %d cannot write %s" domid (join_path segs)))
+  end
 
 let write_segs t ~domid segs value =
   check_write t domid segs;
@@ -149,13 +165,20 @@ let generation t = t.gen
 let watch t ~path ~token callback =
   let id = t.next_watch in
   t.next_watch <- t.next_watch + 1;
+  (match t.check with
+  | Some c -> Kite_check.Check.watch_added c ~id ~path ~token
+  | None -> ());
   let w = { id; wpath = split_path path; token; callback } in
   t.watches <- w :: t.watches;
   (* Xen fires a watch once immediately upon registration. *)
   callback ~path ~token;
   id
 
-let unwatch t id = t.watches <- List.filter (fun w -> w.id <> id) t.watches
+let unwatch t id =
+  (match t.check with
+  | Some c -> Kite_check.Check.watch_removed c ~id
+  | None -> ());
+  t.watches <- List.filter (fun w -> w.id <> id) t.watches
 
 (* ------------------------------------------------------------------ *)
 (* Transactions                                                        *)
@@ -163,12 +186,24 @@ let unwatch t id = t.watches <- List.filter (fun w -> w.id <> id) t.watches
 
 type tx = {
   store : t;
+  tx_id : int;
   start_gen : int;
   mutable ops : (int * string list * string) list;  (* domid, path, value; reversed *)
   mutable aborted : bool;
 }
 
-let tx_start t = { store = t; start_gen = t.gen; ops = []; aborted = false }
+let tx_start t =
+  let tx_id = t.next_tx in
+  t.next_tx <- t.next_tx + 1;
+  (match t.check with
+  | Some c -> Kite_check.Check.tx_opened c ~id:tx_id
+  | None -> ());
+  { store = t; tx_id; start_gen = t.gen; ops = []; aborted = false }
+
+let tx_closed tx =
+  match tx.store.check with
+  | Some c -> Kite_check.Check.tx_closed c ~id:tx.tx_id
+  | None -> ()
 
 let tx_write tx ~domid ~path value =
   if tx.aborted then invalid_arg "Xenstore.tx_write: aborted transaction";
@@ -185,6 +220,9 @@ let tx_read tx ~path =
 
 let tx_commit tx =
   if tx.aborted then invalid_arg "Xenstore.tx_commit: aborted transaction";
+  (* A conflicted transaction ends too: the caller restarts with a fresh
+     [tx_start], like real xenstored's EAGAIN. *)
+  tx_closed tx;
   if tx.store.gen <> tx.start_gen && tx.ops <> [] then `Conflict
   else begin
     List.iter
@@ -194,4 +232,6 @@ let tx_commit tx =
     `Committed
   end
 
-let tx_abort tx = tx.aborted <- true
+let tx_abort tx =
+  if not tx.aborted then tx_closed tx;
+  tx.aborted <- true

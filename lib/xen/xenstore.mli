@@ -17,6 +17,10 @@ exception Permission_denied of string
 
 val create : unit -> t
 
+val set_check : t -> Kite_check.Check.t option -> unit
+(** Attach the xenstore lint: orphaned watches, transactions left open at
+    the end of a run, and denied writes. *)
+
 (** {1 Basic operations}
 
     Paths are ['/']-separated, e.g. ["/local/domain/3/device/vif/0/state"].

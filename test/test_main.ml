@@ -4,6 +4,7 @@ let () =
       ("sim", Test_sim.suite);
       ("stats", Test_stats.suite);
       ("xen", Test_xen.suite);
+      ("check", Test_check.suite);
       ("devices", Test_devices.suite);
       ("net", Test_net.suite);
       ("drivers", Test_drivers.suite);

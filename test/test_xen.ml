@@ -194,8 +194,8 @@ let test_ring_full () =
   Ring.push_request r 1;
   Ring.push_request r 2;
   check_int "no free" 0 (Ring.free_requests r);
-  Alcotest.check_raises "full" (Invalid_argument "Ring.push_request: ring full")
-    (fun () -> Ring.push_request r 3)
+  Alcotest.check_raises "full" Ring.Ring_full (fun () ->
+      Ring.push_request r 3)
 
 let test_ring_notify_suppression () =
   let r : (int, int) Ring.t = Ring.create ~order:4 in
