@@ -7,7 +7,8 @@
      dune exec bench/main.exe -- --quick      # scaled-down smoke pass
      dune exec bench/main.exe -- --only fig9  # one experiment
      dune exec bench/main.exe -- --list
-     dune exec bench/main.exe -- --micro      # bechamel microbenchmarks *)
+     dune exec bench/main.exe -- --micro            # bechamel microbenchmarks
+     dune exec bench/main.exe -- --trace-overhead   # disabled-tracer ring cost *)
 
 let list_experiments () =
   print_endline "available experiments:";
@@ -125,6 +126,158 @@ let micro_tests () =
         results)
     tests
 
+(* ------------------------------------------------------------------ *)
+(* Disabled-tracer overhead gate                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A local mirror of the seed's ring hot path (indices, masking, and the
+   single checker-option match it already paid), used as the baseline the
+   instrumented-but-disabled ring is compared against. *)
+module Bare_ring = struct
+  type t = {
+    mask : int;
+    reqs : int option array;
+    rsps : int option array;
+    mutable req_prod : int;
+    mutable req_prod_pvt : int;
+    mutable req_cons : int;
+    mutable rsp_prod : int;
+    mutable rsp_prod_pvt : int;
+    mutable rsp_cons : int;
+    mutable check : unit option;
+  }
+
+  let create ~order =
+    let size = 1 lsl order in
+    {
+      mask = size - 1;
+      reqs = Array.make size None;
+      rsps = Array.make size None;
+      req_prod = 0;
+      req_prod_pvt = 0;
+      req_cons = 0;
+      rsp_prod = 0;
+      rsp_prod_pvt = 0;
+      rsp_cons = 0;
+      check = None;
+    }
+
+  let push_request t v =
+    (match t.check with Some () -> () | None -> ());
+    t.reqs.(t.req_prod_pvt land t.mask) <- Some v;
+    t.req_prod_pvt <- t.req_prod_pvt + 1
+
+  let publish_requests t =
+    (match t.check with Some () -> () | None -> ());
+    t.req_prod <- t.req_prod_pvt
+
+  let take_request t =
+    (match t.check with Some () -> () | None -> ());
+    if t.req_cons = t.req_prod then None
+    else begin
+      let i = t.req_cons land t.mask in
+      let r = t.reqs.(i) in
+      t.reqs.(i) <- None;
+      t.req_cons <- t.req_cons + 1;
+      r
+    end
+
+  let push_response t v =
+    (match t.check with Some () -> () | None -> ());
+    t.rsps.(t.rsp_prod_pvt land t.mask) <- Some v;
+    t.rsp_prod_pvt <- t.rsp_prod_pvt + 1
+
+  let publish_responses t =
+    (match t.check with Some () -> () | None -> ());
+    t.rsp_prod <- t.rsp_prod_pvt
+end
+
+let bare_roundtrip () =
+  let r = Bare_ring.create ~order:5 in
+  for i = 1 to 32 do
+    Bare_ring.push_request r i
+  done;
+  Bare_ring.publish_requests r;
+  let rec drain () =
+    match Bare_ring.take_request r with
+    | Some v ->
+        Bare_ring.push_response r v;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Bare_ring.publish_responses r
+
+let real_roundtrip ~trace () =
+  let r : (int, int) Kite_xen.Ring.t = Kite_xen.Ring.create ~order:5 in
+  (match trace with
+  | Some tr -> Kite_xen.Ring.attach_trace r tr ~name:"bench" ~now:(fun () -> 0)
+  | None -> ());
+  for i = 1 to 32 do
+    Kite_xen.Ring.push_request r i
+  done;
+  ignore (Kite_xen.Ring.push_requests_and_check_notify r);
+  let rec drain () =
+    match Kite_xen.Ring.take_request r with
+    | Some v ->
+        Kite_xen.Ring.push_response r v;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  ignore (Kite_xen.Ring.push_responses_and_check_notify r)
+
+(* The tier-1 gate for the tracer's zero-cost-when-disabled claim: the
+   instrumented ring with no tracer attached must stay within a generous
+   noise bound of the seed-shaped bare ring. *)
+let trace_overhead () =
+  let open Bechamel in
+  let open Toolkit in
+  let measure name f =
+    let test = Test.make ~name (Staged.stage f) in
+    let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 1.0) () in
+    let raw =
+      Benchmark.all cfg
+        Instance.[ monotonic_clock ]
+        (Test.make_grouped ~name:"g" [ test ])
+    in
+    let results =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+        (Instance.monotonic_clock :> Measure.witness)
+        raw
+    in
+    let est = ref nan in
+    Hashtbl.iter
+      (fun _ ols ->
+        match Bechamel.Analyze.OLS.estimates ols with
+        | Some [ e ] -> est := e
+        | Some _ | None -> ())
+      results;
+    !est
+  in
+  print_endline "== disabled-tracer overhead on the ring hot path ==";
+  let bare = measure "bare (seed shape)" bare_roundtrip in
+  let disabled = measure "instrumented, tracer disabled" (real_roundtrip ~trace:None) in
+  let tr = Kite_trace.Trace.create ~name:"bench" () in
+  let traced = measure "tracer enabled" (real_roundtrip ~trace:(Some tr)) in
+  Printf.printf "  bare ring (seed shape):          %10.1f ns/roundtrip
+" bare;
+  Printf.printf "  instrumented, tracer disabled:   %10.1f ns/roundtrip
+"
+    disabled;
+  Printf.printf "  instrumented, tracer enabled:    %10.1f ns/roundtrip
+"
+    traced;
+  let ratio = disabled /. bare in
+  Printf.printf "  disabled/bare ratio: %.2fx (gate: < 2.00x)
+%!" ratio;
+  if Float.is_nan ratio || ratio >= 2.0 then begin
+    print_endline "FAIL: disabled tracer is not within noise of the seed ring";
+    exit 1
+  end;
+  print_endline "OK: disabled tracer within noise of seed"
+
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
@@ -138,6 +291,7 @@ let () =
     find args
   in
   if List.mem "--list" args then list_experiments ()
+  else if List.mem "--trace-overhead" args then trace_overhead ()
   else if micro then micro_tests ()
   else begin
     Printf.printf "Kite reproduction harness (%s scale)\n"

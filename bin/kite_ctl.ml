@@ -5,6 +5,8 @@
 
      kite_ctl list
      kite_ctl run fig9 --quick
+     kite_ctl check fig7
+     kite_ctl trace fig7 --out trace.json --breakdown --hypercalls
      kite_ctl boot kite-network
      kite_ctl security
      kite_ctl topology --flavor kite *)
@@ -14,6 +16,24 @@ open Cmdliner
 let quick_arg =
   let doc = "Run at reduced scale (smoke pass)." in
   Arg.(value & flag & info [ "quick" ] ~doc)
+
+let full_arg =
+  let doc = "Run the experiments at full scale (default: quick)." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+(* Experiment selection, shared by run/check/trace: resolve [id] ('all'
+   runs everything) and apply [run_one] to each selected experiment. *)
+let for_experiments id run_one =
+  if id = "all" then begin
+    List.iter run_one Kite.Experiments.all;
+    `Ok ()
+  end
+  else
+    match List.find_opt (fun (i, _, _) -> i = id) Kite.Experiments.all with
+    | Some exp ->
+        run_one exp;
+        `Ok ()
+    | None -> `Error (false, "unknown experiment " ^ id ^ "; try 'list'")
 
 (* ------------------------------------------------------------------ *)
 (* list                                                                *)
@@ -39,21 +59,10 @@ let run_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
   in
   let run quick id =
-    let run_one (eid, desc, f) =
-      Printf.printf "\n### %s — %s\n%!" eid desc;
-      let outcome = f ~quick in
-      List.iter Kite_stats.Table.print outcome.Kite.Experiments.tables
-    in
-    if id = "all" then begin
-      List.iter run_one Kite.Experiments.all;
-      `Ok ()
-    end
-    else
-      match List.find_opt (fun (i, _, _) -> i = id) Kite.Experiments.all with
-      | Some exp ->
-          run_one exp;
-          `Ok ()
-      | None -> `Error (false, "unknown experiment " ^ id ^ "; try 'list'")
+    for_experiments id (fun (eid, desc, f) ->
+        Printf.printf "\n### %s — %s\n%!" eid desc;
+        let outcome = f ~quick in
+        List.iter Kite_stats.Table.print outcome.Kite.Experiments.tables)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment (or 'all').")
@@ -78,32 +87,17 @@ let check_cmd =
     let doc = "Emit the findings as JSON instead of text." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let full_arg =
-    let doc = "Check the experiments at full scale (default: quick)." in
-    Arg.(value & flag & info [ "full" ] ~doc)
-  in
   let run full strict json id =
     let report = Kite_check.Report.create () in
     Kite_check.Check.set_default
       (Some (Kite_check.Check.default_config, report));
     let quick = not full in
-    let run_one (eid, _desc, f) =
-      if not json then Printf.printf "checking %s...\n%!" eid;
-      ignore (f ~quick);
-      (* Tear the experiment's testbeds down so the leak audits run. *)
-      Kite.Scenario.teardown_all ()
-    in
     let outcome =
-      if id = "all" then begin
-        List.iter run_one Kite.Experiments.all;
-        `Ok ()
-      end
-      else
-        match List.find_opt (fun (i, _, _) -> i = id) Kite.Experiments.all with
-        | Some exp ->
-            run_one exp;
-            `Ok ()
-        | None -> `Error (false, "unknown experiment " ^ id ^ "; try 'list'")
+      for_experiments id (fun (eid, _desc, f) ->
+          if not json then Printf.printf "checking %s...\n%!" eid;
+          ignore (f ~quick);
+          (* Tear the experiment's testbeds down so the leak audits run. *)
+          Kite.Scenario.teardown_all ())
     in
     Kite_check.Check.set_default None;
     match outcome with
@@ -231,10 +225,10 @@ let topology_cmd =
     Term.(const run $ flavor_arg)
 
 (* ------------------------------------------------------------------ *)
-(* trace                                                               *)
+(* capture                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let trace_cmd =
+let capture_cmd =
   let run () =
     let s = Kite.Scenario.network ~flavor:Kite.Scenario.Kite () in
     (* tcpdump on the guest's paravirtual interface. *)
@@ -258,11 +252,75 @@ let trace_cmd =
     List.iter print_endline (Kite_net.Capture.dump cap)
   in
   Cmd.v
-    (Cmd.info "trace"
+    (Cmd.info "capture"
        ~doc:
          "Run a ping + UDP probe through the Kite network domain and dump \
           a tcpdump-style capture from the guest interface.")
     Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let id_arg =
+    let doc =
+      "Experiment id to trace (see $(b,list)); 'all' traces everything."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let out_arg =
+    let doc = "Write Chrome trace-event JSON to $(docv) (Perfetto-loadable)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE.json" ~doc)
+  in
+  let breakdown_arg =
+    let doc = "Print per-hop latency-breakdown tables for the traced spans." in
+    Arg.(value & flag & info [ "breakdown" ] ~doc)
+  in
+  let hypercalls_arg =
+    let doc = "Print the per-domain hypercall profile (xentrace-style)." in
+    Arg.(value & flag & info [ "hypercalls" ] ~doc)
+  in
+  let run full out breakdown hypercalls id =
+    let sink = Kite_trace.Trace.sink () in
+    Kite_trace.Trace.set_default (Some sink);
+    let quick = not full in
+    let outcome =
+      for_experiments id (fun (eid, _desc, f) ->
+          Printf.printf "tracing %s...\n%!" eid;
+          ignore (f ~quick);
+          Kite.Scenario.teardown_all ())
+    in
+    Kite_trace.Trace.set_default None;
+    match outcome with
+    | `Error _ as e -> e
+    | `Ok () ->
+        let ts = Kite_trace.Trace.traces sink in
+        Kite_stats.Table.print (Kite.Trace_report.summary_table ts);
+        (match out with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Kite_trace.Trace.to_chrome_json ts);
+            close_out oc;
+            Printf.printf "wrote %s (load in Perfetto or chrome://tracing)\n"
+              path
+        | None -> ());
+        if breakdown then
+          List.iter Kite_stats.Table.print (Kite.Trace_report.breakdown_tables ts);
+        if hypercalls then
+          Kite_stats.Table.print (Kite.Trace_report.hypercall_table ts);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run experiments under the event tracer: export Chrome \
+          trace-event JSON, per-hop latency breakdowns and per-domain \
+          hypercall profiles.")
+    Term.(
+      ret
+        (const run $ full_arg $ out_arg $ breakdown_arg $ hypercalls_arg
+       $ id_arg))
 
 let () =
   let info =
@@ -279,5 +337,6 @@ let () =
             boot_cmd;
             security_cmd;
             topology_cmd;
+            capture_cmd;
             trace_cmd;
           ]))

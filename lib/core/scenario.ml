@@ -41,6 +41,20 @@ let attach_check ctx tag =
       Kite_drivers.Xen_ctx.enable_check ctx c;
       Some c
 
+(* Same default-consulting pattern as [attach_check]: when a trace sink is
+   set (Trace.set_default), every machine built here gets its own tracer
+   registered in the sink. *)
+let attach_trace ctx tag =
+  match Kite_trace.Trace.default () with
+  | None -> ()
+  | Some sink ->
+      incr scenario_seq;
+      let tr =
+        Kite_trace.Trace.create_in sink
+          ~name:(Printf.sprintf "%s%d" tag !scenario_seq)
+      in
+      Kite_drivers.Xen_ctx.enable_trace ctx tr
+
 type net = {
   hv : Hypervisor.t;
   ctx : Xen_ctx.t;
@@ -62,6 +76,7 @@ let network ?overheads_override ~flavor ?(seed = 2022) () =
   let hv = Hypervisor.create ~seed () in
   let ctx = Xen_ctx.create hv in
   let check = attach_check ctx ("net-" ^ flavor_name flavor ^ "-") in
+  attach_trace ctx ("net-" ^ flavor_name flavor ^ "-");
   let sched = Hypervisor.sched hv in
   let metrics = Hypervisor.metrics hv in
   let profile =
@@ -174,6 +189,7 @@ let storage ~flavor ?(seed = 2022) ?(feature_persistent = true)
   let hv = Hypervisor.create ~seed () in
   let ctx = Xen_ctx.create hv in
   let check = attach_check ctx ("blk-" ^ flavor_name flavor ^ "-") in
+  attach_trace ctx ("blk-" ^ flavor_name flavor ^ "-");
   let sched = Hypervisor.sched hv in
   let metrics = Hypervisor.metrics hv in
   let profile =

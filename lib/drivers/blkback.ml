@@ -47,15 +47,27 @@ let segments_served i = i.segments
 let device_ops i = i.device_ops
 
 let hv i = i.ctx.Xen_ctx.hv
+let trace i = i.ctx.Xen_ctx.trace
+let vbd_name i = Printf.sprintf "vbd%d.%d" i.frontend.Domain.id i.devid
 
 let charge_wake i =
   let now = Hypervisor.now (hv i) in
   let idle = now - i.last_activity in
-  let cost =
-    if idle > i.ov.Overheads.warm_window then i.ov.Overheads.wake_cold
-    else if idle > i.ov.Overheads.busy_window then i.ov.Overheads.wake_warm
-    else i.ov.Overheads.wake_busy
+  let tier, cost =
+    if idle > i.ov.Overheads.warm_window then ("cold", i.ov.Overheads.wake_cold)
+    else if idle > i.ov.Overheads.busy_window then
+      ("warm", i.ov.Overheads.wake_warm)
+    else ("busy", i.ov.Overheads.wake_busy)
   in
+  (match trace i with
+  | Some tr ->
+      Kite_trace.Trace.driver tr ~at:now ~domain:i.domain.Domain.name
+        ~name:"blkback.wake"
+        ~args:
+          [
+            ("vbd", vbd_name i); ("tier", tier); ("idle_ns", string_of_int idle);
+          ]
+  | None -> ());
   Hypervisor.cpu_work (hv i) i.domain cost
 
 let touch i = i.last_activity <- Hypervisor.now (hv i)
@@ -81,9 +93,36 @@ type work = {
 }
 
 let prepare i req =
+  let indirect =
+    match req.Blkif.body with Blkif.Indirect _ -> true | _ -> false
+  in
   let segs = resolve_segments i req in
   let grefs = List.map (fun s -> s.Blkif.gref) segs in
   (* Persistent grants hit the map fast path (already mapped => free). *)
+  let persistent_hits =
+    if i.persistent then
+      List.length (List.filter (Hashtbl.mem i.pmap) grefs)
+    else 0
+  in
+  (match trace i with
+  | Some tr ->
+      Kite_trace.Trace.span_hop tr
+        ~at:(Hypervisor.now (hv i))
+        ~kind:"blk" ~key:(vbd_name i) ~id:req.Blkif.req_id ~stage:"backend"
+        ~args:
+          [
+            ("segs", string_of_int (List.length segs));
+            ("persistent_hits", string_of_int persistent_hits);
+            ("indirect", if indirect then "1" else "0");
+          ];
+      (* The monolithic-kernel backend's extra per-request grant-table
+         hypercalls (see Overheads): zero duration, profile-only. *)
+      let at = Hypervisor.now (hv i) in
+      for _ = 1 to i.ov.Overheads.blk_kernel_grant_ops do
+        Kite_trace.Trace.charge tr ~at ~domain:i.domain.Domain.name
+          ~op:"hypercall.grant_op.kernel" ~cost:0
+      done
+  | None -> ());
   let pages = Grant_table.map_many i.ctx.Xen_ctx.gt ~grantee:i.domain grefs in
   if i.persistent then
     List.iter (fun g -> Hashtbl.replace i.pmap g ()) grefs;
@@ -146,6 +185,16 @@ let scatter works buf =
    device: a single physical operation. *)
 let run_batch i op sector works =
   let total = List.fold_left (fun a w -> a + w.total_bytes) 0 works in
+  (match trace i with
+  | Some tr ->
+      let at = Hypervisor.now (hv i) in
+      List.iter
+        (fun w ->
+          Kite_trace.Trace.span_hop tr ~at ~kind:"blk" ~key:(vbd_name i)
+            ~id:w.req.Blkif.req_id ~stage:"device"
+            ~args:[ ("merged", string_of_int (List.length works)) ])
+        works
+  | None -> ());
   (* One submission/completion overhead per (possibly merged) physical
      operation — the term batching amortizes. *)
   Hypervisor.cpu_work (hv i) i.domain i.ov.Overheads.blk_per_request;
@@ -165,6 +214,13 @@ let run_batch i op sector works =
          i.requests <- i.requests + 1;
          i.segments <- i.segments + List.length w.segs;
          release i w;
+         (match trace i with
+         | Some tr ->
+             Kite_trace.Trace.span_hop tr
+               ~at:(Hypervisor.now (hv i))
+               ~kind:"blk" ~key:(vbd_name i) ~id:w.req.Blkif.req_id
+               ~stage:"complete" ~args:[]
+         | None -> ());
          respond i w Blkif.status_ok)
        works
    with Kite_devices.Nvme.Out_of_range _ ->
@@ -225,6 +281,14 @@ let request_thread i () =
     let works = drain [] in
     if works <> [] then begin
       touch i;
+      (match trace i with
+      | Some tr ->
+          Kite_trace.Trace.driver tr
+            ~at:(Hypervisor.now (hv i))
+            ~domain:i.domain.Domain.name ~name:"blkback.batch"
+            ~args:
+              [ ("vbd", vbd_name i); ("n", string_of_int (List.length works)) ]
+      | None -> ());
       List.iter
         (fun (op, sector, ws) ->
           Hypervisor.spawn (hv i) i.domain

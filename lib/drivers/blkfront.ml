@@ -48,6 +48,8 @@ let fresh_id t =
   t.next_id <- t.next_id + 1;
   id
 
+let vbd_name t = Printf.sprintf "vbd%d.%d" t.domain.Domain.id t.devid
+
 (* Data pages: persistent mode reuses a granted pool so the backend's
    mappings stay valid; otherwise grant fresh pages per request and revoke
    them afterwards. *)
@@ -83,6 +85,13 @@ let put_pages t pages =
 (* One blkif request covering [count] sectors starting at [sector].
    [data] is the write payload, or None for reads/flush. *)
 let submit t op ~sector ~count data =
+  let id = fresh_id t in
+  (match t.ctx.Xen_ctx.trace with
+  | Some tr ->
+      Kite_trace.Trace.span_begin tr
+        ~at:(Hypervisor.now t.ctx.Xen_ctx.hv)
+        ~kind:"blk" ~key:(vbd_name t) ~id ~stage:"frontend"
+  | None -> ());
   let npages = (count + sectors_per_page - 1) / sectors_per_page in
   let pages = List.init npages (fun _ -> get_page t) in
   (* Fill pages for writes. *)
@@ -130,7 +139,6 @@ let submit t op ~sector ~count data =
   in
   (* Wait for a ring slot; concurrent submitters can steal the slot we
      saw, in which case push raises Ring_full and we go back to sleep. *)
-  let id = fresh_id t in
   let p = { cond = Condition.create ~label:"blkfront response" (); status = None } in
   let rec claim_slot () =
     while Ring.free_requests t.ring = 0 do
@@ -141,6 +149,13 @@ let submit t op ~sector ~count data =
     | exception Ring.Ring_full -> claim_slot ()
   in
   claim_slot ();
+  (match t.ctx.Xen_ctx.trace with
+  | Some tr ->
+      Kite_trace.Trace.span_hop tr
+        ~at:(Hypervisor.now t.ctx.Xen_ctx.hv)
+        ~kind:"blk" ~key:(vbd_name t) ~id ~stage:"ring"
+        ~args:[ ("sectors", string_of_int count) ]
+  | None -> ());
   Hashtbl.replace t.pending id p;
   t.requests <- t.requests + 1;
   if Ring.push_requests_and_check_notify t.ring then
@@ -248,6 +263,12 @@ let handle_event t () =
     | Some rsp ->
         (match Hashtbl.find_opt t.pending rsp.Blkif.rsp_id with
         | Some p ->
+            (match t.ctx.Xen_ctx.trace with
+            | Some tr ->
+                Kite_trace.Trace.span_end tr
+                  ~at:(Hypervisor.now t.ctx.Xen_ctx.hv)
+                  ~kind:"blk" ~key:(vbd_name t) ~id:rsp.Blkif.rsp_id
+            | None -> ());
             p.status <- Some rsp.Blkif.status;
             Condition.broadcast p.cond
         | None -> ());
@@ -315,6 +336,12 @@ let create ctx ~domain ~backend ~devid ?(use_persistent = true)
   | Some c ->
       Ring.attach_check t.ring c
         ~name:(Printf.sprintf "%s/vbd%d" domain.Domain.name devid)
+  | None -> ());
+  (match ctx.Xen_ctx.trace with
+  | Some tr ->
+      Ring.attach_trace t.ring tr
+        ~name:(Printf.sprintf "%s/vbd%d" domain.Domain.name devid)
+        ~now:(fun () -> Hypervisor.now ctx.Xen_ctx.hv)
   | None -> ());
   Hypervisor.spawn ctx.Xen_ctx.hv domain ~name:"blkfront-setup" (handshake t);
   t

@@ -44,20 +44,44 @@ let rx_packets i = i.rx_packets
 let rx_dropped i = i.rx_dropped
 
 let hv i = i.ctx.Xen_ctx.hv
+let trace i = i.ctx.Xen_ctx.trace
+let vif_name i = Printf.sprintf "vif%d.%d" i.frontend.Domain.id i.devid
 
 (* Handler-to-thread wakeup cost: cold after an idle period, warm while
    traffic flows (§3.2's motivation for fast handlers). *)
 let charge_wake i =
   let now = Hypervisor.now (hv i) in
   let idle = now - i.last_activity in
-  let cost =
-    if idle > i.ov.Overheads.warm_window then i.ov.Overheads.wake_cold
-    else if idle > i.ov.Overheads.busy_window then i.ov.Overheads.wake_warm
-    else i.ov.Overheads.wake_busy
+  let tier, cost =
+    if idle > i.ov.Overheads.warm_window then ("cold", i.ov.Overheads.wake_cold)
+    else if idle > i.ov.Overheads.busy_window then
+      ("warm", i.ov.Overheads.wake_warm)
+    else ("busy", i.ov.Overheads.wake_busy)
   in
+  (match trace i with
+  | Some tr ->
+      Kite_trace.Trace.driver tr ~at:now ~domain:i.domain.Domain.name
+        ~name:"netback.wake"
+        ~args:
+          [
+            ("vif", vif_name i); ("tier", tier); ("idle_ns", string_of_int idle);
+          ]
+  | None -> ());
   Hypervisor.cpu_work (hv i) i.domain cost
 
 let touch i = i.last_activity <- Hypervisor.now (hv i)
+
+(* The monolithic-kernel backend's extra per-packet grant-table hypercalls
+   (see Overheads): recorded at zero duration, profile-only. *)
+let kernel_grant_ops i n =
+  match trace i with
+  | None -> ()
+  | Some tr ->
+      let at = Hypervisor.now (hv i) in
+      for _ = 1 to n do
+        Kite_trace.Trace.charge tr ~at ~domain:i.domain.Domain.name
+          ~op:"hypercall.grant_op.kernel" ~cost:0
+      done
 
 (* Guest -> wire.  Drains Tx requests, copies frames out of guest pages
    via grant copy, hands them to the VIF (hence the bridge). *)
@@ -65,13 +89,28 @@ let pusher i () =
   let rec drain n =
     match Ring.take_request i.tx_ring with
     | Some req ->
+        (match trace i with
+        | Some tr ->
+            Kite_trace.Trace.span_hop tr
+              ~at:(Hypervisor.now (hv i))
+              ~kind:"net.tx" ~key:(vif_name i) ~id:req.Netchannel.tx_id
+              ~stage:"backend" ~args:[]
+        | None -> ());
         let frame =
           Grant_table.copy_from_granted i.ctx.Xen_ctx.gt ~caller:i.domain
             req.Netchannel.tx_gref ~off:0 ~len:req.Netchannel.tx_len
         in
+        kernel_grant_ops i i.ov.Overheads.tx_kernel_grant_ops;
         Hypervisor.cpu_work (hv i) i.domain i.ov.Overheads.tx_per_packet;
         i.tx_packets <- i.tx_packets + 1;
         (match i.vif with Some v -> Netdev.deliver v frame | None -> ());
+        (* Bridge egress: the packet's lifecycle ends here. *)
+        (match trace i with
+        | Some tr ->
+            Kite_trace.Trace.span_end tr
+              ~at:(Hypervisor.now (hv i))
+              ~kind:"net.tx" ~key:(vif_name i) ~id:req.Netchannel.tx_id
+        | None -> ());
         Ring.push_response i.tx_ring
           {
             Netchannel.tx_rsp_id = req.Netchannel.tx_id;
@@ -85,6 +124,13 @@ let pusher i () =
     else begin
       let n = drain 0 in
       if n > 0 then begin
+        (match trace i with
+        | Some tr ->
+            Kite_trace.Trace.driver tr
+              ~at:(Hypervisor.now (hv i))
+              ~domain:i.domain.Domain.name ~name:"netback.tx-batch"
+              ~args:[ ("vif", vif_name i); ("n", string_of_int n) ]
+        | None -> ());
         if Ring.push_responses_and_check_notify i.tx_ring then
           Event_channel.notify i.ctx.Xen_ctx.ec i.port ~from:i.domain;
         touch i
@@ -109,6 +155,7 @@ let soft_start i () =
       | Some req ->
           Grant_table.copy_to_granted i.ctx.Xen_ctx.gt ~caller:i.domain
             req.Netchannel.rx_gref ~off:0 frame;
+          kernel_grant_ops i i.ov.Overheads.rx_kernel_grant_ops;
           Hypervisor.cpu_work (hv i) i.domain i.ov.Overheads.rx_per_packet;
           i.rx_packets <- i.rx_packets + 1;
           Ring.push_response i.rx_ring
@@ -126,6 +173,13 @@ let soft_start i () =
     else begin
       let n = drain 0 in
       if n > 0 then begin
+        (match trace i with
+        | Some tr ->
+            Kite_trace.Trace.driver tr
+              ~at:(Hypervisor.now (hv i))
+              ~domain:i.domain.Domain.name ~name:"netback.rx-batch"
+              ~args:[ ("vif", vif_name i); ("n", string_of_int n) ]
+        | None -> ());
         if Ring.push_responses_and_check_notify i.rx_ring then
           Event_channel.notify i.ctx.Xen_ctx.ec i.port ~from:i.domain;
         touch i

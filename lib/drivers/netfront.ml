@@ -34,6 +34,8 @@ let fresh_id t =
   t.next_id <- t.next_id + 1;
   id
 
+let vif_name t = Printf.sprintf "vif%d.%d" t.domain.Domain.id t.devid
+
 let fpath t =
   Xenbus.frontend_path ~frontend:t.domain ~ty:"vif" ~devid:t.devid
 
@@ -45,6 +47,13 @@ let bpath t =
 let transmit t frame =
   if not t.connected then t.tx_dropped <- t.tx_dropped + 1
   else begin
+    let id = fresh_id t in
+    (match t.ctx.Xen_ctx.trace with
+    | Some tr ->
+        Kite_trace.Trace.span_begin tr
+          ~at:(Hypervisor.now t.ctx.Xen_ctx.hv)
+          ~kind:"net.tx" ~key:(vif_name t) ~id ~stage:"frontend"
+    | None -> ());
     while Ring.free_requests t.tx_ring = 0 do
       Condition.wait t.tx_slots
     done;
@@ -55,11 +64,17 @@ let transmit t frame =
       Grant_table.grant_access t.ctx.Xen_ctx.gt ~granter:t.domain
         ~grantee:t.backend ~page ~writable:false
     in
-    let id = fresh_id t in
     Hashtbl.replace t.tx_pending id (gref, page);
     Ring.push_request t.tx_ring
       { Netchannel.tx_id = id; tx_gref = gref; tx_len = len };
     t.tx_packets <- t.tx_packets + 1;
+    (match t.ctx.Xen_ctx.trace with
+    | Some tr ->
+        Kite_trace.Trace.span_hop tr
+          ~at:(Hypervisor.now t.ctx.Xen_ctx.hv)
+          ~kind:"net.tx" ~key:(vif_name t) ~id ~stage:"ring"
+          ~args:[ ("len", string_of_int len) ]
+    | None -> ());
     if Ring.push_requests_and_check_notify t.tx_ring then
       Event_channel.notify t.ctx.Xen_ctx.ec t.port ~from:t.domain
   end
@@ -196,6 +211,16 @@ let create ctx ~domain ~backend ~devid =
         ~name:(Printf.sprintf "%s/vif%d-tx" domain.Domain.name devid);
       Ring.attach_check t.rx_ring c
         ~name:(Printf.sprintf "%s/vif%d-rx" domain.Domain.name devid)
+  | None -> ());
+  (match ctx.Xen_ctx.trace with
+  | Some tr ->
+      let now () = Hypervisor.now ctx.Xen_ctx.hv in
+      Ring.attach_trace t.tx_ring tr
+        ~name:(Printf.sprintf "%s/vif%d-tx" domain.Domain.name devid)
+        ~now;
+      Ring.attach_trace t.rx_ring tr
+        ~name:(Printf.sprintf "%s/vif%d-rx" domain.Domain.name devid)
+        ~now
   | None -> ());
   Hypervisor.spawn ctx.Xen_ctx.hv domain ~name:"netfront-setup" (handshake t);
   t

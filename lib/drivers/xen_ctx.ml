@@ -13,6 +13,7 @@ type t = {
   netrings : Netchannel.registry;
   blkrings : Blkif.registry;
   mutable check : Kite_check.Check.t option;
+  mutable trace : Kite_trace.Trace.t option;
 }
 
 let create hv =
@@ -24,6 +25,7 @@ let create hv =
     netrings = Netchannel.registry ();
     blkrings = Blkif.registry ();
     check = None;
+    trace = None;
   }
 
 let enable_check t c =
@@ -31,3 +33,9 @@ let enable_check t c =
   Kite_sim.Process.set_check (Hypervisor.sched t.hv) (Some c);
   Grant_table.set_check t.gt (Some c);
   Xenstore.set_check (Hypervisor.store t.hv) (Some c)
+
+let enable_trace t tr =
+  t.trace <- Some tr;
+  (* Covers the scheduler too (see Hypervisor.set_trace); rings are
+     attached as drivers connect, like [check]. *)
+  Hypervisor.set_trace t.hv (Some tr)

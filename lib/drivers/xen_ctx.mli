@@ -8,6 +8,7 @@ type t = {
   netrings : Netchannel.registry;
   blkrings : Blkif.registry;
   mutable check : Kite_check.Check.t option;
+  mutable trace : Kite_trace.Trace.t option;
 }
 
 val create : Kite_xen.Hypervisor.t -> t
@@ -16,3 +17,8 @@ val enable_check : t -> Kite_check.Check.t -> unit
 (** Wire a protocol checker into this machine: scheduler hooks, the grant
     table and the xenstore.  Rings are attached as drivers connect (they
     see [check] through this record).  Call before spawning drivers. *)
+
+val enable_trace : t -> Kite_trace.Trace.t -> unit
+(** Wire an event tracer into this machine: hypervisor charges, the
+    scheduler, and — through this record — the drivers' rings, spans and
+    milestones.  Call before spawning drivers. *)

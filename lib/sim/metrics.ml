@@ -46,10 +46,19 @@ let record_sample t name v =
   | Some r -> r := v :: !r
   | None -> Hashtbl.add t.series name (ref [ v ])
 
+(* Series are stored most-recent-first and reversed here, so callers see
+   samples exactly in the order [record_sample] appended them. *)
 let samples t name =
   match Hashtbl.find_opt t.series name with
   | Some r -> List.rev !r
   | None -> []
+
+let summary t name =
+  match samples t name with
+  | [] ->
+      invalid_arg
+        (Printf.sprintf "Metrics.summary: no samples recorded under %S" name)
+  | xs -> Kite_stats.Summary.of_list xs
 
 let names t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.counters []

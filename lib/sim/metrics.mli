@@ -25,7 +25,14 @@ val record_sample : t -> string -> float -> unit
 (** Append a sample to a named series (latencies, throughputs, ...). *)
 
 val samples : t -> string -> float list
-(** Samples in recording order; [] if none. *)
+(** All samples of the named series, {e guaranteed} to be in recording
+    order (the order of the {!record_sample} calls), oldest first; [] if
+    the series was never touched. *)
+
+val summary : t -> string -> Kite_stats.Summary.t
+(** Summary statistics over {!samples}, so experiment code does not
+    hand-roll percentile math from raw sample lists.  Raises
+    [Invalid_argument] when the series is empty or absent. *)
 
 val names : t -> string list
 (** All counter names, sorted. *)

@@ -2,6 +2,7 @@ type sched = {
   engine : Engine.t;
   mutable live : int;
   mutable check : Kite_check.Check.t option;
+  mutable trace : Kite_trace.Trace.t option;
 }
 
 exception Process_failure of string * exn
@@ -13,10 +14,11 @@ type _ Effect.t +=
       (string option * (Engine.t -> (unit -> unit) -> unit))
       -> unit Effect.t
 
-let scheduler engine = { engine; live = 0; check = None }
+let scheduler engine = { engine; live = 0; check = None; trace = None }
 let engine t = t.engine
 let live t = t.live
 let set_check t c = t.check <- c
+let set_trace t tr = t.trace <- tr
 
 let sleep span = Effect.perform (Sleep span)
 let yield () = Effect.perform Yield
@@ -24,30 +26,64 @@ let suspend ?label register = Effect.perform (Suspend (label, register))
 
 let spawn t ?(daemon = false) ~name body =
   t.live <- t.live + 1;
-  (* The checker reference is captured at spawn time: enabling checking
-     mid-run only instruments processes spawned afterwards. *)
+  (* Checker and tracer references are captured at spawn time: enabling
+     either mid-run only instruments processes spawned afterwards. *)
   let check = t.check in
+  let trace = t.trace in
   let pid =
     match check with
     | Some c -> Kite_check.Check.proc_spawned c ~name ~daemon
     | None -> -1
   in
+  (match trace with
+  | Some tr ->
+      Kite_trace.Trace.proc_spawned tr ~at:(Engine.now t.engine) ~name ~daemon
+  | None -> ());
   let blocked kind =
-    match check with
-    | Some c -> Kite_check.Check.proc_blocked c pid ~kind
+    (match check with
+    | Some c ->
+        let ckind =
+          match kind with
+          | `Sleep _ -> `Sleep
+          | (`Yield | `Suspend _) as k -> k
+        in
+        Kite_check.Check.proc_blocked c pid ~kind:ckind
+    | None -> ());
+    match trace with
+    | Some tr ->
+        Kite_trace.Trace.proc_blocked tr ~at:(Engine.now t.engine) ~name ~kind
     | None -> ()
   in
-  (* Wrap every engine-queue (re-)entry of the process so the checker
-     knows which process events are attributed to. *)
+  (* Wrap every engine-queue (re-)entry of the process so the checker and
+     tracer know which process events are attributed to. *)
   let step f =
-    match check with
-    | None -> f
-    | Some c ->
+    match (check, trace) with
+    | None, None -> f
+    | _ ->
         fun () ->
-          Kite_check.Check.proc_enter c pid;
+          (match check with
+          | Some c -> Kite_check.Check.proc_enter c pid
+          | None -> ());
+          (match trace with
+          | Some tr -> Kite_trace.Trace.proc_enter tr ~name
+          | None -> ());
           Fun.protect
-            ~finally:(fun () -> Kite_check.Check.proc_leave c)
+            ~finally:(fun () ->
+              (match trace with
+              | Some tr -> Kite_trace.Trace.proc_leave tr
+              | None -> ());
+              match check with
+              | Some c -> Kite_check.Check.proc_leave c
+              | None -> ())
             f
+  in
+  let exited () =
+    (match check with
+    | Some c -> Kite_check.Check.proc_exited c pid
+    | None -> ());
+    match trace with
+    | Some tr -> Kite_trace.Trace.proc_exited tr ~at:(Engine.now t.engine) ~name
+    | None -> ()
   in
   let run () =
     let open Effect.Deep in
@@ -56,15 +92,11 @@ let spawn t ?(daemon = false) ~name body =
         retc =
           (fun () ->
             t.live <- t.live - 1;
-            match check with
-            | Some c -> Kite_check.Check.proc_exited c pid
-            | None -> ());
+            exited ());
         exnc =
           (fun e ->
             t.live <- t.live - 1;
-            (match check with
-            | Some c -> Kite_check.Check.proc_exited c pid
-            | None -> ());
+            exited ();
             raise (Process_failure (name, e)));
         effc =
           (fun (type a) (eff : a Effect.t) ->
@@ -72,7 +104,7 @@ let spawn t ?(daemon = false) ~name body =
             | Sleep span ->
                 Some
                   (fun (k : (a, _) continuation) ->
-                    blocked `Sleep;
+                    blocked (`Sleep span);
                     ignore
                       (Engine.schedule_after t.engine span
                          (step (fun () -> continue k ()))))

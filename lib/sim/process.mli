@@ -23,6 +23,13 @@ val set_check : sched -> Kite_check.Check.t option -> unit
     a checker is attached are instrumented; with [None] (the default) the
     scheduler runs exactly as before. *)
 
+val set_trace : sched -> Kite_trace.Trace.t option -> unit
+(** Attach (or detach) an event tracer.  Same capture-at-spawn-time
+    semantics as {!set_check}: processes spawned while a tracer is
+    attached record spawn/block/exit events and attribute in-process
+    events (hypercalls, driver milestones) to their track; with [None]
+    the scheduler runs exactly as before. *)
+
 val spawn : sched -> ?daemon:bool -> name:string -> (unit -> unit) -> unit
 (** [spawn sched ~name body] starts a process at the current instant.
     [name] appears in the error raised if [body] raises.  [daemon]

@@ -96,6 +96,12 @@ let notify t port ~from =
               from.Domain.id port)));
   Hypervisor.hypercall t.hv from "evtchn_send"
     ~extra:(Hypervisor.costs t.hv).Costs.evtchn_send;
+  (match Hypervisor.trace t.hv with
+  | Some tr ->
+      Kite_trace.Trace.evtchn_send tr
+        ~at:(Hypervisor.now t.hv)
+        ~domain:from.Domain.name ~port
+  | None -> ());
   t.sent <- t.sent + 1;
   match peer_of ch from.Domain.id with
   | None -> ()  (* not yet bound: event is lost, as in Xen *)
@@ -108,6 +114,16 @@ let notify t port ~from =
                peer.pending <- false;
                if not ch.closed then begin
                  t.delivered <- t.delivered + 1;
+                 (match Hypervisor.trace t.hv with
+                 | Some tr ->
+                     let domain =
+                       match Hypervisor.find_domain t.hv peer.domid with
+                       | Some d -> d.Domain.name
+                       | None -> Printf.sprintf "dom%d" peer.domid
+                     in
+                     Kite_trace.Trace.evtchn_deliver tr
+                       ~at:(Hypervisor.now t.hv) ~domain ~port
+                 | None -> ());
                  match peer.handler with Some f -> f () | None -> ()
                end))
       end

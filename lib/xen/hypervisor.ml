@@ -9,6 +9,7 @@ type t = {
   rng : Rng.t;
   mutable domains : Domain.t list;  (* reversed creation order *)
   mutable next_domid : int;
+  mutable trace : Kite_trace.Trace.t option;
   (* Per-domain per-vCPU occupancy cursors: concurrent work contends for
      the domain's vCPUs. *)
   cpu_free_at : (int, Time.t array) Hashtbl.t;
@@ -28,6 +29,7 @@ let create ?(costs = Costs.default) ?(seed = 1) () =
     rng = Rng.create seed;
     domains = [ dom0 ];
     next_domid = 1;
+    trace = None;
     cpu_free_at = Hashtbl.create 8;
   }
 
@@ -38,6 +40,11 @@ let costs t = t.costs
 let store t = t.store
 let rng t = t.rng
 let now t = Engine.now t.engine
+let trace t = t.trace
+
+let set_trace t tr =
+  t.trace <- tr;
+  Process.set_trace t.sched tr
 
 let dom0 t =
   match List.rev t.domains with d :: _ -> d | [] -> assert false
@@ -90,12 +97,23 @@ let charge t dom what span =
   Metrics.incr t.metrics what;
   (* Per-domain breakdown for xentrace-style profiles. *)
   Metrics.incr t.metrics (Printf.sprintf "dom.%s.%s" dom.Domain.name what);
+  (match t.trace with
+  | Some tr ->
+      Kite_trace.Trace.charge tr ~at:(Engine.now t.engine)
+        ~domain:dom.Domain.name ~op:what ~cost:span
+  | None -> ());
   occupy t dom span
 
 let hypercall t dom name ~extra =
   charge t dom ("hypercall." ^ name) (t.costs.Costs.hypercall_base + extra)
 
-let cpu_work t dom span = occupy t dom span
+let cpu_work t dom span =
+  (match t.trace with
+  | Some tr ->
+      Kite_trace.Trace.cpu_work tr ~at:(Engine.now t.engine)
+        ~domain:dom.Domain.name ~cost:span
+  | None -> ());
+  occupy t dom span
 
 let run t = Engine.run t.engine
 let run_for t span = Engine.run_for t.engine span

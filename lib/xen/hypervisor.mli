@@ -21,6 +21,17 @@ val rng : t -> Kite_sim.Rng.t
 
 val now : t -> Kite_sim.Time.t
 
+val set_trace : t -> Kite_trace.Trace.t option -> unit
+(** Attach (or detach) an event tracer for this machine: {!charge} /
+    {!cpu_work} emit cost events, and the scheduler's tracer is set so
+    that processes spawned afterwards are tracked (see
+    {!Kite_sim.Process.set_trace}).  [None] (the default) restores the
+    uninstrumented behaviour. *)
+
+val trace : t -> Kite_trace.Trace.t option
+(** The currently attached tracer, for layers that hook their own
+    events (event channels, rings, drivers). *)
+
 val dom0 : t -> Domain.t
 
 val create_domain :

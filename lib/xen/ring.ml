@@ -21,6 +21,7 @@ type ('req, 'rsp) t = {
   mutable req_event : int;
   mutable rsp_event : int;
   mutable check : Kite_check.Check.ring option;
+  mutable trace : Kite_trace.Trace.ring option;
 }
 
 let create ~order =
@@ -40,11 +41,15 @@ let create ~order =
     req_event = 1;
     rsp_event = 1;
     check = None;
+    trace = None;
   }
 
 let size t = t.size
 
 let attach_check t c ~name = t.check <- Some (Kite_check.Check.ring c ~name)
+
+let attach_trace t tr ~name ~now =
+  t.trace <- Some (Kite_trace.Trace.ring tr ~name ~now)
 
 (* Unconsumed responses pending plus in-flight requests bound the number of
    slots the frontend may still fill. *)
@@ -68,7 +73,12 @@ let push_requests_and_check_notify t =
   | None -> ());
   t.req_prod <- t.req_prod_pvt;
   (* notify iff the consumer's event threshold lies in (old, new]. *)
-  t.req_prod - t.req_event < t.req_prod - old
+  let notify = t.req_prod - t.req_event < t.req_prod - old in
+  (match t.trace with
+  | Some rt ->
+      Kite_trace.Trace.ring_publish rt `Req ~batch:(t.req_prod - old) ~notify
+  | None -> ());
+  notify
 
 let pending_requests t = t.req_prod - t.req_cons
 
@@ -76,6 +86,9 @@ let take_request t =
   let got = t.req_cons <> t.req_prod in
   (match t.check with
   | Some rc -> Kite_check.Check.ring_take rc `Req ~got
+  | None -> ());
+  (match t.trace with
+  | Some rt -> Kite_trace.Trace.ring_take rt `Req ~got
   | None -> ());
   if not got then None
   else begin
@@ -105,7 +118,12 @@ let push_responses_and_check_notify t =
       Kite_check.Check.ring_publish rc `Rsp ~old_prod:old ~prod:t.rsp_prod_pvt
   | None -> ());
   t.rsp_prod <- t.rsp_prod_pvt;
-  t.rsp_prod - t.rsp_event < t.rsp_prod - old
+  let notify = t.rsp_prod - t.rsp_event < t.rsp_prod - old in
+  (match t.trace with
+  | Some rt ->
+      Kite_trace.Trace.ring_publish rt `Rsp ~batch:(t.rsp_prod - old) ~notify
+  | None -> ());
+  notify
 
 let pending_responses t = t.rsp_prod - t.rsp_cons
 
@@ -113,6 +131,9 @@ let take_response t =
   let got = t.rsp_cons <> t.rsp_prod in
   (match t.check with
   | Some rc -> Kite_check.Check.ring_take rc `Rsp ~got
+  | None -> ());
+  (match t.trace with
+  | Some rt -> Kite_trace.Trace.ring_take rt `Rsp ~got
   | None -> ());
   if not got then None
   else begin

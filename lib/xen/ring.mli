@@ -28,6 +28,16 @@ val attach_check : ('req, 'rsp) t -> Kite_check.Check.t -> name:string -> unit
 (** Attach the ring-protocol lint.  Both endpoints are covered (they share
     this value, like the shared ring page). *)
 
+val attach_trace :
+  ('req, 'rsp) t ->
+  Kite_trace.Trace.t ->
+  name:string ->
+  now:(unit -> int) ->
+  unit
+(** Attach the event tracer: publishes record their batch size and notify
+    decision, consume runs their length.  Rings have no clock, so the
+    attaching driver supplies [now]. *)
+
 (** {1 Frontend side} *)
 
 val free_requests : ('req, 'rsp) t -> int

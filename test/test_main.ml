@@ -14,4 +14,5 @@ let () =
       ("apps", Test_apps.suite);
       ("bench_tools", Test_bench_tools.suite);
       ("kite", Test_kite.suite);
+      ("trace", Test_trace.suite);
     ]

@@ -398,6 +398,12 @@ let test_metrics () =
   Metrics.record_sample m "lat" 2.5;
   Alcotest.(check (list (float 1e-9))) "samples" [ 1.5; 2.5 ]
     (Metrics.samples m "lat");
+  let s = Metrics.summary m "lat" in
+  check_int "summary n" 2 s.Kite_stats.Summary.n;
+  Alcotest.(check (float 1e-9)) "summary mean" 2.0 s.Kite_stats.Summary.mean;
+  (match Metrics.summary m "nope" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "summary of an empty series should raise");
   Metrics.reset m;
   check_int "reset" 0 (Metrics.count m "hypercalls")
 
