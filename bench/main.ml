@@ -8,7 +8,8 @@
      dune exec bench/main.exe -- --only fig9  # one experiment
      dune exec bench/main.exe -- --list
      dune exec bench/main.exe -- --micro            # bechamel microbenchmarks
-     dune exec bench/main.exe -- --trace-overhead   # disabled-tracer ring cost *)
+     dune exec bench/main.exe -- --trace-overhead   # disabled-tracer ring cost
+     dune exec bench/main.exe -- --fault-overhead   # disabled-injector ring cost *)
 
 let list_experiments () =
   print_endline "available experiments:";
@@ -208,10 +209,13 @@ let bare_roundtrip () =
   drain ();
   Bare_ring.publish_responses r
 
-let real_roundtrip ~trace () =
+let real_roundtrip ?fault ~trace () =
   let r : (int, int) Kite_xen.Ring.t = Kite_xen.Ring.create ~order:5 in
   (match trace with
   | Some tr -> Kite_xen.Ring.attach_trace r tr ~name:"bench" ~now:(fun () -> 0)
+  | None -> ());
+  (match fault with
+  | Some f -> Kite_xen.Ring.attach_fault r f ~name:"bench"
   | None -> ());
   for i = 1 to 32 do
     Kite_xen.Ring.push_request r i
@@ -230,32 +234,33 @@ let real_roundtrip ~trace () =
 (* The tier-1 gate for the tracer's zero-cost-when-disabled claim: the
    instrumented ring with no tracer attached must stay within a generous
    noise bound of the seed-shaped bare ring. *)
-let trace_overhead () =
+let measure_ns name f =
   let open Bechamel in
   let open Toolkit in
-  let measure name f =
-    let test = Test.make ~name (Staged.stage f) in
-    let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 1.0) () in
-    let raw =
-      Benchmark.all cfg
-        Instance.[ monotonic_clock ]
-        (Test.make_grouped ~name:"g" [ test ])
-    in
-    let results =
-      Analyze.all
-        (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
-        (Instance.monotonic_clock :> Measure.witness)
-        raw
-    in
-    let est = ref nan in
-    Hashtbl.iter
-      (fun _ ols ->
-        match Bechamel.Analyze.OLS.estimates ols with
-        | Some [ e ] -> est := e
-        | Some _ | None -> ())
-      results;
-    !est
+  let test = Test.make ~name (Staged.stage f) in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 1.0) () in
+  let raw =
+    Benchmark.all cfg
+      Instance.[ monotonic_clock ]
+      (Test.make_grouped ~name:"g" [ test ])
   in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      (Instance.monotonic_clock :> Measure.witness)
+      raw
+  in
+  let est = ref nan in
+  Hashtbl.iter
+    (fun _ ols ->
+      match Bechamel.Analyze.OLS.estimates ols with
+      | Some [ e ] -> est := e
+      | Some _ | None -> ())
+    results;
+  !est
+
+let trace_overhead () =
+  let measure = measure_ns in
   print_endline "== disabled-tracer overhead on the ring hot path ==";
   let bare = measure "bare (seed shape)" bare_roundtrip in
   let disabled = measure "instrumented, tracer disabled" (real_roundtrip ~trace:None) in
@@ -278,6 +283,41 @@ let trace_overhead () =
   end;
   print_endline "OK: disabled tracer within noise of seed"
 
+(* Same gate for the fault injector: a ring with no injector attached
+   must stay within noise of the seed-shaped bare ring, and attaching an
+   injector whose plan never matches the ring point must stay cheap too
+   (one armed-spec scan per consumed slot). *)
+let fault_overhead () =
+  let measure = measure_ns in
+  print_endline "== disabled-injector overhead on the ring hot path ==";
+  let bare = measure "bare (seed shape)" bare_roundtrip in
+  let disabled =
+    measure "instrumented, no injector" (real_roundtrip ~trace:None)
+  in
+  let f =
+    (* A plan aimed at a different point: fire() is never even reached
+       from the ring, the option match is the entire cost. *)
+    Kite_fault.Fault.create ~name:"bench" ~seed:1
+      [ Kite_fault.Fault.spec ~key:"elsewhere" Kite_fault.Fault.Device_io ]
+  in
+  let armed =
+    measure "injector attached, plan elsewhere"
+      (real_roundtrip ~fault:f ~trace:None)
+  in
+  Printf.printf "  bare ring (seed shape):            %10.1f ns/roundtrip\n"
+    bare;
+  Printf.printf "  instrumented, no injector:         %10.1f ns/roundtrip\n"
+    disabled;
+  Printf.printf "  injector attached, plan elsewhere: %10.1f ns/roundtrip\n"
+    armed;
+  let ratio = disabled /. bare in
+  Printf.printf "  disabled/bare ratio: %.2fx (gate: < 2.00x)\n%!" ratio;
+  if Float.is_nan ratio || ratio >= 2.0 then begin
+    print_endline "FAIL: disabled injector is not within noise of the seed ring";
+    exit 1
+  end;
+  print_endline "OK: disabled injector within noise of seed"
+
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
@@ -292,6 +332,7 @@ let () =
   in
   if List.mem "--list" args then list_experiments ()
   else if List.mem "--trace-overhead" args then trace_overhead ()
+  else if List.mem "--fault-overhead" args then fault_overhead ()
   else if micro then micro_tests ()
   else begin
     Printf.printf "Kite reproduction harness (%s scale)\n"

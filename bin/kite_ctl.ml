@@ -7,6 +7,7 @@
      kite_ctl run fig9 --quick
      kite_ctl check fig7
      kite_ctl trace fig7 --out trace.json --breakdown --hypercalls
+     kite_ctl faults fig11 --seed 7 --plan faults.txt
      kite_ctl boot kite-network
      kite_ctl security
      kite_ctl topology --flavor kite *)
@@ -322,6 +323,85 @@ let trace_cmd =
         (const run $ full_arg $ out_arg $ breakdown_arg $ hypercalls_arg
        $ id_arg))
 
+(* ------------------------------------------------------------------ *)
+(* faults                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let faults_cmd =
+  let id_arg =
+    let doc =
+      "Experiment id to run under fault injection (see $(b,list)); 'all' \
+       runs everything."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let seed_arg =
+    let doc =
+      "Injection seed: the same seed and plan reproduce the same faults."
+    in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let plan_arg =
+    let doc =
+      "Read the injection plan from $(docv) (one spec per line: POINT \
+       key=K first=N every=N count=N prob=F).  Default: the built-in \
+       device-error plan."
+    in
+    Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"FILE" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the injection/recovery log as JSON instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run full seed plan_file json id =
+    let plan_r =
+      match plan_file with
+      | None -> Ok Kite_fault.Fault.default_plan
+      | Some path -> (
+          (* Read in a loop: the plan may arrive on a pipe or process
+             substitution, where in_channel_length cannot seek. *)
+          try
+            let ic = open_in path in
+            let b = Buffer.create 256 in
+            (try
+               while true do
+                 Buffer.add_channel b ic 1
+               done
+             with End_of_file -> ());
+            close_in ic;
+            Kite_fault.Fault.plan_of_string (Buffer.contents b)
+          with Sys_error msg -> Error msg)
+    in
+    match plan_r with
+    | Error msg -> `Error (false, "bad plan: " ^ msg)
+    | Ok plan -> (
+        let sink = Kite_fault.Fault.sink ~seed plan in
+        Kite_fault.Fault.set_default (Some sink);
+        let quick = not full in
+        let outcome =
+          for_experiments id (fun (eid, _desc, f) ->
+              if not json then
+                Printf.printf "injecting faults into %s...\n%!" eid;
+              ignore (f ~quick);
+              Kite.Scenario.teardown_all ())
+        in
+        Kite_fault.Fault.set_default None;
+        match outcome with
+        | `Error _ as e -> e
+        | `Ok () ->
+            let fs = Kite_fault.Fault.faults sink in
+            if json then print_string (Kite_fault.Fault.to_json fs)
+            else Kite_fault.Fault.print fs;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run experiments under seeded fault injection (device errors, \
+          dropped notifications, xenstore loss, ring corruption) and \
+          report what was injected and how the drivers recovered.")
+    Term.(ret (const run $ full_arg $ seed_arg $ plan_arg $ json_arg $ id_arg))
+
 let () =
   let info =
     Cmd.info "kite_ctl" ~version:"1.0"
@@ -339,4 +419,5 @@ let () =
             topology_cmd;
             capture_cmd;
             trace_cmd;
+            faults_cmd;
           ]))

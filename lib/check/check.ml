@@ -282,6 +282,16 @@ let write_denied t ~domid ~path =
   emit t Report.Info "xenstore" "xs-write-denied"
     "domain %d denied write to %s" domid path
 
+let xenbus_bad_state t ~path ~value =
+  account t;
+  emit t Report.Error "xenstore" "xenbus-bad-state"
+    "unparsable xenbus state %S at %s (coerced to Closed)" value path
+
+let xenbus_bad_transition t ~path ~from_ ~to_ =
+  account t;
+  emit t Report.Warning "xenstore" "xenbus-bad-transition"
+    "illegal xenbus state transition %s -> %s at %s" from_ to_ path
+
 (* ------------------------------------------------------------------ *)
 (* Audits                                                              *)
 (* ------------------------------------------------------------------ *)

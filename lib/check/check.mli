@@ -92,6 +92,14 @@ val tx_opened : t -> id:int -> unit
 val tx_closed : t -> id:int -> unit
 val write_denied : t -> domid:int -> path:string -> unit
 
+val xenbus_bad_state : t -> path:string -> value:string -> unit
+(** An unparsable value in a [.../state] node — a protocol violation the
+    xenbus layer would otherwise silently coerce to [Closed]. *)
+
+val xenbus_bad_transition : t -> path:string -> from_:string -> to_:string -> unit
+(** A state write that is not a legal edge of the xenbus device state
+    machine (see [Xenbus.legal_transition]). *)
+
 (** {1 Audits} *)
 
 val quiescence : t -> pending:int -> unit

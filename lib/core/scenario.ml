@@ -16,10 +16,12 @@ let overheads_of = function
 let guest_rx_cost = Time.ns 1100
 let client_rx_cost = Time.us 1
 
-(* When a checker is active (Check.set_default), every testbed built here
-   wires it in and registers an orderly-teardown closure; [teardown_all]
-   runs them so the end-of-run audits (grant leaks, orphaned watches)
-   inspect a quiesced system rather than steady-state buffers. *)
+(* Every testbed built here registers an orderly-teardown closure;
+   [teardown_all] runs them so end-of-run audits (grant leaks, orphaned
+   watches) inspect a quiesced system rather than steady-state buffers.
+   Registration is unconditional — the final audit only runs when a
+   checker is active (Check.set_default), but the quiesce/stop/shutdown
+   sequence itself must not depend on one being set. *)
 let scenario_seq = ref 0
 let teardowns : (unit -> unit) list ref = ref []
 
@@ -55,6 +57,21 @@ let attach_trace ctx tag =
       in
       Kite_drivers.Xen_ctx.enable_trace ctx tr
 
+(* And again for fault injection (Fault.set_default): each machine gets
+   its own injector, seeded deterministically from the sink, so two runs
+   with the same seed and plan inject at identical points. *)
+let attach_fault ctx tag =
+  match Kite_fault.Fault.default () with
+  | None -> None
+  | Some sink ->
+      incr scenario_seq;
+      let f =
+        Kite_fault.Fault.create_in sink
+          ~name:(Printf.sprintf "%s%d" tag !scenario_seq)
+      in
+      Kite_drivers.Xen_ctx.enable_fault ctx f;
+      Some f
+
 type net = {
   hv : Hypervisor.t;
   ctx : Xen_ctx.t;
@@ -66,10 +83,11 @@ type net = {
   client_stack : Stack.t;
   client_tcp : Tcp.t;
   netfront : Netfront.t;
-  net_app : Net_app.t;
+  mutable net_app : Net_app.t;
   server_nic : Kite_devices.Nic.t;
   client_nic : Kite_devices.Nic.t;
   guest_ip : Ipv4addr.t;
+  net_fault : Kite_fault.Fault.t option;
 }
 
 let network ?overheads_override ~flavor ?(seed = 2022) () =
@@ -77,6 +95,7 @@ let network ?overheads_override ~flavor ?(seed = 2022) () =
   let ctx = Xen_ctx.create hv in
   let check = attach_check ctx ("net-" ^ flavor_name flavor ^ "-") in
   attach_trace ctx ("net-" ^ flavor_name flavor ^ "-");
+  let fault = attach_fault ctx ("net-" ^ flavor_name flavor ^ "-") in
   let sched = Hypervisor.sched hv in
   let metrics = Hypervisor.metrics hv in
   let profile =
@@ -115,6 +134,7 @@ let network ?overheads_override ~flavor ?(seed = 2022) () =
   let overheads =
     Option.value overheads_override ~default:(overheads_of flavor)
   in
+  Kite_devices.Nic.set_fault nic fault;
   let net_app = Net_app.run ctx ~domain:dd ~nic ~overheads in
   Toolstack.add_vif ctx ~backend:dd ~frontend:domu ~devid:0;
   let netfront = Netfront.create ctx ~domain:domu ~backend:dd ~devid:0 in
@@ -132,39 +152,44 @@ let network ?overheads_override ~flavor ?(seed = 2022) () =
       ~netmask:(Ipv4addr.of_string "255.255.255.0")
       ~rx_cost:client_rx_cost ()
   in
-  (match check with
-  | Some c ->
-      teardowns :=
-        (fun () ->
-          (* Drain in-flight I/O, stop the backend (unregisters its watch),
-             give its threads a beat to park, then close the frontend and
-             audit. *)
-          Hypervisor.run_for hv (Time.sec 1);
-          Hypervisor.spawn hv dd ~name:"teardown" (fun () ->
-              Netback.stop (Net_app.netback net_app);
-              Process.sleep (Time.ms 1);
-              Netfront.shutdown netfront);
-          Hypervisor.run_for hv (Time.ms 50);
+  let s =
+    {
+      hv;
+      ctx;
+      sched;
+      dd;
+      domu;
+      guest_stack;
+      guest_tcp = Tcp.attach guest_stack;
+      client_stack;
+      client_tcp = Tcp.attach client_stack;
+      netfront;
+      net_app;
+      server_nic;
+      client_nic;
+      guest_ip;
+      net_fault = fault;
+    }
+  in
+  (* Drain in-flight I/O, stop the backend (unregisters its watch), give
+     its threads a beat to park, then close the frontend; audit only when
+     a checker is wired in.  [s.net_app] is read at teardown time: after
+     a crash-and-restart cycle it is the respawned backend. *)
+  teardowns :=
+    (fun () ->
+      Hypervisor.run_for hv (Time.sec 1);
+      Hypervisor.spawn hv dd ~name:"teardown" (fun () ->
+          Netback.stop (Net_app.netback s.net_app);
+          Process.sleep (Time.ms 1);
+          Netfront.shutdown netfront);
+      Hypervisor.run_for hv (Time.ms 50);
+      match check with
+      | Some c ->
           Kite_check.Check.finalize c
-            ~pending:(Engine.pending (Hypervisor.engine hv)))
-        :: !teardowns
-  | None -> ());
-  {
-    hv;
-    ctx;
-    sched;
-    dd;
-    domu;
-    guest_stack;
-    guest_tcp = Tcp.attach guest_stack;
-    client_stack;
-    client_tcp = Tcp.attach client_stack;
-    netfront;
-    net_app;
-    server_nic;
-    client_nic;
-    guest_ip;
-  }
+            ~pending:(Engine.pending (Hypervisor.engine hv))
+      | None -> ())
+    :: !teardowns;
+  s
 
 let when_net_ready net f =
   Process.spawn net.sched ~name:"when-ready" (fun () ->
@@ -180,8 +205,9 @@ type blk = {
   bdd : Domain.t;
   bdomu : Domain.t;
   blkfront : Blkfront.t;
-  blk_app : Blk_app.t;
+  mutable blk_app : Blk_app.t;
   nvme : Kite_devices.Nvme.t;
+  blk_fault : Kite_fault.Fault.t option;
 }
 
 let storage ~flavor ?(seed = 2022) ?(feature_persistent = true)
@@ -190,6 +216,7 @@ let storage ~flavor ?(seed = 2022) ?(feature_persistent = true)
   let ctx = Xen_ctx.create hv in
   let check = attach_check ctx ("blk-" ^ flavor_name flavor ^ "-") in
   attach_trace ctx ("blk-" ^ flavor_name flavor ^ "-");
+  let fault = attach_fault ctx ("blk-" ^ flavor_name flavor ^ "-") in
   let sched = Hypervisor.sched hv in
   let metrics = Hypervisor.metrics hv in
   let profile =
@@ -219,30 +246,34 @@ let storage ~flavor ?(seed = 2022) ?(feature_persistent = true)
   Kite_devices.Pci.register pci ~bdf:"02:00.0" (Kite_devices.Pci.Nvme nvme);
   Kite_devices.Pci.assignable_add pci ~bdf:"02:00.0";
   ignore (Kite_devices.Pci.attach pci ~bdf:"02:00.0" dd);
+  Kite_devices.Nvme.set_fault nvme fault;
   let blk_app =
     Blk_app.run ctx ~domain:dd ~nvme ~overheads:(overheads_of flavor)
       ~feature_persistent ~feature_indirect ~batching ()
   in
   Toolstack.add_vbd ctx ~backend:dd ~frontend:domu ~devid:0;
   let blkfront = Blkfront.create ctx ~domain:domu ~backend:dd ~devid:0 () in
-  (match check with
-  | Some c ->
-      teardowns :=
-        (fun () ->
-          Hypervisor.run_for hv (Time.sec 1);
-          Hypervisor.spawn hv dd ~name:"teardown" (fun () ->
-              (* Backend first: its persistent-reference sweep must unmap
-                 before blkfront revokes the pool. *)
-              Blkback.stop (Blk_app.blkback blk_app);
-              Process.sleep (Time.ms 1);
-              Blkfront.shutdown blkfront);
-          Hypervisor.run_for hv (Time.ms 50);
+  let s =
+    { bhv = hv; bctx = ctx; bsched = sched; bdd = dd; bdomu = domu;
+      blkfront; blk_app; nvme; blk_fault = fault }
+  in
+  teardowns :=
+    (fun () ->
+      Hypervisor.run_for hv (Time.sec 1);
+      Hypervisor.spawn hv dd ~name:"teardown" (fun () ->
+          (* Backend first: its persistent-reference sweep must unmap
+             before blkfront revokes the pool. *)
+          Blkback.stop (Blk_app.blkback s.blk_app);
+          Process.sleep (Time.ms 1);
+          Blkfront.shutdown blkfront);
+      Hypervisor.run_for hv (Time.ms 50);
+      match check with
+      | Some c ->
           Kite_check.Check.finalize c
-            ~pending:(Engine.pending (Hypervisor.engine hv)))
-        :: !teardowns
-  | None -> ());
-  { bhv = hv; bctx = ctx; bsched = sched; bdd = dd; bdomu = domu;
-    blkfront; blk_app; nvme }
+            ~pending:(Engine.pending (Hypervisor.engine hv))
+      | None -> ())
+    :: !teardowns;
+  s
 
 let blockdev blk =
   {
@@ -257,6 +288,74 @@ let when_blk_ready blk f =
   Hypervisor.spawn blk.bhv blk.bdomu ~name:"when-ready" (fun () ->
       Blkfront.wait_connected blk.blkfront;
       f ())
+
+(* Crash-and-restart cycles (the restart-recovery experiment): destroy
+   the driver domain mid-flight, rebuild it with its flavor's boot
+   profile, respawn the backend application and re-register the device,
+   then wait for the frontend's own recovery to reconnect.  Downtime is
+   crash instant -> frontend reconnected. *)
+
+let boot_profile_net = function
+  | Kite -> Kite_profiles.Boot.kite_network
+  | Linux -> Kite_profiles.Boot.linux_driver_domain
+
+let boot_profile_blk = function
+  | Kite -> Kite_profiles.Boot.kite_storage
+  | Linux -> Kite_profiles.Boot.linux_driver_domain
+
+let crash_and_restart_blk s ~flavor ~at ?on_restored () =
+  let hv = s.bhv in
+  Hypervisor.spawn hv (Hypervisor.dom0 hv) ~name:"dd-reboot" (fun () ->
+      Process.sleep at;
+      let gen0 = Blkfront.reconnects s.blkfront in
+      let t0 = Hypervisor.now hv in
+      Blkback.crash (Blk_app.blkback s.blk_app);
+      Toolstack.crash_driver_domain s.bctx s.bdd;
+      Toolstack.restart_driver_domain s.bctx s.bdd
+        ~boot:(boot_profile_blk flavor)
+        ~respawn:(fun () ->
+          s.blk_app <-
+            Blk_app.run s.bctx ~domain:s.bdd ~nvme:s.nvme
+              ~overheads:(overheads_of flavor) ();
+          Toolstack.add_vbd s.bctx ~backend:s.bdd ~frontend:s.bdomu ~devid:0)
+        ~on_ready:(fun () ->
+          while
+            not
+              (Blkfront.reconnects s.blkfront > gen0
+              && Blkfront.is_connected s.blkfront)
+          do
+            Process.sleep (Time.ms 1)
+          done;
+          let downtime = Hypervisor.now hv - t0 in
+          match on_restored with Some f -> f ~downtime | None -> ()))
+
+let crash_and_restart_net s ~flavor ~at ?on_restored () =
+  let hv = s.hv in
+  Hypervisor.spawn hv (Hypervisor.dom0 hv) ~name:"dd-reboot" (fun () ->
+      Process.sleep at;
+      let gen0 = Netfront.reconnects s.netfront in
+      let t0 = Hypervisor.now hv in
+      Netback.crash (Net_app.netback s.net_app);
+      Toolstack.crash_driver_domain s.ctx s.dd;
+      Toolstack.restart_driver_domain s.ctx s.dd
+        ~boot:(boot_profile_net flavor)
+        ~respawn:(fun () ->
+          (* Same physical NIC: the respawned app re-wraps it and builds a
+             fresh bridge; the crashed app's bridge is orphaned. *)
+          s.net_app <-
+            Net_app.run s.ctx ~domain:s.dd ~nic:s.server_nic
+              ~overheads:(overheads_of flavor);
+          Toolstack.add_vif s.ctx ~backend:s.dd ~frontend:s.domu ~devid:0)
+        ~on_ready:(fun () ->
+          while
+            not
+              (Netfront.reconnects s.netfront > gen0
+              && Netfront.connected s.netfront)
+          do
+            Process.sleep (Time.ms 1)
+          done;
+          let downtime = Hypervisor.now hv - t0 in
+          match on_restored with Some f -> f ~downtime | None -> ()))
 
 let network_with_overheads ~overheads ?seed () =
   network ~overheads_override:overheads ~flavor:Kite ?seed ()

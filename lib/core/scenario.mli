@@ -10,11 +10,11 @@ val flavor_name : flavor -> string
 val overheads_of : flavor -> Kite_drivers.Overheads.t
 
 val teardown_all : unit -> unit
-(** Run the orderly teardown of every testbed built while a checker was
-    active ({!Kite_check.Check.set_default}): quiesce, stop backends,
-    shut down frontends, then run the end-of-run audits (grant leaks,
-    orphaned watches, open transactions, quiescence).  No-op — and
-    nothing is registered — when no checker is set. *)
+(** Run the orderly teardown of every testbed built so far: quiesce,
+    stop backends, shut down frontends.  When a checker was active
+    ({!Kite_check.Check.set_default}) when the testbed was built, the
+    end-of-run audits (grant leaks, orphaned watches, open transactions,
+    quiescence) run as the last step. *)
 
 (** {1 Network domain testbed} *)
 
@@ -29,10 +29,15 @@ type net = {
   client_stack : Kite_net.Stack.t;
   client_tcp : Kite_net.Tcp.t;
   netfront : Kite_drivers.Netfront.t;
-  net_app : Kite_drivers.Net_app.t;
+  mutable net_app : Kite_drivers.Net_app.t;
+      (** Replaced by {!crash_and_restart_net} when the backend domain is
+          rebuilt. *)
   server_nic : Kite_devices.Nic.t;
   client_nic : Kite_devices.Nic.t;
   guest_ip : Kite_net.Ipv4addr.t;
+  net_fault : Kite_fault.Fault.t option;
+      (** This machine's injector when a fault sink was active
+          ({!Kite_fault.Fault.set_default}) at build time. *)
 }
 
 val network :
@@ -59,8 +64,13 @@ type blk = {
   bdd : Kite_xen.Domain.t;
   bdomu : Kite_xen.Domain.t;
   blkfront : Kite_drivers.Blkfront.t;
-  blk_app : Kite_drivers.Blk_app.t;
+  mutable blk_app : Kite_drivers.Blk_app.t;
+      (** Replaced by {!crash_and_restart_blk} when the backend domain is
+          rebuilt. *)
   nvme : Kite_devices.Nvme.t;
+  blk_fault : Kite_fault.Fault.t option;
+      (** This machine's injector when a fault sink was active
+          ({!Kite_fault.Fault.set_default}) at build time. *)
 }
 
 val storage :
@@ -81,3 +91,31 @@ val blockdev : blk -> Kite_vfs.Blockdev.t
 
 val when_blk_ready : blk -> (unit -> unit) -> unit
 (** Spawn [f] as a DomU process once blkfront is connected. *)
+
+(** {1 Crash-and-restart cycles (restart-recovery experiment)} *)
+
+val crash_and_restart_blk :
+  blk ->
+  flavor:flavor ->
+  at:Kite_sim.Time.span ->
+  ?on_restored:(downtime:Kite_sim.Time.span -> unit) ->
+  unit ->
+  unit
+(** Schedule a driver-domain crash [at] after now: the backend is
+    destroyed mid-I/O ({!Kite_drivers.Blkback.crash} +
+    {!Kite_drivers.Toolstack.crash_driver_domain}), rebuilt with
+    [flavor]'s boot profile, and the device re-registered; blkfront's own
+    recovery re-handshakes and replays its journal.  [on_restored] runs
+    (in process context) once the frontend is connected again, with the
+    measured crash-to-reconnect downtime. *)
+
+val crash_and_restart_net :
+  net ->
+  flavor:flavor ->
+  at:Kite_sim.Time.span ->
+  ?on_restored:(downtime:Kite_sim.Time.span -> unit) ->
+  unit ->
+  unit
+(** Same cycle for the network domain: in-flight frames are lost (a cable
+    pull), then Tx/Rx resume against the respawned backend with fresh
+    rings and grants. *)

@@ -1,5 +1,7 @@
 open Kite_sim
 
+exception Transient_error of string
+
 type t = {
   name : string;
   sched : Process.sched;
@@ -16,6 +18,7 @@ type t = {
   mutable tx_bytes : int;
   mutable rx_bytes : int;
   mutable dropped : int;
+  mutable fault : Kite_fault.Fault.t option;
 }
 
 let name t = t.name
@@ -68,6 +71,7 @@ let create sched metrics ~name ?(line_rate_gbps = 10.0)
       tx_bytes = 0;
       rx_bytes = 0;
       dropped = 0;
+      fault = None;
     }
   in
   Process.spawn sched ~daemon:true ~name:("nic-" ^ name ^ "-tx")
@@ -83,8 +87,19 @@ let connect a b ~propagation =
   b.propagation <- propagation
 
 let set_rx_handler t f = t.rx_handler <- Some f
+let set_fault t f = t.fault <- f
 
 let transmit t frame =
+  (* Transient transmit failure (descriptor ring hiccup): raised at the
+     enqueue point so the caller — netback's pusher — can retry with
+     backoff. *)
+  (match t.fault with
+  | Some f
+    when Kite_fault.Fault.fire f Kite_fault.Fault.Device_io ~key:t.name ->
+      raise
+        (Transient_error
+           (Printf.sprintf "nic %s: transient transmit failure" t.name))
+  | _ -> ());
   if Mailbox.length t.txq >= t.queue_limit then begin
     t.dropped <- t.dropped + 1;
     Metrics.incr t.metrics ("nic." ^ t.name ^ ".drop")

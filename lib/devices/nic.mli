@@ -29,6 +29,12 @@ val connect : t -> t -> propagation:Kite_sim.Time.span -> unit
 val set_rx_handler : t -> (Bytes.t -> unit) -> unit
 (** Invoked in interrupt context for every arriving frame. *)
 
+exception Transient_error of string
+(** A retryable transmit failure, produced only by an attached fault
+    injector ([Device_io]; key = device name). *)
+
+val set_fault : t -> Kite_fault.Fault.t option -> unit
+
 val transmit : t -> Bytes.t -> unit
 (** Enqueue a frame for transmission.  Never blocks; drops when the queue
     is full. *)

@@ -3,6 +3,7 @@ open Kite_sim
 let sector_size = 512
 
 exception Out_of_range of string
+exception Transient_error of string
 
 type op = Read | Write | Flush
 
@@ -34,6 +35,7 @@ type t = {
   mutable writes : int;
   mutable bytes_read : int;
   mutable bytes_written : int;
+  mutable fault : Kite_fault.Fault.t option;
 }
 
 let name t = t.name
@@ -117,6 +119,7 @@ let create sched metrics ~name ?(capacity_sectors = 976_773_168)
       writes = 0;
       bytes_read = 0;
       bytes_written = 0;
+      fault = None;
     }
   in
   for i = 1 to queue_depth do
@@ -133,7 +136,19 @@ let check t sector count =
          (Printf.sprintf "nvme %s: sectors %d+%d out of range" t.name sector
             count))
 
+let set_fault t f = t.fault <- f
+
 let submit t cmd =
+  (* Transient command failure (media busy, CRC hiccup): reported at
+     submission, before the command reaches the queue, so the caller's
+     retry resubmits the whole command. *)
+  (match t.fault with
+  | Some f
+    when Kite_fault.Fault.fire f Kite_fault.Fault.Device_io ~key:t.name ->
+      raise
+        (Transient_error
+           (Printf.sprintf "nvme %s: transient command failure" t.name))
+  | _ -> ());
   Mailbox.send t.queue cmd;
   while not cmd.completed do
     Condition.wait cmd.done_

@@ -33,6 +33,13 @@ val capacity_sectors : t -> int
 
 exception Out_of_range of string
 
+exception Transient_error of string
+(** A retryable command failure, produced only by an attached fault
+    injector ([Device_io]; key = device name).  Raised at submission, so
+    a retry resubmits the whole command. *)
+
+val set_fault : t -> Kite_fault.Fault.t option -> unit
+
 val read : t -> sector:int -> count:int -> Bytes.t
 (** Blocking (process context): returns [count * 512] bytes. *)
 

@@ -19,9 +19,12 @@ type instance = {
      Â§3.3); released in one sweep on disconnect. *)
   pmap : (int, unit) Hashtbl.t;
   mutable last_activity : Time.t;
+  retries : int;
+  retry_backoff : Time.span;
   mutable requests : int;
   mutable segments : int;
   mutable device_ops : int;
+  mutable io_retries : int;
   mutable stop : bool;
 }
 
@@ -33,6 +36,8 @@ type t = {
   feature_persistent : bool;
   feature_indirect : bool;
   batching : bool;
+  sretries : int;
+  sretry_backoff : Time.span;
   mutable insts : instance list;
   mutable known : (int * int) list;
   new_frontend : (int * int) Mailbox.t;
@@ -45,10 +50,16 @@ let frontend_domid i = i.frontend.Domain.id
 let requests_served i = i.requests
 let segments_served i = i.segments
 let device_ops i = i.device_ops
+let io_retries i = i.io_retries
 
 let hv i = i.ctx.Xen_ctx.hv
 let trace i = i.ctx.Xen_ctx.trace
 let vbd_name i = Printf.sprintf "vbd%d.%d" i.frontend.Domain.id i.devid
+
+let fnote i what =
+  match i.ctx.Xen_ctx.fault with
+  | Some f -> Kite_fault.Fault.note f ~what ~key:(vbd_name i)
+  | None -> ()
 
 let charge_wake i =
   let now = Hypervisor.now (hv i) in
@@ -141,10 +152,16 @@ let release i work =
     Grant_table.unmap_many i.ctx.Xen_ctx.gt ~grantee:i.domain
       (List.map (fun s -> s.Blkif.gref) work.segs)
 
+(* After a crash ([stop] set abruptly) the ring is dead and the channel
+   closed: late completions from workers already in the device must not
+   touch either. *)
 let respond i work status =
-  Ring.push_response i.ring { Blkif.rsp_id = work.req.Blkif.req_id; status };
-  if Ring.push_responses_and_check_notify i.ring then
-    Event_channel.notify i.ctx.Xen_ctx.ec i.port ~from:i.domain
+  if not i.stop then begin
+    Ring.push_response i.ring { Blkif.rsp_id = work.req.Blkif.req_id; status };
+    if Ring.push_responses_and_check_notify i.ring then
+      try Event_channel.notify i.ctx.Xen_ctx.ec i.port ~from:i.domain
+      with Event_channel.Evtchn_error _ -> ()
+  end
 
 (* Gather a batch's pages into one buffer / scatter one buffer back. *)
 let gather works =
@@ -198,37 +215,60 @@ let run_batch i op sector works =
   (* One submission/completion overhead per (possibly merged) physical
      operation — the term batching amortizes. *)
   Hypervisor.cpu_work (hv i) i.domain i.ov.Overheads.blk_per_request;
-  (try
-     (match op with
-     | Blkif.Read ->
-         let data =
-           Kite_devices.Nvme.read i.device ~sector ~count:(total / sector_size)
-         in
-         scatter works data
-     | Blkif.Write ->
-         Kite_devices.Nvme.write i.device ~sector (gather works)
-     | Blkif.Flush -> Kite_devices.Nvme.flush i.device);
-     i.device_ops <- i.device_ops + 1;
-     List.iter
-       (fun w ->
-         i.requests <- i.requests + 1;
-         i.segments <- i.segments + List.length w.segs;
-         release i w;
-         (match trace i with
-         | Some tr ->
-             Kite_trace.Trace.span_hop tr
-               ~at:(Hypervisor.now (hv i))
-               ~kind:"blk" ~key:(vbd_name i) ~id:w.req.Blkif.req_id
-               ~stage:"complete" ~args:[]
-         | None -> ());
-         respond i w Blkif.status_ok)
-       works
-   with Kite_devices.Nvme.Out_of_range _ ->
-     List.iter
-       (fun w ->
-         release i w;
-         respond i w Blkif.status_error)
-       works)
+  (* Transient device errors (an injected NVMe hiccup) are retried with
+     exponential backoff; only after [retries] attempts is the batch
+     failed back to the frontend.  A crash mid-batch ([stop] set abruptly)
+     makes the worker finish its device op and then do nothing: the
+     grants were revoked with the domain and the ring is dead. *)
+  let rec perform n =
+    try
+      (match op with
+      | Blkif.Read ->
+          let data =
+            Kite_devices.Nvme.read i.device ~sector
+              ~count:(total / sector_size)
+          in
+          scatter works data
+      | Blkif.Write ->
+          Kite_devices.Nvme.write i.device ~sector (gather works)
+      | Blkif.Flush -> Kite_devices.Nvme.flush i.device);
+      true
+    with
+    | Kite_devices.Nvme.Transient_error _ when n < i.retries && not i.stop ->
+        i.io_retries <- i.io_retries + 1;
+        fnote i (Printf.sprintf "blkback.io-retry n=%d" (n + 1));
+        Process.sleep (i.retry_backoff * (1 lsl n));
+        perform (n + 1)
+    | Kite_devices.Nvme.Transient_error _ | Kite_devices.Nvme.Out_of_range _
+      ->
+        false
+  in
+  let ok = perform 0 in
+  if not i.stop then begin
+    if ok then begin
+      i.device_ops <- i.device_ops + 1;
+      List.iter
+        (fun w ->
+          i.requests <- i.requests + 1;
+          i.segments <- i.segments + List.length w.segs;
+          release i w;
+          (match trace i with
+          | Some tr ->
+              Kite_trace.Trace.span_hop tr
+                ~at:(Hypervisor.now (hv i))
+                ~kind:"blk" ~key:(vbd_name i) ~id:w.req.Blkif.req_id
+                ~stage:"complete" ~args:[]
+          | None -> ());
+          respond i w Blkif.status_ok)
+        works
+    end
+    else
+      List.iter
+        (fun w ->
+          release i w;
+          respond i w Blkif.status_error)
+        works
+  end
 
 (* Group a drained run of requests into batches of device-contiguous,
    same-operation requests (the paper's consecutive-segment batching). *)
@@ -354,9 +394,12 @@ let make_instance t ~frontend ~devid =
       wake = Condition.create ~label:"blkback ring" ();
       pmap = Hashtbl.create 64;
       last_activity = Time.zero;
+      retries = t.sretries;
+      retry_backoff = t.sretry_backoff;
       requests = 0;
       segments = 0;
       device_ops = 0;
+      io_retries = 0;
       stop = false;
     }
   in
@@ -404,7 +447,8 @@ let scan t =
     (Xenstore.directory xs ~path:base)
 
 let serve ctx ~domain ~overheads ~device ?(feature_persistent = true)
-    ?(feature_indirect = true) ?(batching = true) () =
+    ?(feature_indirect = true) ?(batching = true) ?(retries = 4)
+    ?(retry_backoff = Time.us 50) () =
   let t =
     {
       sctx = ctx;
@@ -414,6 +458,8 @@ let serve ctx ~domain ~overheads ~device ?(feature_persistent = true)
       feature_persistent;
       feature_indirect;
       batching;
+      sretries = retries;
+      sretry_backoff = retry_backoff;
       insts = [];
       known = [];
       new_frontend = Mailbox.create ~label:"blkback new frontends" ();
@@ -455,3 +501,25 @@ let stop t =
   | None -> ());
   Mailbox.send t.new_frontend (-1, -1);
   List.iter stop_instance t.insts
+
+(* Abrupt death, as seen when the driver domain is destroyed mid-I/O.
+   Unlike [stop] there is no orderly unmap sweep or channel close: the
+   hypervisor revokes this domain's grant mappings and tears down its
+   event channels ({!Toolstack.crash_driver_domain}).  We only flip the
+   flags so request threads and in-flight workers stop touching the dead
+   rings, and drop the watch uncharged (the domain can no longer make
+   hypercalls). *)
+let crash t =
+  t.stopping <- true;
+  (match t.watch_id with
+  | Some id ->
+      Xenstore.unwatch (Hypervisor.store t.sctx.Xen_ctx.hv) id;
+      t.watch_id <- None
+  | None -> ());
+  Mailbox.send t.new_frontend (-1, -1);
+  List.iter
+    (fun i ->
+      i.stop <- true;
+      Hashtbl.reset i.pmap;
+      Condition.broadcast i.wake)
+    t.insts

@@ -26,15 +26,26 @@ val serve :
   ?feature_persistent:bool ->
   ?feature_indirect:bool ->
   ?batching:bool ->
+  ?retries:int ->
+  ?retry_backoff:Kite_sim.Time.span ->
   unit ->
   t
 (** Start the backend in [domain], exporting [device].  Flags exist for
-    the ablation benchmarks; they default to on, matching Kite. *)
+    the ablation benchmarks; they default to on, matching Kite.
+    Transient device errors (fault-injected NVMe hiccups) are retried up
+    to [retries] times with exponential backoff starting at
+    [retry_backoff] (defaults: 4, 50 us). *)
 
 val stop : t -> unit
 (** Orderly teardown: unregister the directory watch, retire the watcher
     and request threads, unmap all persistent grants and close the event
     channels.  Call from process context after I/O has quiesced. *)
+
+val crash : t -> unit
+(** Abrupt death (driver-domain destroyed mid-I/O): stop threads from
+    touching the rings and drop bookkeeping, but perform no orderly
+    unmap/close — {!Toolstack.crash_driver_domain} revokes grants and
+    event channels at the hypervisor.  Safe from any context. *)
 
 val instances : t -> instance list
 val frontend_domid : instance -> int
@@ -43,3 +54,6 @@ val requests_served : instance -> int
 val segments_served : instance -> int
 val device_ops : instance -> int
 (** Physical operations issued; < requests when batching merges them. *)
+
+val io_retries : instance -> int
+(** Device operations re-attempted after a transient error. *)

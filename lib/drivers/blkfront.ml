@@ -4,11 +4,27 @@ open Kite_xen
 let sector_size = 512
 let sectors_per_page = Page.size / sector_size
 
+(* How long the frontend waits for a response before suspecting the
+   request (or its completion notification) was lost.  Well above any
+   normal I/O latency in the model, so it only fires under injected
+   faults or a backend crash. *)
+let watchdog_timeout = Time.ms 500
+
 exception Io_error of string
 
+(* The in-flight journal entry.  It carries everything needed to re-push
+   the request verbatim — the built ring descriptor plus the granted
+   data/indirect pages — so the watchdog can re-issue a lost request and
+   crash recovery can replay unacknowledged ones into a fresh ring.  The
+   grants stay valid across a backend crash (the granter is this, living,
+   domain; the hypervisor force-unmaps the dead peer's mappings). *)
 type pending = {
+  p_id : int;
   cond : Condition.t;
   mutable status : int option;  (* response status once completed *)
+  p_req : Blkif.request;
+  p_pages : (Grant_table.ref_ * Page.t) list;
+  p_indirect : (Grant_table.ref_ * Page.t) list;
 }
 
 type t = {
@@ -18,9 +34,11 @@ type t = {
   devid : int;
   want_persistent : bool;
   want_indirect : bool;
-  ring : Blkif.ring;
+  mutable ring : Blkif.ring;  (* replaced on reconnect *)
   mutable port : Event_channel.port;
   mutable connected : bool;
+  mutable shut : bool;  (* orderly shutdown: monitor must not reconnect *)
+  mutable monitor : Xenstore.watch_id option;
   mutable capacity : int;
   mutable backend_persistent : bool;
   mutable backend_indirect : int;  (* max indirect segments; 0 = none *)
@@ -30,10 +48,17 @@ type t = {
   mutable pool : (Grant_table.ref_ * Page.t) list;  (* persistent pages *)
   mutable next_id : int;
   mutable requests : int;
+  mutable reconnects : int;
+  mutable replayed : int;
+  mutable resubmits : int;
 }
 
 let capacity_sectors t = t.capacity
 let requests_issued t = t.requests
+let reconnects t = t.reconnects
+let replayed t = t.replayed
+let resubmits t = t.resubmits
+let is_connected t = t.connected
 let indirect_enabled t = t.want_indirect && t.backend_indirect > 0
 let persistent_enabled t = t.want_persistent && t.backend_persistent
 
@@ -49,6 +74,26 @@ let fresh_id t =
   id
 
 let vbd_name t = Printf.sprintf "vbd%d.%d" t.domain.Domain.id t.devid
+
+let fnote t what =
+  match t.ctx.Xen_ctx.fault with
+  | Some f -> Kite_fault.Fault.note f ~what ~key:(vbd_name t)
+  | None -> ()
+
+let ring_name t = Printf.sprintf "%s/vbd%d" t.domain.Domain.name t.devid
+
+let attach_ring_instruments t =
+  (match t.ctx.Xen_ctx.check with
+  | Some c -> Ring.attach_check t.ring c ~name:(ring_name t)
+  | None -> ());
+  (match t.ctx.Xen_ctx.trace with
+  | Some tr ->
+      Ring.attach_trace t.ring tr ~name:(ring_name t)
+        ~now:(fun () -> Hypervisor.now t.ctx.Xen_ctx.hv)
+  | None -> ());
+  match t.ctx.Xen_ctx.fault with
+  | Some f -> Ring.attach_fault t.ring f ~name:(ring_name t)
+  | None -> ()
 
 (* Data pages: persistent mode reuses a granted pool so the backend's
    mappings stay valid; otherwise grant fresh pages per request and revoke
@@ -82,19 +127,13 @@ let put_pages t pages =
         Grant_table.end_access t.ctx.Xen_ctx.gt ~granter:t.domain gref)
       pages
 
-(* One blkif request covering [count] sectors starting at [sector].
-   [data] is the write payload, or None for reads/flush. *)
-let submit t op ~sector ~count data =
+(* Build the journal entry for one blkif request covering [count] sectors
+   starting at [sector]: grant the data pages, fill them for writes, and
+   pack indirect descriptors if the segment list is long. *)
+let prepare t op ~sector ~count data =
   let id = fresh_id t in
-  (match t.ctx.Xen_ctx.trace with
-  | Some tr ->
-      Kite_trace.Trace.span_begin tr
-        ~at:(Hypervisor.now t.ctx.Xen_ctx.hv)
-        ~kind:"blk" ~key:(vbd_name t) ~id ~stage:"frontend"
-  | None -> ());
   let npages = (count + sectors_per_page - 1) / sectors_per_page in
   let pages = List.init npages (fun _ -> get_page t) in
-  (* Fill pages for writes. *)
   (match data with
   | Some buf ->
       List.iteri
@@ -137,39 +176,121 @@ let submit t op ~sector ~count data =
         descriptor_pages )
     end
   in
+  {
+    p_id = id;
+    cond = Condition.create ~label:"blkfront response" ();
+    status = None;
+    p_req = { Blkif.req_id = id; op; sector; body };
+    p_pages = pages;
+    p_indirect = indirect_grants;
+  }
+
+let notify_backend t =
+  if t.connected then
+    try Event_channel.notify t.ctx.Xen_ctx.ec t.port ~from:t.domain
+    with Event_channel.Evtchn_error _ -> ()
+      (* the backend died between our check and the send *)
+
+(* Push a journal entry into the current ring.  Also the replay path:
+   pushing the same entry again is what re-issue means — same id, same
+   grants, so a duplicated response completes nothing twice and a
+   duplicated device write is idempotent. *)
+let push_entry t p =
   (* Wait for a ring slot; concurrent submitters can steal the slot we
-     saw, in which case push raises Ring_full and we go back to sleep. *)
-  let p = { cond = Condition.create ~label:"blkfront response" (); status = None } in
+     saw, in which case push raises Ring_full and we go back to sleep.
+     A disconnected frontend parks here too: the reconnect path wakes
+     [slot_cond] once the fresh ring is connected. *)
   let rec claim_slot () =
-    while Ring.free_requests t.ring = 0 do
+    while (not t.connected) || Ring.free_requests t.ring = 0 do
       Condition.wait t.slot_cond
     done;
-    match Ring.push_request t.ring { Blkif.req_id = id; op; sector; body } with
+    match Ring.push_request t.ring p.p_req with
     | () -> ()
     | exception Ring.Ring_full -> claim_slot ()
   in
   claim_slot ();
   (match t.ctx.Xen_ctx.trace with
   | Some tr ->
+      let count =
+        match p.p_req.Blkif.body with
+        | Blkif.Direct segs -> List.length segs * sectors_per_page
+        | Blkif.Indirect (_, n) -> n * sectors_per_page
+      in
       Kite_trace.Trace.span_hop tr
         ~at:(Hypervisor.now t.ctx.Xen_ctx.hv)
-        ~kind:"blk" ~key:(vbd_name t) ~id ~stage:"ring"
+        ~kind:"blk" ~key:(vbd_name t) ~id:p.p_id ~stage:"ring"
         ~args:[ ("sectors", string_of_int count) ]
   | None -> ());
-  Hashtbl.replace t.pending id p;
-  t.requests <- t.requests + 1;
-  if Ring.push_requests_and_check_notify t.ring then
-    Event_channel.notify t.ctx.Xen_ctx.ec t.port ~from:t.domain;
-  (* Block until the response arrives. *)
+  Hashtbl.replace t.pending p.p_id p;
+  if Ring.push_requests_and_check_notify t.ring then notify_backend t
+
+(* Responses carry no payload copying that needs process context, so they
+   are completed inline in the interrupt handler. *)
+let handle_event t () =
+  let rec drain () =
+    match Ring.take_response t.ring with
+    | Some rsp ->
+        (match Hashtbl.find_opt t.pending rsp.Blkif.rsp_id with
+        | Some p ->
+            (match t.ctx.Xen_ctx.trace with
+            | Some tr ->
+                Kite_trace.Trace.span_end tr
+                  ~at:(Hypervisor.now t.ctx.Xen_ctx.hv)
+                  ~kind:"blk" ~key:(vbd_name t) ~id:rsp.Blkif.rsp_id
+            | None -> ());
+            p.status <- Some rsp.Blkif.status;
+            Condition.broadcast p.cond
+        | None -> ());
+        Condition.broadcast t.slot_cond;
+        drain ()
+    | None -> if Ring.final_check_for_responses t.ring then drain ()
+  in
+  drain ()
+
+(* Block until the response for [p] arrives.  The watchdog distinguishes
+   two loss modes: a lost completion notification (responses are sitting
+   in the ring — drain them ourselves and kick the backend) and a lost
+   request (nothing will ever come back — re-issue the journal entry).
+   While reconnecting it just keeps waiting; replay owns the entry. *)
+let await_response t p =
+  let misses = ref 0 in
   while p.status = None do
-    Condition.wait p.cond
-  done;
-  Hashtbl.remove t.pending id;
+    match Condition.timed_wait p.cond watchdog_timeout with
+    | `Signaled -> misses := 0
+    | `Timeout ->
+        if t.connected && p.status = None then begin
+          incr misses;
+          if !misses = 1 then begin
+            fnote t "blkfront.watchdog.kick";
+            handle_event t ();
+            if p.status = None then notify_backend t
+          end
+          else begin
+            fnote t "blkfront.watchdog.reissue";
+            t.resubmits <- t.resubmits + 1;
+            push_entry t p;
+            misses := 0
+          end
+        end
+  done
+
+let submit t op ~sector ~count data =
+  let p = prepare t op ~sector ~count data in
+  (match t.ctx.Xen_ctx.trace with
+  | Some tr ->
+      Kite_trace.Trace.span_begin tr
+        ~at:(Hypervisor.now t.ctx.Xen_ctx.hv)
+        ~kind:"blk" ~key:(vbd_name t) ~id:p.p_id ~stage:"frontend"
+  | None -> ());
+  push_entry t p;
+  t.requests <- t.requests + 1;
+  await_response t p;
+  Hashtbl.remove t.pending p.p_id;
   (* Indirect descriptor pages are single-use. *)
   List.iter
     (fun (gref, _) ->
       Grant_table.end_access t.ctx.Xen_ctx.gt ~granter:t.domain gref)
-    indirect_grants;
+    p.p_indirect;
   let result =
     if p.status = Some Blkif.status_ok then begin
       match data with
@@ -181,19 +302,19 @@ let submit t op ~sector ~count data =
               let off = pi * Page.size in
               let len = min Page.size (Bytes.length out - off) in
               Bytes.blit (Page.read page ~off:0 ~len) 0 out off len)
-            pages;
+            p.p_pages;
           out
       | None -> Bytes.empty
     end
     else begin
-      put_pages t pages;
+      put_pages t p.p_pages;
       raise
         (Io_error
            (Printf.sprintf "blkfront %s: request %d failed"
-              t.domain.Domain.name id))
+              t.domain.Domain.name p.p_id))
     end
   in
-  put_pages t pages;
+  put_pages t p.p_pages;
   result
 
 let max_sectors_per_request t =
@@ -255,30 +376,7 @@ let write t ~sector data =
 
 let flush t = ignore (submit t Blkif.Flush ~sector:0 ~count:0 None)
 
-(* Responses carry no payload copying that needs process context, so they
-   are completed inline in the interrupt handler. *)
-let handle_event t () =
-  let rec drain () =
-    match Ring.take_response t.ring with
-    | Some rsp ->
-        (match Hashtbl.find_opt t.pending rsp.Blkif.rsp_id with
-        | Some p ->
-            (match t.ctx.Xen_ctx.trace with
-            | Some tr ->
-                Kite_trace.Trace.span_end tr
-                  ~at:(Hypervisor.now t.ctx.Xen_ctx.hv)
-                  ~kind:"blk" ~key:(vbd_name t) ~id:rsp.Blkif.rsp_id
-            | None -> ());
-            p.status <- Some rsp.Blkif.status;
-            Condition.broadcast p.cond
-        | None -> ());
-        Condition.broadcast t.slot_cond;
-        drain ()
-    | None -> if Ring.final_check_for_responses t.ring then drain ()
-  in
-  drain ()
-
-let handshake t () =
+let rec connect t () =
   let xb = t.ctx.Xen_ctx.xb in
   Xenbus.wait_for_state xb t.domain ~path:(bpath t) Xenbus.Init_wait;
   t.capacity <-
@@ -306,7 +404,79 @@ let handshake t () =
     (handle_event t);
   Xenbus.switch_state xb t.domain ~path:(fpath t) Xenbus.Connected;
   t.connected <- true;
-  Condition.broadcast t.conn_cond
+  Condition.broadcast t.conn_cond;
+  Condition.broadcast t.slot_cond;
+  if t.monitor = None then start_monitor t
+
+(* Crash recovery.  Runs in its own process once the monitor sees the
+   backend close or vanish.  The journal is every pushed-but-unanswered
+   request; after the re-handshake each entry is pushed verbatim into the
+   fresh ring.  An entry completed by the old backend is never replayed
+   and a replayed entry's response completes its waiter exactly once, so
+   the layer above sees exactly-once semantics. *)
+and reconnect t () =
+  fnote t "blkfront.reconnect";
+  let journal =
+    Hashtbl.fold (fun _ p acc -> p :: acc) t.pending []
+    |> List.filter (fun p -> p.status = None)
+    |> List.sort (fun a b -> compare a.p_id b.p_id)
+  in
+  (* The old channel died with the backend; the persistent pool's
+     mappings were revoked, so its idle grants can be ended and re-made
+     on demand against the rebooted backend. *)
+  Event_channel.close t.ctx.Xen_ctx.ec t.port;
+  List.iter
+    (fun (gref, _) ->
+      Grant_table.end_access t.ctx.Xen_ctx.gt ~granter:t.domain gref)
+    t.pool;
+  t.pool <- [];
+  t.ring <- Ring.create ~order:Blkif.ring_order;
+  attach_ring_instruments t;
+  (* Close first: Connected -> Closed -> Initialising is the legal
+     reconnect path through the xenbus state machine. *)
+  Xenbus.switch_state t.ctx.Xen_ctx.xb t.domain ~path:(fpath t) Xenbus.Closed;
+  Xenbus.switch_state t.ctx.Xen_ctx.xb t.domain ~path:(fpath t)
+    Xenbus.Initialising;
+  connect t ();
+  List.iter
+    (fun p ->
+      if p.status = None then begin
+        t.replayed <- t.replayed + 1;
+        push_entry t p
+      end)
+    journal;
+  fnote t
+    (Printf.sprintf "blkfront.replay.done n=%d"
+       (List.length (List.filter (fun p -> p.status = None) journal)))
+
+(* The backend-state monitor: armed after the first connect, it turns a
+   Closing/Closed/vanished backend into a reconnect cycle.  Watch
+   callbacks run in engine context, so the store is read directly and the
+   recovery work is spawned as a process. *)
+and start_monitor t =
+  let store = Hypervisor.store t.ctx.Xen_ctx.hv in
+  let state_path = bpath t ^ "/state" in
+  t.monitor <-
+    Some
+      (Xenbus.watch t.ctx.Xen_ctx.xb t.domain ~path:state_path
+         ~token:"blkfront-monitor" (fun ~path:_ ~token:_ ->
+           if (not t.shut) && t.connected then begin
+             let gone =
+               match Xenstore.read store ~path:state_path with
+               | None -> true
+               | Some s -> (
+                   match Xenbus.state_of_string s with
+                   | Some (Xenbus.Closing | Xenbus.Closed) | None -> true
+                   | Some _ -> false)
+             in
+             if gone then begin
+               t.connected <- false;
+               t.reconnects <- t.reconnects + 1;
+               fnote t "blkfront.backend-gone";
+               Hypervisor.spawn t.ctx.Xen_ctx.hv t.domain
+                 ~name:"blkfront-reconnect" (reconnect t)
+             end
+           end))
 
 let create ctx ~domain ~backend ~devid ?(use_persistent = true)
     ?(use_indirect = true) () =
@@ -321,6 +491,8 @@ let create ctx ~domain ~backend ~devid ?(use_persistent = true)
       ring = Ring.create ~order:Blkif.ring_order;
       port = -1;
       connected = false;
+      shut = false;
+      monitor = None;
       capacity = 0;
       backend_persistent = false;
       backend_indirect = 0;
@@ -330,20 +502,13 @@ let create ctx ~domain ~backend ~devid ?(use_persistent = true)
       pool = [];
       next_id = 0;
       requests = 0;
+      reconnects = 0;
+      replayed = 0;
+      resubmits = 0;
     }
   in
-  (match ctx.Xen_ctx.check with
-  | Some c ->
-      Ring.attach_check t.ring c
-        ~name:(Printf.sprintf "%s/vbd%d" domain.Domain.name devid)
-  | None -> ());
-  (match ctx.Xen_ctx.trace with
-  | Some tr ->
-      Ring.attach_trace t.ring tr
-        ~name:(Printf.sprintf "%s/vbd%d" domain.Domain.name devid)
-        ~now:(fun () -> Hypervisor.now ctx.Xen_ctx.hv)
-  | None -> ());
-  Hypervisor.spawn ctx.Xen_ctx.hv domain ~name:"blkfront-setup" (handshake t);
+  attach_ring_instruments t;
+  Hypervisor.spawn ctx.Xen_ctx.hv domain ~name:"blkfront-setup" (connect t);
   t
 
 let wait_connected t =
@@ -356,7 +521,13 @@ let wait_connected t =
    its persistent-reference table; [end_access] on a still-mapped grant is
    a protocol violation the checker reports. *)
 let shutdown t =
+  t.shut <- true;
   t.connected <- false;
+  (match t.monitor with
+  | Some id ->
+      Xenbus.unwatch t.ctx.Xen_ctx.xb id;
+      t.monitor <- None
+  | None -> ());
   List.iter
     (fun (gref, _) ->
       Grant_table.end_access t.ctx.Xen_ctx.gt ~granter:t.domain gref)

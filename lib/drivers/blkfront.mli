@@ -5,7 +5,16 @@
     requests of at most 44 KiB (direct) or 128 KiB (indirect, when the
     backend advertises it) that proceed in parallel.  With persistent
     grants enabled, data pages come from a reusable granted pool so the
-    backend never remaps them. *)
+    backend never remaps them.
+
+    The frontend is crash-tolerant: it keeps an in-flight request
+    journal, watches the backend's xenbus state after connecting, and on
+    a Closed/vanished backend re-runs the handshake against the rebooted
+    backend and replays every unacknowledged journal entry verbatim
+    (same ids, same grants) into the fresh ring.  Completions reach the
+    layer above exactly once.  A per-request watchdog additionally
+    recovers from lost completion notifications (by draining + kicking)
+    and lost requests (by re-issuing the journal entry). *)
 
 type t
 
@@ -45,6 +54,17 @@ val write : t -> sector:int -> Bytes.t -> unit
 val flush : t -> unit
 
 val requests_issued : t -> int
+
+val is_connected : t -> bool
+
+val reconnects : t -> int
+(** Completed or in-progress crash-recovery cycles. *)
+
+val replayed : t -> int
+(** Journal entries replayed into a fresh ring after a reconnect. *)
+
+val resubmits : t -> int
+(** Requests re-issued by the watchdog (lost request / corrupted slot). *)
 
 val indirect_enabled : t -> bool
 val persistent_enabled : t -> bool

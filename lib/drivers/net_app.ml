@@ -23,9 +23,11 @@ let run_multi ctx ~domain ~nics ~overheads =
   let bridges = List.map fst bridges_and_ifs in
   let n = List.length bridges in
   let netback =
-    Netback.serve ctx ~domain ~overheads ~on_vif:(fun ~frontend ~devid vif ->
+    Netback.serve ctx ~domain ~overheads
+      ~on_vif:(fun ~frontend ~devid vif ->
         let bridge = List.nth bridges ((frontend + devid) mod n) in
         Kite_net.Bridge.add_port bridge vif)
+      ()
   in
   { bridges; netback; nic_netdevs = List.map snd bridges_and_ifs }
 

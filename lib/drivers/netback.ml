@@ -18,9 +18,13 @@ type instance = {
   pusher_wake : Condition.t;
   soft_wake : Condition.t;
   mutable last_activity : Time.t;
+  retries : int;
+  retry_backoff : Time.span;
   mutable tx_packets : int;
   mutable rx_packets : int;
   mutable rx_dropped : int;
+  mutable io_retries : int;
+  mutable tx_failed : int;
   mutable stop : bool;
 }
 
@@ -28,6 +32,8 @@ type t = {
   sctx : Xen_ctx.t;
   sdomain : Domain.t;
   soverheads : Overheads.t;
+  sretries : int;
+  sretry_backoff : Time.span;
   on_vif : frontend:int -> devid:int -> Netdev.t -> unit;
   mutable insts : instance list;
   mutable known : (int * int) list;  (* (frontend domid, devid) seen *)
@@ -42,10 +48,24 @@ let frontend_domid i = i.frontend.Domain.id
 let tx_packets i = i.tx_packets
 let rx_packets i = i.rx_packets
 let rx_dropped i = i.rx_dropped
+let io_retries i = i.io_retries
+let tx_failed i = i.tx_failed
 
 let hv i = i.ctx.Xen_ctx.hv
 let trace i = i.ctx.Xen_ctx.trace
 let vif_name i = Printf.sprintf "vif%d.%d" i.frontend.Domain.id i.devid
+
+let fnote i what =
+  match i.ctx.Xen_ctx.fault with
+  | Some f -> Kite_fault.Fault.note f ~what ~key:(vif_name i)
+  | None -> ()
+
+(* Post-crash, the ring is dead and the channel torn down; a late batch
+   must not kick it. *)
+let notify_frontend i =
+  if not i.stop then
+    try Event_channel.notify i.ctx.Xen_ctx.ec i.port ~from:i.domain
+    with Event_channel.Evtchn_error _ -> ()
 
 (* Handler-to-thread wakeup cost: cold after an idle period, warm while
    traffic flows (§3.2's motivation for fast handlers). *)
@@ -103,7 +123,25 @@ let pusher i () =
         kernel_grant_ops i i.ov.Overheads.tx_kernel_grant_ops;
         Hypervisor.cpu_work (hv i) i.domain i.ov.Overheads.tx_per_packet;
         i.tx_packets <- i.tx_packets + 1;
-        (match i.vif with Some v -> Netdev.deliver v frame | None -> ());
+        (* The frame may reach the physical NIC synchronously (through
+           the bridge); a transient NIC error is retried with exponential
+           backoff, then the frame is dropped as a wire loss. *)
+        (match i.vif with
+        | Some v ->
+            let rec deliver n =
+              try Netdev.deliver v frame with
+              | Kite_devices.Nic.Transient_error _
+                when n < i.retries && not i.stop ->
+                  i.io_retries <- i.io_retries + 1;
+                  fnote i (Printf.sprintf "netback.tx-retry n=%d" (n + 1));
+                  Process.sleep (i.retry_backoff * (1 lsl n));
+                  deliver (n + 1)
+              | Kite_devices.Nic.Transient_error _ ->
+                  i.tx_failed <- i.tx_failed + 1;
+                  fnote i "netback.tx-failed"
+            in
+            deliver 0
+        | None -> ());
         (* Bridge egress: the packet's lifecycle ends here. *)
         (match trace i with
         | Some tr ->
@@ -132,7 +170,7 @@ let pusher i () =
               ~args:[ ("vif", vif_name i); ("n", string_of_int n) ]
         | None -> ());
         if Ring.push_responses_and_check_notify i.tx_ring then
-          Event_channel.notify i.ctx.Xen_ctx.ec i.port ~from:i.domain;
+          notify_frontend i;
         touch i
       end;
       if not (Ring.final_check_for_requests i.tx_ring) then begin
@@ -181,7 +219,7 @@ let soft_start i () =
               ~args:[ ("vif", vif_name i); ("n", string_of_int n) ]
         | None -> ());
         if Ring.push_responses_and_check_notify i.rx_ring then
-          Event_channel.notify i.ctx.Xen_ctx.ec i.port ~from:i.domain;
+          notify_frontend i;
         touch i
       end;
       if Queue.is_empty i.backlog || Ring.pending_requests i.rx_ring = 0
@@ -241,9 +279,13 @@ let make_instance t ~frontend ~devid =
       pusher_wake = Condition.create ~label:"netback tx ring" ();
       soft_wake = Condition.create ~label:"netback rx backlog" ();
       last_activity = Time.zero;
+      retries = t.sretries;
+      retry_backoff = t.sretry_backoff;
       tx_packets = 0;
       rx_packets = 0;
       rx_dropped = 0;
+      io_retries = 0;
+      tx_failed = 0;
       stop = false;
     }
   in
@@ -312,12 +354,15 @@ let scan t =
             (Xenstore.directory xs ~path:(base ^ "/" ^ frontid)))
     (Xenstore.directory xs ~path:base)
 
-let serve ctx ~domain ~overheads ~on_vif =
+let serve ctx ~domain ~overheads ?(retries = 4)
+    ?(retry_backoff = Time.us 50) ~on_vif () =
   let t =
     {
       sctx = ctx;
       sdomain = domain;
       soverheads = overheads;
+      sretries = retries;
+      sretry_backoff = retry_backoff;
       on_vif;
       insts = [];
       known = [];
@@ -356,4 +401,24 @@ let stop t =
       Condition.broadcast i.pusher_wake;
       Condition.broadcast i.soft_wake;
       Event_channel.close i.ctx.Xen_ctx.ec i.port)
+    t.insts
+
+(* Abrupt death (driver domain destroyed).  No orderly channel close:
+   {!Toolstack.crash_driver_domain} tears down event channels and grant
+   mappings at the hypervisor; here we only stop the threads from
+   touching the dead rings and drop the watch uncharged. *)
+let crash t =
+  t.stopping <- true;
+  (match t.watch_id with
+  | Some id ->
+      Xenstore.unwatch (Hypervisor.store t.sctx.Xen_ctx.hv) id;
+      t.watch_id <- None
+  | None -> ());
+  Mailbox.send t.new_frontend (-1, -1);
+  List.iter
+    (fun i ->
+      i.stop <- true;
+      Queue.clear i.backlog;
+      Condition.broadcast i.pusher_wake;
+      Condition.broadcast i.soft_wake)
     t.insts

@@ -25,18 +25,31 @@ val serve :
   Xen_ctx.t ->
   domain:Kite_xen.Domain.t ->
   overheads:Overheads.t ->
+  ?retries:int ->
+  ?retry_backoff:Kite_sim.Time.span ->
   on_vif:(frontend:int -> devid:int -> Kite_net.Netdev.t -> unit) ->
+  unit ->
   t
 (** Start the backend in [domain].  [on_vif] is invoked (in process
     context) with each new VIF netdev and its frontend/devid — the
     network application adds it to the right bridge.  The watcher picks
     up frontends the toolstack registers under
-    [/local/domain/<id>/backend/vif]. *)
+    [/local/domain/<id>/backend/vif].  Transient NIC errors on the Tx
+    path (fault-injected) are retried up to [retries] times with
+    exponential backoff starting at [retry_backoff] (defaults: 4,
+    50 us) before the frame is dropped as a wire loss. *)
 
 val stop : t -> unit
 (** Orderly teardown: unregister the directory watch, retire the watcher
     and per-instance threads, close the event channels.  Call from process
     context.  In-flight ring work is abandoned, so quiesce traffic first. *)
+
+val crash : t -> unit
+(** Abrupt death (driver domain destroyed mid-traffic): stop threads
+    from touching the rings, drop the backlog and bookkeeping, but
+    perform no orderly close — {!Toolstack.crash_driver_domain} revokes
+    grants and event channels at the hypervisor.  Safe from any
+    context. *)
 
 val instances : t -> instance list
 
@@ -52,3 +65,9 @@ val rx_packets : instance -> int
 val rx_dropped : instance -> int
 (** Frames dropped because the guest posted no Rx buffers (or the
     backlog overflowed). *)
+
+val io_retries : instance -> int
+(** Tx deliveries re-attempted after a transient NIC error. *)
+
+val tx_failed : instance -> int
+(** Tx frames dropped after exhausting the retry budget. *)

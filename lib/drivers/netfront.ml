@@ -7,8 +7,8 @@ type t = {
   domain : Domain.t;
   backend : Domain.t;
   devid : int;
-  tx_ring : Netchannel.tx_ring;
-  rx_ring : Netchannel.rx_ring;
+  mutable tx_ring : Netchannel.tx_ring;
+  mutable rx_ring : Netchannel.rx_ring;
   mutable port : Event_channel.port;
   mutable dev : Netdev.t option;
   tx_slots : Condition.t;
@@ -18,16 +18,22 @@ type t = {
   rx_buffers : (int, Grant_table.ref_ * Page.t) Hashtbl.t;
   mutable connected : bool;
   mutable stop : bool;
+  mutable monitor : Xenstore.watch_id option;
+  mutable rx_started : bool;
   mutable next_id : int;
   mutable tx_packets : int;
   mutable rx_packets : int;
   mutable tx_dropped : int;
+  mutable reconnects : int;
+  mutable tx_lost : int;
 }
 
 let connected t = t.connected
 let tx_packets t = t.tx_packets
 let rx_packets t = t.rx_packets
 let tx_dropped t = t.tx_dropped
+let reconnects t = t.reconnects
+let tx_lost t = t.tx_lost
 
 let fresh_id t =
   let id = t.next_id in
@@ -36,6 +42,11 @@ let fresh_id t =
 
 let vif_name t = Printf.sprintf "vif%d.%d" t.domain.Domain.id t.devid
 
+let fnote t what =
+  match t.ctx.Xen_ctx.fault with
+  | Some f -> Kite_fault.Fault.note f ~what ~key:(vif_name t)
+  | None -> ()
+
 let fpath t =
   Xenbus.frontend_path ~frontend:t.domain ~ty:"vif" ~devid:t.devid
 
@@ -43,7 +54,36 @@ let bpath t =
   Xenbus.backend_path ~backend:t.backend ~frontend:t.domain ~ty:"vif"
     ~devid:t.devid
 
-(* Guest stack -> Tx ring.  Runs in the transmitting process's context. *)
+let attach_ring_instruments t =
+  let tx_name = Printf.sprintf "%s/vif%d-tx" t.domain.Domain.name t.devid in
+  let rx_name = Printf.sprintf "%s/vif%d-rx" t.domain.Domain.name t.devid in
+  (match t.ctx.Xen_ctx.check with
+  | Some c ->
+      Ring.attach_check t.tx_ring c ~name:tx_name;
+      Ring.attach_check t.rx_ring c ~name:rx_name
+  | None -> ());
+  (match t.ctx.Xen_ctx.trace with
+  | Some tr ->
+      let now () = Hypervisor.now t.ctx.Xen_ctx.hv in
+      Ring.attach_trace t.tx_ring tr ~name:tx_name ~now;
+      Ring.attach_trace t.rx_ring tr ~name:rx_name ~now
+  | None -> ());
+  match t.ctx.Xen_ctx.fault with
+  | Some f ->
+      Ring.attach_fault t.tx_ring f ~name:tx_name;
+      Ring.attach_fault t.rx_ring f ~name:rx_name
+  | None -> ()
+
+(* The channel to the backend can die under us (driver-domain crash);
+   a failed kick is then recovered by the reconnect path, not fatal. *)
+let notify_backend t =
+  try Event_channel.notify t.ctx.Xen_ctx.ec t.port ~from:t.domain
+  with Event_channel.Evtchn_error _ -> ()
+
+(* Guest stack -> Tx ring.  Runs in the transmitting process's context.
+   Unlike blkfront there is no journal: a frame caught by a backend crash
+   is dropped, exactly as a cable pull would drop it, and the stack's own
+   retransmission (if any) deals with it. *)
 let transmit t frame =
   if not t.connected then t.tx_dropped <- t.tx_dropped + 1
   else begin
@@ -54,36 +94,41 @@ let transmit t frame =
           ~at:(Hypervisor.now t.ctx.Xen_ctx.hv)
           ~kind:"net.tx" ~key:(vif_name t) ~id ~stage:"frontend"
     | None -> ());
-    while Ring.free_requests t.tx_ring = 0 do
+    while t.connected && Ring.free_requests t.tx_ring = 0 do
       Condition.wait t.tx_slots
     done;
-    let len = Bytes.length frame in
-    let page = Page.alloc () in
-    Page.write page ~off:0 frame;
-    let gref =
-      Grant_table.grant_access t.ctx.Xen_ctx.gt ~granter:t.domain
-        ~grantee:t.backend ~page ~writable:false
-    in
-    Hashtbl.replace t.tx_pending id (gref, page);
-    Ring.push_request t.tx_ring
-      { Netchannel.tx_id = id; tx_gref = gref; tx_len = len };
-    t.tx_packets <- t.tx_packets + 1;
-    (match t.ctx.Xen_ctx.trace with
-    | Some tr ->
-        Kite_trace.Trace.span_hop tr
-          ~at:(Hypervisor.now t.ctx.Xen_ctx.hv)
-          ~kind:"net.tx" ~key:(vif_name t) ~id ~stage:"ring"
-          ~args:[ ("len", string_of_int len) ]
-    | None -> ());
-    if Ring.push_requests_and_check_notify t.tx_ring then
-      Event_channel.notify t.ctx.Xen_ctx.ec t.port ~from:t.domain
+    if not t.connected then
+      (* The backend crashed while we were parked on a full ring. *)
+      t.tx_dropped <- t.tx_dropped + 1
+    else begin
+      let len = Bytes.length frame in
+      let page = Page.alloc () in
+      Page.write page ~off:0 frame;
+      let gref =
+        Grant_table.grant_access t.ctx.Xen_ctx.gt ~granter:t.domain
+          ~grantee:t.backend ~page ~writable:false
+      in
+      Hashtbl.replace t.tx_pending id (gref, page);
+      Ring.push_request t.tx_ring
+        { Netchannel.tx_id = id; tx_gref = gref; tx_len = len };
+      t.tx_packets <- t.tx_packets + 1;
+      (match t.ctx.Xen_ctx.trace with
+      | Some tr ->
+          Kite_trace.Trace.span_hop tr
+            ~at:(Hypervisor.now t.ctx.Xen_ctx.hv)
+            ~kind:"net.tx" ~key:(vif_name t) ~id ~stage:"ring"
+            ~args:[ ("len", string_of_int len) ]
+      | None -> ());
+      if Ring.push_requests_and_check_notify t.tx_ring then notify_backend t
+    end
   end
 
 (* Tx completions involve only pure grant-table updates, so they are safe
    to process inline in the interrupt handler. *)
 let drain_tx_responses t =
+  let ring = t.tx_ring in
   let rec go () =
-    match Ring.take_response t.tx_ring with
+    match Ring.take_response ring with
     | Some rsp ->
         (match Hashtbl.find_opt t.tx_pending rsp.Netchannel.tx_rsp_id with
         | Some (gref, _page) ->
@@ -92,7 +137,7 @@ let drain_tx_responses t =
         | None -> ());
         Condition.broadcast t.tx_slots;
         go ()
-    | None -> if Ring.final_check_for_responses t.tx_ring then go ()
+    | None -> if Ring.final_check_for_responses ring then go ()
   in
   go ()
 
@@ -103,40 +148,49 @@ let post_rx_buffer t gref page =
 
 (* Rx completions: copy frames out of our own posted pages (local memcpy)
    and hand them to the guest netdev, then recycle the buffers.  Runs in a
-   dedicated thread because re-posting may need a notify hypercall. *)
+   dedicated thread because re-posting may need a notify hypercall.
+   Spawned once per frontend; after a reconnect it simply picks up the
+   fresh ring ([rx_ring] is re-read each pass).  Responses left in a dead
+   ring miss the [rx_buffers] lookup (the table was reset) and are
+   discarded without a repost. *)
 let rx_thread t () =
   let rec loop () =
     if t.stop then ()
     else begin
-    let rec drain reposted =
-      match Ring.take_response t.rx_ring with
-      | Some rsp ->
-          (match Hashtbl.find_opt t.rx_buffers rsp.Netchannel.rx_rsp_id with
-          | Some (gref, page) ->
-              Hashtbl.remove t.rx_buffers rsp.Netchannel.rx_rsp_id;
-              if rsp.Netchannel.rx_status = Netchannel.status_ok then begin
-                let frame = Page.read page ~off:0 ~len:rsp.Netchannel.rx_len in
-                t.rx_packets <- t.rx_packets + 1;
-                match t.dev with
-                | Some dev -> Netdev.deliver dev frame
-                | None -> ()
-              end;
-              post_rx_buffer t gref page;
-              drain (reposted + 1)
-          | None -> drain reposted)
-      | None -> reposted
-    in
-    let reposted = drain 0 in
-    if reposted > 0 && Ring.push_requests_and_check_notify t.rx_ring then
-      Event_channel.notify t.ctx.Xen_ctx.ec t.port ~from:t.domain;
-    if not (Ring.final_check_for_responses t.rx_ring) then
-      Condition.wait t.rx_wake;
-    loop ()
+      let ring = t.rx_ring in
+      let rec drain reposted =
+        match Ring.take_response ring with
+        | Some rsp ->
+            (match Hashtbl.find_opt t.rx_buffers rsp.Netchannel.rx_rsp_id with
+            | Some (gref, page) ->
+                Hashtbl.remove t.rx_buffers rsp.Netchannel.rx_rsp_id;
+                if rsp.Netchannel.rx_status = Netchannel.status_ok then begin
+                  let frame =
+                    Page.read page ~off:0 ~len:rsp.Netchannel.rx_len
+                  in
+                  t.rx_packets <- t.rx_packets + 1;
+                  match t.dev with
+                  | Some dev -> Netdev.deliver dev frame
+                  | None -> ()
+                end;
+                let id = fresh_id t in
+                Hashtbl.replace t.rx_buffers id (gref, page);
+                Ring.push_request ring { Netchannel.rx_id = id; rx_gref = gref };
+                drain (reposted + 1)
+            | None -> drain reposted)
+        | None -> reposted
+      in
+      let reposted = drain 0 in
+      if reposted > 0 && Ring.push_requests_and_check_notify ring then
+        notify_backend t;
+      if (not (Ring.final_check_for_responses ring)) && ring == t.rx_ring then
+        Condition.wait t.rx_wake;
+      loop ()
     end
   in
   loop ()
 
-let handshake t () =
+let rec connect t () =
   let xb = t.ctx.Xen_ctx.xb in
   Xenbus.wait_for_state xb t.domain ~path:(bpath t) Xenbus.Init_wait;
   let tx_ref = Netchannel.share_tx t.ctx.Xen_ctx.netrings t.tx_ring in
@@ -165,14 +219,80 @@ let handshake t () =
     in
     post_rx_buffer t gref page
   done;
-  if Ring.push_requests_and_check_notify t.rx_ring then
-    Event_channel.notify t.ctx.Xen_ctx.ec t.port ~from:t.domain;
+  if Ring.push_requests_and_check_notify t.rx_ring then notify_backend t;
   Xenbus.switch_state xb t.domain ~path:(fpath t) Xenbus.Connected;
   t.connected <- true;
   Condition.broadcast t.conn_cond;
-  Process.spawn (Hypervisor.sched t.ctx.Xen_ctx.hv) ~daemon:true
-    ~name:(t.domain.Domain.name ^ "/netfront-rx")
-    (rx_thread t)
+  Condition.broadcast t.tx_slots;
+  Condition.broadcast t.rx_wake;
+  if not t.rx_started then begin
+    t.rx_started <- true;
+    Process.spawn (Hypervisor.sched t.ctx.Xen_ctx.hv) ~daemon:true
+      ~name:(t.domain.Domain.name ^ "/netfront-rx")
+      (rx_thread t)
+  end;
+  if t.monitor = None then start_monitor t
+
+(* Crash recovery.  Unlike blkfront there is nothing to replay: in-flight
+   Tx frames are dropped (counted in [tx_lost]) and the Rx ring is
+   re-stocked with fresh buffers, so traffic resumes as soon as the
+   re-handshake against the rebooted backend completes.  Both Tx and Rx
+   grants are copy-only, so revoking them after the peer died is a pure
+   table update. *)
+and reconnect t () =
+  fnote t "netfront.reconnect";
+  let gt = t.ctx.Xen_ctx.gt in
+  t.tx_lost <- t.tx_lost + Hashtbl.length t.tx_pending;
+  Hashtbl.iter
+    (fun _ (gref, _) -> Grant_table.end_access gt ~granter:t.domain gref)
+    t.tx_pending;
+  Hashtbl.reset t.tx_pending;
+  Hashtbl.iter
+    (fun _ (gref, _) -> Grant_table.end_access gt ~granter:t.domain gref)
+    t.rx_buffers;
+  Hashtbl.reset t.rx_buffers;
+  Condition.broadcast t.tx_slots;
+  Event_channel.close t.ctx.Xen_ctx.ec t.port;
+  t.tx_ring <- Ring.create ~order:Netchannel.ring_order;
+  t.rx_ring <- Ring.create ~order:Netchannel.ring_order;
+  attach_ring_instruments t;
+  (* Close first: Connected -> Closed -> Initialising is the legal
+     reconnect path through the xenbus state machine. *)
+  Xenbus.switch_state t.ctx.Xen_ctx.xb t.domain ~path:(fpath t) Xenbus.Closed;
+  Xenbus.switch_state t.ctx.Xen_ctx.xb t.domain ~path:(fpath t)
+    Xenbus.Initialising;
+  connect t ();
+  fnote t
+    (Printf.sprintf "netfront.resume tx_lost=%d" t.tx_lost)
+
+(* The backend-state monitor: armed after the first connect, it turns a
+   Closing/Closed/vanished backend into a reconnect cycle.  Watch
+   callbacks run in engine context, so the store is read directly and the
+   recovery work is spawned as a process. *)
+and start_monitor t =
+  let store = Hypervisor.store t.ctx.Xen_ctx.hv in
+  let state_path = bpath t ^ "/state" in
+  t.monitor <-
+    Some
+      (Xenbus.watch t.ctx.Xen_ctx.xb t.domain ~path:state_path
+         ~token:"netfront-monitor" (fun ~path:_ ~token:_ ->
+           if (not t.stop) && t.connected then begin
+             let gone =
+               match Xenstore.read store ~path:state_path with
+               | None -> true
+               | Some s -> (
+                   match Xenbus.state_of_string s with
+                   | Some (Xenbus.Closing | Xenbus.Closed) | None -> true
+                   | Some _ -> false)
+             in
+             if gone then begin
+               t.connected <- false;
+               t.reconnects <- t.reconnects + 1;
+               fnote t "netfront.backend-gone";
+               Hypervisor.spawn t.ctx.Xen_ctx.hv t.domain
+                 ~name:"netfront-reconnect" (reconnect t)
+             end
+           end))
 
 let create ctx ~domain ~backend ~devid =
   let t =
@@ -192,10 +312,14 @@ let create ctx ~domain ~backend ~devid =
       rx_buffers = Hashtbl.create 512;
       connected = false;
       stop = false;
+      monitor = None;
+      rx_started = false;
       next_id = 0;
       tx_packets = 0;
       rx_packets = 0;
       tx_dropped = 0;
+      reconnects = 0;
+      tx_lost = 0;
     }
   in
   let dev =
@@ -205,24 +329,8 @@ let create ctx ~domain ~backend ~devid =
       ()
   in
   t.dev <- Some dev;
-  (match ctx.Xen_ctx.check with
-  | Some c ->
-      Ring.attach_check t.tx_ring c
-        ~name:(Printf.sprintf "%s/vif%d-tx" domain.Domain.name devid);
-      Ring.attach_check t.rx_ring c
-        ~name:(Printf.sprintf "%s/vif%d-rx" domain.Domain.name devid)
-  | None -> ());
-  (match ctx.Xen_ctx.trace with
-  | Some tr ->
-      let now () = Hypervisor.now ctx.Xen_ctx.hv in
-      Ring.attach_trace t.tx_ring tr
-        ~name:(Printf.sprintf "%s/vif%d-tx" domain.Domain.name devid)
-        ~now;
-      Ring.attach_trace t.rx_ring tr
-        ~name:(Printf.sprintf "%s/vif%d-rx" domain.Domain.name devid)
-        ~now
-  | None -> ());
-  Hypervisor.spawn ctx.Xen_ctx.hv domain ~name:"netfront-setup" (handshake t);
+  attach_ring_instruments t;
+  Hypervisor.spawn ctx.Xen_ctx.hv domain ~name:"netfront-setup" (connect t);
   t
 
 let netdev t = match t.dev with Some d -> d | None -> assert false
@@ -239,6 +347,11 @@ let wait_connected t =
 let shutdown t =
   t.connected <- false;
   t.stop <- true;
+  (match t.monitor with
+  | Some id ->
+      Xenbus.unwatch t.ctx.Xen_ctx.xb id;
+      t.monitor <- None
+  | None -> ());
   Condition.broadcast t.rx_wake;
   Condition.broadcast t.tx_slots;
   let gt = t.ctx.Xen_ctx.gt in

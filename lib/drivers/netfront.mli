@@ -3,7 +3,14 @@
     Exposes a {!Kite_net.Netdev} to the guest's network stack; behind it,
     frames travel through the Tx/Rx shared rings to the netback instance
     in the driver domain.  Uses the copy-based receive path
-    (feature-rx-copy), like modern Linux/NetBSD frontends and Kite. *)
+    (feature-rx-copy), like modern Linux/NetBSD frontends and Kite.
+
+    The frontend is crash-tolerant: it watches the backend's xenbus state
+    after connecting and, on a Closed/vanished backend, drops in-flight Tx
+    frames (a cable-pull, counted in {!tx_lost}), discards posted Rx
+    buffers, and re-runs the handshake with fresh rings and grants against
+    the rebooted backend.  Tx/Rx resume as soon as the re-handshake
+    completes. *)
 
 type t
 
@@ -34,3 +41,9 @@ val connected : t -> bool
 val tx_packets : t -> int
 val rx_packets : t -> int
 val tx_dropped : t -> int
+
+val reconnects : t -> int
+(** Completed or in-progress crash-recovery cycles. *)
+
+val tx_lost : t -> int
+(** In-flight Tx frames dropped by backend crashes. *)

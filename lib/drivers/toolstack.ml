@@ -18,3 +18,39 @@ let add_vif ctx ~backend ~frontend ~devid =
 
 let add_vbd ctx ~backend ~frontend ~devid =
   add_device ctx ~backend ~frontend ~ty:"vbd" ~devid
+
+let fnote ctx what dom =
+  match ctx.Xen_ctx.fault with
+  | Some f -> Kite_fault.Fault.note f ~what ~key:dom.Domain.name
+  | None -> ()
+
+let home_path dom = Printf.sprintf "/local/domain/%d" dom.Domain.id
+
+(* What the hypervisor does when a domain is destroyed: every event
+   channel with an endpoint in it is torn down, every grant mapping it
+   held is revoked (and grants made {e to} it force-unmapped at the
+   granter), and xenstored removes its subtree — firing the watches other
+   domains registered below it, which is how frontends learn their
+   backend vanished.  All pure table updates: callable from any context,
+   including after the domain's processes are gone. *)
+let crash_driver_domain ctx dom =
+  fnote ctx "toolstack.crash" dom;
+  Event_channel.close_domain ctx.Xen_ctx.ec ~domid:dom.Domain.id;
+  Grant_table.revoke_domain ctx.Xen_ctx.gt ~domid:dom.Domain.id;
+  Xenstore.rm (Hypervisor.store ctx.Xen_ctx.hv) ~domid:0 ~path:(home_path dom)
+
+(* Rebuild the driver domain: xl create with the same config.  [boot]
+   models the domain's boot sequence ({!Kite_profiles.Boot}); once it is
+   up, the xenstore home is recreated, [respawn] restarts the backend
+   drivers (in simulation the same [Domain.t] is reused — the rebooted
+   domain keeps its domid, a simplification over xl's fresh id) and
+   [on_ready] runs last, in the same process context. *)
+let restart_driver_domain ctx dom ~boot ~respawn ~on_ready =
+  let hv = ctx.Xen_ctx.hv in
+  Kite_profiles.Boot.run (Hypervisor.sched hv) boot ~on_ready:(fun _at ->
+      let xs = Hypervisor.store hv in
+      Xenstore.mkdir xs ~domid:0 ~path:(home_path dom);
+      Xenstore.set_owner xs ~path:(home_path dom) ~domid:dom.Domain.id;
+      fnote ctx "toolstack.restarted" dom;
+      respawn ();
+      on_ready ())

@@ -16,3 +16,26 @@ val add_vbd :
   frontend:Kite_xen.Domain.t ->
   devid:int ->
   unit
+
+val crash_driver_domain : Xen_ctx.t -> Kite_xen.Domain.t -> unit
+(** Destroy a driver domain mid-flight, as the hypervisor would: close
+    every event channel with an endpoint in it, revoke its grant mappings
+    (force-unmapping grants made to it), and remove its xenstore subtree
+    — which fires the watches frontends keep below it.  Stop the backend
+    structures first ({!Blkback.crash}/{!Netback.crash}) so their threads
+    don't touch the dead rings.  Pure table updates; safe from any
+    context. *)
+
+val restart_driver_domain :
+  Xen_ctx.t ->
+  Kite_xen.Domain.t ->
+  boot:Kite_profiles.Boot.t ->
+  respawn:(unit -> unit) ->
+  on_ready:(unit -> unit) ->
+  unit
+(** Rebuild a crashed driver domain: sleep through [boot]
+    ({!Kite_profiles.Boot} timings — Kite's sub-second profiles vs a full
+    Linux boot), recreate its xenstore home, then run [respawn] (restart
+    the backend drivers and re-register devices) and [on_ready], in
+    process context.  The same [Domain.t] is reused; the rebooted domain
+    keeps its domid. *)

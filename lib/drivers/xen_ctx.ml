@@ -14,6 +14,7 @@ type t = {
   blkrings : Blkif.registry;
   mutable check : Kite_check.Check.t option;
   mutable trace : Kite_trace.Trace.t option;
+  mutable fault : Kite_fault.Fault.t option;
 }
 
 let create hv =
@@ -26,16 +27,25 @@ let create hv =
     blkrings = Blkif.registry ();
     check = None;
     trace = None;
+    fault = None;
   }
 
 let enable_check t c =
   t.check <- Some c;
   Kite_sim.Process.set_check (Hypervisor.sched t.hv) (Some c);
   Grant_table.set_check t.gt (Some c);
-  Xenstore.set_check (Hypervisor.store t.hv) (Some c)
+  Xenstore.set_check (Hypervisor.store t.hv) (Some c);
+  Xenbus.set_check t.xb (Some c)
 
 let enable_trace t tr =
   t.trace <- Some tr;
   (* Covers the scheduler too (see Hypervisor.set_trace); rings are
      attached as drivers connect, like [check]. *)
   Hypervisor.set_trace t.hv (Some tr)
+
+let enable_fault t f =
+  t.fault <- Some f;
+  (* Injection points in the machine-wide services; rings and devices
+     are attached as drivers/testbeds wire up, like [check]. *)
+  Event_channel.set_fault t.ec (Some f);
+  Xenstore.set_fault (Hypervisor.store t.hv) (Some f)

@@ -9,6 +9,7 @@ type t = {
   blkrings : Blkif.registry;
   mutable check : Kite_check.Check.t option;
   mutable trace : Kite_trace.Trace.t option;
+  mutable fault : Kite_fault.Fault.t option;
 }
 
 val create : Kite_xen.Hypervisor.t -> t
@@ -22,3 +23,10 @@ val enable_trace : t -> Kite_trace.Trace.t -> unit
 (** Wire an event tracer into this machine: hypervisor charges, the
     scheduler, and — through this record — the drivers' rings, spans and
     milestones.  Call before spawning drivers. *)
+
+val enable_fault : t -> Kite_fault.Fault.t -> unit
+(** Wire a fault injector into this machine: event-channel notification
+    drops and xenstore write/watch loss, plus — through this record —
+    ring-slot corruption in the drivers' rings and recovery notes.
+    Devices (NVMe/NIC) are attached by the testbed.  Call before
+    spawning drivers. *)

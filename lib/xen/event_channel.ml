@@ -24,10 +24,20 @@ type t = {
   mutable next_port : int;
   mutable sent : int;
   mutable delivered : int;
+  mutable fault : Kite_fault.Fault.t option;
 }
 
 let create hv =
-  { hv; channels = Hashtbl.create 16; next_port = 1; sent = 0; delivered = 0 }
+  {
+    hv;
+    channels = Hashtbl.create 16;
+    next_port = 1;
+    sent = 0;
+    delivered = 0;
+    fault = None;
+  }
+
+let set_fault t f = t.fault <- f
 
 let alloc_unbound t dom ~remote =
   let port = t.next_port in
@@ -103,6 +113,15 @@ let notify t port ~from =
         ~domain:from.Domain.name ~port
   | None -> ());
   t.sent <- t.sent + 1;
+  match t.fault with
+  | Some f
+    when Kite_fault.Fault.fire f Kite_fault.Fault.Evtchn_notify
+           ~key:(string_of_int port) ->
+      (* Injected notification loss: the sender has paid the hypercall
+         but the peer's pending bit is never set.  Consumers recover via
+         their re-arm/watchdog paths. *)
+      ()
+  | _ -> (
   match peer_of ch from.Domain.id with
   | None -> ()  (* not yet bound: event is lost, as in Xen *)
   | Some peer ->
@@ -126,12 +145,26 @@ let notify t port ~from =
                  | None -> ());
                  match peer.handler with Some f -> f () | None -> ()
                end))
-      end
+      end)
 
 let close t port =
   match Hashtbl.find_opt t.channels port with
   | Some ch -> ch.closed <- true
   | None -> ()
+
+let close_domain t ~domid =
+  (* Domain destruction: every channel with the dead domain as an actual
+     endpoint is torn down, exactly as the hypervisor does on
+     domain_destroy.  Unbound channels merely *reserved* for the dead
+     domain stay open — their owner closes them during reconnect. *)
+  Hashtbl.iter
+    (fun _ ch ->
+      let endpoint =
+        ch.a.domid = domid
+        || match ch.b with Some s -> s.domid = domid | None -> false
+      in
+      if endpoint then ch.closed <- true)
+    t.channels
 
 let is_connected t port =
   match Hashtbl.find_opt t.channels port with

@@ -36,6 +36,17 @@ val notify : t -> port -> from:Domain.t -> unit
 
 val close : t -> port -> unit
 
+val close_domain : t -> domid:int -> unit
+(** Domain destruction: close every channel that has [domid] as an
+    endpoint (allocated by it, or bound by it), as the hypervisor does on
+    [domain_destroy].  Unbound ports merely reserved for [domid] are left
+    for their owner to close during reconnect. *)
+
+val set_fault : t -> Kite_fault.Fault.t option -> unit
+(** Attach/detach the fault injector.  [Evtchn_notify] injections drop a
+    notification after the sender has paid for it; the key is the port
+    number in decimal. *)
+
 val is_connected : t -> port -> bool
 
 val notifications_sent : t -> int

@@ -147,6 +147,41 @@ let copy_from_granted t ~caller r ~off ~len =
   Hypervisor.hypercall t.hv caller "grant_copy" ~extra:(copy_cost t len);
   Page.read e.page ~off ~len
 
+let revoke_domain t ~domid =
+  (* Domain destruction.  Two sweeps, in an order that keeps the
+     checker's shadow state consistent:
+     - every entry the dead domain had *mapped* is forcibly unmapped (the
+       hypervisor tears down its page tables), so the surviving granter's
+       [end_access] succeeds afterwards;
+     - every entry the dead domain *granted* disappears with its grant
+       table. *)
+  let granted = ref [] in
+  Hashtbl.iter
+    (fun r e ->
+      if e.grantee = domid && e.mapped then begin
+        (match t.check with
+        | Some c -> Kite_check.Check.grant_unmap c ~gref:r ~grantee:domid
+        | None -> ());
+        e.mapped <- false
+      end;
+      if e.granter = domid then granted := r :: !granted)
+    t.entries;
+  List.iter
+    (fun r ->
+      (match Hashtbl.find_opt t.entries r with
+      | Some e when e.mapped ->
+          (* The peer's mapping dies with the granted frame. *)
+          (match t.check with
+          | Some c -> Kite_check.Check.grant_unmap c ~gref:r ~grantee:e.grantee
+          | None -> ());
+          e.mapped <- false
+      | Some _ | None -> ());
+      (match t.check with
+      | Some c -> Kite_check.Check.grant_end c ~gref:r ~granter:domid
+      | None -> ());
+      Hashtbl.remove t.entries r)
+    (List.sort compare !granted)
+
 let is_mapped t r =
   match Hashtbl.find_opt t.entries r with
   | Some e -> e.mapped

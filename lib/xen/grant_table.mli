@@ -51,6 +51,12 @@ val copy_from_granted :
   t -> caller:Domain.t -> ref_ -> off:int -> len:int -> Bytes.t
 (** GNTTABOP_copy out of the granted page. *)
 
+val revoke_domain : t -> domid:int -> unit
+(** Domain destruction: forcibly unmap everything [domid] had mapped (so
+    surviving granters can [end_access] their references), and drop every
+    entry [domid] had granted (its grant table dies with it).  The
+    checker's shadow state is kept consistent (unmap before end). *)
+
 val is_mapped : t -> ref_ -> bool
 
 val active_grants : t -> int

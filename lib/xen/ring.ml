@@ -22,6 +22,7 @@ type ('req, 'rsp) t = {
   mutable rsp_event : int;
   mutable check : Kite_check.Check.ring option;
   mutable trace : Kite_trace.Trace.ring option;
+  mutable fault : (Kite_fault.Fault.t * string) option;
 }
 
 let create ~order =
@@ -42,6 +43,7 @@ let create ~order =
     rsp_event = 1;
     check = None;
     trace = None;
+    fault = None;
   }
 
 let size t = t.size
@@ -50,6 +52,8 @@ let attach_check t c ~name = t.check <- Some (Kite_check.Check.ring c ~name)
 
 let attach_trace t tr ~name ~now =
   t.trace <- Some (Kite_trace.Trace.ring tr ~name ~now)
+
+let attach_fault t f ~name = t.fault <- Some (f, name)
 
 (* Unconsumed responses pending plus in-flight requests bound the number of
    slots the frontend may still fill. *)
@@ -82,7 +86,7 @@ let push_requests_and_check_notify t =
 
 let pending_requests t = t.req_prod - t.req_cons
 
-let take_request t =
+let rec take_request t =
   let got = t.req_cons <> t.req_prod in
   (match t.check with
   | Some rc -> Kite_check.Check.ring_take rc `Req ~got
@@ -96,9 +100,17 @@ let take_request t =
     let r = t.reqs.(i) in
     t.reqs.(i) <- None;
     t.req_cons <- t.req_cons + 1;
-    match r with
-    | Some _ -> r
-    | None -> invalid_arg "Ring.take_request: corrupt slot"
+    match t.fault with
+    | Some (f, key)
+      when Kite_fault.Fault.fire f Kite_fault.Fault.Ring_slot ~key ->
+        (* Injected slot corruption: a defensive consumer validates the
+           descriptor, discards it, and moves on.  The producer's
+           watchdog is responsible for noticing the missing response. *)
+        take_request t
+    | _ -> (
+        match r with
+        | Some _ -> r
+        | None -> invalid_arg "Ring.take_request: corrupt slot")
   end
 
 let push_response t rsp =

@@ -38,6 +38,13 @@ val attach_trace :
     decision, consume runs their length.  Rings have no clock, so the
     attaching driver supplies [now]. *)
 
+val attach_fault :
+  ('req, 'rsp) t -> Kite_fault.Fault.t -> name:string -> unit
+(** Attach the fault injector.  [Ring_slot] injections corrupt a request
+    slot as the backend consumes it: the descriptor is discarded (as a
+    defensive backend would) and the frontend's watchdog must notice the
+    response never arriving and re-issue.  [name] is the injector key. *)
+
 (** {1 Frontend side} *)
 
 val free_requests : ('req, 'rsp) t -> int

@@ -35,10 +35,29 @@ let pp_state ppf s =
     | Closing -> "Closing"
     | Closed -> "Closed")
 
-type t = { hv : Hypervisor.t }
+(* The xenbus device state machine: which writes are legal edges.  The
+   reconnect edges (Closing/Closed -> Initialising) are what frontends
+   take when a crashed backend is rebooted; same-state rewrites are
+   idempotent and legal. *)
+let legal_transition ~from_ ~to_ =
+  from_ = to_
+  ||
+  match (from_, to_) with
+  | Initialising, (Init_wait | Initialised) -> true
+  | Init_wait, (Initialised | Connected) -> true
+  | Initialised, Connected -> true
+  | (Initialising | Init_wait | Initialised | Connected), (Closing | Closed)
+    ->
+      true
+  | Closing, Closed -> true
+  | (Closing | Closed), Initialising -> true
+  | _ -> false
 
-let create hv = { hv }
+type t = { hv : Hypervisor.t; mutable check : Kite_check.Check.t option }
+
+let create hv = { hv; check = None }
 let hv t = t.hv
+let set_check t c = t.check <- c
 
 let charge t dom =
   Hypervisor.hypercall t.hv dom "xenstore_op"
@@ -81,12 +100,48 @@ let watch t dom ~path ~token callback =
 
 let unwatch t id = Xenstore.unwatch (Hypervisor.store t.hv) id
 
+let state_name s = Format.asprintf "%a" pp_state s
+
 let switch_state t dom ~path st =
-  write t dom ~path:(path ^ "/state") (state_to_string st)
+  let state_path = path ^ "/state" in
+  let store = Hypervisor.store t.hv in
+  (match Xenstore.read store ~path:state_path with
+  | Some cur -> (
+      match state_of_string cur with
+      | Some from_ when not (legal_transition ~from_ ~to_:st) -> (
+          match t.check with
+          | Some c ->
+              Kite_check.Check.xenbus_bad_transition c ~path:state_path
+                ~from_:(state_name from_) ~to_:(state_name st)
+          | None -> ())
+      | Some _ | None -> ())
+  | None -> ());
+  let target = state_to_string st in
+  (* A state write is the one xenstore update drivers must not lose: the
+     peer's whole handshake hangs on it.  Model the xenbus client's
+     synchronous-ack discipline by reading back and retrying (bounded),
+     which is what rides out injected write loss. *)
+  let rec attempt n =
+    write t dom ~path:state_path target;
+    if Xenstore.read store ~path:state_path <> Some target && n < 3 then
+      attempt (n + 1)
+  in
+  attempt 0
 
 let read_state t dom ~path =
   match read t dom ~path:(path ^ "/state") with
-  | Some s -> Option.value (state_of_string s) ~default:Closed
+  | Some s -> (
+      match state_of_string s with
+      | Some st -> st
+      | None ->
+          (* Report the protocol violation instead of masking it; the
+             caller still sees Closed, the safe interpretation. *)
+          (match t.check with
+          | Some c ->
+              Kite_check.Check.xenbus_bad_state c ~path:(path ^ "/state")
+                ~value:s
+          | None -> ());
+          Closed)
   | None -> Closed
 
 let wait_for_state t dom ~path target =
@@ -105,9 +160,12 @@ let wait_for_state t dom ~path target =
         (fun ~path:_ ~token:_ ->
           if current () = Some target then Condition.broadcast cond)
     in
+    (* Re-poll on a coarse timer as well as on the watch: a lost watch
+       event must delay the handshake, not wedge it. *)
     let rec loop () =
       if current () <> Some target then begin
-        Condition.wait cond;
+        (match Condition.timed_wait cond (Time.ms 100) with
+        | `Signaled | `Timeout -> ());
         loop ()
       end
     in

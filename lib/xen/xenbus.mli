@@ -24,11 +24,20 @@ val state_of_string : string -> state option
 
 val pp_state : Format.formatter -> state -> unit
 
+val legal_transition : from_:state -> to_:state -> bool
+(** The edges of the xenbus device state machine, including the
+    reconnect edges ([Closing]/[Closed] -> [Initialising]) taken when a
+    crashed backend is rebooted.  Same-state rewrites are legal. *)
+
 type t
 
 val create : Hypervisor.t -> t
 
 val hv : t -> Hypervisor.t
+
+val set_check : t -> Kite_check.Check.t option -> unit
+(** Attach the protocol checker: {!read_state} reports unparsable state
+    values and {!switch_state} reports illegal transitions. *)
 
 (** {1 Charged xenstore access}
 
@@ -52,15 +61,25 @@ val unwatch : t -> Xenstore.watch_id -> unit
 (** {1 Device state machine} *)
 
 val switch_state : t -> Domain.t -> path:string -> state -> unit
-(** Write [<path>/state]. *)
+(** Write [<path>/state].  Illegal transitions are reported through the
+    attached checker (the write still happens — this is a lint, not an
+    enforcement point).  The write is read back and retried a bounded
+    number of times, modelling the xenbus client's synchronous-ack
+    discipline, so an injected xenstore write loss delays rather than
+    wedges a handshake. *)
 
 val read_state : t -> Domain.t -> path:string -> state
-(** Defaults to [Closed] when absent or unparsable. *)
+(** Defaults to [Closed] when absent.  An unparsable value also reads as
+    [Closed] — the safe interpretation — but is reported through the
+    attached checker as a protocol violation instead of being silently
+    masked. *)
 
 val wait_for_state :
   t -> Domain.t -> path:string -> state -> unit
 (** Block the calling process until [<path>/state] reads the given state.
-    Returns immediately if already there. *)
+    Returns immediately if already there.  Re-polls on a coarse timer in
+    addition to the watch, so a lost watch event delays the wait instead
+    of wedging it. *)
 
 (** {1 Standard device paths} *)
 

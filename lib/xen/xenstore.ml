@@ -22,6 +22,7 @@ type t = {
   mutable next_tx : int;
   mutable gen : int;
   mutable check : Kite_check.Check.t option;
+  mutable fault : Kite_fault.Fault.t option;
 }
 
 let make_node owner = { value = ""; owner; children = Hashtbl.create 4 }
@@ -34,9 +35,11 @@ let create () =
     next_tx = 0;
     gen = 0;
     check = None;
+    fault = None;
   }
 
 let set_check t c = t.check <- c
+let set_fault t f = t.fault <- f
 
 let split_path p =
   if p = "" then invalid_arg "Xenstore.split_path: empty path";
@@ -72,12 +75,30 @@ let is_prefix prefix path =
   in
   go (prefix, path)
 
+let deliver_watch t w ~path =
+  match t.fault with
+  | Some f
+    when Kite_fault.Fault.fire f Kite_fault.Fault.Xenstore_watch ~key:path ->
+      (* Injected watch-event loss: the store mutated but this client is
+         never told.  Pollers (Xenbus.wait_for_state) recover. *)
+      ()
+  | _ -> w.callback ~path ~token:w.token
+
 let fire_watches t segs =
   let path = join_path segs in
   List.iter
-    (fun w ->
-      if is_prefix w.wpath segs then w.callback ~path ~token:w.token)
+    (fun w -> if is_prefix w.wpath segs then deliver_watch t w ~path)
     (* Snapshot so callbacks adding/removing watches are safe. *)
+    (List.rev t.watches)
+
+(* Removing a subtree also fires watches registered *below* the removed
+   node, as xenstored does: a frontend watching .../backend/vbd/1/0/state
+   must learn that an ancestor (the whole backend domain home) vanished. *)
+let fire_watches_below t segs =
+  List.iter
+    (fun w ->
+      if is_prefix segs w.wpath && List.length w.wpath > List.length segs
+      then deliver_watch t w ~path:(join_path w.wpath))
     (List.rev t.watches)
 
 (* Walk to [segs], creating intermediate nodes owned by the nearest
@@ -108,10 +129,20 @@ let check_write t domid segs =
 
 let write_segs t ~domid segs value =
   check_write t domid segs;
-  let node = ensure t.root segs in
-  node.value <- value;
-  t.gen <- t.gen + 1;
-  fire_watches t segs
+  match t.fault with
+  | Some f
+    when Kite_fault.Fault.fire f Kite_fault.Fault.Xenstore_write
+           ~key:(join_path segs) ->
+      (* Injected write loss: the request is dropped before touching the
+         tree — no mutation, no generation bump, no watch fires.  Writers
+         that must not lose state (Xenbus.switch_state) read back and
+         retry. *)
+      ()
+  | _ ->
+      let node = ensure t.root segs in
+      node.value <- value;
+      t.gen <- t.gen + 1;
+      fire_watches t segs
 
 let write t ~domid ~path value = write_segs t ~domid (split_path path) value
 
@@ -138,7 +169,8 @@ let rm t ~domid ~path =
         | Some parent -> Hashtbl.remove parent.children leaf
         | None -> ());
         t.gen <- t.gen + 1;
-        fire_watches t segs
+        fire_watches t segs;
+        fire_watches_below t segs
       end
 
 let exists t ~path = find_path t path <> None

@@ -21,6 +21,12 @@ val set_check : t -> Kite_check.Check.t option -> unit
 (** Attach the xenstore lint: orphaned watches, transactions left open at
     the end of a run, and denied writes. *)
 
+val set_fault : t -> Kite_fault.Fault.t option -> unit
+(** Attach the fault injector.  [Xenstore_write] injections drop a write
+    before it touches the tree (no mutation, no watch); the key is the
+    written path.  [Xenstore_watch] injections lose a single watch-event
+    delivery; the key is the changed path. *)
+
 (** {1 Basic operations}
 
     Paths are ['/']-separated, e.g. ["/local/domain/3/device/vif/0/state"].
@@ -36,7 +42,10 @@ val read : t -> path:string -> string option
 val mkdir : t -> domid:int -> path:string -> unit
 
 val rm : t -> domid:int -> path:string -> unit
-(** Remove a subtree.  Removing a missing path is a no-op. *)
+(** Remove a subtree.  Removing a missing path is a no-op.  As in
+    xenstored, watches registered on paths {e below} the removed node
+    fire too (with the watch's own path), so a frontend watching
+    [.../state] learns when the whole backend home vanishes. *)
 
 val exists : t -> path:string -> bool
 

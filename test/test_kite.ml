@@ -94,8 +94,9 @@ let test_registry_complete () =
     [
       "fig1a"; "fig4a"; "fig4b"; "fig4c"; "fig5"; "table3"; "fig6"; "fig7";
       "fig8a"; "fig8b"; "fig9"; "fig10"; "table4"; "fig11"; "fig12"; "fig13";
-      "fig14"; "fig15"; "fig16"; "dhcp"; "table1"; "restart"; "scale";
-      "memory"; "abl-persist"; "abl-batch"; "abl-indirect"; "abl-threads";
+      "fig14"; "fig15"; "fig16"; "dhcp"; "table1"; "restart";
+      "restart-recovery"; "scale"; "memory"; "abl-persist"; "abl-batch";
+      "abl-indirect"; "abl-threads";
     ];
   check_bool "find works" true (Experiments.find "fig9" <> None);
   check_bool "find rejects junk" true (Experiments.find "fig99" = None);

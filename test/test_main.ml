@@ -15,4 +15,5 @@ let () =
       ("bench_tools", Test_bench_tools.suite);
       ("kite", Test_kite.suite);
       ("trace", Test_trace.suite);
+      ("fault", Test_fault.suite);
     ]

@@ -508,6 +508,106 @@ let test_xenbus_state_encoding () =
     states;
   check_bool "garbage" true (Xenbus.state_of_string "nope" = None)
 
+let all_states =
+  Xenbus.[ Initialising; Init_wait; Initialised; Connected; Closing; Closed ]
+
+let prop_xenbus_state_roundtrip =
+  (* Both directions: every state survives encode/decode, and any wire
+     string either decodes to a state that re-encodes to it or to
+     nothing at all. *)
+  QCheck.Test.make ~name:"xenbus state encoding round-trips" ~count:200
+    QCheck.(string_gen_of_size (Gen.int_bound 3) Gen.printable)
+    (fun s ->
+      List.for_all
+        (fun st ->
+          Xenbus.state_of_string (Xenbus.state_to_string st) = Some st)
+        all_states
+      &&
+      match Xenbus.state_of_string s with
+      | Some st -> Xenbus.state_to_string st = s
+      | None -> not (List.mem s [ "1"; "2"; "3"; "4"; "5"; "6" ]))
+
+let test_xenbus_transition_matrix () =
+  (* The full 6x6 legality matrix: the handshake edges, teardown from
+     any live state, and the reconnect edges (Closing/Closed ->
+     Initialising) a frontend takes when its crashed backend domain is
+     rebooted.  Same-state rewrites are idempotent and legal. *)
+  let open Xenbus in
+  let edges =
+    [
+      (Initialising, Init_wait); (Initialising, Initialised);
+      (Init_wait, Initialised); (Init_wait, Connected);
+      (Initialised, Connected);
+      (Initialising, Closing); (Initialising, Closed);
+      (Init_wait, Closing); (Init_wait, Closed);
+      (Initialised, Closing); (Initialised, Closed);
+      (Connected, Closing); (Connected, Closed);
+      (Closing, Closed);
+      (Closing, Initialising); (Closed, Initialising);
+    ]
+  in
+  List.iter
+    (fun from_ ->
+      List.iter
+        (fun to_ ->
+          let expected = from_ = to_ || List.mem (from_, to_) edges in
+          check_bool
+            (Format.asprintf "%a -> %a" pp_state from_ pp_state to_)
+            expected
+            (legal_transition ~from_ ~to_))
+        all_states)
+    all_states
+
+let test_xenbus_bad_state_reported () =
+  (* An unparsable state value reads as Closed (the safe interpretation)
+     but is reported through the attached checker instead of being
+     silently masked. *)
+  let hv = Hypervisor.create () in
+  let xb = Xenbus.create hv in
+  let report = Kite_check.Report.create () in
+  Xenbus.set_check xb (Some (Kite_check.Check.create ~name:"t" report));
+  let d =
+    Hypervisor.create_domain hv ~name:"d" ~kind:Domain.Dom_u ~vcpus:1
+      ~mem_mb:512
+  in
+  let path = Printf.sprintf "/local/domain/%d/device/vbd/0" d.Domain.id in
+  let seen = ref [] in
+  Hypervisor.spawn hv d ~name:"reader" (fun () ->
+      Xenstore.write (Hypervisor.store hv) ~domid:d.Domain.id
+        ~path:(path ^ "/state") "banana";
+      seen := Xenbus.read_state xb d ~path :: !seen;
+      (* A parsable value is not a violation. *)
+      Xenstore.write (Hypervisor.store hv) ~domid:d.Domain.id
+        ~path:(path ^ "/state")
+        (Xenbus.state_to_string Xenbus.Connected);
+      seen := Xenbus.read_state xb d ~path :: !seen);
+  Hypervisor.run hv;
+  check_bool "garbage reads as Closed, then Connected" true
+    (!seen = [ Xenbus.Connected; Xenbus.Closed ]);
+  check_int "one bad-state finding" 1
+    (List.length (Kite_check.Report.by_rule report "xenbus-bad-state"))
+
+let test_xenbus_bad_transition_reported () =
+  let hv = Hypervisor.create () in
+  let xb = Xenbus.create hv in
+  let report = Kite_check.Report.create () in
+  Xenbus.set_check xb (Some (Kite_check.Check.create ~name:"t" report));
+  let d =
+    Hypervisor.create_domain hv ~name:"d" ~kind:Domain.Dom_u ~vcpus:1
+      ~mem_mb:512
+  in
+  let path = Printf.sprintf "/local/domain/%d/device/vif/0" d.Domain.id in
+  Hypervisor.spawn hv d ~name:"fsm" (fun () ->
+      Xenbus.switch_state xb d ~path Xenbus.Initialising;
+      (* Initialising -> Connected skips the handshake: flagged. *)
+      Xenbus.switch_state xb d ~path Xenbus.Connected;
+      (* The reconnect edge after a backend reboot is legal. *)
+      Xenbus.switch_state xb d ~path Xenbus.Closed;
+      Xenbus.switch_state xb d ~path Xenbus.Initialising);
+  Hypervisor.run hv;
+  check_int "exactly the illegal edge flagged" 1
+    (List.length (Kite_check.Report.by_rule report "xenbus-bad-transition"))
+
 let test_xenbus_paths () =
   let b =
     { Domain.id = 2; name = "nb"; kind = Domain.Driver_domain; vcpus = 1; mem_mb = 1 }
@@ -708,6 +808,9 @@ let suite =
     ("grant copy", `Quick, test_grant_copy);
     ("grant errors", `Quick, test_grant_errors);
     ("xenbus state encoding", `Quick, test_xenbus_state_encoding);
+    ("xenbus transition matrix", `Quick, test_xenbus_transition_matrix);
+    ("xenbus bad state reported", `Quick, test_xenbus_bad_state_reported);
+    ("xenbus bad transition reported", `Quick, test_xenbus_bad_transition_reported);
     ("xenbus device paths", `Quick, test_xenbus_paths);
     ("xenbus handshake", `Quick, test_xenbus_handshake);
     ("xenbus wait when already there", `Quick, test_xenbus_wait_already_there);
@@ -719,4 +822,5 @@ let suite =
     ("page bounds", `Quick, test_page_bounds);
     QCheck_alcotest.to_alcotest prop_xs_last_write_wins;
     QCheck_alcotest.to_alcotest prop_ring_fifo;
+    QCheck_alcotest.to_alcotest prop_xenbus_state_roundtrip;
   ]
