@@ -318,6 +318,56 @@ let fault_overhead () =
   end;
   print_endline "OK: disabled injector within noise of seed"
 
+(* And for the metric registry: drivers keep [Registry.histogram option]
+   fields matched on the hot path (everything else is a polled closure
+   that costs nothing until sampled), so the gate is the same ring
+   roundtrip plus one option match per batch. *)
+let metrics_roundtrip ~hist () =
+  let r : (int, int) Kite_xen.Ring.t = Kite_xen.Ring.create ~order:5 in
+  for i = 1 to 32 do
+    Kite_xen.Ring.push_request r i
+  done;
+  ignore (Kite_xen.Ring.push_requests_and_check_notify r);
+  let n = ref 0 in
+  let rec drain () =
+    match Kite_xen.Ring.take_request r with
+    | Some v ->
+        incr n;
+        Kite_xen.Ring.push_response r v;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  (match hist with
+  | Some h -> Kite_metrics.Registry.observe h (float_of_int !n)
+  | None -> ());
+  ignore (Kite_xen.Ring.push_responses_and_check_notify r)
+
+let metrics_overhead () =
+  let measure = measure_ns in
+  print_endline "== disabled-metrics overhead on the ring hot path ==";
+  let bare = measure "bare (seed shape)" bare_roundtrip in
+  let disabled =
+    measure "instrumented, no registry" (metrics_roundtrip ~hist:None)
+  in
+  let reg = Kite_metrics.Registry.create ~name:"bench" () in
+  let h = Kite_metrics.Registry.histogram reg "bench_batch" [] in
+  let enabled =
+    measure "registry attached" (metrics_roundtrip ~hist:(Some h))
+  in
+  Printf.printf "  bare ring (seed shape):        %10.1f ns/roundtrip\n" bare;
+  Printf.printf "  instrumented, no registry:     %10.1f ns/roundtrip\n"
+    disabled;
+  Printf.printf "  registry attached:             %10.1f ns/roundtrip\n"
+    enabled;
+  let ratio = disabled /. bare in
+  Printf.printf "  disabled/bare ratio: %.2fx (gate: < 2.00x)\n%!" ratio;
+  if Float.is_nan ratio || ratio >= 2.0 then begin
+    print_endline "FAIL: disabled metrics are not within noise of the seed ring";
+    exit 1
+  end;
+  print_endline "OK: disabled metrics within noise of seed"
+
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
@@ -333,6 +383,7 @@ let () =
   if List.mem "--list" args then list_experiments ()
   else if List.mem "--trace-overhead" args then trace_overhead ()
   else if List.mem "--fault-overhead" args then fault_overhead ()
+  else if List.mem "--metrics-overhead" args then metrics_overhead ()
   else if micro then micro_tests ()
   else begin
     Printf.printf "Kite reproduction harness (%s scale)\n"

@@ -8,6 +8,8 @@
      kite_ctl check fig7
      kite_ctl trace fig7 --out trace.json --breakdown --hypercalls
      kite_ctl faults fig11 --seed 7 --plan faults.txt
+     kite_ctl top fig7
+     kite_ctl metrics fig7 --json
      kite_ctl boot kite-network
      kite_ctl security
      kite_ctl topology --flavor kite *)
@@ -402,6 +404,95 @@ let faults_cmd =
           report what was injected and how the drivers recovered.")
     Term.(ret (const run $ full_arg $ seed_arg $ plan_arg $ json_arg $ id_arg))
 
+(* ------------------------------------------------------------------ *)
+(* metrics / top                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared harness: run the selected experiments with a metrics sink set
+   as the run default (every testbed machine auto-attaches a registry
+   and its Dom0 sampler), tear down, then hand the collected registries
+   to [render]. *)
+let with_metrics ~full ~progress id render =
+  let sink = Kite_metrics.Registry.sink () in
+  Kite_metrics.Registry.set_default (Some sink);
+  let quick = not full in
+  let outcome =
+    for_experiments id (fun (eid, _desc, f) ->
+        if progress then Printf.printf "measuring %s...\n%!" eid;
+        ignore (f ~quick);
+        Kite.Scenario.teardown_all ())
+  in
+  Kite_metrics.Registry.set_default None;
+  match outcome with
+  | `Error _ as e -> e
+  | `Ok () ->
+      render (Kite_metrics.Registry.registries sink);
+      `Ok ()
+
+let metrics_id_arg =
+  let doc =
+    "Experiment id to measure (see $(b,list)); 'all' measures everything."
+  in
+  Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
+
+let metrics_cmd =
+  let json_arg =
+    let doc = "Emit every registry (values + alerts) as JSON." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let prom_arg =
+    let doc =
+      "Write the Prometheus text exposition of all registries to $(docv) \
+       ('-' for stdout) — the same output the httpd /metrics route serves."
+    in
+    Arg.(value & opt (some string) None & info [ "prom" ] ~docv:"FILE" ~doc)
+  in
+  let list_arg =
+    let doc = "Also print the registered metric families per machine." in
+    Arg.(value & flag & info [ "list" ] ~doc)
+  in
+  let run full json prom listf id =
+    with_metrics ~full ~progress:(not json && prom <> Some "-") id (fun rs ->
+        if json then print_string (Kite_metrics.Registry.to_json rs)
+        else begin
+          Kite_stats.Table.print (Kite.Metrics_report.top_table rs);
+          if listf then
+            Kite_stats.Table.print (Kite.Metrics_report.families_table rs);
+          if List.exists (fun r -> Kite_metrics.Registry.alerts r <> []) rs
+          then Kite_stats.Table.print (Kite.Metrics_report.alerts_table rs)
+        end;
+        match prom with
+        | None -> ()
+        | Some "-" -> print_string (Kite_metrics.Registry.to_prometheus rs)
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Kite_metrics.Registry.to_prometheus rs);
+            close_out oc;
+            Printf.printf "wrote %s\n" path)
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run experiments under live telemetry and dump the collected \
+          registries (table, JSON or Prometheus exposition).")
+    Term.(ret (const run $ full_arg $ json_arg $ prom_arg $ list_arg
+              $ metrics_id_arg))
+
+let top_cmd =
+  let run full id =
+    with_metrics ~full ~progress:true id (fun rs ->
+        Kite_stats.Table.print (Kite.Metrics_report.top_table rs);
+        if List.exists (fun r -> Kite_metrics.Registry.alerts r <> []) rs then
+          Kite_stats.Table.print (Kite.Metrics_report.alerts_table rs))
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "xentop-style summary: run experiments under live telemetry and \
+          print per-machine throughput, ring occupancy, grant usage, \
+          block latency quantiles and health alerts.")
+    Term.(ret (const run $ full_arg $ metrics_id_arg))
+
 let () =
   let info =
     Cmd.info "kite_ctl" ~version:"1.0"
@@ -420,4 +511,6 @@ let () =
             capture_cmd;
             trace_cmd;
             faults_cmd;
+            metrics_cmd;
+            top_cmd;
           ]))

@@ -6,6 +6,7 @@ type t = {
   cpu_per_request : Time.span;
   mutable requests_served : int;
   mutable bytes_served : int;
+  metrics : Kite_metrics.Registry.sink option;
 }
 
 let path_for size = Printf.sprintf "/data/%d" size
@@ -76,6 +77,22 @@ let handle_connection t conn () =
         if t.cpu_per_request > 0 then Process.sleep t.cpu_per_request;
         let keepalive = wants_keepalive head in
         (match parse_request_line head with
+        | Some ("GET", "/metrics") -> (
+            (* Prometheus exposition of every registry in the wired sink:
+               one scrape covers all machines of the run.  Not counted in
+               [requests_served] — that is the file-workload counter the
+               benchmarks read. *)
+            match t.metrics with
+            | Some sink ->
+                let body =
+                  Bytes.of_string
+                    (Kite_metrics.Registry.to_prometheus
+                       (Kite_metrics.Registry.registries sink))
+                in
+                respond conn ~status:"200 OK" ~body ~keepalive
+            | None ->
+                respond conn ~status:"404 Not Found"
+                  ~body:(Bytes.of_string "metrics not enabled") ~keepalive)
         | Some ("GET", path) -> (
             match body_size_of_path path with
             | Some size ->
@@ -96,8 +113,25 @@ let handle_connection t conn () =
   in
   serve ()
 
-let start tcp ?(port = 80) ?(cpu_per_request = Time.us 40) ~sched () =
-  let t = { sched; cpu_per_request; requests_served = 0; bytes_served = 0 } in
+let start tcp ?(port = 80) ?(cpu_per_request = Time.us 40) ?metrics ~sched ()
+    =
+  let t =
+    { sched; cpu_per_request; requests_served = 0; bytes_served = 0; metrics }
+  in
+  (match metrics with
+  | None -> ()
+  | Some sink ->
+      (* The server's own workload counters, polled at scrape time. *)
+      let r =
+        Kite_metrics.Registry.create_in sink
+          ~name:(Printf.sprintf "httpd:%d" port)
+      in
+      Kite_metrics.Registry.counter_fn r "kite_httpd_requests_total"
+        ~help:"File requests served (2xx responses to /data/<n>)." []
+        (fun () -> t.requests_served);
+      Kite_metrics.Registry.counter_fn r "kite_httpd_bytes_total"
+        ~help:"Body bytes served by file requests." []
+        (fun () -> t.bytes_served));
   let listener = Tcp.listen tcp ~port in
   Process.spawn sched ~daemon:true ~name:"httpd-acceptor" (fun () ->
       let rec accept_loop () =

@@ -1,0 +1,20 @@
+(** Render {!Kite_metrics.Registry} data as report tables.
+
+    [kite_ctl top] and [kite_ctl metrics] print these; the Prometheus
+    and JSON exporters live in [kite_metrics] itself.  Everything here
+    reads through the same polled registry the /metrics route exposes,
+    so the surfaces cannot disagree. *)
+
+val top_table : Kite_metrics.Registry.t list -> Kite_stats.Table.t
+(** One row per machine registry: tx/rx packet rates and block I/O rate
+    (frontend view, from sampled series deltas), worst ring occupancy,
+    active grants, persistent-grant pool size, block latency p50/p99 and
+    the alert count. *)
+
+val alerts_table : Kite_metrics.Registry.t list -> Kite_stats.Table.t
+(** Every structured health alert raised so far, in (machine, time)
+    order as stored. *)
+
+val families_table : Kite_metrics.Registry.t list -> Kite_stats.Table.t
+(** The registered metric families per machine with kind and help text
+    ([kite_ctl metrics --list]). *)

@@ -72,6 +72,57 @@ let attach_fault ctx tag =
       Kite_drivers.Xen_ctx.enable_fault ctx f;
       Some f
 
+(* And for telemetry (Kite_metrics.Registry.set_default): each machine
+   gets its own registry in the sink, plus a Dom0 sampler daemon that
+   snapshots every instrument into its ring-buffered series on the
+   registry's interval.  The sampler is stop-guarded through the
+   teardown list so audited runs quiesce. *)
+let attach_metrics ctx tag =
+  match Kite_metrics.Registry.default () with
+  | None -> None
+  | Some sink ->
+      incr scenario_seq;
+      let r =
+        Kite_metrics.Registry.create_in sink
+          ~name:(Printf.sprintf "%s%d" tag !scenario_seq)
+      in
+      Kite_drivers.Xen_ctx.enable_metrics ctx r;
+      let hv = ctx.Xen_ctx.hv in
+      let stop = ref false in
+      teardowns := (fun () -> stop := true) :: !teardowns;
+      Hypervisor.spawn hv (Hypervisor.dom0 hv) ~daemon:true
+        ~name:"metrics-sampler" (fun () ->
+          while not !stop do
+            Process.sleep (Kite_metrics.Registry.interval r);
+            if not !stop then
+              Kite_metrics.Registry.sample r ~at:(Hypervisor.now hv)
+          done);
+      Some r
+
+(* Edge-triggered backend-health probe: silent until the handshake first
+   reaches Connected, then any other state (a crashed or closing
+   backend) raises a structured alert until the frontend's recovery
+   reconnects.  Evaluated at sampling time from the Dom0 sampler, so the
+   xenstore read is charged like any other Dom0 access. *)
+let backend_state_probe ctx ~dev ~path reg =
+  let seen_connected = ref false in
+  Kite_metrics.Registry.probe reg ~name:"kite_backend_state"
+    [ ("dev", dev) ]
+    (fun () ->
+      let st =
+        Xenbus.read_state ctx.Xen_ctx.xb
+          (Hypervisor.dom0 ctx.Xen_ctx.hv)
+          ~path
+      in
+      if st = Xenbus.Connected then (
+        seen_connected := true;
+        Kite_metrics.Registry.Healthy)
+      else if !seen_connected then
+        Kite_metrics.Registry.Alert
+          (Format.asprintf "backend %s state %a (expected Connected)" dev
+             Xenbus.pp_state st)
+      else Kite_metrics.Registry.Healthy)
+
 type net = {
   hv : Hypervisor.t;
   ctx : Xen_ctx.t;
@@ -88,6 +139,7 @@ type net = {
   client_nic : Kite_devices.Nic.t;
   guest_ip : Ipv4addr.t;
   net_fault : Kite_fault.Fault.t option;
+  net_metrics : Kite_metrics.Registry.t option;
 }
 
 let network ?overheads_override ~flavor ?(seed = 2022) () =
@@ -96,6 +148,7 @@ let network ?overheads_override ~flavor ?(seed = 2022) () =
   let check = attach_check ctx ("net-" ^ flavor_name flavor ^ "-") in
   attach_trace ctx ("net-" ^ flavor_name flavor ^ "-");
   let fault = attach_fault ctx ("net-" ^ flavor_name flavor ^ "-") in
+  let mreg = attach_metrics ctx ("net-" ^ flavor_name flavor ^ "-") in
   let sched = Hypervisor.sched hv in
   let metrics = Hypervisor.metrics hv in
   let profile =
@@ -135,6 +188,13 @@ let network ?overheads_override ~flavor ?(seed = 2022) () =
     Option.value overheads_override ~default:(overheads_of flavor)
   in
   Kite_devices.Nic.set_fault nic fault;
+  (match mreg with
+  | Some r ->
+      backend_state_probe ctx ~dev:"vif0"
+        ~path:
+          (Xenbus.backend_path ~backend:dd ~frontend:domu ~ty:"vif" ~devid:0)
+        r
+  | None -> ());
   let net_app = Net_app.run ctx ~domain:dd ~nic ~overheads in
   Toolstack.add_vif ctx ~backend:dd ~frontend:domu ~devid:0;
   let netfront = Netfront.create ctx ~domain:domu ~backend:dd ~devid:0 in
@@ -169,6 +229,7 @@ let network ?overheads_override ~flavor ?(seed = 2022) () =
       client_nic;
       guest_ip;
       net_fault = fault;
+      net_metrics = mreg;
     }
   in
   (* Drain in-flight I/O, stop the backend (unregisters its watch), give
@@ -208,6 +269,7 @@ type blk = {
   mutable blk_app : Blk_app.t;
   nvme : Kite_devices.Nvme.t;
   blk_fault : Kite_fault.Fault.t option;
+  blk_metrics : Kite_metrics.Registry.t option;
 }
 
 let storage ~flavor ?(seed = 2022) ?(feature_persistent = true)
@@ -217,6 +279,7 @@ let storage ~flavor ?(seed = 2022) ?(feature_persistent = true)
   let check = attach_check ctx ("blk-" ^ flavor_name flavor ^ "-") in
   attach_trace ctx ("blk-" ^ flavor_name flavor ^ "-");
   let fault = attach_fault ctx ("blk-" ^ flavor_name flavor ^ "-") in
+  let mreg = attach_metrics ctx ("blk-" ^ flavor_name flavor ^ "-") in
   let sched = Hypervisor.sched hv in
   let metrics = Hypervisor.metrics hv in
   let profile =
@@ -247,6 +310,13 @@ let storage ~flavor ?(seed = 2022) ?(feature_persistent = true)
   Kite_devices.Pci.assignable_add pci ~bdf:"02:00.0";
   ignore (Kite_devices.Pci.attach pci ~bdf:"02:00.0" dd);
   Kite_devices.Nvme.set_fault nvme fault;
+  (match mreg with
+  | Some r ->
+      backend_state_probe ctx ~dev:"vbd0"
+        ~path:
+          (Xenbus.backend_path ~backend:dd ~frontend:domu ~ty:"vbd" ~devid:0)
+        r
+  | None -> ());
   let blk_app =
     Blk_app.run ctx ~domain:dd ~nvme ~overheads:(overheads_of flavor)
       ~feature_persistent ~feature_indirect ~batching ()
@@ -255,7 +325,7 @@ let storage ~flavor ?(seed = 2022) ?(feature_persistent = true)
   let blkfront = Blkfront.create ctx ~domain:domu ~backend:dd ~devid:0 () in
   let s =
     { bhv = hv; bctx = ctx; bsched = sched; bdd = dd; bdomu = domu;
-      blkfront; blk_app; nvme; blk_fault = fault }
+      blkfront; blk_app; nvme; blk_fault = fault; blk_metrics = mreg }
   in
   teardowns :=
     (fun () ->

@@ -38,6 +38,12 @@ type net = {
   net_fault : Kite_fault.Fault.t option;
       (** This machine's injector when a fault sink was active
           ({!Kite_fault.Fault.set_default}) at build time. *)
+  net_metrics : Kite_metrics.Registry.t option;
+      (** This machine's metric registry when a metrics sink was active
+          ({!Kite_metrics.Registry.set_default}) at build time.  A Dom0
+          sampler daemon snapshots it on the registry interval, and a
+          [kite_backend_state] probe alerts if the vif backend leaves
+          Connected after the first handshake. *)
 }
 
 val network :
@@ -71,6 +77,11 @@ type blk = {
   blk_fault : Kite_fault.Fault.t option;
       (** This machine's injector when a fault sink was active
           ({!Kite_fault.Fault.set_default}) at build time. *)
+  blk_metrics : Kite_metrics.Registry.t option;
+      (** This machine's metric registry when a metrics sink was active
+          ({!Kite_metrics.Registry.set_default}) at build time; same
+          sampler and backend-state probe as {!net.net_metrics}, for the
+          vbd backend. *)
 }
 
 val storage :

@@ -25,6 +25,8 @@ type instance = {
   mutable segments : int;
   mutable device_ops : int;
   mutable io_retries : int;
+  mutable indirect_reqs : int;
+  mutable inflight : int;
   mutable stop : bool;
 }
 
@@ -51,6 +53,9 @@ let requests_served i = i.requests
 let segments_served i = i.segments
 let device_ops i = i.device_ops
 let io_retries i = i.io_retries
+let indirect_requests i = i.indirect_reqs
+let inflight i = i.inflight
+let persistent_grants i = Hashtbl.length i.pmap
 
 let hv i = i.ctx.Xen_ctx.hv
 let trace i = i.ctx.Xen_ctx.trace
@@ -107,6 +112,8 @@ let prepare i req =
   let indirect =
     match req.Blkif.body with Blkif.Indirect _ -> true | _ -> false
   in
+  if indirect then i.indirect_reqs <- i.indirect_reqs + 1;
+  i.inflight <- i.inflight + 1;
   let segs = resolve_segments i req in
   let grefs = List.map (fun s -> s.Blkif.gref) segs in
   (* Persistent grants hit the map fast path (already mapped => free). *)
@@ -244,6 +251,7 @@ let run_batch i op sector works =
         false
   in
   let ok = perform 0 in
+  i.inflight <- i.inflight - List.length works;
   if not i.stop then begin
     if ok then begin
       i.device_ops <- i.device_ops + 1;
@@ -346,6 +354,74 @@ let request_thread i () =
   in
   loop ()
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry: per-vbd instruments, a ring-stall probe, and the live
+   stats nodes published under the backend xenstore path.              *)
+(* ------------------------------------------------------------------ *)
+
+let stats_publisher i ~bpath ~interval () =
+  let xb = i.ctx.Xen_ctx.xb in
+  let put key v =
+    Xenbus.write xb i.domain ~path:(bpath ^ "/stats/" ^ key) (string_of_int v)
+  in
+  let rec loop () =
+    Process.sleep interval;
+    if not i.stop then begin
+      put "requests" i.requests;
+      put "segments" i.segments;
+      put "device-ops" i.device_ops;
+      put "io-retries" i.io_retries;
+      put "inflight" i.inflight;
+      put "persistent-grants" (Hashtbl.length i.pmap);
+      loop ()
+    end
+  in
+  loop ()
+
+let attach_metrics i ~bpath =
+  match i.ctx.Xen_ctx.metrics with
+  | None -> ()
+  | Some r ->
+      let module R = Kite_metrics.Registry in
+      let vbd = vbd_name i in
+      let l = [ ("vbd", vbd); ("side", "backend") ] in
+      R.counter_fn r "kite_blk_requests_total" ~help:"Ring requests completed"
+        l
+        (fun () -> i.requests);
+      R.counter_fn r "kite_blk_segments_total" ~help:"Segments transferred" l
+        (fun () -> i.segments);
+      R.counter_fn r "kite_blk_device_ops_total"
+        ~help:"Physical device operations (after batch merging)" l
+        (fun () -> i.device_ops);
+      R.counter_fn r "kite_blk_io_retries_total"
+        ~help:"Transient device errors retried" l
+        (fun () -> i.io_retries);
+      R.counter_fn r "kite_blk_indirect_requests_total"
+        ~help:"Requests using indirect descriptors" l
+        (fun () -> i.indirect_reqs);
+      R.gauge_fn r "kite_blk_inflight"
+        ~help:"Requests prepared but not yet completed"
+        [ ("vbd", vbd) ]
+        (fun () -> float_of_int i.inflight);
+      R.gauge_fn r "kite_blk_persistent_grants"
+        ~help:"Grants held mapped across requests"
+        [ ("vbd", vbd) ]
+        (fun () -> float_of_int (Hashtbl.length i.pmap));
+      R.gauge_fn r "kite_blk_ring_pending" ~help:"Unconsumed ring requests" l
+        (fun () -> float_of_int (Ring.pending_requests i.ring));
+      R.gauge_fn r "kite_blk_ring_free" ~help:"Free request slots" l
+        (fun () -> float_of_int (Ring.free_requests i.ring));
+      R.probe r ~name:"kite_blk_ring_stalled" [ ("vbd", vbd) ]
+        (R.stalled_probe
+           ~pending:(fun () ->
+             if i.stop then 0 else Ring.pending_requests i.ring)
+           ~progress:(fun () -> i.requests)
+           ());
+      Hypervisor.spawn i.ctx.Xen_ctx.hv i.domain ~daemon:true
+        ~name:
+          (Printf.sprintf "blkback-stats-%d.%d" i.frontend.Domain.id i.devid)
+        (stats_publisher i ~bpath ~interval:(R.interval r))
+
 let make_instance t ~frontend ~devid =
   let ctx = t.sctx in
   let xb = ctx.Xen_ctx.xb in
@@ -400,12 +476,15 @@ let make_instance t ~frontend ~devid =
       segments = 0;
       device_ops = 0;
       io_retries = 0;
+      indirect_reqs = 0;
+      inflight = 0;
       stop = false;
     }
   in
   Event_channel.set_handler ctx.Xen_ctx.ec port domain (fun () ->
       Condition.signal i.wake);
   Xenbus.switch_state xb domain ~path:bpath Xenbus.Connected;
+  attach_metrics i ~bpath;
   Hypervisor.spawn ctx.Xen_ctx.hv domain ~daemon:true
     ~name:(Printf.sprintf "blkback-req-%d.%d" frontend.Domain.id devid)
     (request_thread i);

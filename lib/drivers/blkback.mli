@@ -57,3 +57,12 @@ val device_ops : instance -> int
 
 val io_retries : instance -> int
 (** Device operations re-attempted after a transient error. *)
+
+val indirect_requests : instance -> int
+(** Requests that arrived as indirect descriptors. *)
+
+val inflight : instance -> int
+(** Requests prepared but not yet completed (in the device or queued). *)
+
+val persistent_grants : instance -> int
+(** Grants currently held mapped across requests (§3.3 table size). *)

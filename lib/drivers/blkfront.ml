@@ -51,6 +51,7 @@ type t = {
   mutable reconnects : int;
   mutable replayed : int;
   mutable resubmits : int;
+  mutable m_lat : Kite_metrics.Registry.histogram option;
 }
 
 let capacity_sectors t = t.capacity
@@ -282,9 +283,15 @@ let submit t op ~sector ~count data =
         ~at:(Hypervisor.now t.ctx.Xen_ctx.hv)
         ~kind:"blk" ~key:(vbd_name t) ~id:p.p_id ~stage:"frontend"
   | None -> ());
+  let t0 = Hypervisor.now t.ctx.Xen_ctx.hv in
   push_entry t p;
   t.requests <- t.requests + 1;
   await_response t p;
+  (match t.m_lat with
+  | Some h ->
+      Kite_metrics.Registry.observe h
+        (float_of_int (Hypervisor.now t.ctx.Xen_ctx.hv - t0))
+  | None -> ());
   Hashtbl.remove t.pending p.p_id;
   (* Indirect descriptor pages are single-use. *)
   List.iter
@@ -478,6 +485,57 @@ and start_monitor t =
              end
            end))
 
+(* Frontend-side telemetry.  Registered once at [create]; closures read
+   [t] at sampling time, so ring replacement on reconnect needs no
+   re-registration.  The request-latency histogram is pushed from
+   [submit] (ns from ring push to completed response, covering watchdog
+   re-issues and crash replays). *)
+let attach_metrics t =
+  match t.ctx.Xen_ctx.metrics with
+  | None -> ()
+  | Some r ->
+      let module R = Kite_metrics.Registry in
+      let vbd = vbd_name t in
+      let l = [ ("vbd", vbd); ("side", "frontend") ] in
+      R.counter_fn r "kite_blk_requests_total" ~help:"Requests submitted" l
+        (fun () -> t.requests);
+      R.counter_fn r "kite_blk_reconnects_total"
+        ~help:"Backend-gone reconnect cycles" l
+        (fun () -> t.reconnects);
+      R.counter_fn r "kite_blk_replayed_total"
+        ~help:"Journal entries replayed after a crash" l
+        (fun () -> t.replayed);
+      R.counter_fn r "kite_blk_resubmits_total"
+        ~help:"Watchdog re-issues of lost requests" l
+        (fun () -> t.resubmits);
+      R.gauge_fn r "kite_blk_pool_size"
+        ~help:"Idle pages in the persistent-grant pool"
+        [ ("vbd", vbd) ]
+        (fun () -> float_of_int (List.length t.pool));
+      R.gauge_fn r "kite_blk_pending"
+        ~help:"Journal entries awaiting a response"
+        [ ("vbd", vbd) ]
+        (fun () -> float_of_int (Hashtbl.length t.pending));
+      R.gauge_fn r "kite_blk_ring_pending" ~help:"Unconsumed ring requests" l
+        (fun () -> float_of_int (Ring.pending_requests t.ring));
+      R.gauge_fn r "kite_blk_ring_free" ~help:"Free request slots" l
+        (fun () -> float_of_int (Ring.free_requests t.ring));
+      t.m_lat <-
+        Some
+          (R.histogram r "kite_blk_latency_ns" ~base:1000.0 ~factor:2.0
+             ~help:"Request latency, ring push to response (simulated ns)"
+             [ ("vbd", vbd) ]);
+      R.probe r ~name:"kite_blk_pool_exhausted" [ ("vbd", vbd) ] (fun () ->
+          if
+            persistent_enabled t && t.pool = []
+            && Hashtbl.length t.pending >= Ring.size t.ring
+          then
+            R.Alert
+              (Printf.sprintf
+                 "persistent-grant pool empty with %d requests in flight"
+                 (Hashtbl.length t.pending))
+          else R.Healthy)
+
 let create ctx ~domain ~backend ~devid ?(use_persistent = true)
     ?(use_indirect = true) () =
   let t =
@@ -505,9 +563,11 @@ let create ctx ~domain ~backend ~devid ?(use_persistent = true)
       reconnects = 0;
       replayed = 0;
       resubmits = 0;
+      m_lat = None;
     }
   in
   attach_ring_instruments t;
+  attach_metrics t;
   Hypervisor.spawn ctx.Xen_ctx.hv domain ~name:"blkfront-setup" (connect t);
   t
 

@@ -22,9 +22,12 @@ type instance = {
   retry_backoff : Time.span;
   mutable tx_packets : int;
   mutable rx_packets : int;
+  mutable tx_bytes : int;
+  mutable rx_bytes : int;
   mutable rx_dropped : int;
   mutable io_retries : int;
   mutable tx_failed : int;
+  mutable m_txbatch : Kite_metrics.Registry.histogram option;
   mutable stop : bool;
 }
 
@@ -47,6 +50,8 @@ let vif i = match i.vif with Some v -> v | None -> assert false
 let frontend_domid i = i.frontend.Domain.id
 let tx_packets i = i.tx_packets
 let rx_packets i = i.rx_packets
+let tx_bytes i = i.tx_bytes
+let rx_bytes i = i.rx_bytes
 let rx_dropped i = i.rx_dropped
 let io_retries i = i.io_retries
 let tx_failed i = i.tx_failed
@@ -123,6 +128,7 @@ let pusher i () =
         kernel_grant_ops i i.ov.Overheads.tx_kernel_grant_ops;
         Hypervisor.cpu_work (hv i) i.domain i.ov.Overheads.tx_per_packet;
         i.tx_packets <- i.tx_packets + 1;
+        i.tx_bytes <- i.tx_bytes + req.Netchannel.tx_len;
         (* The frame may reach the physical NIC synchronously (through
            the bridge); a transient NIC error is retried with exponential
            backoff, then the frame is dropped as a wire loss. *)
@@ -169,6 +175,9 @@ let pusher i () =
               ~domain:i.domain.Domain.name ~name:"netback.tx-batch"
               ~args:[ ("vif", vif_name i); ("n", string_of_int n) ]
         | None -> ());
+        (match i.m_txbatch with
+        | Some h -> Kite_metrics.Registry.observe h (float_of_int n)
+        | None -> ());
         if Ring.push_responses_and_check_notify i.tx_ring then
           notify_frontend i;
         touch i
@@ -196,6 +205,7 @@ let soft_start i () =
           kernel_grant_ops i i.ov.Overheads.rx_kernel_grant_ops;
           Hypervisor.cpu_work (hv i) i.domain i.ov.Overheads.rx_per_packet;
           i.rx_packets <- i.rx_packets + 1;
+          i.rx_bytes <- i.rx_bytes + Bytes.length frame;
           Ring.push_response i.rx_ring
             {
               Netchannel.rx_rsp_id = req.Netchannel.rx_id;
@@ -238,6 +248,89 @@ let soft_start i () =
     end
   in
   loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry: per-vif instruments, a Tx-ring stall probe, and the live
+   stats nodes real netback exposes under the backend xenstore path.   *)
+(* ------------------------------------------------------------------ *)
+
+let stats_publisher i ~bpath ~interval () =
+  let xb = i.ctx.Xen_ctx.xb in
+  let put key v =
+    Xenbus.write xb i.domain ~path:(bpath ^ "/stats/" ^ key) (string_of_int v)
+  in
+  let rec loop () =
+    Process.sleep interval;
+    if not i.stop then begin
+      put "tx-packets" i.tx_packets;
+      put "rx-packets" i.rx_packets;
+      put "tx-bytes" i.tx_bytes;
+      put "rx-bytes" i.rx_bytes;
+      put "rx-dropped" i.rx_dropped;
+      put "io-retries" i.io_retries;
+      loop ()
+    end
+  in
+  loop ()
+
+let attach_metrics i ~bpath =
+  match i.ctx.Xen_ctx.metrics with
+  | None -> ()
+  | Some r ->
+      let module R = Kite_metrics.Registry in
+      let vif = vif_name i in
+      let l = [ ("vif", vif); ("side", "backend") ] in
+      R.counter_fn r "kite_net_tx_packets_total" ~help:"Guest-to-wire packets"
+        l
+        (fun () -> i.tx_packets);
+      R.counter_fn r "kite_net_tx_bytes_total" ~help:"Guest-to-wire bytes" l
+        (fun () -> i.tx_bytes);
+      R.counter_fn r "kite_net_rx_packets_total" ~help:"Wire-to-guest packets"
+        l
+        (fun () -> i.rx_packets);
+      R.counter_fn r "kite_net_rx_bytes_total" ~help:"Wire-to-guest bytes" l
+        (fun () -> i.rx_bytes);
+      R.counter_fn r "kite_net_rx_dropped_total"
+        ~help:"Frames dropped with the Rx backlog full" l
+        (fun () -> i.rx_dropped);
+      R.counter_fn r "kite_net_io_retries_total"
+        ~help:"Transient NIC errors retried" l
+        (fun () -> i.io_retries);
+      R.counter_fn r "kite_net_tx_failed_total"
+        ~help:"Frames lost after the retry budget" l
+        (fun () -> i.tx_failed);
+      List.iter
+        (fun (ring_name, pending, free) ->
+          let rl = ("ring", ring_name) :: l in
+          R.gauge_fn r "kite_net_ring_pending"
+            ~help:"Unconsumed ring requests" rl pending;
+          R.gauge_fn r "kite_net_ring_free" ~help:"Free request slots" rl free)
+        [
+          ( "tx",
+            (fun () -> float_of_int (Ring.pending_requests i.tx_ring)),
+            fun () -> float_of_int (Ring.free_requests i.tx_ring) );
+          ( "rx",
+            (fun () -> float_of_int (Ring.pending_requests i.rx_ring)),
+            fun () -> float_of_int (Ring.free_requests i.rx_ring) );
+        ];
+      R.gauge_fn r "kite_net_rx_backlog"
+        ~help:"Frames queued from the bridge awaiting Rx slots"
+        [ ("vif", vif) ]
+        (fun () -> float_of_int (Queue.length i.backlog));
+      i.m_txbatch <-
+        Some
+          (R.histogram r "kite_net_tx_batch" ~base:1.0 ~factor:2.0
+             ~help:"Tx requests drained per wakeup" [ ("vif", vif) ]);
+      R.probe r ~name:"kite_net_tx_ring_stalled" [ ("vif", vif) ]
+        (R.stalled_probe
+           ~pending:(fun () ->
+             if i.stop then 0 else Ring.pending_requests i.tx_ring)
+           ~progress:(fun () -> i.tx_packets)
+           ());
+      Hypervisor.spawn i.ctx.Xen_ctx.hv i.domain ~daemon:true
+        ~name:
+          (Printf.sprintf "netback-stats-%d.%d" i.frontend.Domain.id i.devid)
+        (stats_publisher i ~bpath ~interval:(R.interval r))
 
 let make_instance t ~frontend ~devid =
   let ctx = t.sctx in
@@ -283,9 +376,12 @@ let make_instance t ~frontend ~devid =
       retry_backoff = t.sretry_backoff;
       tx_packets = 0;
       rx_packets = 0;
+      tx_bytes = 0;
+      rx_bytes = 0;
       rx_dropped = 0;
       io_retries = 0;
       tx_failed = 0;
+      m_txbatch = None;
       stop = false;
     }
   in
@@ -308,6 +404,7 @@ let make_instance t ~frontend ~devid =
       Condition.signal i.pusher_wake;
       Condition.signal i.soft_wake);
   Xenbus.switch_state xb domain ~path:bpath Xenbus.Connected;
+  attach_metrics i ~bpath;
   t.on_vif ~frontend:frontend.Domain.id ~devid vif;
   Hypervisor.spawn ctx.Xen_ctx.hv domain ~daemon:true
     ~name:(Printf.sprintf "netback-pusher-%d.%d" frontend.Domain.id devid)

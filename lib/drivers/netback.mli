@@ -62,6 +62,12 @@ val tx_packets : instance -> int
 val rx_packets : instance -> int
 (** Wire-to-guest packets delivered into posted buffers. *)
 
+val tx_bytes : instance -> int
+(** Guest-to-wire payload bytes forwarded. *)
+
+val rx_bytes : instance -> int
+(** Wire-to-guest payload bytes delivered. *)
+
 val rx_dropped : instance -> int
 (** Frames dropped because the guest posted no Rx buffers (or the
     backlog overflowed). *)

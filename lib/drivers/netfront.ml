@@ -23,6 +23,8 @@ type t = {
   mutable next_id : int;
   mutable tx_packets : int;
   mutable rx_packets : int;
+  mutable tx_bytes : int;
+  mutable rx_bytes : int;
   mutable tx_dropped : int;
   mutable reconnects : int;
   mutable tx_lost : int;
@@ -31,6 +33,8 @@ type t = {
 let connected t = t.connected
 let tx_packets t = t.tx_packets
 let rx_packets t = t.rx_packets
+let tx_bytes t = t.tx_bytes
+let rx_bytes t = t.rx_bytes
 let tx_dropped t = t.tx_dropped
 let reconnects t = t.reconnects
 let tx_lost t = t.tx_lost
@@ -74,6 +78,49 @@ let attach_ring_instruments t =
       Ring.attach_fault t.rx_ring f ~name:rx_name
   | None -> ()
 
+(* Frontend-side telemetry.  Registered once at [create]; every closure
+   reads [t] at sampling time, so ring replacement on reconnect needs no
+   re-registration. *)
+let attach_metrics t =
+  match t.ctx.Xen_ctx.metrics with
+  | None -> ()
+  | Some r ->
+      let module R = Kite_metrics.Registry in
+      let vif = vif_name t in
+      let l = [ ("vif", vif); ("side", "frontend") ] in
+      R.counter_fn r "kite_net_tx_packets_total" ~help:"Frames pushed to Tx"
+        l
+        (fun () -> t.tx_packets);
+      R.counter_fn r "kite_net_tx_bytes_total" ~help:"Bytes pushed to Tx" l
+        (fun () -> t.tx_bytes);
+      R.counter_fn r "kite_net_rx_packets_total" ~help:"Frames received" l
+        (fun () -> t.rx_packets);
+      R.counter_fn r "kite_net_rx_bytes_total" ~help:"Bytes received" l
+        (fun () -> t.rx_bytes);
+      R.counter_fn r "kite_net_tx_dropped_total"
+        ~help:"Frames dropped while disconnected" l
+        (fun () -> t.tx_dropped);
+      R.counter_fn r "kite_net_reconnects_total"
+        ~help:"Backend-gone reconnect cycles" l
+        (fun () -> t.reconnects);
+      R.counter_fn r "kite_net_tx_lost_total"
+        ~help:"In-flight Tx frames lost to a backend crash" l
+        (fun () -> t.tx_lost);
+      List.iter
+        (fun (ring_name, pending, free) ->
+          let rl = ("ring", ring_name) :: l in
+          R.gauge_fn r "kite_net_ring_pending"
+            ~help:"Unconsumed ring requests" rl pending;
+          R.gauge_fn r "kite_net_ring_free" ~help:"Free request slots" rl free)
+        [
+          ( "tx",
+            (fun () -> float_of_int (Ring.pending_requests t.tx_ring)),
+            fun () -> float_of_int (Ring.free_requests t.tx_ring) );
+          ( "rx",
+            (fun () -> float_of_int (Ring.pending_requests t.rx_ring)),
+            fun () -> float_of_int (Ring.free_requests t.rx_ring) );
+        ]
+
 (* The channel to the backend can die under us (driver-domain crash);
    a failed kick is then recovered by the reconnect path, not fatal. *)
 let notify_backend t =
@@ -112,6 +159,7 @@ let transmit t frame =
       Ring.push_request t.tx_ring
         { Netchannel.tx_id = id; tx_gref = gref; tx_len = len };
       t.tx_packets <- t.tx_packets + 1;
+      t.tx_bytes <- t.tx_bytes + len;
       (match t.ctx.Xen_ctx.trace with
       | Some tr ->
           Kite_trace.Trace.span_hop tr
@@ -169,6 +217,7 @@ let rx_thread t () =
                     Page.read page ~off:0 ~len:rsp.Netchannel.rx_len
                   in
                   t.rx_packets <- t.rx_packets + 1;
+                  t.rx_bytes <- t.rx_bytes + rsp.Netchannel.rx_len;
                   match t.dev with
                   | Some dev -> Netdev.deliver dev frame
                   | None -> ()
@@ -317,6 +366,8 @@ let create ctx ~domain ~backend ~devid =
       next_id = 0;
       tx_packets = 0;
       rx_packets = 0;
+      tx_bytes = 0;
+      rx_bytes = 0;
       tx_dropped = 0;
       reconnects = 0;
       tx_lost = 0;
@@ -330,6 +381,7 @@ let create ctx ~domain ~backend ~devid =
   in
   t.dev <- Some dev;
   attach_ring_instruments t;
+  attach_metrics t;
   Hypervisor.spawn ctx.Xen_ctx.hv domain ~name:"netfront-setup" (connect t);
   t
 

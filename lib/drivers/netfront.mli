@@ -40,6 +40,13 @@ val connected : t -> bool
 
 val tx_packets : t -> int
 val rx_packets : t -> int
+
+val tx_bytes : t -> int
+(** Payload bytes pushed into the Tx ring. *)
+
+val rx_bytes : t -> int
+(** Payload bytes received from posted Rx buffers. *)
+
 val tx_dropped : t -> int
 
 val reconnects : t -> int

@@ -15,6 +15,7 @@ type t = {
   mutable check : Kite_check.Check.t option;
   mutable trace : Kite_trace.Trace.t option;
   mutable fault : Kite_fault.Fault.t option;
+  mutable metrics : Kite_metrics.Registry.t option;
 }
 
 let create hv =
@@ -28,6 +29,7 @@ let create hv =
     check = None;
     trace = None;
     fault = None;
+    metrics = None;
   }
 
 let enable_check t c =
@@ -49,3 +51,29 @@ let enable_fault t f =
      are attached as drivers/testbeds wire up, like [check]. *)
   Event_channel.set_fault t.ec (Some f);
   Xenstore.set_fault (Hypervisor.store t.hv) (Some f)
+
+let enable_metrics t r =
+  t.metrics <- Some r;
+  (* Scheduler + per-domain busy gauges (see Hypervisor.set_metrics);
+     drivers register their per-device instruments as they connect,
+     like [check].  The machine-wide services below already keep their
+     own counters, so everything here is a polled closure. *)
+  Hypervisor.set_metrics t.hv (Some r);
+  let module R = Kite_metrics.Registry in
+  R.counter_fn r "kite_grant_maps_total" ~help:"Grant map operations" []
+    (fun () -> Grant_table.map_count t.gt);
+  R.counter_fn r "kite_grant_unmaps_total" ~help:"Grant unmap operations" []
+    (fun () -> Grant_table.unmap_count t.gt);
+  R.counter_fn r "kite_grant_copies_total" ~help:"GNTTABOP_copy operations" []
+    (fun () -> Grant_table.copy_count t.gt);
+  R.gauge_fn r "kite_grant_active" ~help:"Grants currently in the table" []
+    (fun () -> float_of_int (Grant_table.active_grants t.gt));
+  R.counter_fn r "kite_evtchn_notifications_total"
+    ~help:"Notify hypercalls issued (before coalescing)" []
+    (fun () -> Event_channel.notifications_sent t.ec);
+  R.counter_fn r "kite_evtchn_delivered_total"
+    ~help:"Handler invocations performed (after coalescing)" []
+    (fun () -> Event_channel.notifications_delivered t.ec);
+  R.counter_fn r "kite_evtchn_dropped_total"
+    ~help:"Notifications lost to fault injection" []
+    (fun () -> Event_channel.notifications_dropped t.ec)

@@ -10,6 +10,7 @@ type t = {
   mutable check : Kite_check.Check.t option;
   mutable trace : Kite_trace.Trace.t option;
   mutable fault : Kite_fault.Fault.t option;
+  mutable metrics : Kite_metrics.Registry.t option;
 }
 
 val create : Kite_xen.Hypervisor.t -> t
@@ -30,3 +31,11 @@ val enable_fault : t -> Kite_fault.Fault.t -> unit
     ring-slot corruption in the drivers' rings and recovery notes.
     Devices (NVMe/NIC) are attached by the testbed.  Call before
     spawning drivers. *)
+
+val enable_metrics : t -> Kite_metrics.Registry.t -> unit
+(** Wire a metric registry into this machine: scheduler and per-domain
+    busy gauges, grant-table and event-channel counters, plus — through
+    this record — the drivers' per-vif/per-vbd instruments, ring
+    occupancy gauges and xenstore stats publishers.  Everything is a
+    polled closure evaluated at sampling time; call before spawning
+    drivers. *)

@@ -1,0 +1,195 @@
+(** Typed metric registry: live telemetry for one simulated machine.
+
+    A [Registry.t] holds counters, gauges and log-bucketed histograms,
+    each labelled (per-domain, per-device, per-queue).  Instrumented
+    layers keep a [Registry.t option] — exactly the kite_check /
+    kite_trace / kite_fault discipline — so a disabled registry costs a
+    single [match None] on the hot path.
+
+    Instances register in two styles:
+
+    - {e pushed} handles ({!counter}, {!gauge}, {!histogram}) that the
+      hot path updates with {!inc} / {!observe};
+    - {e polled} functions ({!counter_fn}, {!gauge_fn}) evaluated only
+      at sampling / exposition time, the preferred style for layers that
+      already keep their own mutable counters (ring occupancy, active
+      grants, live processes, ...).
+
+    {!sample} snapshots every instance into a bounded ring-buffered time
+    series keyed by the simulated clock, and evaluates health {!probe}s,
+    turning [Ok -> Alert] edges into structured {!alert} records.
+
+    Like the tracer, registries live in a run-wide {!sink} (one registry
+    per simulated machine) that `Scenario` consults via {!default}. *)
+
+type t
+
+val create : ?name:string -> ?interval:int -> ?capacity:int -> unit -> t
+(** [name] labels the machine in multi-registry exposition (default
+    "sim"); [interval] is the sampling period in simulated ns (default
+    100 ms) — advisory: the sampler process reads it back with
+    {!interval}; [capacity] bounds each instance's time series (default
+    512 samples, oldest dropped first). *)
+
+val name : t -> string
+val interval : t -> int
+
+(** {1 Instruments} *)
+
+type counter
+type gauge
+type histogram
+
+val counter : t -> ?help:string -> string -> (string * string) list -> counter
+(** [counter t name labels] registers (or finds) the counter instance of
+    family [name] with exactly [labels].  Family names must match
+    [[a-zA-Z_:][a-zA-Z0-9_:]*]; registering the same family under a
+    different metric kind raises [Invalid_argument]. *)
+
+val gauge : t -> ?help:string -> string -> (string * string) list -> gauge
+
+val histogram :
+  t ->
+  ?help:string ->
+  ?base:float ->
+  ?factor:float ->
+  string ->
+  (string * string) list ->
+  histogram
+(** Log-bucketed ({!Kite_stats.Histogram}); [base]/[factor] as there. *)
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+val counter_fn :
+  t -> ?help:string -> string -> (string * string) list -> (unit -> int) -> unit
+(** Polled counter: the closure is read at sampling/exposition time and
+    must be monotone.  Re-registering the same (family, labels) instance
+    replaces the closure but keeps the recorded series — drivers
+    re-register after crash/reconnect. *)
+
+val gauge_fn :
+  t ->
+  ?help:string ->
+  string ->
+  (string * string) list ->
+  (unit -> float) ->
+  unit
+(** Polled gauge; replacement semantics as {!counter_fn}. *)
+
+(** {1 Reading} *)
+
+type kind = Counter | Gauge | Histogram
+
+val families : t -> (string * kind * string) list
+(** Registered families as (name, kind, help), sorted by name. *)
+
+val read : t -> (string * (string * string) list * float) list
+(** Current scalar value of every instance (polled closures evaluated;
+    histograms read as their observation count), sorted by family then
+    label string.  A polled closure that raises reads as [nan]. *)
+
+val value : t -> string -> (string * string) list -> float option
+(** Current value of one instance; [None] if never registered. *)
+
+val quantile : t -> string -> (string * string) list -> float -> float option
+(** [quantile t name labels q] from a histogram instance; [None] when
+    the instance is missing, empty, or not a histogram. *)
+
+(** {1 Sampling and time series} *)
+
+val sample : t -> at:int -> unit
+(** Snapshot every instance into its ring-buffered series at simulated
+    time [at] (ns), then evaluate health probes. *)
+
+val samples_taken : t -> int
+
+val series : t -> string -> (string * string) list -> (int * float) list
+(** Recorded (at, value) samples of one instance, oldest first; at most
+    [capacity] entries; [] if never registered or never sampled. *)
+
+val last_sample : t -> string -> (string * string) list -> (int * float) option
+(** The most recent recorded sample — the steady-state value to report
+    when the live instrument has already been torn down. *)
+
+val rate : t -> string -> (string * string) list -> float option
+(** Per-second change over the instance's {e active window}: from its
+    first-ever sample to the last sample at which the value moved, so an
+    idle drain tail does not dilute the figure.  Both anchors live
+    outside the ring and survive runs much longer than [capacity] x
+    interval.  [None] until the value has been seen to change. *)
+
+(** {1 Health probes and alerts} *)
+
+type health = Healthy | Alert of string
+
+type alert = {
+  alert_at : int;  (** sim ns of the sampling tick that saw the edge *)
+  alert_probe : string;
+  alert_labels : (string * string) list;
+  alert_msg : string;
+}
+
+val probe :
+  t -> name:string -> (string * string) list -> (unit -> health) -> unit
+(** Register a health probe evaluated on every {!sample}.  Alerts are
+    edge-triggered: only a [Healthy -> Alert] transition appends an
+    {!alert} record (re-registering the same (name, labels) replaces
+    the closure and resets the edge state).  A probe that raises is
+    treated as [Healthy] (never fires). *)
+
+val alerts : t -> alert list
+(** Fired alerts, oldest first.  Also exposed as the
+    [kite_alerts_total] counter family. *)
+
+val stalled_probe :
+  ?ticks:int ->
+  pending:(unit -> int) ->
+  progress:(unit -> int) ->
+  unit ->
+  unit ->
+  health
+(** [stalled_probe ~pending ~progress ()] builds a ring-stall probe
+    closure: it alerts once [pending () > 0] while [progress ()] (a
+    monotone consumed-work counter) has not moved for [ticks]
+    consecutive evaluations (default 3), and recovers as soon as
+    progress resumes or the ring drains. *)
+
+(** {1 Exposition} *)
+
+val to_prometheus : t list -> string
+(** Prometheus text exposition (HELP/TYPE comments, escaped label
+    values, histograms as cumulative [_bucket{le=...}] plus [_sum] and
+    [_count]).  With more than one registry every sample gains a
+    [machine="<registry name>"] label, federation-style. *)
+
+val to_json : t list -> string
+(** Machine-readable dump: one JSON object per registry with scalar
+    instances, histogram summaries (count/mean/p50/p99) and alerts. *)
+
+val parse_prometheus : string -> (string * (string * string) list * float) list
+(** Parse text exposition back into (family, labels, value) samples —
+    the scraper half of the round-trip, used by the in-sim scraper and
+    the tests.  Comment/blank lines are skipped; a malformed sample
+    line raises [Invalid_argument]. *)
+
+(** {1 Run-wide sink} *)
+
+type sink
+
+val sink : ?interval:int -> unit -> sink
+(** Fresh sink; [interval] (sim ns, default 100 ms) seeds registries
+    made by {!create_in}. *)
+
+val create_in : sink -> name:string -> t
+(** New registry registered in the sink, named after its machine. *)
+
+val registries : sink -> t list
+(** Members in creation order. *)
+
+val set_default : sink option -> unit
+(** Install the run-wide sink consulted by [Scenario] testbeds. *)
+
+val default : unit -> sink option

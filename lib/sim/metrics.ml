@@ -53,16 +53,24 @@ let samples t name =
   | Some r -> List.rev !r
   | None -> []
 
-let summary t name =
+let summary_opt t name =
   match samples t name with
-  | [] ->
+  | [] -> None
+  | xs -> Some (Kite_stats.Summary.of_list xs)
+
+let summary t name =
+  match summary_opt t name with
+  | Some s -> s
+  | None ->
       invalid_arg
         (Printf.sprintf "Metrics.summary: no samples recorded under %S" name)
-  | xs -> Kite_stats.Summary.of_list xs
 
-let names t =
-  Hashtbl.fold (fun k _ acc -> k :: acc) t.counters []
-  |> List.sort String.compare
+let sorted_keys tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare
+
+let names t = sorted_keys t.counters
+let busy_names t = sorted_keys t.busy
+let series_names t = sorted_keys t.series
 
 let reset t =
   Hashtbl.reset t.counters;

@@ -29,13 +29,26 @@ val samples : t -> string -> float list
     order (the order of the {!record_sample} calls), oldest first; [] if
     the series was never touched. *)
 
-val summary : t -> string -> Kite_stats.Summary.t
+val summary_opt : t -> string -> Kite_stats.Summary.t option
 (** Summary statistics over {!samples}, so experiment code does not
-    hand-roll percentile math from raw sample lists.  Raises
-    [Invalid_argument] when the series is empty or absent. *)
+    hand-roll percentile math from raw sample lists; [None] when the
+    series is empty or absent.  Prefer this total variant in new code. *)
+
+val summary : t -> string -> Kite_stats.Summary.t
+(** As {!summary_opt} but raising [Invalid_argument] when the series is
+    empty or absent. *)
 
 val names : t -> string list
-(** All counter names, sorted. *)
+(** Counter names only ({!incr}/{!add} keys), sorted.  Busy-time and
+    sample-series keys live in their own namespaces — see {!busy_names}
+    and {!series_names}. *)
+
+val busy_names : t -> string list
+(** All {!add_busy} resource names, sorted. *)
+
+val series_names : t -> string list
+(** All {!record_sample} series names, sorted — so exposition layers can
+    enumerate every series without guessing keys. *)
 
 val reset : t -> unit
 

@@ -24,6 +24,7 @@ type t = {
   mutable next_port : int;
   mutable sent : int;
   mutable delivered : int;
+  mutable dropped : int;
   mutable fault : Kite_fault.Fault.t option;
 }
 
@@ -34,6 +35,7 @@ let create hv =
     next_port = 1;
     sent = 0;
     delivered = 0;
+    dropped = 0;
     fault = None;
   }
 
@@ -120,7 +122,7 @@ let notify t port ~from =
       (* Injected notification loss: the sender has paid the hypercall
          but the peer's pending bit is never set.  Consumers recover via
          their re-arm/watchdog paths. *)
-      ()
+      t.dropped <- t.dropped + 1
   | _ -> (
   match peer_of ch from.Domain.id with
   | None -> ()  (* not yet bound: event is lost, as in Xen *)
@@ -173,3 +175,4 @@ let is_connected t port =
 
 let notifications_sent t = t.sent
 let notifications_delivered t = t.delivered
+let notifications_dropped t = t.dropped

@@ -54,3 +54,7 @@ val notifications_sent : t -> int
 
 val notifications_delivered : t -> int
 (** Handler invocations actually performed (after coalescing). *)
+
+val notifications_dropped : t -> int
+(** Notifications lost to fault injection (sender paid, peer never saw
+    the pending bit). *)

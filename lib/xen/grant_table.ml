@@ -16,11 +16,21 @@ type t = {
   entries : (int, entry) Hashtbl.t;
   mutable next_ref : int;
   mutable maps : int;
+  mutable unmaps : int;
+  mutable copies : int;
   mutable check : Kite_check.Check.t option;
 }
 
 let create hv =
-  { hv; entries = Hashtbl.create 64; next_ref = 8; maps = 0; check = None }
+  {
+    hv;
+    entries = Hashtbl.create 64;
+    next_ref = 8;
+    maps = 0;
+    unmaps = 0;
+    copies = 0;
+    check = None;
+  }
 
 let set_check t c = t.check <- c
 
@@ -104,7 +114,8 @@ let unmap_one t ~grantee r =
   check_grantee e r grantee;
   if not e.mapped then
     raise (Grant_error (Printf.sprintf "grant %d is not mapped" r));
-  e.mapped <- false
+  e.mapped <- false;
+  t.unmaps <- t.unmaps + 1
 
 let unmap t ~grantee r =
   unmap_one t ~grantee r;
@@ -134,6 +145,7 @@ let copy_to_granted t ~caller r ~off data =
     raise (Grant_error (Printf.sprintf "grant %d is read-only" r));
   Hypervisor.hypercall t.hv caller "grant_copy"
     ~extra:(copy_cost t (Bytes.length data));
+  t.copies <- t.copies + 1;
   Page.write e.page ~off data
 
 let copy_from_granted t ~caller r ~off ~len =
@@ -145,6 +157,7 @@ let copy_from_granted t ~caller r ~off ~len =
     raise (Grant_error (Printf.sprintf "grant %d not visible to domain %d" r
                           caller.Domain.id));
   Hypervisor.hypercall t.hv caller "grant_copy" ~extra:(copy_cost t len);
+  t.copies <- t.copies + 1;
   Page.read e.page ~off ~len
 
 let revoke_domain t ~domid =
@@ -189,3 +202,5 @@ let is_mapped t r =
 
 let active_grants t = Hashtbl.length t.entries
 let map_count t = t.maps
+let unmap_count t = t.unmaps
+let copy_count t = t.copies

@@ -65,3 +65,9 @@ val active_grants : t -> int
 val map_count : t -> int
 (** Total map hypercall operations performed (for the persistent-grant
     ablation). *)
+
+val unmap_count : t -> int
+(** Total unmap operations performed. *)
+
+val copy_count : t -> int
+(** Total GNTTABOP_copy operations performed (either direction). *)

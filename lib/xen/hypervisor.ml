@@ -10,6 +10,7 @@ type t = {
   mutable domains : Domain.t list;  (* reversed creation order *)
   mutable next_domid : int;
   mutable trace : Kite_trace.Trace.t option;
+  mutable mreg : Kite_metrics.Registry.t option;
   (* Per-domain per-vCPU occupancy cursors: concurrent work contends for
      the domain's vCPUs. *)
   cpu_free_at : (int, Time.t array) Hashtbl.t;
@@ -30,6 +31,7 @@ let create ?(costs = Costs.default) ?(seed = 1) () =
     domains = [ dom0 ];
     next_domid = 1;
     trace = None;
+    mreg = None;
     cpu_free_at = Hashtbl.create 8;
   }
 
@@ -46,6 +48,33 @@ let set_trace t tr =
   t.trace <- tr;
   Process.set_trace t.sched tr
 
+(* A domain's vCPU busy time already accumulates in [Metrics.add_busy]
+   (see [occupy]); the registry just reads it back on each sampling
+   tick, so attaching metrics costs the hot path nothing. *)
+let register_domain_metrics t d =
+  match t.mreg with
+  | None -> ()
+  | Some r ->
+      Kite_metrics.Registry.counter_fn r "kite_sched_domain_busy_ns_total"
+        ~help:"Cumulative vCPU busy time per domain (simulated ns)"
+        [ ("domain", d.Domain.name) ]
+        (fun () -> Metrics.busy t.metrics ("vcpu." ^ d.Domain.name))
+
+let set_metrics t reg =
+  t.mreg <- reg;
+  match reg with
+  | None -> ()
+  | Some r ->
+      Kite_metrics.Registry.gauge_fn r "kite_sched_processes_live"
+        ~help:"Live cooperative processes" []
+        (fun () -> float_of_int (Process.live t.sched));
+      Kite_metrics.Registry.gauge_fn r "kite_sched_runq_depth"
+        ~help:"Pending engine events (runnable queue depth)" []
+        (fun () -> float_of_int (Engine.pending t.engine));
+      List.iter (register_domain_metrics t) t.domains
+
+let metrics_registry t = t.mreg
+
 let dom0 t =
   match List.rev t.domains with d :: _ -> d | [] -> assert false
 
@@ -58,6 +87,7 @@ let create_domain t ~name ~kind ~vcpus ~mem_mb =
   let home = Printf.sprintf "/local/domain/%d" d.Domain.id in
   Xenstore.mkdir t.store ~domid:0 ~path:home;
   Xenstore.set_owner t.store ~path:home ~domid:d.Domain.id;
+  register_domain_metrics t d;
   d
 
 let domains t = List.rev t.domains

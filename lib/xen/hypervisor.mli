@@ -32,6 +32,17 @@ val trace : t -> Kite_trace.Trace.t option
 (** The currently attached tracer, for layers that hook their own
     events (event channels, rings, drivers). *)
 
+val set_metrics : t -> Kite_metrics.Registry.t option -> unit
+(** Attach (or detach) a metric registry for this machine.  Registers
+    polled scheduler gauges (live processes, engine queue depth) and a
+    per-domain vCPU busy-time counter for every current and future
+    domain; all are closures read at sampling time, so the hot path is
+    untouched. *)
+
+val metrics_registry : t -> Kite_metrics.Registry.t option
+(** The currently attached registry, for layers that register their own
+    instruments (grant table, event channels, drivers). *)
+
 val dom0 : t -> Domain.t
 
 val create_domain :

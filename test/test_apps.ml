@@ -83,6 +83,58 @@ let http_get conn path ~keepalive =
       let status = List.nth (String.split_on_char ' ' s) 1 in
       Some (status, clen)
 
+(* Like {!http_get} but keeps the body (used by the /metrics test). *)
+let http_get_body conn path =
+  Tcp.send conn
+    (Bytes.of_string (Printf.sprintf "GET %s HTTP/1.1\r\nHost: x\r\n\r\n" path));
+  let buf = Buffer.create 1024 in
+  let rec head () =
+    let s = Buffer.contents buf in
+    let rec find i =
+      if i + 4 > String.length s then None
+      else if String.sub s i 4 = "\r\n\r\n" then Some (i + 4)
+      else find (i + 1)
+    in
+    match find 0 with
+    | Some body_start -> Some (s, body_start)
+    | None -> (
+        match Tcp.recv conn ~max:4096 with
+        | Some b ->
+            Buffer.add_bytes buf b;
+            head ()
+        | None -> None)
+  in
+  match head () with
+  | None -> None
+  | Some (s, body_start) ->
+      let clen =
+        List.fold_left
+          (fun acc line ->
+            match String.index_opt line ':' with
+            | Some i
+              when String.lowercase_ascii (String.sub line 0 i)
+                   = "content-length" ->
+                int_of_string
+                  (String.trim
+                     (String.sub line (i + 1) (String.length line - i - 1)))
+            | _ -> acc)
+          0
+          (String.split_on_char '\n' s)
+      in
+      let body = Buffer.create clen in
+      Buffer.add_string body
+        (String.sub s body_start (String.length s - body_start));
+      let rec drain () =
+        if Buffer.length body < clen then
+          match Tcp.recv conn ~max:(clen - Buffer.length body) with
+          | Some b ->
+              Buffer.add_bytes body b;
+              drain ()
+          | None -> ()
+      in
+      drain ();
+      Some (Buffer.contents body)
+
 let test_httpd_basic () =
   let e, s, server, client = setup () in
   let tcp_s = Tcp.attach server and tcp_c = Tcp.attach client in
@@ -112,6 +164,46 @@ let test_httpd_keepalive_pipeline () =
   Engine.run_until e (Time.sec 5);
   check_int "five responses" 5 (List.length !statuses);
   check_int "one connection served all" 5 (Httpd.requests_served httpd)
+
+let test_httpd_metrics_route () =
+  let module R = Kite_metrics.Registry in
+  let e, s, server, client = setup () in
+  let tcp_s = Tcp.attach server and tcp_c = Tcp.attach client in
+  let sink = R.sink () in
+  let r = R.create_in sink ~name:"machine0" in
+  R.counter_fn r "kite_custom_total" [] (fun () -> 7);
+  let httpd = Httpd.start tcp_s ~sched:s ~metrics:sink () in
+  let body = ref None in
+  Process.spawn s ~name:"client" (fun () ->
+      let conn = Tcp.connect tcp_c ~dst:server_ip ~port:80 in
+      (* A data request first, so the self-metrics have something to say. *)
+      ignore (http_get conn (Httpd.path_for 1024) ~keepalive:true);
+      body := http_get_body conn "/metrics";
+      Tcp.close conn);
+  Engine.run_until e (Time.sec 5);
+  match !body with
+  | None -> Alcotest.fail "no /metrics response"
+  | Some text ->
+      let samples = R.parse_prometheus text in
+      let find name =
+        List.find_opt (fun (n, _, _) -> n = name) samples
+      in
+      (* The ambient registry is scraped, machine-labelled. *)
+      (match find "kite_custom_total" with
+      | Some (_, labels, v) ->
+          check_bool "custom counter value" true (v = 7.);
+          check_bool "machine label" true
+            (List.assoc_opt "machine" labels = Some "machine0")
+      | None -> Alcotest.fail "custom counter missing from scrape");
+      (* The server's own counters, registered via ?metrics. *)
+      (match find "kite_httpd_requests_total" with
+      | Some (_, _, v) -> check_bool "requests self-metric" true (v = 1.)
+      | None -> Alcotest.fail "kite_httpd_requests_total missing");
+      (match find "kite_httpd_bytes_total" with
+      | Some (_, _, v) -> check_bool "bytes self-metric" true (v = 1024.)
+      | None -> Alcotest.fail "kite_httpd_bytes_total missing");
+      (* The scrape itself is not counted as a served request. *)
+      check_int "scrape not self-counted" 1 (Httpd.requests_served httpd)
 
 let test_httpd_404 () =
   let e, s, server, client = setup () in
@@ -488,6 +580,7 @@ let suite =
     ("httpd basic GET", `Quick, test_httpd_basic);
     ("httpd keep-alive pipelining", `Quick, test_httpd_keepalive_pipeline);
     ("httpd 404", `Quick, test_httpd_404);
+    ("httpd /metrics route", `Quick, test_httpd_metrics_route);
     ("kvstore set/get", `Quick, test_kvstore_set_get);
     ("kvstore missing key", `Quick, test_kvstore_get_missing);
     ("kvstore pipeline burst", `Quick, test_kvstore_pipeline);

@@ -16,4 +16,5 @@ let () =
       ("kite", Test_kite.suite);
       ("trace", Test_trace.suite);
       ("fault", Test_fault.suite);
+      ("metrics", Test_metrics.suite);
     ]

@@ -404,6 +404,17 @@ let test_metrics () =
   (match Metrics.summary m "nope" with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "summary of an empty series should raise");
+  (* The total variant: None instead of raising for empty series. *)
+  check_bool "summary_opt empty" true (Metrics.summary_opt m "nope" = None);
+  (match Metrics.summary_opt m "lat" with
+  | Some s -> check_int "summary_opt n" 2 s.Kite_stats.Summary.n
+  | None -> Alcotest.fail "summary_opt of a recorded series");
+  (* Key enumeration is per store and sorted. *)
+  Alcotest.(check (list string)) "counter names" [ "hypercalls" ]
+    (Metrics.names m);
+  Alcotest.(check (list string)) "busy names" [ "vcpu0" ] (Metrics.busy_names m);
+  Alcotest.(check (list string)) "series names" [ "lat" ]
+    (Metrics.series_names m);
   Metrics.reset m;
   check_int "reset" 0 (Metrics.count m "hypercalls")
 

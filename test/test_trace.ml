@@ -307,11 +307,33 @@ let test_breakdown_totals_last () =
         "durations" [ [ 10. ]; [ 20. ]; [ 30. ] ] (List.map snd stages)
   | _ -> Alcotest.fail "expected one kind"
 
+let test_breakdown_tables_render () =
+  let tr = Trace.create ~name:"unit" () in
+  Trace.span_begin tr ~at:0 ~kind:"net.tx" ~key:"p" ~id:1 ~stage:"frontend";
+  Trace.span_hop tr ~at:1000 ~kind:"net.tx" ~key:"p" ~id:1 ~stage:"ring"
+    ~args:[];
+  Trace.span_end tr ~at:3000 ~kind:"net.tx" ~key:"p" ~id:1;
+  match Trace_report.breakdown_tables [ tr ] with
+  | [ table ] ->
+      let text = Kite_stats.Table.render table in
+      let contains needle =
+        let nh = String.length text and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub text i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      List.iter
+        (fun needle -> check_bool needle true (contains needle))
+        [ "net.tx"; "frontend"; "ring"; "TOTAL" ]
+  | ts -> Alcotest.failf "expected one breakdown table, got %d" (List.length ts)
+
 let suite =
   [
     ("span accounting", `Quick, test_span_accounting);
     ("buffer limit + exact profile", `Quick, test_buffer_limit);
     ("breakdown totals last", `Quick, test_breakdown_totals_last);
+    ("breakdown tables render", `Quick, test_breakdown_tables_render);
     ("network scenario traced", `Quick, test_network_scenario_traced);
     ("storage scenario traced", `Quick, test_storage_scenario_traced);
     ("disabled tracer emits nothing", `Quick, test_disabled_emits_nothing);
