@@ -368,6 +368,38 @@ let metrics_overhead () =
   end;
   print_endline "OK: disabled metrics within noise of seed"
 
+(* Multi-queue gates.  --mq-scaling prints the 1/2/4/8-queue sweep and
+   asserts the tentpole's claim (>= 2x aggregate throughput at 4 queues
+   vs 1); --mq-overhead asserts the machinery is free when unused (one
+   negotiated queue within 1.1x of the legacy flat single-ring path on
+   an identical workload). *)
+let mq_scaling ~quick () =
+  let outcome = Kite.Experiments.mq_scale ~quick in
+  List.iter Kite_stats.Table.print outcome.Kite.Experiments.tables;
+  let dur = Kite_sim.Time.ms (if quick then 3 else 20) in
+  let one = Kite.Experiments.mq_run_gbps ~duration:dur ~mq:true 1 in
+  let four = Kite.Experiments.mq_run_gbps ~duration:dur ~mq:true 4 in
+  let ratio = four /. one in
+  Printf.printf "  4-queue/1-queue ratio: %.2fx (gate: >= 2.00x)\n%!" ratio;
+  if Float.is_nan ratio || ratio < 2.0 then begin
+    print_endline "FAIL: 4 queues do not scale to 2x of 1 queue";
+    exit 1
+  end;
+  print_endline "OK: multi-queue dataplane scales"
+
+let mq_overhead ~quick () =
+  print_endline "== 1-queue multi-queue overhead vs legacy single ring ==";
+  let legacy, mq1 = Kite.Experiments.mq_overhead ~quick in
+  Printf.printf "  legacy single ring:            %10.2f Gbps\n" legacy;
+  Printf.printf "  multi-queue, 1 queue:          %10.2f Gbps\n" mq1;
+  let ratio = legacy /. mq1 in
+  Printf.printf "  legacy/mq ratio: %.2fx (gate: < 1.10x)\n%!" ratio;
+  if Float.is_nan ratio || ratio >= 1.1 then begin
+    print_endline "FAIL: 1-queue mq mode is not within 1.1x of the legacy path";
+    exit 1
+  end;
+  print_endline "OK: multi-queue machinery free when unused"
+
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
@@ -384,6 +416,8 @@ let () =
   else if List.mem "--trace-overhead" args then trace_overhead ()
   else if List.mem "--fault-overhead" args then fault_overhead ()
   else if List.mem "--metrics-overhead" args then metrics_overhead ()
+  else if List.mem "--mq-scaling" args then mq_scaling ~quick ()
+  else if List.mem "--mq-overhead" args then mq_overhead ~quick ()
   else if micro then micro_tests ()
   else begin
     Printf.printf "Kite reproduction harness (%s scale)\n"

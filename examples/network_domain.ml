@@ -39,12 +39,12 @@ let () =
   in
 
   (* 3. The Kite network application: bridge + netback, one call. *)
-  let app = Net_app.run ctx ~domain:dd ~nic ~overheads:Overheads.kite in
+  let app = Net_app.run ctx ~domain:dd ~nic ~overheads:Overheads.kite () in
 
   (* 4. Pair a frontend with the backend via the toolstack, then give the
      guest a stack on top of it. *)
-  Toolstack.add_vif ctx ~backend:dd ~frontend:domu ~devid:0;
-  let front = Netfront.create ctx ~domain:domu ~backend:dd ~devid:0 in
+  Toolstack.add_vif ctx ~backend:dd ~frontend:domu ~devid:0 ();
+  let front = Netfront.create ctx ~domain:domu ~backend:dd ~devid:0 () in
   let guest_ip = Ipv4addr.of_string "192.168.50.2" in
   let guest =
     Stack.create sched ~name:"web" ~dev:(Netfront.netdev front)

@@ -40,6 +40,7 @@ and t = {
   mutable rings : ring list;
   watches : (int, string * string) Hashtbl.t;  (* id -> (path, token) *)
   txs : (int, unit) Hashtbl.t;
+  mq_slots : (string * int, int) Hashtbl.t;  (* (device, slot) -> queue *)
 }
 
 let create ?(config = default_config) ?(name = "-") report =
@@ -54,6 +55,7 @@ let create ?(config = default_config) ?(name = "-") report =
     rings = [];
     watches = Hashtbl.create 8;
     txs = Hashtbl.create 4;
+    mq_slots = Hashtbl.create 64;
   }
 
 let report t = t.report
@@ -256,6 +258,31 @@ let ring_take r sd ~got =
 let ring_final_check r sd =
   account r.rc;
   (side r sd).needs_rearm <- false
+
+(* ------------------------------------------------------------------ *)
+(* Multi-queue slot ownership                                          *)
+(*                                                                     *)
+(* A multi-queue device's request identifiers are device-global; each  *)
+(* one must be in flight on at most one queue at a time.  Frontends    *)
+(* claim the slot when they push the request and release it when the   *)
+(* response (or a crash) retires it; a claim landing on a different    *)
+(* queue while the slot is still live means the steering function or   *)
+(* the replay path double-issued it.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let mq_claim t ~dev ~queue ~slot =
+  account t;
+  (match Hashtbl.find_opt t.mq_slots (dev, slot) with
+  | Some q when q <> queue ->
+      emit t Report.Error "ring" "mq-slot-duplicated"
+        "slot %d of %s claimed by queue %d while still in flight on queue %d"
+        slot dev queue q
+  | Some _ | None -> ());
+  Hashtbl.replace t.mq_slots (dev, slot) queue
+
+let mq_release t ~dev ~slot =
+  account t;
+  Hashtbl.remove t.mq_slots (dev, slot)
 
 (* ------------------------------------------------------------------ *)
 (* Xenstore                                                            *)

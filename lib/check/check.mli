@@ -84,6 +84,15 @@ val ring_publish : ring -> side -> old_prod:int -> prod:int -> unit
 val ring_take : ring -> side -> got:bool -> unit
 val ring_final_check : ring -> side -> unit
 
+val mq_claim : t -> dev:string -> queue:int -> slot:int -> unit
+(** A multi-queue frontend pushed request [slot] (a device-global id)
+    onto [queue].  Emits the [mq-slot-duplicated] error if the slot is
+    still in flight on a different queue of the same device — no slot
+    may appear in two queues. *)
+
+val mq_release : t -> dev:string -> slot:int -> unit
+(** The response for [slot] retired it (or a crash dropped it). *)
+
 (** {1 Xenstore hooks} *)
 
 val watch_added : t -> id:int -> path:string -> token:string -> unit

@@ -79,6 +79,20 @@ val abl_batching : quick:bool -> outcome
 val abl_indirect : quick:bool -> outcome
 val abl_wake : quick:bool -> outcome
 
+val mq_scale : quick:bool -> outcome
+(** Multi-queue dataplane scaling: aggregate net Tx throughput over
+    1/2/4/8 negotiated queues (driver domain vCPUs matched to the queue
+    count). *)
+
+val mq_overhead : quick:bool -> float * float
+(** (legacy single-ring Gbps, 1-queue multi-queue Gbps) on an identical
+    workload — the [bench --mq-overhead] gate's raw numbers. *)
+
+val mq_run_gbps : duration:Kite_sim.Time.span -> mq:bool -> int -> float
+(** One multi-queue throughput measurement: [mq_run_gbps ~duration ~mq n]
+    is aggregate guest-Tx Gbps with [n] queues ([mq:false] forces the
+    legacy flat layout; [n] must then be 1). *)
+
 val all : (string * string * (quick:bool -> outcome)) list
 (** (id, description, runner), in paper order then ablations. *)
 

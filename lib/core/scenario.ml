@@ -142,7 +142,7 @@ type net = {
   net_metrics : Kite_metrics.Registry.t option;
 }
 
-let network ?overheads_override ~flavor ?(seed = 2022) () =
+let network ?overheads_override ~flavor ?(seed = 2022) ?num_queues () =
   let hv = Hypervisor.create ~seed () in
   let ctx = Xen_ctx.create hv in
   let check = attach_check ctx ("net-" ^ flavor_name flavor ^ "-") in
@@ -195,9 +195,15 @@ let network ?overheads_override ~flavor ?(seed = 2022) () =
           (Xenbus.backend_path ~backend:dd ~frontend:domu ~ty:"vif" ~devid:0)
         r
   | None -> ());
-  let net_app = Net_app.run ctx ~domain:dd ~nic ~overheads in
-  Toolstack.add_vif ctx ~backend:dd ~frontend:domu ~devid:0;
-  let netfront = Netfront.create ctx ~domain:domu ~backend:dd ~devid:0 in
+  let net_app = Net_app.run ctx ~domain:dd ~nic ~overheads () in
+  (* The queue count is wired at both layers: the toolstack writes the
+     guest-config hint and the frontend is given the explicit ask (the
+     ask survives reconnects either way). *)
+  Toolstack.add_vif ctx ~backend:dd ~frontend:domu ~devid:0
+    ?queues:num_queues ();
+  let netfront =
+    Netfront.create ctx ~domain:domu ~backend:dd ~devid:0 ?num_queues ()
+  in
   let guest_ip = Ipv4addr.of_string "10.0.0.2" in
   let guest_stack =
     Stack.create sched ~name:"guest" ~dev:(Netfront.netdev netfront)
@@ -273,7 +279,7 @@ type blk = {
 }
 
 let storage ~flavor ?(seed = 2022) ?(feature_persistent = true)
-    ?(feature_indirect = true) ?(batching = true) () =
+    ?(feature_indirect = true) ?(batching = true) ?num_queues () =
   let hv = Hypervisor.create ~seed () in
   let ctx = Xen_ctx.create hv in
   let check = attach_check ctx ("blk-" ^ flavor_name flavor ^ "-") in
@@ -321,8 +327,11 @@ let storage ~flavor ?(seed = 2022) ?(feature_persistent = true)
     Blk_app.run ctx ~domain:dd ~nvme ~overheads:(overheads_of flavor)
       ~feature_persistent ~feature_indirect ~batching ()
   in
-  Toolstack.add_vbd ctx ~backend:dd ~frontend:domu ~devid:0;
-  let blkfront = Blkfront.create ctx ~domain:domu ~backend:dd ~devid:0 () in
+  Toolstack.add_vbd ctx ~backend:dd ~frontend:domu ~devid:0
+    ?queues:num_queues ();
+  let blkfront =
+    Blkfront.create ctx ~domain:domu ~backend:dd ~devid:0 ?num_queues ()
+  in
   let s =
     { bhv = hv; bctx = ctx; bsched = sched; bdd = dd; bdomu = domu;
       blkfront; blk_app; nvme; blk_fault = fault; blk_metrics = mreg }
@@ -387,7 +396,8 @@ let crash_and_restart_blk s ~flavor ~at ?on_restored () =
           s.blk_app <-
             Blk_app.run s.bctx ~domain:s.bdd ~nvme:s.nvme
               ~overheads:(overheads_of flavor) ();
-          Toolstack.add_vbd s.bctx ~backend:s.bdd ~frontend:s.bdomu ~devid:0)
+          Toolstack.add_vbd s.bctx ~backend:s.bdd ~frontend:s.bdomu ~devid:0
+            ())
         ~on_ready:(fun () ->
           while
             not
@@ -414,8 +424,8 @@ let crash_and_restart_net s ~flavor ~at ?on_restored () =
              fresh bridge; the crashed app's bridge is orphaned. *)
           s.net_app <-
             Net_app.run s.ctx ~domain:s.dd ~nic:s.server_nic
-              ~overheads:(overheads_of flavor);
-          Toolstack.add_vif s.ctx ~backend:s.dd ~frontend:s.domu ~devid:0)
+              ~overheads:(overheads_of flavor) ();
+          Toolstack.add_vif s.ctx ~backend:s.dd ~frontend:s.domu ~devid:0 ())
         ~on_ready:(fun () ->
           while
             not

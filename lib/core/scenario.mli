@@ -48,10 +48,13 @@ type net = {
 
 val network :
   ?overheads_override:Kite_drivers.Overheads.t ->
-  flavor:flavor -> ?seed:int -> unit -> net
+  flavor:flavor -> ?seed:int -> ?num_queues:int -> unit -> net
 (** Build the network-domain testbed; drive it with
     {!Kite_xen.Hypervisor.run_for}.  The netfront handshake happens in
-    simulated time — use {!when_net_ready} to sequence load behind it. *)
+    simulated time — use {!when_net_ready} to sequence load behind it.
+    [num_queues] turns on the multi-queue dataplane: the toolstack
+    writes the guest-config hint and the frontend negotiates that many
+    Tx/Rx ring pairs (capped by netback). *)
 
 val network_with_overheads :
   overheads:Kite_drivers.Overheads.t -> ?seed:int -> unit -> net
@@ -90,9 +93,12 @@ val storage :
   ?feature_persistent:bool ->
   ?feature_indirect:bool ->
   ?batching:bool ->
+  ?num_queues:int ->
   unit ->
   blk
-(** The feature flags exist for the ablation benchmarks. *)
+(** The feature flags exist for the ablation benchmarks.  [num_queues]
+    negotiates that many blkif rings (capped by blkback); omitted means
+    the legacy single ring. *)
 
 val blockdev : blk -> Kite_vfs.Blockdev.t
 (** The guest's paravirtual disk as a {!Kite_vfs.Blockdev} (every

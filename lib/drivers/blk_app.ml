@@ -1,10 +1,10 @@
 type t = { blkback : Blkback.t }
 
 let run ctx ~domain ~nvme ~overheads ?(feature_persistent = true)
-    ?(feature_indirect = true) ?(batching = true) () =
+    ?(feature_indirect = true) ?(batching = true) ?max_queues () =
   let blkback =
     Blkback.serve ctx ~domain ~overheads ~device:nvme ~feature_persistent
-      ~feature_indirect ~batching ()
+      ~feature_indirect ~batching ?max_queues ()
   in
   { blkback }
 

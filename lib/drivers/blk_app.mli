@@ -13,6 +13,7 @@ val run :
   ?feature_persistent:bool ->
   ?feature_indirect:bool ->
   ?batching:bool ->
+  ?max_queues:int ->
   unit ->
   t
 

@@ -3,6 +3,17 @@ open Kite_xen
 
 let sector_size = Kite_devices.Nvme.sector_size
 
+(* One negotiated ring with its own event channel, wake condition and
+   request thread.  Legacy frontends get exactly one wired to the flat
+   xenstore keys. *)
+type rstate = {
+  rid : int;
+  ring : Blkif.ring;
+  rport : Event_channel.port;
+  rwake : Condition.t;
+  mutable r_requests : int;
+}
+
 type instance = {
   ctx : Xen_ctx.t;
   domain : Domain.t;
@@ -10,13 +21,13 @@ type instance = {
   devid : int;
   ov : Overheads.t;
   device : Kite_devices.Nvme.t;
-  ring : Blkif.ring;
-  port : Event_channel.port;
+  rings : rstate array;
+  mq_mode : bool;
   persistent : bool;  (* negotiated *)
   batching : bool;
-  wake : Condition.t;
   (* Grants held mapped across requests (the persistent-reference table of
-     Â§3.3); released in one sweep on disconnect. *)
+     §3.3); shared by every ring (persistence is per-device), released in
+     one sweep on disconnect. *)
   pmap : (int, unit) Hashtbl.t;
   mutable last_activity : Time.t;
   retries : int;
@@ -40,6 +51,8 @@ type t = {
   batching : bool;
   sretries : int;
   sretry_backoff : Time.span;
+  smax_queues : int;
+  smax_ring_page_order : int;
   mutable insts : instance list;
   mutable known : (int * int) list;
   new_frontend : (int * int) Mailbox.t;
@@ -56,6 +69,7 @@ let io_retries i = i.io_retries
 let indirect_requests i = i.indirect_reqs
 let inflight i = i.inflight
 let persistent_grants i = Hashtbl.length i.pmap
+let num_queues i = Array.length i.rings
 
 let hv i = i.ctx.Xen_ctx.hv
 let trace i = i.ctx.Xen_ctx.trace
@@ -88,18 +102,6 @@ let charge_wake i =
 
 let touch i = i.last_activity <- Hypervisor.now (hv i)
 
-(* Resolve a request's segments, mapping indirect descriptor pages as
-   needed (and parsing the packed bytes, as the real driver does). *)
-let resolve_segments i (req : Blkif.request) =
-  match req.Blkif.body with
-  | Blkif.Direct segs -> segs
-  | Blkif.Indirect (grefs, count) ->
-      let pages = Grant_table.map_many i.ctx.Xen_ctx.gt ~grantee:i.domain grefs in
-      let bytes = List.map (fun p -> Page.read p ~off:0 ~len:Page.size) pages in
-      let segs = Blkif.unpack_segments bytes ~count in
-      Grant_table.unmap_many i.ctx.Xen_ctx.gt ~grantee:i.domain grefs;
-      segs
-
 (* A resolved unit of work: one request, its segments and mapped pages. *)
 type work = {
   req : Blkif.request;
@@ -108,51 +110,130 @@ type work = {
   total_bytes : int;
 }
 
-let prepare i req =
-  let indirect =
-    match req.Blkif.body with Blkif.Indirect _ -> true | _ -> false
-  in
-  if indirect then i.indirect_reqs <- i.indirect_reqs + 1;
-  i.inflight <- i.inflight + 1;
-  let segs = resolve_segments i req in
-  let grefs = List.map (fun s -> s.Blkif.gref) segs in
-  (* Persistent grants hit the map fast path (already mapped => free). *)
-  let persistent_hits =
-    if i.persistent then
-      List.length (List.filter (Hashtbl.mem i.pmap) grefs)
-    else 0
-  in
-  (match trace i with
-  | Some tr ->
-      Kite_trace.Trace.span_hop tr
-        ~at:(Hypervisor.now (hv i))
-        ~kind:"blk" ~key:(vbd_name i) ~id:req.Blkif.req_id ~stage:"backend"
-        ~args:
-          [
-            ("segs", string_of_int (List.length segs));
-            ("persistent_hits", string_of_int persistent_hits);
-            ("indirect", if indirect then "1" else "0");
-          ];
-      (* The monolithic-kernel backend's extra per-request grant-table
-         hypercalls (see Overheads): zero duration, profile-only. *)
-      let at = Hypervisor.now (hv i) in
-      for _ = 1 to i.ov.Overheads.blk_kernel_grant_ops do
-        Kite_trace.Trace.charge tr ~at ~domain:i.domain.Domain.name
-          ~op:"hypercall.grant_op.kernel" ~cost:0
-      done
-  | None -> ());
-  let pages = Grant_table.map_many i.ctx.Xen_ctx.gt ~grantee:i.domain grefs in
-  if i.persistent then
-    List.iter (fun g -> Hashtbl.replace i.pmap g ()) grefs;
-  let total_bytes =
-    List.fold_left (fun acc s -> acc + Blkif.segment_bytes s) 0 segs
-  in
-  (* Per-request and per-segment CPU happens here in the request thread,
-     overlapping with device operations already in flight. *)
-  Hypervisor.cpu_work (hv i) i.domain
-    (i.ov.Overheads.blk_per_request
-    + (i.ov.Overheads.blk_per_segment * List.length segs));
-  { req; segs; pages; total_bytes }
+let rec split_at n l =
+  if n = 0 then ([], l)
+  else
+    match l with
+    | x :: rest ->
+        let a, b = split_at (n - 1) rest in
+        (x :: a, b)
+    | [] -> ([], [])
+
+(* Prepare a whole drained run with coalesced grant-table hypercalls:
+   every indirect descriptor page in the run is mapped (and unmapped)
+   in one batched call, and every data gref in the run rides a single
+   map hypercall — the grant-op trap cost is amortized across the
+   queue's pending requests instead of paid per request.  A 1-request
+   run costs exactly what the old per-request path did. *)
+let prepare_run i reqs =
+  match reqs with
+  | [] -> []
+  | reqs ->
+      List.iter
+        (fun req ->
+          (match req.Blkif.body with
+          | Blkif.Indirect _ -> i.indirect_reqs <- i.indirect_reqs + 1
+          | Blkif.Direct _ -> ());
+          i.inflight <- i.inflight + 1)
+        reqs;
+      (* Segment resolution: one map/unmap pair covers every indirect
+         descriptor page in the run (parsing the packed bytes, as the
+         real driver does). *)
+      let ind_grefs =
+        List.concat_map
+          (fun req ->
+            match req.Blkif.body with
+            | Blkif.Indirect (grefs, _) -> grefs
+            | Blkif.Direct _ -> [])
+          reqs
+      in
+      let ind_pages =
+        if ind_grefs = [] then []
+        else Grant_table.map_many i.ctx.Xen_ctx.gt ~grantee:i.domain ind_grefs
+      in
+      let rev_segs, _ =
+        List.fold_left
+          (fun (acc, pages) req ->
+            match req.Blkif.body with
+            | Blkif.Direct segs -> (segs :: acc, pages)
+            | Blkif.Indirect (grefs, count) ->
+                let mine, rest = split_at (List.length grefs) pages in
+                let bytes =
+                  List.map (fun p -> Page.read p ~off:0 ~len:Page.size) mine
+                in
+                (Blkif.unpack_segments bytes ~count :: acc, rest))
+          ([], ind_pages) reqs
+      in
+      let prepared = List.combine reqs (List.rev rev_segs) in
+      if ind_grefs <> [] then
+        Grant_table.unmap_many i.ctx.Xen_ctx.gt ~grantee:i.domain ind_grefs;
+      List.iter
+        (fun (req, segs) ->
+          let indirect =
+            match req.Blkif.body with
+            | Blkif.Indirect _ -> true
+            | Blkif.Direct _ -> false
+          in
+          let grefs = List.map (fun s -> s.Blkif.gref) segs in
+          (* Persistent grants hit the map fast path (already mapped =>
+             free). *)
+          let persistent_hits =
+            if i.persistent then
+              List.length (List.filter (Hashtbl.mem i.pmap) grefs)
+            else 0
+          in
+          match trace i with
+          | Some tr ->
+              Kite_trace.Trace.span_hop tr
+                ~at:(Hypervisor.now (hv i))
+                ~kind:"blk" ~key:(vbd_name i) ~id:req.Blkif.req_id
+                ~stage:"backend"
+                ~args:
+                  [
+                    ("segs", string_of_int (List.length segs));
+                    ("persistent_hits", string_of_int persistent_hits);
+                    ("indirect", if indirect then "1" else "0");
+                  ];
+              (* The monolithic-kernel backend's extra per-request
+                 grant-table hypercalls (see Overheads): zero duration,
+                 profile-only. *)
+              let at = Hypervisor.now (hv i) in
+              for _ = 1 to i.ov.Overheads.blk_kernel_grant_ops do
+                Kite_trace.Trace.charge tr ~at ~domain:i.domain.Domain.name
+                  ~op:"hypercall.grant_op.kernel" ~cost:0
+              done
+          | None -> ())
+        prepared;
+      (* Data pages: one pooled map hypercall for the whole run. *)
+      let all_grefs =
+        List.concat_map
+          (fun (_, segs) -> List.map (fun s -> s.Blkif.gref) segs)
+          prepared
+      in
+      let all_pages =
+        Grant_table.map_many i.ctx.Xen_ctx.gt ~grantee:i.domain all_grefs
+      in
+      let rev_works, _ =
+        List.fold_left
+          (fun (acc, pages) (req, segs) ->
+            let mine, rest = split_at (List.length segs) pages in
+            if i.persistent then
+              List.iter
+                (fun s -> Hashtbl.replace i.pmap s.Blkif.gref ())
+                segs;
+            let total_bytes =
+              List.fold_left (fun a s -> a + Blkif.segment_bytes s) 0 segs
+            in
+            (* Per-request and per-segment CPU happens here in the request
+               thread, overlapping with device operations already in
+               flight. *)
+            Hypervisor.cpu_work (hv i) i.domain
+              (i.ov.Overheads.blk_per_request
+              + (i.ov.Overheads.blk_per_segment * List.length segs));
+            ({ req; segs; pages = mine; total_bytes } :: acc, rest))
+          ([], all_pages) prepared
+      in
+      List.rev rev_works
 
 let release i work =
   if not i.persistent then
@@ -162,11 +243,11 @@ let release i work =
 (* After a crash ([stop] set abruptly) the ring is dead and the channel
    closed: late completions from workers already in the device must not
    touch either. *)
-let respond i work status =
+let respond i r work status =
   if not i.stop then begin
-    Ring.push_response i.ring { Blkif.rsp_id = work.req.Blkif.req_id; status };
-    if Ring.push_responses_and_check_notify i.ring then
-      try Event_channel.notify i.ctx.Xen_ctx.ec i.port ~from:i.domain
+    Ring.push_response r.ring { Blkif.rsp_id = work.req.Blkif.req_id; status };
+    if Ring.push_responses_and_check_notify r.ring then
+      try Event_channel.notify i.ctx.Xen_ctx.ec r.rport ~from:i.domain
       with Event_channel.Evtchn_error _ -> ()
   end
 
@@ -207,7 +288,7 @@ let scatter works buf =
 
 (* Execute one batch of works sharing an operation and contiguous on the
    device: a single physical operation. *)
-let run_batch i op sector works =
+let run_batch i r op sector works =
   let total = List.fold_left (fun a w -> a + w.total_bytes) 0 works in
   (match trace i with
   | Some tr ->
@@ -258,6 +339,7 @@ let run_batch i op sector works =
       List.iter
         (fun w ->
           i.requests <- i.requests + 1;
+          r.r_requests <- r.r_requests + 1;
           i.segments <- i.segments + List.length w.segs;
           release i w;
           (match trace i with
@@ -267,14 +349,14 @@ let run_batch i op sector works =
                 ~kind:"blk" ~key:(vbd_name i) ~id:w.req.Blkif.req_id
                 ~stage:"complete" ~args:[]
           | None -> ());
-          respond i w Blkif.status_ok)
+          respond i r w Blkif.status_ok)
         works
     end
     else
       List.iter
         (fun w ->
           release i w;
-          respond i w Blkif.status_error)
+          respond i r w Blkif.status_error)
         works
   end
 
@@ -314,49 +396,56 @@ let into_batches (i : instance) works =
     List.rev !batches
   end
 
-(* The dedicated request thread of §3.3: drains the ring, prepares and
-   batches, then hands each batch to an async worker so later requests
-   are not blocked behind slow ones. *)
-let request_thread i () =
+(* The dedicated request thread of §3.3, one per negotiated ring:
+   drains the ring, prepares the run with coalesced grant hypercalls
+   and batches it, then hands each batch to an async worker so later
+   requests are not blocked behind slow ones. *)
+let request_thread i r () =
   let rec drain acc =
-    match Ring.take_request i.ring with
-    | Some req -> drain (prepare i req :: acc)
+    match Ring.take_request r.ring with
+    | Some req -> drain (req :: acc)
     | None -> List.rev acc
   in
   let rec loop () =
     if i.stop then ()
     else begin
-    let works = drain [] in
-    if works <> [] then begin
-      touch i;
-      (match trace i with
-      | Some tr ->
-          Kite_trace.Trace.driver tr
-            ~at:(Hypervisor.now (hv i))
-            ~domain:i.domain.Domain.name ~name:"blkback.batch"
-            ~args:
-              [ ("vbd", vbd_name i); ("n", string_of_int (List.length works)) ]
-      | None -> ());
-      List.iter
-        (fun (op, sector, ws) ->
-          Hypervisor.spawn (hv i) i.domain
-            ~name:
-              (Printf.sprintf "blkback-io-%d.%d" i.frontend.Domain.id i.devid)
-            (fun () -> run_batch i op sector ws))
-        (into_batches i works)
-    end;
-    if not (Ring.final_check_for_requests i.ring) then begin
-      Condition.wait i.wake;
-      if not i.stop then charge_wake i
-    end;
-    loop ()
+      let works = prepare_run i (drain []) in
+      if works <> [] then begin
+        touch i;
+        (match trace i with
+        | Some tr ->
+            Kite_trace.Trace.driver tr
+              ~at:(Hypervisor.now (hv i))
+              ~domain:i.domain.Domain.name ~name:"blkback.batch"
+              ~args:
+                [
+                  ("vbd", vbd_name i);
+                  ("n", string_of_int (List.length works));
+                  ("queue", string_of_int r.rid);
+                ]
+        | None -> ());
+        List.iter
+          (fun (op, sector, ws) ->
+            Hypervisor.spawn (hv i) i.domain
+              ~name:
+                (Printf.sprintf "blkback-io-%d.%d" i.frontend.Domain.id
+                   i.devid)
+              (fun () -> run_batch i r op sector ws))
+          (into_batches i works)
+      end;
+      if not (Ring.final_check_for_requests r.ring) then begin
+        Condition.wait r.rwake;
+        if not i.stop then charge_wake i
+      end;
+      loop ()
     end
   in
   loop ()
 
 (* ------------------------------------------------------------------ *)
-(* Telemetry: per-vbd instruments, a ring-stall probe, and the live
-   stats nodes published under the backend xenstore path.              *)
+(* Telemetry: per-vbd instruments, ring-stall probes (aggregate and
+   per ring), and the live stats nodes published under the backend
+   xenstore path.                                                      *)
 (* ------------------------------------------------------------------ *)
 
 let stats_publisher i ~bpath ~interval () =
@@ -373,6 +462,7 @@ let stats_publisher i ~bpath ~interval () =
       put "io-retries" i.io_retries;
       put "inflight" i.inflight;
       put "persistent-grants" (Hashtbl.length i.pmap);
+      put "num-queues" (Array.length i.rings);
       loop ()
     end
   in
@@ -407,16 +497,41 @@ let attach_metrics i ~bpath =
         ~help:"Grants held mapped across requests"
         [ ("vbd", vbd) ]
         (fun () -> float_of_int (Hashtbl.length i.pmap));
+      let sum f =
+        Array.fold_left (fun acc q -> acc + f q) 0 i.rings |> float_of_int
+      in
       R.gauge_fn r "kite_blk_ring_pending" ~help:"Unconsumed ring requests" l
-        (fun () -> float_of_int (Ring.pending_requests i.ring));
+        (fun () -> sum (fun q -> Ring.pending_requests q.ring));
       R.gauge_fn r "kite_blk_ring_free" ~help:"Free request slots" l
-        (fun () -> float_of_int (Ring.free_requests i.ring));
+        (fun () -> sum (fun q -> Ring.free_requests q.ring));
       R.probe r ~name:"kite_blk_ring_stalled" [ ("vbd", vbd) ]
         (R.stalled_probe
            ~pending:(fun () ->
-             if i.stop then 0 else Ring.pending_requests i.ring)
+             if i.stop then 0
+             else
+               Array.fold_left
+                 (fun acc q -> acc + Ring.pending_requests q.ring)
+                 0 i.rings)
            ~progress:(fun () -> i.requests)
            ());
+      if i.mq_mode then
+        Array.iter
+          (fun q ->
+            let ql = [ ("vbd", vbd); ("queue", string_of_int q.rid) ] in
+            R.counter_fn r "kite_blk_queue_requests_total"
+              ~help:"Ring requests completed on this queue" ql
+              (fun () -> q.r_requests);
+            R.gauge_fn r "kite_blk_ring_pending"
+              ~help:"Unconsumed ring requests"
+              (("side", "backend") :: ql)
+              (fun () -> float_of_int (Ring.pending_requests q.ring));
+            R.probe r ~name:"kite_blk_ring_stalled" ql
+              (R.stalled_probe
+                 ~pending:(fun () ->
+                   if i.stop then 0 else Ring.pending_requests q.ring)
+                 ~progress:(fun () -> q.r_requests)
+                 ()))
+          i.rings;
       Hypervisor.spawn i.ctx.Xen_ctx.hv i.domain ~daemon:true
         ~name:
           (Printf.sprintf "blkback-stats-%d.%d" i.frontend.Domain.id i.devid)
@@ -439,6 +554,12 @@ let make_instance t ~frontend ~devid =
   Xenbus.write xb domain
     ~path:(bpath ^ "/feature-max-indirect-segments")
     (string_of_int (if t.feature_indirect then Blkif.max_indirect_segments else 0));
+  Xenbus.write xb domain
+    ~path:(bpath ^ "/" ^ Blkif.key_max_queues)
+    (string_of_int t.smax_queues);
+  Xenbus.write xb domain
+    ~path:(bpath ^ "/" ^ Blkif.key_max_ring_page_order)
+    (string_of_int t.smax_ring_page_order);
   Xenbus.switch_state xb domain ~path:bpath Xenbus.Init_wait;
   Xenbus.wait_for_state xb domain ~path:fpath Xenbus.Initialised;
   let want key =
@@ -446,15 +567,42 @@ let make_instance t ~frontend ~devid =
     | Some v -> v
     | None -> failwith ("blkback: frontend did not publish " ^ key)
   in
-  let ring_ref = want "ring-ref" in
-  let port = want "event-channel" in
   let front_persistent =
     Xenbus.read xb domain ~path:(fpath ^ "/feature-persistent") = Some "1"
   in
-  let ring = Blkif.map ctx.Xen_ctx.blkrings ring_ref in
+  (* Multi-ring negotiation: a frontend that published
+     multi-queue-num-queues gets per-ring keys under queue-<n>/; a
+     legacy frontend gets the flat layout.  Never trust the frontend
+     past our advertised cap. *)
+  let nq_negotiated =
+    Xenbus.read_int xb domain ~path:(fpath ^ "/" ^ Blkif.key_num_queues)
+  in
+  let mq_mode = nq_negotiated <> None in
+  let nq =
+    match nq_negotiated with
+    | Some n -> max 1 (min n t.smax_queues)
+    | None -> 1
+  in
+  let rings =
+    Array.init nq (fun rid ->
+        let key k = if mq_mode then Blkif.queue_key rid k else k in
+        let ring_ref = want (key "ring-ref") in
+        let rport = want (key "event-channel") in
+        let ring = Blkif.map ctx.Xen_ctx.blkrings ring_ref in
+        {
+          rid;
+          ring;
+          rport;
+          rwake = Condition.create ~label:"blkback ring" ();
+          r_requests = 0;
+        })
+  in
+  (* Mapping all the ring pages is pooled into one batched map
+     hypercall. *)
   Hypervisor.hypercall ctx.Xen_ctx.hv domain "grant_map"
-    ~extra:(Hypervisor.costs ctx.Xen_ctx.hv).Costs.grant_map;
-  Event_channel.bind ctx.Xen_ctx.ec port domain;
+    ~extra:(nq * (Hypervisor.costs ctx.Xen_ctx.hv).Costs.grant_map);
+  Array.iter (fun r -> Event_channel.bind ctx.Xen_ctx.ec r.rport domain)
+    rings;
   let i =
     {
       ctx;
@@ -463,11 +611,10 @@ let make_instance t ~frontend ~devid =
       devid;
       ov = t.soverheads;
       device = t.sdevice;
-      ring;
-      port;
+      rings;
+      mq_mode;
       persistent = t.feature_persistent && front_persistent;
       batching = t.batching;
-      wake = Condition.create ~label:"blkback ring" ();
       pmap = Hashtbl.create 64;
       last_activity = Time.zero;
       retries = t.sretries;
@@ -481,13 +628,22 @@ let make_instance t ~frontend ~devid =
       stop = false;
     }
   in
-  Event_channel.set_handler ctx.Xen_ctx.ec port domain (fun () ->
-      Condition.signal i.wake);
+  Array.iter
+    (fun r ->
+      Event_channel.set_handler ctx.Xen_ctx.ec r.rport domain (fun () ->
+          Condition.signal r.rwake))
+    rings;
   Xenbus.switch_state xb domain ~path:bpath Xenbus.Connected;
   attach_metrics i ~bpath;
-  Hypervisor.spawn ctx.Xen_ctx.hv domain ~daemon:true
-    ~name:(Printf.sprintf "blkback-req-%d.%d" frontend.Domain.id devid)
-    (request_thread i);
+  Array.iter
+    (fun r ->
+      let suffix = if mq_mode then Printf.sprintf ".q%d" r.rid else "" in
+      Hypervisor.spawn ctx.Xen_ctx.hv domain ~daemon:true
+        ~name:
+          (Printf.sprintf "blkback-req-%d.%d%s" frontend.Domain.id devid
+             suffix)
+        (request_thread i r))
+    rings;
   i
 
 let watcher t () =
@@ -527,7 +683,8 @@ let scan t =
 
 let serve ctx ~domain ~overheads ~device ?(feature_persistent = true)
     ?(feature_indirect = true) ?(batching = true) ?(retries = 4)
-    ?(retry_backoff = Time.us 50) () =
+    ?(retry_backoff = Time.us 50) ?(max_queues = 8)
+    ?(max_ring_page_order = 2) () =
   let t =
     {
       sctx = ctx;
@@ -539,6 +696,8 @@ let serve ctx ~domain ~overheads ~device ?(feature_persistent = true)
       batching;
       sretries = retries;
       sretry_backoff = retry_backoff;
+      smax_queues = max_queues;
+      smax_ring_page_order = max_ring_page_order;
       insts = [];
       known = [];
       new_frontend = Mailbox.create ~label:"blkback new frontends" ();
@@ -559,17 +718,17 @@ let serve ctx ~domain ~overheads ~device ?(feature_persistent = true)
              (fun ~path:_ ~token:_ -> scan t)));
   t
 
-(* Disconnect one instance: retire its request thread, unmap the whole
+(* Disconnect one instance: retire its request threads, unmap the whole
    persistent-reference table (the real driver's gnttab_unmap sweep on
-   disconnect) and close the event channel.  Process context: the unmap
+   disconnect) and close the event channels.  Process context: the unmap
    charges hypercall time. *)
 let stop_instance i =
   i.stop <- true;
-  Condition.broadcast i.wake;
+  Array.iter (fun r -> Condition.broadcast r.rwake) i.rings;
   let grefs = Hashtbl.fold (fun g () acc -> g :: acc) i.pmap [] in
   Hashtbl.reset i.pmap;
   Grant_table.unmap_many i.ctx.Xen_ctx.gt ~grantee:i.domain grefs;
-  Event_channel.close i.ctx.Xen_ctx.ec i.port
+  Array.iter (fun r -> Event_channel.close i.ctx.Xen_ctx.ec r.rport) i.rings
 
 let stop t =
   t.stopping <- true;
@@ -600,5 +759,5 @@ let crash t =
     (fun i ->
       i.stop <- true;
       Hashtbl.reset i.pmap;
-      Condition.broadcast i.wake)
+      Array.iter (fun r -> Condition.broadcast r.rwake) i.rings)
     t.insts

@@ -13,7 +13,12 @@
       grant table's map fast path) instead of paying map/unmap hypercalls
       per request;
     - {e indirect segments}: descriptor pages are mapped and parsed,
-      lifting requests to 32 segments (128 KiB). *)
+      lifting requests to 32 segments (128 KiB);
+    - {e multi-ring}: a frontend that negotiates
+      [multi-queue-num-queues] gets up to [max_queues] independent
+      rings, each with its own event channel and request thread, and
+      grant map/unmap hypercalls are coalesced across every request of
+      a drained ring run. *)
 
 type t
 type instance
@@ -28,13 +33,17 @@ val serve :
   ?batching:bool ->
   ?retries:int ->
   ?retry_backoff:Kite_sim.Time.span ->
+  ?max_queues:int ->
+  ?max_ring_page_order:int ->
   unit ->
   t
 (** Start the backend in [domain], exporting [device].  Flags exist for
     the ablation benchmarks; they default to on, matching Kite.
     Transient device errors (fault-injected NVMe hiccups) are retried up
     to [retries] times with exponential backoff starting at
-    [retry_backoff] (defaults: 4, 50 us). *)
+    [retry_backoff] (defaults: 4, 50 us).  [max_queues] (default 8) and
+    [max_ring_page_order] (default 2) cap what multi-ring frontends may
+    negotiate; legacy frontends are unaffected. *)
 
 val stop : t -> unit
 (** Orderly teardown: unregister the directory watch, retire the watcher
@@ -66,3 +75,6 @@ val inflight : instance -> int
 
 val persistent_grants : instance -> int
 (** Grants currently held mapped across requests (§3.3 table size). *)
+
+val num_queues : instance -> int
+(** Negotiated ring count (1 for legacy frontends). *)

@@ -27,6 +27,17 @@ type pending = {
   p_indirect : (Grant_table.ref_ * Page.t) list;
 }
 
+(* One negotiated ring.  Legacy backends get exactly one, wired to the
+   flat xenstore keys; multi-ring backends get [num_queues], each with
+   its own ring and event channel.  Requests are steered by
+   [p_id mod num_queues], so a crash replay re-steers deterministically
+   against whatever count the re-handshake settles on. *)
+type queue = {
+  qid : int;
+  q_ring : Blkif.ring;
+  q_port : Event_channel.port;
+}
+
 type t = {
   ctx : Xen_ctx.t;
   domain : Domain.t;
@@ -34,8 +45,10 @@ type t = {
   devid : int;
   want_persistent : bool;
   want_indirect : bool;
-  mutable ring : Blkif.ring;  (* replaced on reconnect *)
-  mutable port : Event_channel.port;
+  ask_queues : int option;  (* multi-ring ask; None = legacy frontend *)
+  want_order : int;  (* extra ring-page order asked for in mq mode *)
+  mutable queues : queue array;  (* rebuilt on every (re)connect *)
+  mutable mq_mode : bool;
   mutable connected : bool;
   mutable shut : bool;  (* orderly shutdown: monitor must not reconnect *)
   mutable monitor : Xenstore.watch_id option;
@@ -62,6 +75,7 @@ let resubmits t = t.resubmits
 let is_connected t = t.connected
 let indirect_enabled t = t.want_indirect && t.backend_indirect > 0
 let persistent_enabled t = t.want_persistent && t.backend_persistent
+let num_queues t = Array.length t.queues
 
 let fpath t = Xenbus.frontend_path ~frontend:t.domain ~ty:"vbd" ~devid:t.devid
 
@@ -81,20 +95,39 @@ let fnote t what =
   | Some f -> Kite_fault.Fault.note f ~what ~key:(vbd_name t)
   | None -> ()
 
-let ring_name t = Printf.sprintf "%s/vbd%d" t.domain.Domain.name t.devid
+let ring_name t q =
+  if t.mq_mode then
+    Printf.sprintf "%s/vbd%d.q%d" t.domain.Domain.name t.devid q.qid
+  else Printf.sprintf "%s/vbd%d" t.domain.Domain.name t.devid
 
-let attach_ring_instruments t =
+let attach_ring_instruments t q =
   (match t.ctx.Xen_ctx.check with
-  | Some c -> Ring.attach_check t.ring c ~name:(ring_name t)
+  | Some c -> Ring.attach_check q.q_ring c ~name:(ring_name t q)
   | None -> ());
   (match t.ctx.Xen_ctx.trace with
   | Some tr ->
-      Ring.attach_trace t.ring tr ~name:(ring_name t)
+      Ring.attach_trace q.q_ring tr ~name:(ring_name t q)
         ~now:(fun () -> Hypervisor.now t.ctx.Xen_ctx.hv)
   | None -> ());
   match t.ctx.Xen_ctx.fault with
-  | Some f -> Ring.attach_fault t.ring f ~name:(ring_name t)
+  | Some f -> Ring.attach_fault q.q_ring f ~name:(ring_name t q)
   | None -> ()
+
+(* The multi-queue checker invariant: a request id is a device-global
+   slot that must never be in flight on two rings at once. *)
+let mq_claim t q ~slot =
+  if t.mq_mode then
+    match t.ctx.Xen_ctx.check with
+    | Some c -> Kite_check.Check.mq_claim c ~dev:(vbd_name t) ~queue:q.qid ~slot
+    | None -> ()
+
+let mq_release t ~slot =
+  if t.mq_mode then
+    match t.ctx.Xen_ctx.check with
+    | Some c -> Kite_check.Check.mq_release c ~dev:(vbd_name t) ~slot
+    | None -> ()
+
+let queue_for t p = t.queues.(p.p_id mod Array.length t.queues)
 
 (* Data pages: persistent mode reuses a granted pool so the backend's
    mappings stay valid; otherwise grant fresh pages per request and revoke
@@ -186,30 +219,38 @@ let prepare t op ~sector ~count data =
     p_indirect = indirect_grants;
   }
 
-let notify_backend t =
+let notify_backend t q =
   if t.connected then
-    try Event_channel.notify t.ctx.Xen_ctx.ec t.port ~from:t.domain
+    try Event_channel.notify t.ctx.Xen_ctx.ec q.q_port ~from:t.domain
     with Event_channel.Evtchn_error _ -> ()
       (* the backend died between our check and the send *)
 
-(* Push a journal entry into the current ring.  Also the replay path:
-   pushing the same entry again is what re-issue means — same id, same
-   grants, so a duplicated response completes nothing twice and a
-   duplicated device write is idempotent. *)
+(* Push a journal entry into its ring.  Also the replay path: pushing the
+   same entry again is what re-issue means — same id, same grants, so a
+   duplicated response completes nothing twice and a duplicated device
+   write is idempotent.  The target queue is re-picked after every wait:
+   a reconnect may have renegotiated the queue count. *)
 let push_entry t p =
   (* Wait for a ring slot; concurrent submitters can steal the slot we
      saw, in which case push raises Ring_full and we go back to sleep.
      A disconnected frontend parks here too: the reconnect path wakes
-     [slot_cond] once the fresh ring is connected. *)
+     [slot_cond] once the fresh rings are connected. *)
   let rec claim_slot () =
-    while (not t.connected) || Ring.free_requests t.ring = 0 do
+    while not t.connected do
       Condition.wait t.slot_cond
     done;
-    match Ring.push_request t.ring p.p_req with
-    | () -> ()
-    | exception Ring.Ring_full -> claim_slot ()
+    let q = queue_for t p in
+    if Ring.free_requests q.q_ring = 0 then begin
+      Condition.wait t.slot_cond;
+      claim_slot ()
+    end
+    else
+      match Ring.push_request q.q_ring p.p_req with
+      | () -> q
+      | exception Ring.Ring_full -> claim_slot ()
   in
-  claim_slot ();
+  let q = claim_slot () in
+  mq_claim t q ~slot:p.p_id;
   (match t.ctx.Xen_ctx.trace with
   | Some tr ->
       let count =
@@ -223,13 +264,13 @@ let push_entry t p =
         ~args:[ ("sectors", string_of_int count) ]
   | None -> ());
   Hashtbl.replace t.pending p.p_id p;
-  if Ring.push_requests_and_check_notify t.ring then notify_backend t
+  if Ring.push_requests_and_check_notify q.q_ring then notify_backend t q
 
 (* Responses carry no payload copying that needs process context, so they
-   are completed inline in the interrupt handler. *)
-let handle_event t () =
+   are completed inline in the interrupt handler — one per queue. *)
+let handle_event t q () =
   let rec drain () =
-    match Ring.take_response t.ring with
+    match Ring.take_response q.q_ring with
     | Some rsp ->
         (match Hashtbl.find_opt t.pending rsp.Blkif.rsp_id with
         | Some p ->
@@ -239,12 +280,13 @@ let handle_event t () =
                   ~at:(Hypervisor.now t.ctx.Xen_ctx.hv)
                   ~kind:"blk" ~key:(vbd_name t) ~id:rsp.Blkif.rsp_id
             | None -> ());
+            mq_release t ~slot:rsp.Blkif.rsp_id;
             p.status <- Some rsp.Blkif.status;
             Condition.broadcast p.cond
         | None -> ());
         Condition.broadcast t.slot_cond;
         drain ()
-    | None -> if Ring.final_check_for_responses t.ring then drain ()
+    | None -> if Ring.final_check_for_responses q.q_ring then drain ()
   in
   drain ()
 
@@ -263,8 +305,9 @@ let await_response t p =
           incr misses;
           if !misses = 1 then begin
             fnote t "blkfront.watchdog.kick";
-            handle_event t ();
-            if p.status = None then notify_backend t
+            let q = queue_for t p in
+            handle_event t q ();
+            if p.status = None then notify_backend t q
           end
           else begin
             fnote t "blkfront.watchdog.reissue";
@@ -383,6 +426,32 @@ let write t ~sector data =
 
 let flush t = ignore (submit t Blkif.Flush ~sector:0 ~count:0 None)
 
+(* Per-queue ring telemetry, (re)registered at each connect: the family
+   keeps its full label set stable and re-registration with the same
+   labels just swaps the sampling closure in place. *)
+let attach_queue_metrics t =
+  match t.ctx.Xen_ctx.metrics with
+  | None -> ()
+  | Some r ->
+      if t.mq_mode then begin
+        let module R = Kite_metrics.Registry in
+        let vbd = vbd_name t in
+        Array.iter
+          (fun q ->
+            let ql =
+              [
+                ("vbd", vbd); ("side", "frontend");
+                ("queue", string_of_int q.qid);
+              ]
+            in
+            R.gauge_fn r "kite_blk_ring_pending"
+              ~help:"Unconsumed ring requests" ql (fun () ->
+                float_of_int (Ring.pending_requests q.q_ring));
+            R.gauge_fn r "kite_blk_ring_free" ~help:"Free request slots" ql
+              (fun () -> float_of_int (Ring.free_requests q.q_ring)))
+          t.queues
+      end
+
 let rec connect t () =
   let xb = t.ctx.Xen_ctx.xb in
   Xenbus.wait_for_state xb t.domain ~path:(bpath t) Xenbus.Init_wait;
@@ -394,23 +463,81 @@ let rec connect t () =
     Option.value ~default:0
       (Xenbus.read_int xb t.domain
          ~path:(bpath t ^ "/feature-max-indirect-segments"));
-  let ring_ref = Blkif.share t.ctx.Xen_ctx.blkrings t.ring in
-  t.port <-
-    Event_channel.alloc_unbound t.ctx.Xen_ctx.ec t.domain ~remote:t.backend;
-  Xenbus.write xb t.domain ~path:(fpath t ^ "/ring-ref")
-    (string_of_int ring_ref);
-  Xenbus.write xb t.domain
-    ~path:(fpath t ^ "/event-channel")
-    (string_of_int t.port);
+  (* Multi-ring negotiation: we ask (explicit [num_queues] or the
+     toolstack's [queues-wanted] hint), the backend caps.  Either side
+     staying silent means the legacy flat single-ring layout. *)
+  let ask =
+    match t.ask_queues with
+    | Some n -> Some n
+    | None -> Xenbus.read_int xb t.domain ~path:(fpath t ^ "/queues-wanted")
+  in
+  let backend_max =
+    Xenbus.read_int xb t.domain
+      ~path:(bpath t ^ "/" ^ Blkif.key_max_queues)
+  in
+  let mq_mode =
+    match (ask, backend_max) with
+    | Some a, Some _ -> a >= 1
+    | _ -> false
+  in
+  let nq =
+    if mq_mode then
+      max 1 (min (Option.get ask) (Option.get backend_max))
+    else 1
+  in
+  let max_order =
+    if mq_mode then
+      Option.value ~default:0
+        (Xenbus.read_int xb t.domain
+           ~path:(bpath t ^ "/" ^ Blkif.key_max_ring_page_order))
+    else 0
+  in
+  let order =
+    Blkif.ring_order + if mq_mode then min t.want_order max_order else 0
+  in
+  t.mq_mode <- mq_mode;
+  t.queues <-
+    Array.init nq (fun qid ->
+        {
+          qid;
+          q_ring = Ring.create ~order;
+          q_port =
+            Event_channel.alloc_unbound t.ctx.Xen_ctx.ec t.domain
+              ~remote:t.backend;
+        });
+  Array.iter (fun q -> attach_ring_instruments t q) t.queues;
+  if mq_mode then begin
+    Xenbus.write xb t.domain
+      ~path:(fpath t ^ "/" ^ Blkif.key_num_queues)
+      (string_of_int nq);
+    Xenbus.write xb t.domain
+      ~path:(fpath t ^ "/" ^ Blkif.key_ring_page_order)
+      (string_of_int (order - Blkif.ring_order))
+  end;
+  Array.iter
+    (fun q ->
+      let key k = if mq_mode then Blkif.queue_key q.qid k else k in
+      let ring_ref = Blkif.share t.ctx.Xen_ctx.blkrings q.q_ring in
+      Xenbus.write xb t.domain
+        ~path:(fpath t ^ "/" ^ key "ring-ref")
+        (string_of_int ring_ref);
+      Xenbus.write xb t.domain
+        ~path:(fpath t ^ "/" ^ key "event-channel")
+        (string_of_int q.q_port))
+    t.queues;
   Xenbus.write xb t.domain
     ~path:(fpath t ^ "/feature-persistent")
     (if t.want_persistent then "1" else "0");
   Xenbus.switch_state xb t.domain ~path:(fpath t) Xenbus.Initialised;
   Xenbus.wait_for_state xb t.domain ~path:(bpath t) Xenbus.Connected;
-  Event_channel.set_handler t.ctx.Xen_ctx.ec t.port t.domain
-    (handle_event t);
+  Array.iter
+    (fun q ->
+      Event_channel.set_handler t.ctx.Xen_ctx.ec q.q_port t.domain
+        (handle_event t q))
+    t.queues;
   Xenbus.switch_state xb t.domain ~path:(fpath t) Xenbus.Connected;
   t.connected <- true;
+  attach_queue_metrics t;
   Condition.broadcast t.conn_cond;
   Condition.broadcast t.slot_cond;
   if t.monitor = None then start_monitor t
@@ -418,9 +545,10 @@ let rec connect t () =
 (* Crash recovery.  Runs in its own process once the monitor sees the
    backend close or vanish.  The journal is every pushed-but-unanswered
    request; after the re-handshake each entry is pushed verbatim into the
-   fresh ring.  An entry completed by the old backend is never replayed
-   and a replayed entry's response completes its waiter exactly once, so
-   the layer above sees exactly-once semantics. *)
+   fresh rings (re-steered by id, since the queue count may have been
+   renegotiated).  An entry completed by the old backend is never
+   replayed and a replayed entry's response completes its waiter exactly
+   once, so the layer above sees exactly-once semantics. *)
 and reconnect t () =
   fnote t "blkfront.reconnect";
   let journal =
@@ -428,17 +556,20 @@ and reconnect t () =
     |> List.filter (fun p -> p.status = None)
     |> List.sort (fun a b -> compare a.p_id b.p_id)
   in
-  (* The old channel died with the backend; the persistent pool's
+  (* The old channels died with the backend; the persistent pool's
      mappings were revoked, so its idle grants can be ended and re-made
-     on demand against the rebooted backend. *)
-  Event_channel.close t.ctx.Xen_ctx.ec t.port;
+     on demand against the rebooted backend.  The old rings are dead,
+     so no journal slot is genuinely in flight anywhere: release the
+     checker's claims before replay re-claims them on fresh queues. *)
+  Array.iter
+    (fun q -> Event_channel.close t.ctx.Xen_ctx.ec q.q_port)
+    t.queues;
+  List.iter (fun p -> mq_release t ~slot:p.p_id) journal;
   List.iter
     (fun (gref, _) ->
       Grant_table.end_access t.ctx.Xen_ctx.gt ~granter:t.domain gref)
     t.pool;
   t.pool <- [];
-  t.ring <- Ring.create ~order:Blkif.ring_order;
-  attach_ring_instruments t;
   (* Close first: Connected -> Closed -> Initialising is the legal
      reconnect path through the xenbus state machine. *)
   Xenbus.switch_state t.ctx.Xen_ctx.xb t.domain ~path:(fpath t) Xenbus.Closed;
@@ -487,9 +618,12 @@ and start_monitor t =
 
 (* Frontend-side telemetry.  Registered once at [create]; closures read
    [t] at sampling time, so ring replacement on reconnect needs no
-   re-registration.  The request-latency histogram is pushed from
-   [submit] (ns from ring push to completed response, covering watchdog
-   re-issues and crash replays). *)
+   re-registration.  Aggregate ring gauges sum over the negotiated
+   queues, keeping the seed series names stable whatever the queue
+   count; per-queue families are added at connect in mq mode.  The
+   request-latency histogram is pushed from [submit] (ns from ring push
+   to completed response, covering watchdog re-issues and crash
+   replays). *)
 let attach_metrics t =
   match t.ctx.Xen_ctx.metrics with
   | None -> ()
@@ -516,19 +650,25 @@ let attach_metrics t =
         ~help:"Journal entries awaiting a response"
         [ ("vbd", vbd) ]
         (fun () -> float_of_int (Hashtbl.length t.pending));
+      let sum f =
+        Array.fold_left (fun acc q -> acc + f q) 0 t.queues |> float_of_int
+      in
       R.gauge_fn r "kite_blk_ring_pending" ~help:"Unconsumed ring requests" l
-        (fun () -> float_of_int (Ring.pending_requests t.ring));
+        (fun () -> sum (fun q -> Ring.pending_requests q.q_ring));
       R.gauge_fn r "kite_blk_ring_free" ~help:"Free request slots" l
-        (fun () -> float_of_int (Ring.free_requests t.ring));
+        (fun () -> sum (fun q -> Ring.free_requests q.q_ring));
       t.m_lat <-
         Some
           (R.histogram r "kite_blk_latency_ns" ~base:1000.0 ~factor:2.0
              ~help:"Request latency, ring push to response (simulated ns)"
              [ ("vbd", vbd) ]);
       R.probe r ~name:"kite_blk_pool_exhausted" [ ("vbd", vbd) ] (fun () ->
+          let slots =
+            Array.fold_left (fun a q -> a + Ring.size q.q_ring) 0 t.queues
+          in
           if
-            persistent_enabled t && t.pool = []
-            && Hashtbl.length t.pending >= Ring.size t.ring
+            persistent_enabled t && t.pool = [] && slots > 0
+            && Hashtbl.length t.pending >= slots
           then
             R.Alert
               (Printf.sprintf
@@ -537,7 +677,7 @@ let attach_metrics t =
           else R.Healthy)
 
 let create ctx ~domain ~backend ~devid ?(use_persistent = true)
-    ?(use_indirect = true) () =
+    ?(use_indirect = true) ?num_queues:ask_queues ?(ring_page_order = 0) () =
   let t =
     {
       ctx;
@@ -546,8 +686,10 @@ let create ctx ~domain ~backend ~devid ?(use_persistent = true)
       devid;
       want_persistent = use_persistent;
       want_indirect = use_indirect;
-      ring = Ring.create ~order:Blkif.ring_order;
-      port = -1;
+      ask_queues;
+      want_order = ring_page_order;
+      queues = [||];
+      mq_mode = false;
       connected = false;
       shut = false;
       monitor = None;
@@ -566,7 +708,6 @@ let create ctx ~domain ~backend ~devid ?(use_persistent = true)
       m_lat = None;
     }
   in
-  attach_ring_instruments t;
   attach_metrics t;
   Hypervisor.spawn ctx.Xen_ctx.hv domain ~name:"blkfront-setup" (connect t);
   t
@@ -588,9 +729,12 @@ let shutdown t =
       Xenbus.unwatch t.ctx.Xen_ctx.xb id;
       t.monitor <- None
   | None -> ());
+  Hashtbl.iter (fun id _ -> mq_release t ~slot:id) t.pending;
   List.iter
     (fun (gref, _) ->
       Grant_table.end_access t.ctx.Xen_ctx.gt ~granter:t.domain gref)
     t.pool;
   t.pool <- [];
-  Event_channel.close t.ctx.Xen_ctx.ec t.port
+  Array.iter
+    (fun q -> Event_channel.close t.ctx.Xen_ctx.ec q.q_port)
+    t.queues

@@ -25,10 +25,17 @@ val create :
   devid:int ->
   ?use_persistent:bool ->
   ?use_indirect:bool ->
+  ?num_queues:int ->
+  ?ring_page_order:int ->
   unit ->
   t
 (** Both features default to on (they also require backend support,
-    negotiated via xenstore). *)
+    negotiated via xenstore).  [num_queues] asks for that many
+    independent rings (the backend caps the answer); when omitted the
+    frontend honours a toolstack [queues-wanted] hint in its own
+    xenstore directory, and with neither it stays a legacy single-ring
+    frontend.  [ring_page_order] asks for bigger per-ring pages in
+    multi-ring mode (capped by the backend's [max-ring-page-order]). *)
 
 val wait_connected : t -> unit
 
@@ -68,3 +75,7 @@ val resubmits : t -> int
 
 val indirect_enabled : t -> bool
 val persistent_enabled : t -> bool
+
+val num_queues : t -> int
+(** Negotiated ring count (1 for legacy operation; 0 before the first
+    connect completes). *)

@@ -25,6 +25,14 @@ let segment_bytes s = (s.last_sect - s.first_sect + 1) * 512
 
 let ring_order = 5
 
+(* Multi-queue negotiation keys — same ABI names as the network side
+   (and as Linux xen-blkfront's multi-ring support). *)
+let key_max_queues = "multi-queue-max-queues"
+let key_num_queues = "multi-queue-num-queues"
+let key_max_ring_page_order = "max-ring-page-order"
+let key_ring_page_order = "multi-ring-page-order"
+let queue_key q key = Printf.sprintf "queue-%d/%s" q key
+
 type ring = (request, response) Kite_xen.Ring.t
 
 (* 8 bytes per descriptor: gref u32 | first u8 | last u8 | pad u16. *)

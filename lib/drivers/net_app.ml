@@ -6,7 +6,7 @@ type t = {
 
 (* One bridge per physical NIC; VIFs are spread across bridges by their
    frontend's domain id ("several NICs for better I/O scaling", §3.1). *)
-let run_multi ctx ~domain ~nics ~overheads =
+let run_multi ctx ~domain ~nics ~overheads ?max_queues () =
   let bridges_and_ifs =
     List.mapi
       (fun i nic ->
@@ -23,7 +23,7 @@ let run_multi ctx ~domain ~nics ~overheads =
   let bridges = List.map fst bridges_and_ifs in
   let n = List.length bridges in
   let netback =
-    Netback.serve ctx ~domain ~overheads
+    Netback.serve ctx ~domain ~overheads ?max_queues
       ~on_vif:(fun ~frontend ~devid vif ->
         let bridge = List.nth bridges ((frontend + devid) mod n) in
         Kite_net.Bridge.add_port bridge vif)
@@ -31,8 +31,8 @@ let run_multi ctx ~domain ~nics ~overheads =
   in
   { bridges; netback; nic_netdevs = List.map snd bridges_and_ifs }
 
-let run ctx ~domain ~nic ~overheads =
-  run_multi ctx ~domain ~nics:[ nic ] ~overheads
+let run ctx ~domain ~nic ~overheads ?max_queues () =
+  run_multi ctx ~domain ~nics:[ nic ] ~overheads ?max_queues ()
 
 let bridge t = List.hd t.bridges
 let bridges t = t.bridges

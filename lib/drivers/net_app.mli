@@ -13,15 +13,20 @@ val run :
   domain:Kite_xen.Domain.t ->
   nic:Kite_devices.Nic.t ->
   overheads:Overheads.t ->
+  ?max_queues:int ->
+  unit ->
   t
 (** Start the network driver domain's data path: physical IF bridged with
-    all current and future VIFs. *)
+    all current and future VIFs.  [max_queues] caps what multi-queue
+    frontends may negotiate (netback's default when omitted). *)
 
 val run_multi :
   Xen_ctx.t ->
   domain:Kite_xen.Domain.t ->
   nics:Kite_devices.Nic.t list ->
   overheads:Overheads.t ->
+  ?max_queues:int ->
+  unit ->
   t
 (** Multi-NIC variant (§3.1's "several NICs for better I/O scaling"): one
     bridge per NIC; each new VIF joins the bridge selected by

@@ -4,19 +4,30 @@ open Kite_net
 
 let rx_backlog_limit = 4096
 
+(* One negotiated Tx/Rx ring pair with its own event channel, backlog
+   and worker threads.  Legacy frontends get exactly one of these wired
+   to the flat xenstore keys. *)
+type queue = {
+  qid : int;
+  tx_ring : Netchannel.tx_ring;
+  rx_ring : Netchannel.rx_ring;
+  qport : Event_channel.port;
+  backlog : Bytes.t Queue.t;  (* frames from the bridge awaiting Rx slots *)
+  pusher_wake : Condition.t;
+  soft_wake : Condition.t;
+  mutable q_tx_packets : int;
+  mutable q_rx_packets : int;
+}
+
 type instance = {
   ctx : Xen_ctx.t;
   domain : Domain.t;  (* the driver domain *)
   frontend : Domain.t;
   devid : int;
   ov : Overheads.t;
-  tx_ring : Netchannel.tx_ring;
-  rx_ring : Netchannel.rx_ring;
-  port : Event_channel.port;
+  queues : queue array;
+  mq_mode : bool;
   mutable vif : Netdev.t option;
-  backlog : Bytes.t Queue.t;  (* frames from the bridge awaiting Rx slots *)
-  pusher_wake : Condition.t;
-  soft_wake : Condition.t;
   mutable last_activity : Time.t;
   retries : int;
   retry_backoff : Time.span;
@@ -37,6 +48,8 @@ type t = {
   soverheads : Overheads.t;
   sretries : int;
   sretry_backoff : Time.span;
+  smax_queues : int;
+  smax_ring_page_order : int;
   on_vif : frontend:int -> devid:int -> Netdev.t -> unit;
   mutable insts : instance list;
   mutable known : (int * int) list;  (* (frontend domid, devid) seen *)
@@ -55,6 +68,7 @@ let rx_bytes i = i.rx_bytes
 let rx_dropped i = i.rx_dropped
 let io_retries i = i.io_retries
 let tx_failed i = i.tx_failed
+let num_queues i = Array.length i.queues
 
 let hv i = i.ctx.Xen_ctx.hv
 let trace i = i.ctx.Xen_ctx.trace
@@ -67,9 +81,9 @@ let fnote i what =
 
 (* Post-crash, the ring is dead and the channel torn down; a late batch
    must not kick it. *)
-let notify_frontend i =
+let notify_frontend i q =
   if not i.stop then
-    try Event_channel.notify i.ctx.Xen_ctx.ec i.port ~from:i.domain
+    try Event_channel.notify i.ctx.Xen_ctx.ec q.qport ~from:i.domain
     with Event_channel.Evtchn_error _ -> ()
 
 (* Handler-to-thread wakeup cost: cold after an idle period, warm while
@@ -108,65 +122,82 @@ let kernel_grant_ops i n =
           ~op:"hypercall.grant_op.kernel" ~cost:0
       done
 
-(* Guest -> wire.  Drains Tx requests, copies frames out of guest pages
-   via grant copy, hands them to the VIF (hence the bridge). *)
-let pusher i () =
-  let rec drain n =
-    match Ring.take_request i.tx_ring with
-    | Some req ->
-        (match trace i with
-        | Some tr ->
-            Kite_trace.Trace.span_hop tr
-              ~at:(Hypervisor.now (hv i))
-              ~kind:"net.tx" ~key:(vif_name i) ~id:req.Netchannel.tx_id
-              ~stage:"backend" ~args:[]
-        | None -> ());
-        let frame =
-          Grant_table.copy_from_granted i.ctx.Xen_ctx.gt ~caller:i.domain
-            req.Netchannel.tx_gref ~off:0 ~len:req.Netchannel.tx_len
+(* Guest -> wire.  Drains Tx requests, grant-copies the whole batch out
+   of guest pages in one hypercall, hands the frames to the VIF (hence
+   the bridge).  One pusher per queue. *)
+let pusher i q () =
+  let drain () =
+    let rec take acc =
+      match Ring.take_request q.tx_ring with
+      | Some req ->
+          (match trace i with
+          | Some tr ->
+              Kite_trace.Trace.span_hop tr
+                ~at:(Hypervisor.now (hv i))
+                ~kind:"net.tx" ~key:(vif_name i) ~id:req.Netchannel.tx_id
+                ~stage:"backend" ~args:[]
+          | None -> ());
+          take (req :: acc)
+      | None -> List.rev acc
+    in
+    match take [] with
+    | [] -> 0
+    | reqs ->
+        (* Batched grant copy: the whole drained run rides a single
+           hypercall trap. *)
+        let frames =
+          Grant_table.copy_from_granted_many i.ctx.Xen_ctx.gt
+            ~caller:i.domain
+            (List.map
+               (fun req -> (req.Netchannel.tx_gref, 0, req.Netchannel.tx_len))
+               reqs)
         in
-        kernel_grant_ops i i.ov.Overheads.tx_kernel_grant_ops;
-        Hypervisor.cpu_work (hv i) i.domain i.ov.Overheads.tx_per_packet;
-        i.tx_packets <- i.tx_packets + 1;
-        i.tx_bytes <- i.tx_bytes + req.Netchannel.tx_len;
-        (* The frame may reach the physical NIC synchronously (through
-           the bridge); a transient NIC error is retried with exponential
-           backoff, then the frame is dropped as a wire loss. *)
-        (match i.vif with
-        | Some v ->
-            let rec deliver n =
-              try Netdev.deliver v frame with
-              | Kite_devices.Nic.Transient_error _
-                when n < i.retries && not i.stop ->
-                  i.io_retries <- i.io_retries + 1;
-                  fnote i (Printf.sprintf "netback.tx-retry n=%d" (n + 1));
-                  Process.sleep (i.retry_backoff * (1 lsl n));
-                  deliver (n + 1)
-              | Kite_devices.Nic.Transient_error _ ->
-                  i.tx_failed <- i.tx_failed + 1;
-                  fnote i "netback.tx-failed"
-            in
-            deliver 0
-        | None -> ());
-        (* Bridge egress: the packet's lifecycle ends here. *)
-        (match trace i with
-        | Some tr ->
-            Kite_trace.Trace.span_end tr
-              ~at:(Hypervisor.now (hv i))
-              ~kind:"net.tx" ~key:(vif_name i) ~id:req.Netchannel.tx_id
-        | None -> ());
-        Ring.push_response i.tx_ring
-          {
-            Netchannel.tx_rsp_id = req.Netchannel.tx_id;
-            tx_status = Netchannel.status_ok;
-          };
-        drain (n + 1)
-    | None -> n
+        List.iter2
+          (fun req frame ->
+            kernel_grant_ops i i.ov.Overheads.tx_kernel_grant_ops;
+            Hypervisor.cpu_work (hv i) i.domain i.ov.Overheads.tx_per_packet;
+            i.tx_packets <- i.tx_packets + 1;
+            i.tx_bytes <- i.tx_bytes + req.Netchannel.tx_len;
+            q.q_tx_packets <- q.q_tx_packets + 1;
+            (* The frame may reach the physical NIC synchronously (through
+               the bridge); a transient NIC error is retried with
+               exponential backoff, then the frame is dropped as a wire
+               loss. *)
+            (match i.vif with
+            | Some v ->
+                let rec deliver n =
+                  try Netdev.deliver v frame with
+                  | Kite_devices.Nic.Transient_error _
+                    when n < i.retries && not i.stop ->
+                      i.io_retries <- i.io_retries + 1;
+                      fnote i (Printf.sprintf "netback.tx-retry n=%d" (n + 1));
+                      Process.sleep (i.retry_backoff * (1 lsl n));
+                      deliver (n + 1)
+                  | Kite_devices.Nic.Transient_error _ ->
+                      i.tx_failed <- i.tx_failed + 1;
+                      fnote i "netback.tx-failed"
+                in
+                deliver 0
+            | None -> ());
+            (* Bridge egress: the packet's lifecycle ends here. *)
+            (match trace i with
+            | Some tr ->
+                Kite_trace.Trace.span_end tr
+                  ~at:(Hypervisor.now (hv i))
+                  ~kind:"net.tx" ~key:(vif_name i) ~id:req.Netchannel.tx_id
+            | None -> ());
+            Ring.push_response q.tx_ring
+              {
+                Netchannel.tx_rsp_id = req.Netchannel.tx_id;
+                tx_status = Netchannel.status_ok;
+              })
+          reqs frames;
+        List.length reqs
   in
   let rec loop () =
     if i.stop then ()
     else begin
-      let n = drain 0 in
+      let n = drain () in
       if n > 0 then begin
         (match trace i with
         | Some tr ->
@@ -178,12 +209,12 @@ let pusher i () =
         (match i.m_txbatch with
         | Some h -> Kite_metrics.Registry.observe h (float_of_int n)
         | None -> ());
-        if Ring.push_responses_and_check_notify i.tx_ring then
-          notify_frontend i;
+        if Ring.push_responses_and_check_notify q.tx_ring then
+          notify_frontend i q;
         touch i
       end;
-      if not (Ring.final_check_for_requests i.tx_ring) then begin
-        Condition.wait i.pusher_wake;
+      if not (Ring.final_check_for_requests q.tx_ring) then begin
+        Condition.wait q.pusher_wake;
         if not i.stop then charge_wake i
       end;
       loop ()
@@ -192,34 +223,48 @@ let pusher i () =
   loop ()
 
 (* Wire -> guest.  Matches backlogged frames with posted Rx buffers,
-   copies via grant copy, responds. *)
-let soft_start i () =
-  let rec drain n =
-    if Queue.is_empty i.backlog || Ring.pending_requests i.rx_ring = 0 then n
-    else begin
-      let frame = Queue.pop i.backlog in
-      match Ring.take_request i.rx_ring with
-      | Some req ->
-          Grant_table.copy_to_granted i.ctx.Xen_ctx.gt ~caller:i.domain
-            req.Netchannel.rx_gref ~off:0 frame;
-          kernel_grant_ops i i.ov.Overheads.rx_kernel_grant_ops;
-          Hypervisor.cpu_work (hv i) i.domain i.ov.Overheads.rx_per_packet;
-          i.rx_packets <- i.rx_packets + 1;
-          i.rx_bytes <- i.rx_bytes + Bytes.length frame;
-          Ring.push_response i.rx_ring
-            {
-              Netchannel.rx_rsp_id = req.Netchannel.rx_id;
-              rx_len = Bytes.length frame;
-              rx_status = Netchannel.status_ok;
-            };
-          drain (n + 1)
-      | None -> n
-    end
+   grant-copies the batch into the guest in one hypercall, responds.
+   One soft_start per queue, fed by the flow-hash steering in the VIF's
+   transmit callback. *)
+let soft_start i q () =
+  let drain () =
+    let rec gather acc =
+      if Queue.is_empty q.backlog || Ring.pending_requests q.rx_ring = 0 then
+        List.rev acc
+      else begin
+        let frame = Queue.pop q.backlog in
+        match Ring.take_request q.rx_ring with
+        | Some req -> gather ((req, frame) :: acc)
+        | None -> List.rev acc
+      end
+    in
+    match gather [] with
+    | [] -> 0
+    | pairs ->
+        Grant_table.copy_to_granted_many i.ctx.Xen_ctx.gt ~caller:i.domain
+          (List.map
+             (fun (req, frame) -> (req.Netchannel.rx_gref, 0, frame))
+             pairs);
+        List.iter
+          (fun (req, frame) ->
+            kernel_grant_ops i i.ov.Overheads.rx_kernel_grant_ops;
+            Hypervisor.cpu_work (hv i) i.domain i.ov.Overheads.rx_per_packet;
+            i.rx_packets <- i.rx_packets + 1;
+            i.rx_bytes <- i.rx_bytes + Bytes.length frame;
+            q.q_rx_packets <- q.q_rx_packets + 1;
+            Ring.push_response q.rx_ring
+              {
+                Netchannel.rx_rsp_id = req.Netchannel.rx_id;
+                rx_len = Bytes.length frame;
+                rx_status = Netchannel.status_ok;
+              })
+          pairs;
+        List.length pairs
   in
   let rec loop () =
     if i.stop then ()
     else begin
-      let n = drain 0 in
+      let n = drain () in
       if n > 0 then begin
         (match trace i with
         | Some tr ->
@@ -228,19 +273,19 @@ let soft_start i () =
               ~domain:i.domain.Domain.name ~name:"netback.rx-batch"
               ~args:[ ("vif", vif_name i); ("n", string_of_int n) ]
         | None -> ());
-        if Ring.push_responses_and_check_notify i.rx_ring then
-          notify_frontend i;
+        if Ring.push_responses_and_check_notify q.rx_ring then
+          notify_frontend i q;
         touch i
       end;
-      if Queue.is_empty i.backlog || Ring.pending_requests i.rx_ring = 0
+      if Queue.is_empty q.backlog || Ring.pending_requests q.rx_ring = 0
       then begin
         (* Re-arm request notifications before sleeping. *)
-        if not (Ring.final_check_for_requests i.rx_ring) then begin
-          Condition.wait i.soft_wake;
+        if not (Ring.final_check_for_requests q.rx_ring) then begin
+          Condition.wait q.soft_wake;
           if not i.stop then charge_wake i
         end
-        else if Queue.is_empty i.backlog then begin
-          Condition.wait i.soft_wake;
+        else if Queue.is_empty q.backlog then begin
+          Condition.wait q.soft_wake;
           if not i.stop then charge_wake i
         end
       end;
@@ -250,8 +295,9 @@ let soft_start i () =
   loop ()
 
 (* ------------------------------------------------------------------ *)
-(* Telemetry: per-vif instruments, a Tx-ring stall probe, and the live
-   stats nodes real netback exposes under the backend xenstore path.   *)
+(* Telemetry: per-vif instruments, Tx-ring stall probes (aggregate and
+   per queue), and the live stats nodes real netback exposes under the
+   backend xenstore path.                                              *)
 (* ------------------------------------------------------------------ *)
 
 let stats_publisher i ~bpath ~interval () =
@@ -268,6 +314,7 @@ let stats_publisher i ~bpath ~interval () =
       put "rx-bytes" i.rx_bytes;
       put "rx-dropped" i.rx_dropped;
       put "io-retries" i.io_retries;
+      put "num-queues" (Array.length i.queues);
       loop ()
     end
   in
@@ -299,6 +346,9 @@ let attach_metrics i ~bpath =
       R.counter_fn r "kite_net_tx_failed_total"
         ~help:"Frames lost after the retry budget" l
         (fun () -> i.tx_failed);
+      let sum f =
+        Array.fold_left (fun acc q -> acc + f q) 0 i.queues |> float_of_int
+      in
       List.iter
         (fun (ring_name, pending, free) ->
           let rl = ("ring", ring_name) :: l in
@@ -307,16 +357,17 @@ let attach_metrics i ~bpath =
           R.gauge_fn r "kite_net_ring_free" ~help:"Free request slots" rl free)
         [
           ( "tx",
-            (fun () -> float_of_int (Ring.pending_requests i.tx_ring)),
-            fun () -> float_of_int (Ring.free_requests i.tx_ring) );
+            (fun () -> sum (fun q -> Ring.pending_requests q.tx_ring)),
+            fun () -> sum (fun q -> Ring.free_requests q.tx_ring) );
           ( "rx",
-            (fun () -> float_of_int (Ring.pending_requests i.rx_ring)),
-            fun () -> float_of_int (Ring.free_requests i.rx_ring) );
+            (fun () -> sum (fun q -> Ring.pending_requests q.rx_ring)),
+            fun () -> sum (fun q -> Ring.free_requests q.rx_ring) );
         ];
       R.gauge_fn r "kite_net_rx_backlog"
         ~help:"Frames queued from the bridge awaiting Rx slots"
         [ ("vif", vif) ]
-        (fun () -> float_of_int (Queue.length i.backlog));
+        (fun () ->
+          sum (fun q -> Queue.length q.backlog));
       i.m_txbatch <-
         Some
           (R.histogram r "kite_net_tx_batch" ~base:1.0 ~factor:2.0
@@ -324,9 +375,30 @@ let attach_metrics i ~bpath =
       R.probe r ~name:"kite_net_tx_ring_stalled" [ ("vif", vif) ]
         (R.stalled_probe
            ~pending:(fun () ->
-             if i.stop then 0 else Ring.pending_requests i.tx_ring)
+             if i.stop then 0
+             else
+               Array.fold_left
+                 (fun acc q -> acc + Ring.pending_requests q.tx_ring)
+                 0 i.queues)
            ~progress:(fun () -> i.tx_packets)
            ());
+      if i.mq_mode then
+        Array.iter
+          (fun q ->
+            let ql = [ ("vif", vif); ("queue", string_of_int q.qid) ] in
+            R.counter_fn r "kite_net_queue_tx_packets_total"
+              ~help:"Guest-to-wire packets on this queue" ql
+              (fun () -> q.q_tx_packets);
+            R.counter_fn r "kite_net_queue_rx_packets_total"
+              ~help:"Wire-to-guest packets on this queue" ql
+              (fun () -> q.q_rx_packets);
+            R.probe r ~name:"kite_net_tx_ring_stalled" ql
+              (R.stalled_probe
+                 ~pending:(fun () ->
+                   if i.stop then 0 else Ring.pending_requests q.tx_ring)
+                 ~progress:(fun () -> q.q_tx_packets)
+                 ()))
+          i.queues;
       Hypervisor.spawn i.ctx.Xen_ctx.hv i.domain ~daemon:true
         ~name:
           (Printf.sprintf "netback-stats-%d.%d" i.frontend.Domain.id i.devid)
@@ -341,6 +413,12 @@ let make_instance t ~frontend ~devid =
   in
   let fpath = Xenbus.frontend_path ~frontend ~ty:"vif" ~devid in
   Xenbus.write xb domain ~path:(bpath ^ "/feature-rx-copy") "1";
+  Xenbus.write xb domain
+    ~path:(bpath ^ "/" ^ Netchannel.key_max_queues)
+    (string_of_int t.smax_queues);
+  Xenbus.write xb domain
+    ~path:(bpath ^ "/" ^ Netchannel.key_max_ring_page_order)
+    (string_of_int t.smax_ring_page_order);
   Xenbus.switch_state xb domain ~path:bpath Xenbus.Init_wait;
   Xenbus.wait_for_state xb domain ~path:fpath Xenbus.Initialised;
   let want key =
@@ -348,15 +426,47 @@ let make_instance t ~frontend ~devid =
     | Some v -> v
     | None -> failwith ("netback: frontend did not publish " ^ key)
   in
-  let tx_ref = want "tx-ring-ref" in
-  let rx_ref = want "rx-ring-ref" in
-  let port = want "event-channel" in
-  let tx_ring = Netchannel.map_tx ctx.Xen_ctx.netrings tx_ref in
-  let rx_ring = Netchannel.map_rx ctx.Xen_ctx.netrings rx_ref in
-  (* Mapping the two ring pages costs two map hypercalls. *)
+  (* Multi-queue negotiation: a frontend that published
+     multi-queue-num-queues gets per-queue rings under queue-<n>/;
+     a legacy frontend gets the flat keys.  Never trust the frontend
+     past our own advertised cap. *)
+  let nq_negotiated =
+    Xenbus.read_int xb domain ~path:(fpath ^ "/" ^ Netchannel.key_num_queues)
+  in
+  let mq_mode = nq_negotiated <> None in
+  let nq =
+    match nq_negotiated with
+    | Some n -> max 1 (min n t.smax_queues)
+    | None -> 1
+  in
+  let queues =
+    Array.init nq (fun qid ->
+        let key k =
+          if mq_mode then Netchannel.queue_key qid k else k
+        in
+        let tx_ref = want (key "tx-ring-ref") in
+        let rx_ref = want (key "rx-ring-ref") in
+        let qport = want (key "event-channel") in
+        let tx_ring = Netchannel.map_tx ctx.Xen_ctx.netrings tx_ref in
+        let rx_ring = Netchannel.map_rx ctx.Xen_ctx.netrings rx_ref in
+        {
+          qid;
+          tx_ring;
+          rx_ring;
+          qport;
+          backlog = Queue.create ();
+          pusher_wake = Condition.create ~label:"netback tx ring" ();
+          soft_wake = Condition.create ~label:"netback rx backlog" ();
+          q_tx_packets = 0;
+          q_rx_packets = 0;
+        })
+  in
+  (* Mapping all the ring pages is pooled into one batched map
+     hypercall (2 pages per queue). *)
   Hypervisor.hypercall ctx.Xen_ctx.hv domain "grant_map"
-    ~extra:(2 * (Hypervisor.costs ctx.Xen_ctx.hv).Costs.grant_map);
-  Event_channel.bind ctx.Xen_ctx.ec port domain;
+    ~extra:(2 * nq * (Hypervisor.costs ctx.Xen_ctx.hv).Costs.grant_map);
+  Array.iter (fun q -> Event_channel.bind ctx.Xen_ctx.ec q.qport domain)
+    queues;
   let i =
     {
       ctx;
@@ -364,13 +474,9 @@ let make_instance t ~frontend ~devid =
       frontend;
       devid;
       ov = t.soverheads;
-      tx_ring;
-      rx_ring;
-      port;
+      queues;
+      mq_mode;
       vif = None;
-      backlog = Queue.create ();
-      pusher_wake = Condition.create ~label:"netback tx ring" ();
-      soft_wake = Condition.create ~label:"netback rx backlog" ();
       last_activity = Time.zero;
       retries = t.sretries;
       retry_backoff = t.sretry_backoff;
@@ -385,33 +491,46 @@ let make_instance t ~frontend ~devid =
       stop = false;
     }
   in
-  (* The VIF's transmit side (bridge -> guest) feeds the backlog; it runs
-     in arbitrary context so it only enqueues and signals. *)
+  (* The VIF's transmit side (bridge -> guest) feeds the per-queue
+     backlogs through the flow-hash steering function; it runs in
+     arbitrary context so it only enqueues and signals. *)
   let vif =
     Netdev.create
       ~name:(Printf.sprintf "vif%d.%d" frontend.Domain.id devid)
       ~transmit:(fun frame ->
-        if Queue.length i.backlog >= rx_backlog_limit then
+        let q = queues.(Netchannel.flow_hash frame nq) in
+        if Queue.length q.backlog >= rx_backlog_limit then
           i.rx_dropped <- i.rx_dropped + 1
         else begin
-          Queue.push frame i.backlog;
-          Condition.signal i.soft_wake
+          Queue.push frame q.backlog;
+          Condition.signal q.soft_wake
         end)
       ()
   in
   i.vif <- Some vif;
-  Event_channel.set_handler ctx.Xen_ctx.ec port domain (fun () ->
-      Condition.signal i.pusher_wake;
-      Condition.signal i.soft_wake);
+  Array.iter
+    (fun q ->
+      Event_channel.set_handler ctx.Xen_ctx.ec q.qport domain (fun () ->
+          Condition.signal q.pusher_wake;
+          Condition.signal q.soft_wake))
+    queues;
   Xenbus.switch_state xb domain ~path:bpath Xenbus.Connected;
   attach_metrics i ~bpath;
   t.on_vif ~frontend:frontend.Domain.id ~devid vif;
-  Hypervisor.spawn ctx.Xen_ctx.hv domain ~daemon:true
-    ~name:(Printf.sprintf "netback-pusher-%d.%d" frontend.Domain.id devid)
-    (pusher i);
-  Hypervisor.spawn ctx.Xen_ctx.hv domain ~daemon:true
-    ~name:(Printf.sprintf "netback-soft_start-%d.%d" frontend.Domain.id devid)
-    (soft_start i);
+  Array.iter
+    (fun q ->
+      let suffix = if mq_mode then Printf.sprintf ".q%d" q.qid else "" in
+      Hypervisor.spawn ctx.Xen_ctx.hv domain ~daemon:true
+        ~name:
+          (Printf.sprintf "netback-pusher-%d.%d%s" frontend.Domain.id devid
+             suffix)
+        (pusher i q);
+      Hypervisor.spawn ctx.Xen_ctx.hv domain ~daemon:true
+        ~name:
+          (Printf.sprintf "netback-soft_start-%d.%d%s" frontend.Domain.id
+             devid suffix)
+        (soft_start i q))
+    queues;
   i
 
 (* §4.1 backend invocation: a watch on the backend directory wakes a
@@ -452,7 +571,8 @@ let scan t =
     (Xenstore.directory xs ~path:base)
 
 let serve ctx ~domain ~overheads ?(retries = 4)
-    ?(retry_backoff = Time.us 50) ~on_vif () =
+    ?(retry_backoff = Time.us 50) ?(max_queues = 8) ?(max_ring_page_order = 2)
+    ~on_vif () =
   let t =
     {
       sctx = ctx;
@@ -460,6 +580,8 @@ let serve ctx ~domain ~overheads ?(retries = 4)
       soverheads = overheads;
       sretries = retries;
       sretry_backoff = retry_backoff;
+      smax_queues = max_queues;
+      smax_ring_page_order = max_ring_page_order;
       on_vif;
       insts = [];
       known = [];
@@ -482,7 +604,7 @@ let serve ctx ~domain ~overheads ?(retries = 4)
   t
 
 (* Orderly teardown (what the real backend does on frontend Closing):
-   unregister the directory watch, retire the watcher and per-instance
+   unregister the directory watch, retire the watcher and per-queue
    threads, and close the event channels.  Must run in process context. *)
 let stop t =
   t.stopping <- true;
@@ -495,9 +617,12 @@ let stop t =
   List.iter
     (fun i ->
       i.stop <- true;
-      Condition.broadcast i.pusher_wake;
-      Condition.broadcast i.soft_wake;
-      Event_channel.close i.ctx.Xen_ctx.ec i.port)
+      Array.iter
+        (fun q ->
+          Condition.broadcast q.pusher_wake;
+          Condition.broadcast q.soft_wake;
+          Event_channel.close i.ctx.Xen_ctx.ec q.qport)
+        i.queues)
     t.insts
 
 (* Abrupt death (driver domain destroyed).  No orderly channel close:
@@ -515,7 +640,10 @@ let crash t =
   List.iter
     (fun i ->
       i.stop <- true;
-      Queue.clear i.backlog;
-      Condition.broadcast i.pusher_wake;
-      Condition.broadcast i.soft_wake)
+      Array.iter
+        (fun q ->
+          Queue.clear q.backlog;
+          Condition.broadcast q.pusher_wake;
+          Condition.broadcast q.soft_wake)
+        i.queues)
     t.insts

@@ -27,6 +27,8 @@ val serve :
   overheads:Overheads.t ->
   ?retries:int ->
   ?retry_backoff:Kite_sim.Time.span ->
+  ?max_queues:int ->
+  ?max_ring_page_order:int ->
   on_vif:(frontend:int -> devid:int -> Kite_net.Netdev.t -> unit) ->
   unit ->
   t
@@ -37,7 +39,14 @@ val serve :
     [/local/domain/<id>/backend/vif].  Transient NIC errors on the Tx
     path (fault-injected) are retried up to [retries] times with
     exponential backoff starting at [retry_backoff] (defaults: 4,
-    50 us) before the frame is dropped as a wire loss. *)
+    50 us) before the frame is dropped as a wire loss.
+
+    [max_queues] (default 8) caps the queue count any multi-queue
+    frontend may negotiate (advertised as multi-queue-max-queues);
+    [max_ring_page_order] (default 2) likewise caps the negotiated
+    ring page order.  Each negotiated queue gets its own ring pair,
+    event channel, backlog and pusher/soft_start threads; frames from
+    the bridge are steered by {!Netchannel.flow_hash}. *)
 
 val stop : t -> unit
 (** Orderly teardown: unregister the directory watch, retire the watcher
@@ -55,6 +64,9 @@ val instances : t -> instance list
 
 val vif : instance -> Kite_net.Netdev.t
 val frontend_domid : instance -> int
+
+val num_queues : instance -> int
+(** Negotiated queue count (1 for a legacy frontend). *)
 
 val tx_packets : instance -> int
 (** Guest-to-wire packets forwarded. *)

@@ -19,6 +19,35 @@ type rx_ring = (rx_request, rx_response) Kite_xen.Ring.t
 
 let ring_order = 8
 
+(* Multi-queue negotiation keys, named after the Linux xen-netif ABI.
+   The backend advertises [key_max_queues] / [key_max_ring_page_order]
+   on its own directory before entering InitWait; a multi-queue-aware
+   frontend answers with [key_num_queues] / [key_ring_page_order] and
+   moves its per-queue ring references and event channels under
+   [queue_key q ...].  A frontend that writes neither key gets the
+   legacy flat single-ring layout. *)
+let key_max_queues = "multi-queue-max-queues"
+let key_num_queues = "multi-queue-num-queues"
+let key_max_ring_page_order = "max-ring-page-order"
+let key_ring_page_order = "multi-ring-page-order"
+let queue_key q key = Printf.sprintf "queue-%d/%s" q key
+
+(* Flow steering: FNV-1a over the frame's first 40 bytes (covers the
+   Ethernet + IP + transport headers), reduced mod the queue count.
+   Deterministic, so one flow always lands on one queue and ordering
+   within a flow is preserved. *)
+let flow_hash frame nqueues =
+  if nqueues <= 1 then 0
+  else begin
+    let n = min 40 (Bytes.length frame) in
+    let h = ref 0x811c9dc5 in
+    for i = 0 to n - 1 do
+      h := !h lxor Char.code (Bytes.get frame i);
+      h := !h * 0x01000193 land 0x3fffffff
+    done;
+    !h mod nqueues
+  end
+
 type shared = Tx of tx_ring | Rx of rx_ring
 
 type registry = { mutable next : int; rings : (int, shared) Hashtbl.t }

@@ -27,6 +27,29 @@ type rx_ring = (rx_request, rx_response) Kite_xen.Ring.t
 val ring_order : int
 (** 8 — 256-slot rings, as in the Xen netif ABI. *)
 
+(** {1 Multi-queue negotiation}
+
+    Xenstore key names from the Linux xen-netif multi-queue ABI.  The
+    backend advertises {!key_max_queues} and {!key_max_ring_page_order}
+    before InitWait; the frontend answers with {!key_num_queues} and
+    {!key_ring_page_order} and places per-queue ring references and
+    event channels under [queue_key q ...].  Absent keys mean the
+    legacy flat single-ring layout on either side. *)
+
+val key_max_queues : string
+val key_num_queues : string
+val key_max_ring_page_order : string
+val key_ring_page_order : string
+
+val queue_key : int -> string -> string
+(** [queue_key 2 "tx-ring-ref"] is ["queue-2/tx-ring-ref"]. *)
+
+val flow_hash : Bytes.t -> int -> int
+(** [flow_hash frame nqueues] steers a frame to a queue by FNV-1a over
+    its first 40 bytes (headers), mod [nqueues].  Deterministic, so a
+    flow's packets stay ordered on one queue.  Returns 0 when
+    [nqueues <= 1]. *)
+
 (** {1 Shared-ring registry}
 
     The frontend allocates rings in granted pages and advertises the

@@ -19,10 +19,21 @@ val create :
   domain:Kite_xen.Domain.t ->
   backend:Kite_xen.Domain.t ->
   devid:int ->
+  ?num_queues:int ->
+  ?ring_page_order:int ->
+  unit ->
   t
 (** Start the frontend; the xenbus handshake proceeds in the background.
     The toolstack must already have created the xenstore skeleton (see
-    {!Toolstack.add_vif}). *)
+    {!Toolstack.add_vif}).
+
+    [num_queues] asks the backend for that many Tx/Rx ring pairs (the
+    backend caps it at its advertised max); when absent, the
+    toolstack's [queues-wanted] hint is used instead, and when neither
+    exists — or the backend advertises no multi-queue support — the
+    frontend uses the legacy flat single-ring layout.  [ring_page_order]
+    asks for rings [2^order] pages big (order 0 by default; only
+    honoured in multi-queue mode, capped by the backend). *)
 
 val netdev : t -> Kite_net.Netdev.t
 (** The guest-visible interface.  Frames transmitted before the handshake
@@ -37,6 +48,9 @@ val shutdown : t -> unit
     channel.  Run after the backend has stopped touching the rings. *)
 
 val connected : t -> bool
+
+val num_queues : t -> int
+(** Negotiated queue count (0 before the first handshake completes). *)
 
 val tx_packets : t -> int
 val rx_packets : t -> int

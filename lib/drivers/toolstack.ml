@@ -1,6 +1,6 @@
 open Kite_xen
 
-let add_device ctx ~backend ~frontend ~ty ~devid =
+let add_device ctx ~backend ~frontend ~ty ~devid ?queues () =
   let xs = Hypervisor.store ctx.Xen_ctx.hv in
   let bpath = Xenbus.backend_path ~backend ~frontend ~ty ~devid in
   let fpath = Xenbus.frontend_path ~frontend ~ty ~devid in
@@ -9,15 +9,24 @@ let add_device ctx ~backend ~frontend ~ty ~devid =
   Xenstore.write xs ~domid:0
     ~path:(fpath ^ "/backend-id")
     (string_of_int backend.Domain.id);
+  (* The guest-config queue hint (xl's [queues=N]): the frontend reads
+     it at connect when not given an explicit ask, and negotiates
+     multi-queue from it.  Absent = legacy single ring. *)
+  (match queues with
+  | Some n ->
+      Xenstore.write xs ~domid:0
+        ~path:(fpath ^ "/queues-wanted")
+        (string_of_int n)
+  | None -> ());
   (* Created last: this is what fires the backend's directory watch. *)
   Xenstore.mkdir xs ~domid:0 ~path:bpath;
   Xenstore.write xs ~domid:0 ~path:(bpath ^ "/frontend") fpath
 
-let add_vif ctx ~backend ~frontend ~devid =
-  add_device ctx ~backend ~frontend ~ty:"vif" ~devid
+let add_vif ctx ~backend ~frontend ~devid ?queues () =
+  add_device ctx ~backend ~frontend ~ty:"vif" ~devid ?queues ()
 
-let add_vbd ctx ~backend ~frontend ~devid =
-  add_device ctx ~backend ~frontend ~ty:"vbd" ~devid
+let add_vbd ctx ~backend ~frontend ~devid ?queues () =
+  add_device ctx ~backend ~frontend ~ty:"vbd" ~devid ?queues ()
 
 let fnote ctx what dom =
   match ctx.Xen_ctx.fault with

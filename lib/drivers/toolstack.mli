@@ -8,6 +8,8 @@ val add_vif :
   backend:Kite_xen.Domain.t ->
   frontend:Kite_xen.Domain.t ->
   devid:int ->
+  ?queues:int ->
+  unit ->
   unit
 
 val add_vbd :
@@ -15,7 +17,13 @@ val add_vbd :
   backend:Kite_xen.Domain.t ->
   frontend:Kite_xen.Domain.t ->
   devid:int ->
+  ?queues:int ->
+  unit ->
   unit
+(** [queues] is the guest-config multi-queue hint (xl's [queues=N]):
+    written as [queues-wanted] in the frontend directory, where a
+    frontend created without an explicit [num_queues] picks it up and
+    negotiates that many rings with the backend. *)
 
 val crash_driver_domain : Xen_ctx.t -> Kite_xen.Domain.t -> unit
 (** Destroy a driver domain mid-flight, as the hypervisor would: close

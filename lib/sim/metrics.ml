@@ -65,8 +65,25 @@ let summary t name =
       invalid_arg
         (Printf.sprintf "Metrics.summary: no samples recorded under %S" name)
 
+(* [Hashtbl.fold] visits every binding, including shadowed ones a stray
+   [Hashtbl.add] may have stacked under one key, so enumerations must
+   dedup or a family can be listed (and summed) twice. *)
 let sorted_keys tbl =
-  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort_uniq String.compare
+
+(* Canonical key for a labelled family: labels sorted by label name, so
+   the same (name, label set) always lands in the same cell no matter
+   what order call sites list the labels in. *)
+let labelled name labels =
+  match labels with
+  | [] -> name
+  | labels ->
+      let labels =
+        List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+      in
+      Printf.sprintf "%s{%s}" name
+        (String.concat ","
+           (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k v) labels))
 
 let names t = sorted_keys t.counters
 let busy_names t = sorted_keys t.busy

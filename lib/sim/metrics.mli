@@ -48,7 +48,16 @@ val busy_names : t -> string list
 
 val series_names : t -> string list
 (** All {!record_sample} series names, sorted — so exposition layers can
-    enumerate every series without guessing keys. *)
+    enumerate every series without guessing keys.  Like {!names} and
+    {!busy_names}, each name appears exactly once even if the backing
+    table picked up shadowed bindings. *)
+
+val labelled : string -> (string * string) list -> string
+(** Canonical key for a labelled family: [labelled "tx" [("q","0")]] is
+    ["tx{q=\"0\"}"], with labels sorted by label name so every ordering
+    of the same label set maps to the same key.  Use this to build
+    per-queue (or otherwise labelled) counter/series names that must be
+    counted once per family. *)
 
 val reset : t -> unit
 

@@ -51,11 +51,54 @@ val copy_from_granted :
   t -> caller:Domain.t -> ref_ -> off:int -> len:int -> Bytes.t
 (** GNTTABOP_copy out of the granted page. *)
 
+val copy_to_granted_many :
+  t -> caller:Domain.t -> (ref_ * int * Bytes.t) list -> unit
+(** Batched grant copy: every [(gref, off, data)] op rides a single
+    hypercall trap (cf. gnttab_batch_copy), amortizing the trap cost
+    over a queue's pending requests.  Per-op validation and checker
+    hooks are identical to {!copy_to_granted}; a 1-op batch costs the
+    same as the singular form. *)
+
+val copy_from_granted_many :
+  t -> caller:Domain.t -> (ref_ * int * int) list -> Bytes.t list
+(** Batched counterpart of {!copy_from_granted}: one hypercall for the
+    whole [(gref, off, len)] list, results in op order. *)
+
 val revoke_domain : t -> domid:int -> unit
 (** Domain destruction: forcibly unmap everything [domid] had mapped (so
     surviving granters can [end_access] their references), and drop every
     entry [domid] had granted (its grant table dies with it).  The
     checker's shadow state is kept consistent (unmap before end). *)
+
+(** {2 Pooled allocation}
+
+    A pool is a per-queue set of pre-granted pages with one (granter,
+    grantee, writability) shape.  Buffers taken from the pool come
+    already granted; putting them back parks the grant for reuse
+    instead of revoking it, so reposting and multi-queue re-handshakes
+    cost nothing at the grant table. *)
+
+type pool
+
+val pool :
+  t -> granter:Domain.t -> grantee:Domain.t -> writable:bool -> pool
+
+val pool_take : pool -> ref_ * Page.t
+(** Reuse an idle pooled buffer, or grant a fresh zeroed page if the
+    pool is empty. *)
+
+val pool_put : pool -> ref_ * Page.t -> unit
+(** Return a buffer to the pool; the grant stays live. *)
+
+val pool_drain : pool -> unit
+(** Revoke every idle pooled grant (shutdown path; keeps the leak audit
+    clean).  Outstanding buffers are untouched. *)
+
+val pool_granted : pool -> int
+(** Grants currently owned by the pool (idle + outstanding). *)
+
+val pool_outstanding : pool -> int
+(** Buffers taken and not yet put back. *)
 
 val is_mapped : t -> ref_ -> bool
 

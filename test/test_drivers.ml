@@ -89,10 +89,10 @@ let make_net_scenario ?(overheads = Overheads.kite) () =
   let dev = Kite_devices.Pci.attach pci ~bdf:"01:00.0" dd in
   let nic = match dev with Kite_devices.Pci.Nic n -> n | _ -> assert false in
   (* Driver domain data path. *)
-  let net_app = Net_app.run ctx ~domain:dd ~nic ~overheads in
+  let net_app = Net_app.run ctx ~domain:dd ~nic ~overheads () in
   (* Guest frontend. *)
-  Toolstack.add_vif ctx ~backend:dd ~frontend:domu ~devid:0;
-  let netfront = Netfront.create ctx ~domain:domu ~backend:dd ~devid:0 in
+  Toolstack.add_vif ctx ~backend:dd ~frontend:domu ~devid:0 ();
+  let netfront = Netfront.create ctx ~domain:domu ~backend:dd ~devid:0 () in
   let guest_stack =
     Stack.create sched ~name:"guest" ~dev:(Netfront.netdev netfront)
       ~mac:(Macaddr.make_local 100) ~ip:guest_ip
@@ -224,12 +224,12 @@ let test_net_domain_two_guests () =
   let client_nic = Kite_devices.Nic.create sched metrics ~name:"eth-cli" () in
   Kite_devices.Nic.connect server_nic client_nic ~propagation:(Time.ns 500);
   let net_app =
-    Net_app.run ctx ~domain:dd ~nic:server_nic ~overheads:Overheads.kite
+    Net_app.run ctx ~domain:dd ~nic:server_nic ~overheads:Overheads.kite ()
   in
-  Toolstack.add_vif ctx ~backend:dd ~frontend:domu1 ~devid:0;
-  Toolstack.add_vif ctx ~backend:dd ~frontend:domu2 ~devid:0;
-  let nf1 = Netfront.create ctx ~domain:domu1 ~backend:dd ~devid:0 in
-  let nf2 = Netfront.create ctx ~domain:domu2 ~backend:dd ~devid:0 in
+  Toolstack.add_vif ctx ~backend:dd ~frontend:domu1 ~devid:0 ();
+  Toolstack.add_vif ctx ~backend:dd ~frontend:domu2 ~devid:0 ();
+  let nf1 = Netfront.create ctx ~domain:domu1 ~backend:dd ~devid:0 () in
+  let nf2 = Netfront.create ctx ~domain:domu2 ~backend:dd ~devid:0 () in
   let stack1 =
     Stack.create sched ~name:"g1" ~dev:(Netfront.netdev nf1)
       ~mac:(Macaddr.make_local 101)
@@ -307,7 +307,7 @@ let make_blk_scenario ?(overheads = Overheads.kite) ?(feature_persistent = true)
     Blk_app.run ctx ~domain:dd ~nvme ~overheads ~feature_persistent
       ~feature_indirect ~batching ()
   in
-  Toolstack.add_vbd ctx ~backend:dd ~frontend:domu ~devid:0;
+  Toolstack.add_vbd ctx ~backend:dd ~frontend:domu ~devid:0 ();
   let blkfront =
     Blkfront.create ctx ~domain:domu ~backend:dd ~devid:0 ~use_persistent
       ~use_indirect ()
@@ -484,8 +484,8 @@ let test_blk_two_guests_share_device () =
   let app =
     Blk_app.run ctx ~domain:dd ~nvme ~overheads:Overheads.kite ()
   in
-  Toolstack.add_vbd ctx ~backend:dd ~frontend:u1 ~devid:0;
-  Toolstack.add_vbd ctx ~backend:dd ~frontend:u2 ~devid:0;
+  Toolstack.add_vbd ctx ~backend:dd ~frontend:u1 ~devid:0 ();
+  Toolstack.add_vbd ctx ~backend:dd ~frontend:u2 ~devid:0 ();
   let f1 = Blkfront.create ctx ~domain:u1 ~backend:dd ~devid:0 () in
   let f2 = Blkfront.create ctx ~domain:u2 ~backend:dd ~devid:0 () in
   let ok = ref 0 in
@@ -521,8 +521,8 @@ let test_netfront_drops_before_connect () =
       ~mem_mb:512
   in
   (* No backend serving: the handshake can never complete. *)
-  Toolstack.add_vif ctx ~backend:dd ~frontend:domu ~devid:0;
-  let front = Netfront.create ctx ~domain:domu ~backend:dd ~devid:0 in
+  Toolstack.add_vif ctx ~backend:dd ~frontend:domu ~devid:0 ();
+  let front = Netfront.create ctx ~domain:domu ~backend:dd ~devid:0 () in
   let dev = Netfront.netdev front in
   Kite_net.Netdev.set_up dev true;
   Hypervisor.spawn hv domu ~name:"tx" (fun () ->

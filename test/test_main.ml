@@ -17,4 +17,5 @@ let () =
       ("trace", Test_trace.suite);
       ("fault", Test_fault.suite);
       ("metrics", Test_metrics.suite);
+      ("mq", Test_mq.suite);
     ]
