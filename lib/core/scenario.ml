@@ -25,6 +25,14 @@ let client_rx_cost = Time.us 1
 let scenario_seq = ref 0
 let teardowns : (unit -> unit) list ref = ref []
 
+(* Run-wide schedule-exploration seed (kite_ctl race --sweep, test
+   sweeps): when set, every engine built here draws PCT-style random
+   priorities for same-instant events from this seed, so one process
+   image can be rerun under many interleavings.  An explicit
+   [?schedule_seed] argument to [network]/[storage] overrides it. *)
+let schedule_seed : int option ref = ref None
+let set_schedule_seed s = schedule_seed := s
+
 let teardown_all () =
   let fs = List.rev !teardowns in
   teardowns := [];
@@ -71,6 +79,20 @@ let attach_fault ctx tag =
       in
       Kite_drivers.Xen_ctx.enable_fault ctx f;
       Some f
+
+(* And for the race detector (Race.set_default): each machine gets its
+   own detector registered in the sink; findings land in the sink's
+   shared report alongside the protocol checker's. *)
+let attach_race ctx tag =
+  match Kite_race.Race.default () with
+  | None -> ()
+  | Some sink ->
+      incr scenario_seq;
+      let r =
+        Kite_race.Race.create_in sink
+          ~name:(Printf.sprintf "%s%d" tag !scenario_seq)
+      in
+      Kite_drivers.Xen_ctx.enable_race ctx r
 
 (* And for telemetry (Kite_metrics.Registry.set_default): each machine
    gets its own registry in the sink, plus a Dom0 sampler daemon that
@@ -142,10 +164,13 @@ type net = {
   net_metrics : Kite_metrics.Registry.t option;
 }
 
-let network ?overheads_override ~flavor ?(seed = 2022) ?num_queues () =
-  let hv = Hypervisor.create ~seed () in
+let network ?overheads_override ~flavor ?(seed = 2022) ?schedule_seed:sseed
+    ?num_queues () =
+  let sseed = match sseed with Some _ -> sseed | None -> !schedule_seed in
+  let hv = Hypervisor.create ~seed ?schedule_seed:sseed () in
   let ctx = Xen_ctx.create hv in
   let check = attach_check ctx ("net-" ^ flavor_name flavor ^ "-") in
+  attach_race ctx ("net-" ^ flavor_name flavor ^ "-");
   attach_trace ctx ("net-" ^ flavor_name flavor ^ "-");
   let fault = attach_fault ctx ("net-" ^ flavor_name flavor ^ "-") in
   let mreg = attach_metrics ctx ("net-" ^ flavor_name flavor ^ "-") in
@@ -248,6 +273,9 @@ let network ?overheads_override ~flavor ?(seed = 2022) ?num_queues () =
       Hypervisor.spawn hv dd ~name:"teardown" (fun () ->
           Netback.stop (Net_app.netback s.net_app);
           Process.sleep (Time.ms 1);
+          (* The sleep is the only thing ordering us after the parked
+             backend threads; claim their exit edges explicitly. *)
+          if Kite_race.Race.active () then Kite_race.Race.scoped_quiesce ();
           Netfront.shutdown netfront);
       Hypervisor.run_for hv (Time.ms 50);
       match check with
@@ -278,11 +306,14 @@ type blk = {
   blk_metrics : Kite_metrics.Registry.t option;
 }
 
-let storage ~flavor ?(seed = 2022) ?(feature_persistent = true)
-    ?(feature_indirect = true) ?(batching = true) ?num_queues () =
-  let hv = Hypervisor.create ~seed () in
+let storage ~flavor ?(seed = 2022) ?schedule_seed:sseed
+    ?(feature_persistent = true) ?(feature_indirect = true)
+    ?(batching = true) ?num_queues () =
+  let sseed = match sseed with Some _ -> sseed | None -> !schedule_seed in
+  let hv = Hypervisor.create ~seed ?schedule_seed:sseed () in
   let ctx = Xen_ctx.create hv in
   let check = attach_check ctx ("blk-" ^ flavor_name flavor ^ "-") in
+  attach_race ctx ("blk-" ^ flavor_name flavor ^ "-");
   attach_trace ctx ("blk-" ^ flavor_name flavor ^ "-");
   let fault = attach_fault ctx ("blk-" ^ flavor_name flavor ^ "-") in
   let mreg = attach_metrics ctx ("blk-" ^ flavor_name flavor ^ "-") in
@@ -344,6 +375,7 @@ let storage ~flavor ?(seed = 2022) ?(feature_persistent = true)
              before blkfront revokes the pool. *)
           Blkback.stop (Blk_app.blkback s.blk_app);
           Process.sleep (Time.ms 1);
+          if Kite_race.Race.active () then Kite_race.Race.scoped_quiesce ();
           Blkfront.shutdown blkfront);
       Hypervisor.run_for hv (Time.ms 50);
       match check with

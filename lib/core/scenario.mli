@@ -9,6 +9,15 @@ val flavor_name : flavor -> string
 
 val overheads_of : flavor -> Kite_drivers.Overheads.t
 
+val set_schedule_seed : int option -> unit
+(** Run-wide schedule-exploration seed: when set, every testbed engine
+    built afterwards randomizes the order of same-instant events from
+    this seed (PCT-style), letting sweeps rerun one workload under many
+    interleavings with the race detector and protocol checker as
+    oracles.  [None] (the default) keeps the deterministic FIFO order.
+    An explicit [?schedule_seed] argument to {!network}/{!storage}
+    overrides it per-testbed. *)
+
 val teardown_all : unit -> unit
 (** Run the orderly teardown of every testbed built so far: quiesce,
     stop backends, shut down frontends.  When a checker was active
@@ -48,7 +57,12 @@ type net = {
 
 val network :
   ?overheads_override:Kite_drivers.Overheads.t ->
-  flavor:flavor -> ?seed:int -> ?num_queues:int -> unit -> net
+  flavor:flavor ->
+  ?seed:int ->
+  ?schedule_seed:int ->
+  ?num_queues:int ->
+  unit ->
+  net
 (** Build the network-domain testbed; drive it with
     {!Kite_xen.Hypervisor.run_for}.  The netfront handshake happens in
     simulated time — use {!when_net_ready} to sequence load behind it.
@@ -90,6 +104,7 @@ type blk = {
 val storage :
   flavor:flavor ->
   ?seed:int ->
+  ?schedule_seed:int ->
   ?feature_persistent:bool ->
   ?feature_indirect:bool ->
   ?batching:bool ->

@@ -219,7 +219,14 @@ let prepare_run i reqs =
             let mine, rest = split_at (List.length segs) pages in
             if i.persistent then
               List.iter
-                (fun s -> Hashtbl.replace i.pmap s.Blkif.gref ())
+                (fun s ->
+                  if Kite_race.Race.active () then
+                    Kite_race.Race.scoped_write
+                      ~loc:
+                        (Printf.sprintf "%s.pmap[%d]" (vbd_name i)
+                           s.Blkif.gref)
+                      ~site:"Blkback.persist";
+                  Hashtbl.replace i.pmap s.Blkif.gref ())
                 segs;
             let total_bytes =
               List.fold_left (fun a s -> a + Blkif.segment_bytes s) 0 segs

@@ -109,8 +109,11 @@ let attach_ring_instruments t q =
       Ring.attach_trace q.q_ring tr ~name:(ring_name t q)
         ~now:(fun () -> Hypervisor.now t.ctx.Xen_ctx.hv)
   | None -> ());
-  match t.ctx.Xen_ctx.fault with
+  (match t.ctx.Xen_ctx.fault with
   | Some f -> Ring.attach_fault q.q_ring f ~name:(ring_name t q)
+  | None -> ());
+  match t.ctx.Xen_ctx.race with
+  | Some r -> Ring.attach_race q.q_ring r ~name:(ring_name t q)
   | None -> ()
 
 (* The multi-queue checker invariant: a request id is a device-global
@@ -132,10 +135,18 @@ let queue_for t p = t.queues.(p.p_id mod Array.length t.queues)
 (* Data pages: persistent mode reuses a granted pool so the backend's
    mappings stay valid; otherwise grant fresh pages per request and revoke
    them afterwards. *)
+(* The pool hand-off needs a happens-before edge of its own: pages cycle
+   between submitting processes (and the backend's writes into them), and
+   in a real kernel the pool lock is what orders one request's final read
+   against the next request's reuse.  put releases, get acquires. *)
+let pool_chan t = Printf.sprintf "%s.pool" (vbd_name t)
+
 let get_page t =
   if persistent_enabled t then
     match t.pool with
     | (gref, page) :: rest ->
+        if Kite_race.Race.active () then
+          Kite_race.Race.scoped_acquire ~chan:(pool_chan t);
         t.pool <- rest;
         (gref, page)
     | [] ->
@@ -154,7 +165,11 @@ let get_page t =
     (gref, page)
 
 let put_pages t pages =
-  if persistent_enabled t then t.pool <- pages @ t.pool
+  if persistent_enabled t then begin
+    if Kite_race.Race.active () then
+      Kite_race.Race.scoped_release ~chan:(pool_chan t);
+    t.pool <- pages @ t.pool
+  end
   else
     List.iter
       (fun (gref, _) ->
@@ -263,6 +278,10 @@ let push_entry t p =
         ~kind:"blk" ~key:(vbd_name t) ~id:p.p_id ~stage:"ring"
         ~args:[ ("sectors", string_of_int count) ]
   | None -> ());
+  if Kite_race.Race.active () then
+    Kite_race.Race.scoped_write
+      ~loc:(Printf.sprintf "%s.pending[%d]" (vbd_name t) p.p_id)
+      ~site:"Blkfront.push";
   Hashtbl.replace t.pending p.p_id p;
   if Ring.push_requests_and_check_notify q.q_ring then notify_backend t q
 
@@ -335,6 +354,10 @@ let submit t op ~sector ~count data =
       Kite_metrics.Registry.observe h
         (float_of_int (Hypervisor.now t.ctx.Xen_ctx.hv - t0))
   | None -> ());
+  if Kite_race.Race.active () then
+    Kite_race.Race.scoped_write
+      ~loc:(Printf.sprintf "%s.pending[%d]" (vbd_name t) p.p_id)
+      ~site:"Blkfront.complete";
   Hashtbl.remove t.pending p.p_id;
   (* Indirect descriptor pages are single-use. *)
   List.iter

@@ -74,6 +74,13 @@ let hv i = i.ctx.Xen_ctx.hv
 let trace i = i.ctx.Xen_ctx.trace
 let vif_name i = Printf.sprintf "vif%d.%d" i.frontend.Domain.id i.devid
 
+(* Happens-before channel for the per-queue Rx backlog: the VIF transmit
+   callback releases before pushing, the softirq worker acquires after
+   popping, so frame contents written by the bridge are ordered before
+   the grant-copy that reads them. *)
+let backlog_chan i q =
+  Printf.sprintf "netback:%s.q%d.backlog" (vif_name i) q.qid
+
 let fnote i what =
   match i.ctx.Xen_ctx.fault with
   | Some f -> Kite_fault.Fault.note f ~what ~key:(vif_name i)
@@ -233,6 +240,8 @@ let soft_start i q () =
         List.rev acc
       else begin
         let frame = Queue.pop q.backlog in
+        if Kite_race.Race.active () then
+          Kite_race.Race.scoped_acquire ~chan:(backlog_chan i q);
         match Ring.take_request q.rx_ring with
         | Some req -> gather ((req, frame) :: acc)
         | None -> List.rev acc
@@ -502,6 +511,8 @@ let make_instance t ~frontend ~devid =
         if Queue.length q.backlog >= rx_backlog_limit then
           i.rx_dropped <- i.rx_dropped + 1
         else begin
+          if Kite_race.Race.active () then
+            Kite_race.Race.scoped_release ~chan:(backlog_chan i q);
           Queue.push frame q.backlog;
           Condition.signal q.soft_wake
         end)

@@ -95,10 +95,15 @@ let attach_ring_instruments t q =
       Ring.attach_trace q.tx_ring tr ~name:tx_name ~now;
       Ring.attach_trace q.rx_ring tr ~name:rx_name ~now
   | None -> ());
-  match t.ctx.Xen_ctx.fault with
+  (match t.ctx.Xen_ctx.fault with
   | Some f ->
       Ring.attach_fault q.tx_ring f ~name:tx_name;
       Ring.attach_fault q.rx_ring f ~name:rx_name
+  | None -> ());
+  match t.ctx.Xen_ctx.race with
+  | Some r ->
+      Ring.attach_race q.tx_ring r ~name:tx_name;
+      Ring.attach_race q.rx_ring r ~name:rx_name
   | None -> ()
 
 let mq_claim t q ~slot =
@@ -236,6 +241,10 @@ let transmit t frame =
         Grant_table.grant_access t.ctx.Xen_ctx.gt ~granter:t.domain
           ~grantee:t.backend ~page ~writable:false
       in
+      if Kite_race.Race.active () then
+        Kite_race.Race.scoped_write
+          ~loc:(Printf.sprintf "%s.q%d.tx_pending[%d]" (vif_name t) q.qid id)
+          ~site:"Netfront.tx";
       Hashtbl.replace q.tx_pending id (gref, page);
       mq_claim t q ~slot:id;
       Ring.push_request q.tx_ring
@@ -262,6 +271,12 @@ let drain_tx_responses t q =
     | Some rsp ->
         (match Hashtbl.find_opt q.tx_pending rsp.Netchannel.tx_rsp_id with
         | Some (gref, _page) ->
+            if Kite_race.Race.active () then
+              Kite_race.Race.scoped_write
+                ~loc:
+                  (Printf.sprintf "%s.q%d.tx_pending[%d]" (vif_name t) q.qid
+                     rsp.Netchannel.tx_rsp_id)
+                ~site:"Netfront.tx-response";
             Hashtbl.remove q.tx_pending rsp.Netchannel.tx_rsp_id;
             mq_release t ~slot:rsp.Netchannel.tx_rsp_id;
             Grant_table.end_access t.ctx.Xen_ctx.gt ~granter:t.domain gref

@@ -16,6 +16,7 @@ type t = {
   mutable trace : Kite_trace.Trace.t option;
   mutable fault : Kite_fault.Fault.t option;
   mutable metrics : Kite_metrics.Registry.t option;
+  mutable race : Kite_race.Race.t option;
 }
 
 let create hv =
@@ -30,6 +31,7 @@ let create hv =
     trace = None;
     fault = None;
     metrics = None;
+    race = None;
   }
 
 let enable_check t c =
@@ -38,6 +40,16 @@ let enable_check t c =
   Grant_table.set_check t.gt (Some c);
   Xenstore.set_check (Hypervisor.store t.hv) (Some c);
   Xenbus.set_check t.xb (Some c)
+
+let enable_race t r =
+  t.race <- Some r;
+  (* Processes, store nodes, event channels and grant entries are wired
+     machine-wide; rings and per-queue driver state are attached as
+     drivers connect, like [check]. *)
+  Kite_sim.Process.set_race (Hypervisor.sched t.hv) (Some r);
+  Xenstore.set_race (Hypervisor.store t.hv) (Some r);
+  Event_channel.set_race t.ec (Some r);
+  Grant_table.set_race t.gt (Some r)
 
 let enable_trace t tr =
   t.trace <- Some tr;

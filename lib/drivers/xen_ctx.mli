@@ -11,6 +11,7 @@ type t = {
   mutable trace : Kite_trace.Trace.t option;
   mutable fault : Kite_fault.Fault.t option;
   mutable metrics : Kite_metrics.Registry.t option;
+  mutable race : Kite_race.Race.t option;
 }
 
 val create : Kite_xen.Hypervisor.t -> t
@@ -19,6 +20,13 @@ val enable_check : t -> Kite_check.Check.t -> unit
 (** Wire a protocol checker into this machine: scheduler hooks, the grant
     table and the xenstore.  Rings are attached as drivers connect (they
     see [check] through this record).  Call before spawning drivers. *)
+
+val enable_race : t -> Kite_race.Race.t -> unit
+(** Wire a happens-before race detector into this machine: scheduler
+    vector clocks and block epochs, store-node channels, event-channel
+    notify→deliver edges, grant-entry access checks, plus — through this
+    record — per-slot ring instrumentation and per-queue driver state as
+    drivers connect.  Call before spawning drivers. *)
 
 val enable_trace : t -> Kite_trace.Trace.t -> unit
 (** Wire an event tracer into this machine: hypervisor charges, the

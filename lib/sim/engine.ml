@@ -1,8 +1,25 @@
 type handle = { mutable cancelled : bool; thunk : unit -> unit }
 
-type t = { mutable clock : Time.t; queue : handle Heap.t }
+type t = {
+  mutable clock : Time.t;
+  queue : handle Heap.t;
+  (* Schedule explorer: when armed, every event draws a random secondary
+     priority, so events scheduled for the same instant execute in a
+     seed-determined random permutation instead of FIFO order (a
+     PCT-style priority assignment).  Each seed is one reproducible
+     interleaving; sweeping seeds with the checker and race detector as
+     oracles surfaces ordering bugs the FIFO schedule can never hit. *)
+  explore : Rng.t option;
+}
 
-let create () = { clock = Time.zero; queue = Heap.create () }
+let create ?schedule_seed () =
+  {
+    clock = Time.zero;
+    queue = Heap.create ();
+    explore = Option.map Rng.create schedule_seed;
+  }
+
+let explored t = t.explore <> None
 
 let now t = t.clock
 
@@ -12,7 +29,8 @@ let schedule_at t when_ f =
       (Printf.sprintf "Engine.schedule_at: %d is in the past (now %d)" when_
          t.clock);
   let h = { cancelled = false; thunk = f } in
-  Heap.add t.queue ~key:when_ h;
+  let prio = match t.explore with None -> 0 | Some rng -> Rng.int rng 0x40000000 in
+  Heap.add t.queue ~key:when_ ~prio h;
   h
 
 let schedule_after t span f = schedule_at t (t.clock + span) f

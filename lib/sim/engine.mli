@@ -3,14 +3,26 @@
     The engine owns the simulated clock and an event queue.  Events are
     thunks executed at a scheduled instant; among events scheduled for the
     same instant, execution follows scheduling order, so runs are fully
-    deterministic. *)
+    deterministic.
+
+    With [?schedule_seed] the engine becomes a seeded schedule explorer:
+    each event draws a random secondary priority (PCT-style), so
+    same-instant events execute in a seed-determined random permutation
+    rather than FIFO order.  Runs remain fully deterministic per seed —
+    the heap's (key, prio, insertion-order) comparison is total — so any
+    interleaving bug a sweep surfaces is reproducible from its seed. *)
 
 type t
 
 type handle
 (** A scheduled event; can be cancelled before it fires. *)
 
-val create : unit -> t
+val create : ?schedule_seed:int -> unit -> t
+(** [create ?schedule_seed ()]: with a seed, arm the schedule explorer;
+    without, keep the deterministic FIFO order at equal instants. *)
+
+val explored : t -> bool
+(** Whether the schedule explorer is armed. *)
 
 val now : t -> Time.t
 (** Current simulated time. *)

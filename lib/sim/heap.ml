@@ -1,7 +1,13 @@
-(* Binary min-heap over (key, seq) pairs.  [seq] is a monotonically
-   increasing insertion counter used to break ties deterministically. *)
+(* Binary min-heap over (key, prio, seq) triples.  Ordering is total and
+   explicitly deterministic: entries compare by [key] first, then [prio]
+   (the schedule explorer's random priority, 0 by default), and finally
+   [seq] — a monotonically increasing insertion counter.  Because [seq]
+   is unique per entry, equal (key, prio) pairs always pop in insertion
+   order, so two runs performing identical insertions replay byte-for-
+   byte — the property schedule-seed sweeps rely on to reproduce an
+   interleaving from its seed alone. *)
 
-type 'a entry = { key : int; seq : int; value : 'a }
+type 'a entry = { key : int; prio : int; seq : int; value : 'a }
 
 type 'a t = {
   mutable data : 'a entry array;
@@ -14,7 +20,10 @@ let create () = { data = [||]; len = 0; next_seq = 0 }
 let is_empty h = h.len = 0
 let size h = h.len
 
-let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+let less a b =
+  a.key < b.key
+  || (a.key = b.key
+     && (a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)))
 
 let grow h =
   let cap = Array.length h.data in
@@ -25,8 +34,8 @@ let grow h =
   Array.blit h.data 0 ndata 0 h.len;
   h.data <- ndata
 
-let add h ~key value =
-  let e = { key; seq = h.next_seq; value } in
+let add h ~key ?(prio = 0) value =
+  let e = { key; prio; seq = h.next_seq; value } in
   h.next_seq <- h.next_seq + 1;
   if h.len = 0 && Array.length h.data = 0 then h.data <- Array.make 16 e
   else if h.len = Array.length h.data then grow h;

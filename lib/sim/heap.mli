@@ -1,7 +1,11 @@
 (** Binary min-heap keyed by integer priority.
 
-    Used as the event queue of the simulation engine.  Ties are broken by
-    insertion order so that the simulation is deterministic. *)
+    Used as the event queue of the simulation engine.  Ordering is a
+    total, explicitly deterministic (key, prio, seq) comparison: [key]
+    first, then [prio] (the schedule explorer's random event priority, 0
+    by default), then a stable per-insertion sequence number.  Equal
+    (key, prio) entries therefore pop in insertion order, and any run
+    making identical insertions replays byte-for-byte. *)
 
 type 'a t
 
@@ -11,12 +15,13 @@ val is_empty : 'a t -> bool
 
 val size : 'a t -> int
 
-val add : 'a t -> key:int -> 'a -> unit
-(** [add h ~key v] inserts [v] with priority [key]. *)
+val add : 'a t -> key:int -> ?prio:int -> 'a -> unit
+(** [add h ~key ?prio v] inserts [v] with primary priority [key] and
+    secondary priority [prio] (default 0). *)
 
 val min_key : 'a t -> int option
 (** Smallest key currently in the heap, if any. *)
 
 val pop : 'a t -> (int * 'a) option
-(** Remove and return the minimum element.  Among equal keys, elements are
-    returned in insertion order. *)
+(** Remove and return the minimum element, following the deterministic
+    (key, prio, insertion-order) ordering above. *)

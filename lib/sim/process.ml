@@ -3,6 +3,7 @@ type sched = {
   mutable live : int;
   mutable check : Kite_check.Check.t option;
   mutable trace : Kite_trace.Trace.t option;
+  mutable race : Kite_race.Race.t option;
 }
 
 exception Process_failure of string * exn
@@ -14,11 +15,14 @@ type _ Effect.t +=
       (string option * (Engine.t -> (unit -> unit) -> unit))
       -> unit Effect.t
 
-let scheduler engine = { engine; live = 0; check = None; trace = None }
+let scheduler engine =
+  { engine; live = 0; check = None; trace = None; race = None }
+
 let engine t = t.engine
 let live t = t.live
 let set_check t c = t.check <- c
 let set_trace t tr = t.trace <- tr
+let set_race t r = t.race <- r
 
 let sleep span = Effect.perform (Sleep span)
 let yield () = Effect.perform Yield
@@ -26,62 +30,95 @@ let suspend ?label register = Effect.perform (Suspend (label, register))
 
 let spawn t ?(daemon = false) ~name body =
   t.live <- t.live + 1;
-  (* Checker and tracer references are captured at spawn time: enabling
-     either mid-run only instruments processes spawned afterwards. *)
-  let check = t.check in
-  let trace = t.trace in
-  let pid =
-    match check with
-    | Some c -> Kite_check.Check.proc_spawned c ~name ~daemon
-    | None -> -1
+  (* Sink references are re-read from the scheduler at every engine-queue
+     (re-)entry, and per-sink registration happens lazily against the
+     instance seen at that moment: attaching a checker, tracer or race
+     detector mid-run therefore instruments already-running processes
+     from their next step onward (closing the old capture-at-spawn-time
+     gap, where mid-run attachment silently skipped them).  Events from
+     before the attach are simply absent, as for any late observer. *)
+  let creg = ref None in
+  let rreg = ref None in
+  (* [@lint.guarded]: only reached through a Some-match on the sink. *)
+  let[@lint.guarded] check_pid c =
+    match !creg with
+    | Some (c', pid) when c' == c -> pid
+    | _ ->
+        let pid = Kite_check.Check.proc_spawned c ~name ~daemon in
+        creg := Some (c, pid);
+        pid
   in
-  (match trace with
+  let[@lint.guarded] race_pid r =
+    match !rreg with
+    | Some (r', pid) when r' == r -> pid
+    | _ ->
+        let pid = Kite_race.Race.proc_register r ~name in
+        rreg := Some (r, pid);
+        pid
+  in
+  (* Register eagerly when sinks are already attached, so spawn order and
+     the race detector's spawn edge are recorded at the true spawn
+     instant (the spawner is still the current process here). *)
+  (match t.check with Some c -> ignore (check_pid c) | None -> ());
+  (match t.race with Some r -> ignore (race_pid r) | None -> ());
+  (match t.trace with
   | Some tr ->
       Kite_trace.Trace.proc_spawned tr ~at:(Engine.now t.engine) ~name ~daemon
   | None -> ());
   let blocked kind =
-    (match check with
+    (match t.check with
     | Some c ->
         let ckind =
           match kind with
           | `Sleep _ -> `Sleep
           | (`Yield | `Suspend _) as k -> k
         in
-        Kite_check.Check.proc_blocked c pid ~kind:ckind
+        Kite_check.Check.proc_blocked c (check_pid c) ~kind:ckind
     | None -> ());
-    match trace with
+    (match t.race with
+    | Some r -> Kite_race.Race.proc_blocked r (race_pid r)
+    | None -> ());
+    match t.trace with
     | Some tr ->
         Kite_trace.Trace.proc_blocked tr ~at:(Engine.now t.engine) ~name ~kind
     | None -> ()
   in
-  (* Wrap every engine-queue (re-)entry of the process so the checker and
-     tracer know which process events are attributed to. *)
-  let step f =
-    match (check, trace) with
-    | None, None -> f
-    | _ ->
-        fun () ->
-          (match check with
-          | Some c -> Kite_check.Check.proc_enter c pid
-          | None -> ());
-          (match trace with
-          | Some tr -> Kite_trace.Trace.proc_enter tr ~name
-          | None -> ());
-          Fun.protect
-            ~finally:(fun () ->
-              (match trace with
-              | Some tr -> Kite_trace.Trace.proc_leave tr
-              | None -> ());
-              match check with
-              | Some c -> Kite_check.Check.proc_leave c
-              | None -> ())
-            f
+  (* Wrap every engine-queue (re-)entry of the process so the observers
+     know which process events are attributed to. *)
+  let step f () =
+    match (t.check, t.trace, t.race) with
+    | None, None, None -> f ()
+    | check, trace, race ->
+        (match check with
+        | Some c -> Kite_check.Check.proc_enter c (check_pid c)
+        | None -> ());
+        (match trace with
+        | Some tr -> Kite_trace.Trace.proc_enter tr ~name
+        | None -> ());
+        (match race with
+        | Some r -> Kite_race.Race.proc_enter r (race_pid r)
+        | None -> ());
+        Fun.protect
+          ~finally:(fun () ->
+            (match race with
+            | Some r -> Kite_race.Race.proc_leave r
+            | None -> ());
+            (match trace with
+            | Some tr -> Kite_trace.Trace.proc_leave tr
+            | None -> ());
+            match check with
+            | Some c -> Kite_check.Check.proc_leave c
+            | None -> ())
+          f
   in
   let exited () =
-    (match check with
-    | Some c -> Kite_check.Check.proc_exited c pid
+    (match t.check with
+    | Some c -> Kite_check.Check.proc_exited c (check_pid c)
     | None -> ());
-    match trace with
+    (match t.race with
+    | Some r -> Kite_race.Race.proc_exited r (race_pid r)
+    | None -> ());
+    match t.trace with
     | Some tr -> Kite_trace.Trace.proc_exited tr ~at:(Engine.now t.engine) ~name
     | None -> ()
   in

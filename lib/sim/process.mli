@@ -19,16 +19,25 @@ val scheduler : Engine.t -> sched
 val engine : sched -> Engine.t
 
 val set_check : sched -> Kite_check.Check.t option -> unit
-(** Attach (or detach) an invariant checker.  Only processes spawned while
-    a checker is attached are instrumented; with [None] (the default) the
+(** Attach (or detach) an invariant checker.  Attachment is dynamic:
+    already-running processes register with the new instance at their
+    next step, so mid-run attachment instruments everything (events from
+    before the attach are simply absent).  With [None] (the default) the
     scheduler runs exactly as before. *)
 
 val set_trace : sched -> Kite_trace.Trace.t option -> unit
-(** Attach (or detach) an event tracer.  Same capture-at-spawn-time
-    semantics as {!set_check}: processes spawned while a tracer is
-    attached record spawn/block/exit events and attribute in-process
-    events (hypercalls, driver milestones) to their track; with [None]
-    the scheduler runs exactly as before. *)
+(** Attach (or detach) an event tracer.  Same dynamic-attach semantics
+    as {!set_check}: processes record spawn/block/exit events and
+    attribute in-process events (hypercalls, driver milestones) to their
+    track from the moment a tracer is present; with [None] the scheduler
+    runs exactly as before. *)
+
+val set_race : sched -> Kite_race.Race.t option -> unit
+(** Attach (or detach) a happens-before race detector.  Processes get a
+    vector clock with a spawn edge from their spawner, bump their
+    atomicity epoch at every blocking point, and scope their accesses to
+    the detector while running.  Same dynamic-attach semantics as
+    {!set_check}. *)
 
 val spawn : sched -> ?daemon:bool -> name:string -> (unit -> unit) -> unit
 (** [spawn sched ~name body] starts a process at the current instant.

@@ -26,6 +26,7 @@ type t = {
   mutable delivered : int;
   mutable dropped : int;
   mutable fault : Kite_fault.Fault.t option;
+  mutable race : Kite_race.Race.t option;
 }
 
 let create hv =
@@ -37,9 +38,11 @@ let create hv =
     delivered = 0;
     dropped = 0;
     fault = None;
+    race = None;
   }
 
 let set_fault t f = t.fault <- f
+let set_race t r = t.race <- r
 
 let alloc_unbound t dom ~remote =
   let port = t.next_port in
@@ -127,6 +130,15 @@ let notify t port ~from =
   match peer_of ch from.Domain.id with
   | None -> ()  (* not yet bound: event is lost, as in Xen *)
   | Some peer ->
+      (* Notify-to-deliver happens-before edge: the handler (and whatever
+         it wakes) is ordered after everything the sender published.  A
+         dropped notification above establishes no edge — recovery paths
+         must build their own ordering, which is exactly what the
+         detector then audits. *)
+      (match t.race with
+      | Some r ->
+          Kite_race.Race.hb_release r ~chan:("evtchn:" ^ string_of_int port)
+      | None -> ());
       if not peer.pending then begin
         peer.pending <- true;
         let latency = (Hypervisor.costs t.hv).Costs.interrupt_latency in
@@ -145,7 +157,22 @@ let notify t port ~from =
                      Kite_trace.Trace.evtchn_deliver tr
                        ~at:(Hypervisor.now t.hv) ~domain ~port
                  | None -> ());
-                 match peer.handler with Some f -> f () | None -> ()
+                 let invoke () =
+                   match peer.handler with Some f -> f () | None -> ()
+                 in
+                 match t.race with
+                 | Some r ->
+                     (* The delivery runs in interrupt context, not a
+                        process: acquire the notify edge into the ambient
+                        scope so conditions signalled by the handler relay
+                        the sender's clock to the processes they wake. *)
+                     Kite_race.Race.irq_enter r;
+                     Kite_race.Race.hb_acquire r
+                       ~chan:("evtchn:" ^ string_of_int port);
+                     Fun.protect
+                       ~finally:(fun () -> Kite_race.Race.irq_leave r)
+                       invoke
+                 | None -> invoke ()
                end))
       end)
 

@@ -47,6 +47,13 @@ val set_fault : t -> Kite_fault.Fault.t option -> unit
     notification after the sender has paid for it; the key is the port
     number in decimal. *)
 
+val set_race : t -> Kite_race.Race.t option -> unit
+(** Attach/detach the race detector: each undropped notify releases the
+    port's channel with the sender's clock, and the delivery acquires it
+    in interrupt scope before running the handler, so everything the
+    handler wakes is ordered after the sender.  Dropped notifications
+    establish no edge. *)
+
 val is_connected : t -> port -> bool
 
 val notifications_sent : t -> int

@@ -19,6 +19,7 @@ type t = {
   mutable unmaps : int;
   mutable copies : int;
   mutable check : Kite_check.Check.t option;
+  mutable race : Kite_race.Race.t option;
 }
 
 let create hv =
@@ -30,9 +31,21 @@ let create hv =
     unmaps = 0;
     copies = 0;
     check = None;
+    race = None;
   }
 
 let set_check t c = t.check <- c
+let set_race t r = t.race <- r
+
+(* Grant-entry state (mapped flag, liveness) as an instrumented location.
+   [revoke_domain] deliberately bypasses these hooks: domain destruction
+   is an exogenous event outside the happens-before model, like pulling
+   the power on real hardware. *)
+let race_entry t r site =
+  match t.race with
+  | Some d ->
+      Kite_race.Race.write_acc d ~loc:("grant:" ^ string_of_int r) ~site
+  | None -> ()
 
 let grant_access t ~granter ~grantee ~page ~writable =
   let r = t.next_ref in
@@ -42,6 +55,7 @@ let grant_access t ~granter ~grantee ~page ~writable =
       Kite_check.Check.grant_granted c ~gref:r ~granter:granter.Domain.id
         ~grantee:grantee.Domain.id
   | None -> ());
+  race_entry t r "Grant_table.grant_access";
   Hashtbl.add t.entries r
     {
       granter = granter.Domain.id;
@@ -61,6 +75,7 @@ let end_access t ~granter r =
   (match t.check with
   | Some c -> Kite_check.Check.grant_end c ~gref:r ~granter:granter.Domain.id
   | None -> ());
+  race_entry t r "Grant_table.end_access";
   let e = get t r in
   if e.granter <> granter.Domain.id then
     raise (Grant_error (Printf.sprintf "grant %d not owned by domain %d" r
@@ -83,6 +98,7 @@ let map_one t ~grantee r =
   (match t.check with
   | Some c -> Kite_check.Check.grant_map c ~gref:r ~grantee:grantee.Domain.id
   | None -> ());
+  race_entry t r "Grant_table.map";
   let e = get t r in
   check_grantee e r grantee;
   let fresh = not e.mapped in
@@ -110,6 +126,7 @@ let unmap_one t ~grantee r =
   | Some c ->
       Kite_check.Check.grant_unmap c ~gref:r ~grantee:grantee.Domain.id
   | None -> ());
+  race_entry t r "Grant_table.unmap";
   let e = get t r in
   check_grantee e r grantee;
   if not e.mapped then
@@ -139,6 +156,11 @@ let copy_cost t len =
 let copy_entry t ~caller ~for_write r =
   (match t.check with
   | Some c -> Kite_check.Check.grant_copy c ~gref:r
+  | None -> ());
+  (match t.race with
+  | Some d ->
+      Kite_race.Race.read_acc d ~loc:("grant:" ^ string_of_int r)
+        ~site:"Grant_table.copy"
   | None -> ());
   let e = get t r in
   if e.grantee <> caller.Domain.id && e.granter <> caller.Domain.id then

@@ -23,6 +23,12 @@ val set_check : t -> Kite_check.Check.t option -> unit
 (** Attach the grant sanitizer: use-after-revoke, double unmap,
     [end_access] while mapped, and the end-of-run leak audit. *)
 
+val set_race : t -> Kite_race.Race.t option -> unit
+(** Attach the race detector: grant/map/unmap/end mutate the entry's
+    instrumented location, copies read it.  [revoke_domain] bypasses the
+    hooks — domain destruction is exogenous to the happens-before
+    model. *)
+
 val grant_access :
   t -> granter:Domain.t -> grantee:Domain.t -> page:Page.t -> writable:bool ->
   ref_

@@ -16,8 +16,8 @@ type t = {
   cpu_free_at : (int, Time.t array) Hashtbl.t;
 }
 
-let create ?(costs = Costs.default) ?(seed = 1) () =
-  let engine = Engine.create () in
+let create ?(costs = Costs.default) ?(seed = 1) ?schedule_seed () =
+  let engine = Engine.create ?schedule_seed () in
   let dom0 =
     { Domain.id = 0; name = "Dom0"; kind = Domain.Dom0; vcpus = 4; mem_mb = 8192 }
   in

@@ -8,9 +8,12 @@
 type t
 
 val create :
-  ?costs:Costs.t -> ?seed:int -> unit -> t
+  ?costs:Costs.t -> ?seed:int -> ?schedule_seed:int -> unit -> t
 (** A fresh machine with an empty event queue, a Dom0, and an empty
-    xenstore.  [costs] defaults to {!Costs.default}. *)
+    xenstore.  [costs] defaults to {!Costs.default}.  [schedule_seed]
+    arms the engine's schedule explorer (see {!Kite_sim.Engine.create}):
+    same-instant events run in a seed-determined random permutation
+    instead of FIFO order. *)
 
 val engine : t -> Kite_sim.Engine.t
 val sched : t -> Kite_sim.Process.sched

@@ -23,6 +23,12 @@ type ('req, 'rsp) t = {
   mutable check : Kite_check.Check.ring option;
   mutable trace : Kite_trace.Trace.ring option;
   mutable fault : (Kite_fault.Fault.t * string) option;
+  mutable race : Kite_race.Race.ring option;
+  (* True once any sink is attached: the hot paths test this single flag
+     and skip all per-sink option matches on uninstrumented rings, so
+     the observability stack costs one predictable branch per operation
+     when disabled. *)
+  mutable hooks : bool;
 }
 
 let create ~order =
@@ -44,56 +50,88 @@ let create ~order =
     check = None;
     trace = None;
     fault = None;
+    race = None;
+    hooks = false;
   }
 
 let size t = t.size
 
-let attach_check t c ~name = t.check <- Some (Kite_check.Check.ring c ~name)
+let attach_check t c ~name =
+  t.check <- Some (Kite_check.Check.ring c ~name);
+  t.hooks <- true
 
 let attach_trace t tr ~name ~now =
-  t.trace <- Some (Kite_trace.Trace.ring tr ~name ~now)
+  t.trace <- Some (Kite_trace.Trace.ring tr ~name ~now);
+  t.hooks <- true
 
-let attach_fault t f ~name = t.fault <- Some (f, name)
+let attach_fault t f ~name =
+  t.fault <- Some (f, name);
+  t.hooks <- true
+
+let attach_race t r ~name =
+  t.race <- Some (Kite_race.Race.ring r ~name ~size:t.size);
+  t.hooks <- true
 
 (* Unconsumed responses pending plus in-flight requests bound the number of
    slots the frontend may still fill. *)
 let free_requests t = t.size - (t.req_prod_pvt - t.rsp_cons)
 
 let push_request t req =
-  (match t.check with
-  | Some rc ->
-      Kite_check.Check.ring_push rc `Req
-        ~used:(t.req_prod_pvt - t.rsp_cons) ~size:t.size
-  | None -> ());
-  if free_requests t <= 0 then raise Ring_full;
+  if t.hooks then begin
+    (match t.check with
+    | Some rc ->
+        Kite_check.Check.ring_push rc `Req
+          ~used:(t.req_prod_pvt - t.rsp_cons) ~size:t.size
+    | None -> ());
+    if free_requests t <= 0 then raise Ring_full;
+    match t.race with
+    | Some rr ->
+        Kite_race.Race.ring_push rr `Req ~slot:(t.req_prod_pvt land t.mask)
+    | None -> ()
+  end
+  else if free_requests t <= 0 then raise Ring_full;
   t.reqs.(t.req_prod_pvt land t.mask) <- Some req;
   t.req_prod_pvt <- t.req_prod_pvt + 1
 
 let push_requests_and_check_notify t =
   let old = t.req_prod in
-  (match t.check with
-  | Some rc ->
-      Kite_check.Check.ring_publish rc `Req ~old_prod:old ~prod:t.req_prod_pvt
-  | None -> ());
+  if t.hooks then begin
+    (match t.check with
+    | Some rc ->
+        Kite_check.Check.ring_publish rc `Req ~old_prod:old
+          ~prod:t.req_prod_pvt
+    | None -> ());
+    match t.race with
+    | Some rr -> Kite_race.Race.ring_publish rr `Req
+    | None -> ()
+  end;
   t.req_prod <- t.req_prod_pvt;
   (* notify iff the consumer's event threshold lies in (old, new]. *)
   let notify = t.req_prod - t.req_event < t.req_prod - old in
-  (match t.trace with
-  | Some rt ->
-      Kite_trace.Trace.ring_publish rt `Req ~batch:(t.req_prod - old) ~notify
-  | None -> ());
+  (if t.hooks then
+     match t.trace with
+     | Some rt ->
+         Kite_trace.Trace.ring_publish rt `Req ~batch:(t.req_prod - old)
+           ~notify
+     | None -> ());
   notify
 
 let pending_requests t = t.req_prod - t.req_cons
 
 let rec take_request t =
   let got = t.req_cons <> t.req_prod in
-  (match t.check with
-  | Some rc -> Kite_check.Check.ring_take rc `Req ~got
-  | None -> ());
-  (match t.trace with
-  | Some rt -> Kite_trace.Trace.ring_take rt `Req ~got
-  | None -> ());
+  if t.hooks then begin
+    (match t.check with
+    | Some rc -> Kite_check.Check.ring_take rc `Req ~got
+    | None -> ());
+    (match t.trace with
+    | Some rt -> Kite_trace.Trace.ring_take rt `Req ~got
+    | None -> ());
+    match t.race with
+    | Some rr ->
+        Kite_race.Race.ring_take rr `Req ~got ~slot:(t.req_cons land t.mask)
+    | None -> ()
+  end;
   if not got then None
   else begin
     let i = t.req_cons land t.mask in
@@ -114,39 +152,60 @@ let rec take_request t =
   end
 
 let push_response t rsp =
-  (match t.check with
-  | Some rc ->
-      Kite_check.Check.ring_push rc `Rsp
-        ~used:(t.rsp_prod_pvt - t.rsp_cons) ~size:t.size
-  | None -> ());
-  if t.rsp_prod_pvt - t.rsp_cons >= t.size then raise Ring_full;
+  if t.hooks then begin
+    (match t.check with
+    | Some rc ->
+        Kite_check.Check.ring_push rc `Rsp
+          ~used:(t.rsp_prod_pvt - t.rsp_cons) ~size:t.size
+    | None -> ());
+    if t.rsp_prod_pvt - t.rsp_cons >= t.size then raise Ring_full;
+    match t.race with
+    | Some rr ->
+        Kite_race.Race.ring_push rr `Rsp ~slot:(t.rsp_prod_pvt land t.mask)
+    | None -> ()
+  end
+  else if t.rsp_prod_pvt - t.rsp_cons >= t.size then raise Ring_full;
   t.rsps.(t.rsp_prod_pvt land t.mask) <- Some rsp;
   t.rsp_prod_pvt <- t.rsp_prod_pvt + 1
 
 let push_responses_and_check_notify t =
   let old = t.rsp_prod in
-  (match t.check with
-  | Some rc ->
-      Kite_check.Check.ring_publish rc `Rsp ~old_prod:old ~prod:t.rsp_prod_pvt
-  | None -> ());
+  if t.hooks then begin
+    (match t.check with
+    | Some rc ->
+        Kite_check.Check.ring_publish rc `Rsp ~old_prod:old
+          ~prod:t.rsp_prod_pvt
+    | None -> ());
+    match t.race with
+    | Some rr -> Kite_race.Race.ring_publish rr `Rsp
+    | None -> ()
+  end;
   t.rsp_prod <- t.rsp_prod_pvt;
   let notify = t.rsp_prod - t.rsp_event < t.rsp_prod - old in
-  (match t.trace with
-  | Some rt ->
-      Kite_trace.Trace.ring_publish rt `Rsp ~batch:(t.rsp_prod - old) ~notify
-  | None -> ());
+  (if t.hooks then
+     match t.trace with
+     | Some rt ->
+         Kite_trace.Trace.ring_publish rt `Rsp ~batch:(t.rsp_prod - old)
+           ~notify
+     | None -> ());
   notify
 
 let pending_responses t = t.rsp_prod - t.rsp_cons
 
 let take_response t =
   let got = t.rsp_cons <> t.rsp_prod in
-  (match t.check with
-  | Some rc -> Kite_check.Check.ring_take rc `Rsp ~got
-  | None -> ());
-  (match t.trace with
-  | Some rt -> Kite_trace.Trace.ring_take rt `Rsp ~got
-  | None -> ());
+  if t.hooks then begin
+    (match t.check with
+    | Some rc -> Kite_check.Check.ring_take rc `Rsp ~got
+    | None -> ());
+    (match t.trace with
+    | Some rt -> Kite_trace.Trace.ring_take rt `Rsp ~got
+    | None -> ());
+    match t.race with
+    | Some rr ->
+        Kite_race.Race.ring_take rr `Rsp ~got ~slot:(t.rsp_cons land t.mask)
+    | None -> ()
+  end;
   if not got then None
   else begin
     let i = t.rsp_cons land t.mask in

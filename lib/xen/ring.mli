@@ -45,6 +45,12 @@ val attach_fault :
     defensive backend would) and the frontend's watchdog must notice the
     response never arriving and re-issue.  [name] is the injector key. *)
 
+val attach_race : ('req, 'rsp) t -> Kite_race.Race.t -> name:string -> unit
+(** Attach the happens-before race detector: pushes and takes become
+    instrumented per-slot accesses, publishes and takes release/acquire
+    the per-side channels, and the producer's ring-full check acquires
+    the consumer-cursor back-channel (see [Kite_race.Race.ring]). *)
+
 (** {1 Frontend side} *)
 
 val free_requests : ('req, 'rsp) t -> int

@@ -23,6 +23,7 @@ type t = {
   mutable gen : int;
   mutable check : Kite_check.Check.t option;
   mutable fault : Kite_fault.Fault.t option;
+  mutable race : Kite_race.Race.t option;
 }
 
 let make_node owner = { value = ""; owner; children = Hashtbl.create 4 }
@@ -36,10 +37,12 @@ let create () =
     gen = 0;
     check = None;
     fault = None;
+    race = None;
   }
 
 let set_check t c = t.check <- c
 let set_fault t f = t.fault <- f
+let set_race t r = t.race <- r
 
 let split_path p =
   if p = "" then invalid_arg "Xenstore.split_path: empty path";
@@ -139,6 +142,9 @@ let write_segs t ~domid segs value =
          retry. *)
       ()
   | _ ->
+      (match t.race with
+      | Some r -> Kite_race.Race.xs_write r ~path:(join_path segs)
+      | None -> ());
       let node = ensure t.root segs in
       node.value <- value;
       t.gen <- t.gen + 1;
@@ -147,11 +153,17 @@ let write_segs t ~domid segs value =
 let write t ~domid ~path value = write_segs t ~domid (split_path path) value
 
 let read t ~path =
+  (match t.race with
+  | Some r -> Kite_race.Race.xs_read r ~path:(join_path (split_path path))
+  | None -> ());
   match find_path t path with Some n -> Some n.value | None -> None
 
 let mkdir t ~domid ~path =
   let segs = split_path path in
   check_write t domid segs;
+  (match t.race with
+  | Some r -> Kite_race.Race.xs_write r ~path:(join_path segs)
+  | None -> ());
   ignore (ensure t.root segs);
   t.gen <- t.gen + 1;
   fire_watches t segs
@@ -163,6 +175,9 @@ let rm t ~domid ~path =
   | _ ->
       if find t.root segs <> None then begin
         check_write t domid segs;
+        (match t.race with
+        | Some r -> Kite_race.Race.xs_write r ~path:(join_path segs)
+        | None -> ());
         let parent_segs = List.filteri (fun i _ -> i < List.length segs - 1) segs in
         let leaf = List.nth segs (List.length segs - 1) in
         (match find t.root parent_segs with

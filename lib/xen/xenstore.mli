@@ -27,6 +27,12 @@ val set_fault : t -> Kite_fault.Fault.t option -> unit
     written path.  [Xenstore_watch] injections lose a single watch-event
     delivery; the key is the changed path. *)
 
+val set_race : t -> Kite_race.Race.t option -> unit
+(** Attach the race detector: store nodes become release/acquire channels
+    (write releases, read acquires) with a per-path write-generation
+    check that flags non-transactional read-modify-writes spanning a
+    blocking point (see [Kite_race.Race.xs_write]). *)
+
 (** {1 Basic operations}
 
     Paths are ['/']-separated, e.g. ["/local/domain/3/device/vif/0/state"].

@@ -18,4 +18,5 @@ let () =
       ("fault", Test_fault.suite);
       ("metrics", Test_metrics.suite);
       ("mq", Test_mq.suite);
+      ("race", Test_race.suite);
     ]
