@@ -10,6 +10,8 @@
      kite_ctl faults fig11 --seed 7 --plan faults.txt
      kite_ctl top fig7
      kite_ctl metrics fig7 --json
+     kite_ctl flight restart-recovery
+     kite_ctl incident restart-recovery --require incident,crash,restart,slo
      kite_ctl boot kite-network
      kite_ctl security
      kite_ctl topology --flavor kite *)
@@ -395,7 +397,14 @@ let trace_cmd =
     let doc = "Print the per-domain hypercall profile (xentrace-style)." in
     Arg.(value & flag & info [ "hypercalls" ] ~doc)
   in
-  let run full out breakdown hypercalls id =
+  let fail_on_drop_arg =
+    let doc =
+      "Exit nonzero if any bounded trace buffer dropped events (the \
+       Chrome export and breakdowns would silently under-count)."
+    in
+    Arg.(value & flag & info [ "fail-on-drop" ] ~doc)
+  in
+  let run full out breakdown hypercalls fail_on_drop id =
     let sink = Kite_trace.Trace.sink () in
     Kite_trace.Trace.set_default (Some sink);
     let quick = not full in
@@ -423,6 +432,14 @@ let trace_cmd =
           List.iter Kite_stats.Table.print (Kite.Trace_report.breakdown_tables ts);
         if hypercalls then
           Kite_stats.Table.print (Kite.Trace_report.hypercall_table ts);
+        let lost = Kite.Trace_report.total_dropped ts in
+        if fail_on_drop && lost > 0 then begin
+          Printf.eprintf
+            "FAIL: %d trace event(s) dropped at the buffer limit; raise \
+             ?limit or trace a smaller experiment\n"
+            lost;
+          exit 1
+        end;
         `Ok ()
   in
   Cmd.v
@@ -434,7 +451,7 @@ let trace_cmd =
     Term.(
       ret
         (const run $ full_arg $ out_arg $ breakdown_arg $ hypercalls_arg
-       $ id_arg))
+       $ fail_on_drop_arg $ id_arg))
 
 (* ------------------------------------------------------------------ *)
 (* faults                                                              *)
@@ -604,6 +621,186 @@ let top_cmd =
           block latency quantiles and health alerts.")
     Term.(ret (const run $ full_arg $ metrics_id_arg))
 
+(* ------------------------------------------------------------------ *)
+(* flight / incident                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared harness: arm every layer the recorder taps — checker (findings
+   + the recorders' own audits), tracer (spans), metrics (alert edges,
+   deltas) and the flight sink itself — run the selected experiments,
+   tear down, then hand the recorders and the shared report to [render].
+   No fault sink: a default injection plan would perturb the experiments
+   (restart-recovery arms its own note-only injector when none is set).
+   [before_teardown] runs between an experiment and its teardown, while
+   the testbeds are still live — the manual-trigger hook. *)
+let with_flight ~full ~progress ?(before_teardown = fun _ -> ()) id render =
+  let report = Kite_check.Report.create () in
+  Kite_check.Check.set_default (Some (Kite_check.Check.default_config, report));
+  let tsink = Kite_trace.Trace.sink () in
+  Kite_trace.Trace.set_default (Some tsink);
+  let msink = Kite_metrics.Registry.sink () in
+  Kite_metrics.Registry.set_default (Some msink);
+  let fsink = Kite_flight.Flight.sink () in
+  Kite_flight.Flight.set_default (Some fsink);
+  let quick = not full in
+  let outcome =
+    for_experiments id (fun (eid, _desc, f) ->
+        if progress then Printf.printf "recording %s...\n%!" eid;
+        ignore (f ~quick);
+        before_teardown (Kite_flight.Flight.flights fsink);
+        Kite.Scenario.teardown_all ())
+  in
+  Kite_flight.Flight.set_default None;
+  Kite_metrics.Registry.set_default None;
+  Kite_trace.Trace.set_default None;
+  Kite_check.Check.set_default None;
+  match outcome with
+  | `Error _ as e -> e
+  | `Ok () -> render (Kite_flight.Flight.flights fsink) report
+
+let flight_cmd =
+  let json_arg =
+    let doc = "Emit the recorders (rings, incidents, SLOs) as JSON." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run full json id =
+    with_flight ~full ~progress:(not json) id (fun fls report ->
+        if json then print_string (Kite_flight.Flight.to_json fls)
+        else begin
+          Kite_stats.Table.print (Kite.Flight_report.summary_table fls);
+          if List.exists (fun fl -> Kite_flight.Flight.slo_evals fl <> []) fls
+          then Kite_stats.Table.print (Kite.Flight_report.slo_table fls);
+          List.iter
+            (fun fl ->
+              List.iter
+                (fun inc ->
+                  print_endline (Kite.Flight_report.incident_headline fl inc))
+                (Kite_flight.Flight.incidents fl))
+            fls;
+          if Kite_check.Report.errors report > 0 then begin
+            Kite_check.Report.print report;
+            exit 1
+          end
+        end;
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "flight"
+       ~doc:
+         "Run experiments with the always-on flight recorder armed and \
+          summarize the black-box rings, incident snapshots and SLO \
+          verdicts per machine.")
+    Term.(ret (const run $ full_arg $ json_arg $ metrics_id_arg))
+
+(* --require tokens: [incident] (at least one snapshot was frozen) and
+   [slo] (some snapshot carries a scored SLO verdict) are structural;
+   any other token must appear as a record kind ("crash", "restart",
+   "alert", "note", ...) in some incident timeline. *)
+let incident_unmet fls tokens =
+  let incidents =
+    List.concat_map (fun fl -> Kite_flight.Flight.incidents fl) fls
+  in
+  let timelines = List.map Kite_flight.Flight.incident_timeline incidents in
+  let met = function
+    | "incident" -> incidents <> []
+    | "slo" ->
+        List.exists
+          (fun inc ->
+            List.exists
+              (fun e ->
+                e.Kite_flight.Slo.ev_count > 0
+                && not (Float.is_nan e.Kite_flight.Slo.ev_actual))
+              (Kite_flight.Flight.incident_slos inc))
+          incidents
+    | kind ->
+        List.exists
+          (List.exists (fun r -> r.Kite_flight.Flight.r_kind = kind))
+          timelines
+  in
+  List.filter (fun tok -> not (met tok)) tokens
+
+let incident_cmd =
+  let json_arg =
+    let doc = "Emit the full snapshots as JSON instead of rendered tables." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Also write the snapshots as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE.json" ~doc)
+  in
+  let trigger_arg =
+    let doc =
+      "Fire a manual trigger on every recorder that saw no incident, \
+       while its testbed is still live — an explicit black-box pull."
+    in
+    Arg.(value & flag & info [ "trigger" ] ~doc)
+  in
+  let require_arg =
+    let doc =
+      "Comma-separated acceptance tokens; exit 1 unless every one is \
+       present in the captured snapshots.  $(b,incident) = a snapshot \
+       exists; $(b,slo) = a snapshot carries a scored SLO verdict; any \
+       other token must appear as a timeline record kind (e.g. \
+       $(b,crash), $(b,restart), $(b,alert))."
+    in
+    Arg.(value & opt (list string) [] & info [ "require" ] ~docv:"TOKENS" ~doc)
+  in
+  let last_arg =
+    let doc = "Pre-trigger timeline rows to show per incident." in
+    Arg.(value & opt int 40 & info [ "last" ] ~docv:"N" ~doc)
+  in
+  let run full json out trigger require last id =
+    let before_teardown fls =
+      if trigger then
+        List.iter
+          (fun fl ->
+            if Kite_flight.Flight.incidents fl = [] then
+              Kite_flight.Flight.trigger fl Kite_flight.Flight.Manual
+                ~reason:"kite_ctl incident --trigger")
+          fls
+    in
+    with_flight ~full ~progress:(not json) ~before_teardown id
+      (fun fls report ->
+        let js = lazy (Kite_flight.Flight.to_json fls) in
+        if json then print_string (Lazy.force js)
+        else begin
+          Kite_stats.Table.print (Kite.Flight_report.summary_table fls);
+          List.iter
+            (fun fl ->
+              List.iter
+                (fun inc -> Kite.Flight_report.print_incident ~last fl inc)
+                (Kite_flight.Flight.incidents fl))
+            fls
+        end;
+        (match out with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Lazy.force js);
+            close_out oc;
+            if not json then Printf.printf "wrote %s\n" path
+        | None -> ());
+        if Kite_check.Report.errors report > 0 then begin
+          Kite_check.Report.print report;
+          exit 1
+        end;
+        match incident_unmet fls require with
+        | [] -> `Ok ()
+        | missing ->
+            Printf.eprintf "FAIL: --require token(s) unmet: %s\n"
+              (String.concat ", " missing);
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "incident"
+       ~doc:
+         "Run experiments with the flight recorder armed and render every \
+          frozen incident snapshot in full: correlated cross-layer \
+          timeline, metrics delta, xenstore subtree and SLO verdicts.")
+    Term.(
+      ret
+        (const run $ full_arg $ json_arg $ out_arg $ trigger_arg
+       $ require_arg $ last_arg $ metrics_id_arg))
+
 let () =
   let info =
     Cmd.info "kite_ctl" ~version:"1.0"
@@ -626,4 +823,6 @@ let () =
             faults_cmd;
             metrics_cmd;
             top_cmd;
+            flight_cmd;
+            incident_cmd;
           ]))

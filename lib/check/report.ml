@@ -17,16 +17,22 @@ type t = {
   mutable rev : finding list;
   mutable errors : int;
   mutable warnings : int;
+  (* Finding observer (the flight recorder's tap); [None] keeps [add]
+     on its original path. *)
+  mutable obs : (finding -> unit) option;
 }
 
-let create () = { rev = []; errors = 0; warnings = 0 }
+let create () = { rev = []; errors = 0; warnings = 0; obs = None }
 
 let add t f =
   t.rev <- f :: t.rev;
-  match f.severity with
+  (match f.severity with
   | Error -> t.errors <- t.errors + 1
   | Warning -> t.warnings <- t.warnings + 1
-  | Info -> ()
+  | Info -> ());
+  match t.obs with None -> () | Some fn -> fn f
+
+let set_observer t obs = t.obs <- obs
 
 let findings t = List.rev t.rev
 let count t = List.length t.rev

@@ -23,6 +23,12 @@ val create : unit -> t
 
 val add : t -> finding -> unit
 
+val set_observer : t -> (finding -> unit) option -> unit
+(** Install (or clear) an observer called from {!add} after each finding
+    is recorded.  At most one observer per report; the flight recorder is
+    the intended client.  A report is shared by every checker of a run,
+    so the observer sees findings from all of them. *)
+
 val findings : t -> finding list
 (** In the order they were recorded. *)
 

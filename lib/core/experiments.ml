@@ -277,8 +277,8 @@ let fig7 ~quick =
           Table.add_row td
             [
               label;
-              fnum ~prec:3 (Histogram.quantile h 0.5);
-              fnum ~prec:3 (Histogram.quantile h 0.99);
+              fnum ~prec:3 (Histogram.percentile h 50.);
+              fnum ~prec:3 (Histogram.percentile h 99.);
               Histogram.sparkline h;
             ])
     [
@@ -1075,6 +1075,41 @@ let restart ~quick:_ =
    once netfront re-handshakes.  Downtime is crash instant to frontend
    reconnected, dominated by the flavor's boot profile. *)
 let restart_recovery ~quick =
+  let module Flight = Kite_flight.Flight in
+  let module Slo = Kite_flight.Slo in
+  (* The incident snapshot is part of this experiment's contract, so when
+     the CLI armed no observability sinks we install private ones — a
+     flight recorder per machine, plus the fault log (whose toolstack
+     notes land in the timeline) and a metrics registry (for the delta
+     and the SLO histogram) — and restore the ambient state afterwards,
+     like [hypercalls] does for tracing. *)
+  let saved_flight = Flight.default () in
+  let saved_fault = Kite_fault.Fault.default () in
+  let saved_metrics = Kite_metrics.Registry.default () in
+  (match saved_flight with
+  | None -> Flight.set_default (Some (Flight.sink ()))
+  | Some _ -> ());
+  (match saved_fault with
+  | None -> Kite_fault.Fault.set_default (Some (Kite_fault.Fault.sink ~seed:23 []))
+  | Some _ -> ());
+  (match saved_metrics with
+  | None -> Kite_metrics.Registry.set_default (Some (Kite_metrics.Registry.sink ()))
+  | Some _ -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Flight.set_default saved_flight;
+      Kite_fault.Fault.set_default saved_fault;
+      Kite_metrics.Registry.set_default saved_metrics)
+  @@ fun () ->
+  let flights = ref [] in
+  (* Seal at row end so the rendered snapshot carries its metrics delta
+     and SLO verdicts; the scenario teardown's later seal is a no-op. *)
+  let note_flight = function
+    | Some fl ->
+        Flight.seal_all fl;
+        flights := fl :: !flights
+    | None -> ()
+  in
   let blk_row flavor =
     let s = Scenario.storage ~flavor () in
     let writes = if quick then 96 else 256 in
@@ -1108,6 +1143,7 @@ let restart_recovery ~quick =
         done;
         done_ := Some ());
     drive s.Scenario.bhv done_ "restart-recovery storage";
+    note_flight s.Scenario.blk_flight;
     let dt = match !downtime with Some d -> d | None -> 0 in
     [
       Scenario.flavor_name flavor;
@@ -1122,6 +1158,33 @@ let restart_recovery ~quick =
     let downtime = ref None in
     let done_ = ref None in
     let sent = ref 0 and received = ref 0 and after_ok = ref 0 in
+    (* Ping RTTs feed a histogram so the blackout shows up as an
+       SLO-annotated p99 spike: a timed-out ping is observed at the
+       timeout value (the client-visible floor of its latency). *)
+    let rtt_h =
+      match s.Scenario.net_metrics with
+      | Some reg ->
+          let h =
+            Kite_metrics.Registry.histogram reg
+              ~help:"client ping RTT (ns); timeouts observed at the timeout"
+              ~base:1000. ~factor:2. "kite_ping_rtt_ns" []
+          in
+          (match s.Scenario.net_flight with
+          | Some fl ->
+              Flight.add_slo fl
+                (Slo.create ~name:"ping-rtt-p99" ~metric:"kite_ping_rtt_ns"
+                   ~quantile:0.99
+                   ~threshold:(float_of_int (Time.ms 5))
+                   reg)
+          | None -> ());
+          Some h
+      | None -> None
+    in
+    let observe_rtt ns =
+      match rtt_h with
+      | Some h -> Kite_metrics.Registry.observe h (float_of_int ns)
+      | None -> ()
+    in
     Scenario.when_net_ready s (fun () ->
         Scenario.crash_and_restart_net s ~flavor ~at:(Time.ms 10)
           ~on_restored:(fun ~downtime:d -> downtime := Some d)
@@ -1135,8 +1198,10 @@ let restart_recovery ~quick =
                Kite_net.Stack.ping s.Scenario.client_stack
                  ~dst:s.Scenario.guest_ip ~timeout:(Time.ms 20) ~seq ()
              with
-            | Some _ -> incr received
-            | None -> ());
+            | Some rtt ->
+                incr received;
+                observe_rtt rtt
+            | None -> observe_rtt (Time.ms 20));
             Process.sleep (Time.ms 5);
             until_restored (seq + 1)
           end
@@ -1150,13 +1215,15 @@ let restart_recovery ~quick =
               ~dst:s.Scenario.guest_ip ~timeout:(Time.ms 100) ~seq:(seq + k)
               ()
           with
-          | Some _ ->
+          | Some rtt ->
               incr received;
-              incr after_ok
-          | None -> ()
+              incr after_ok;
+              observe_rtt rtt
+          | None -> observe_rtt (Time.ms 100)
         done;
         done_ := Some ());
     drive s.Scenario.hv done_ "restart-recovery network";
+    note_flight s.Scenario.net_flight;
     let dt = match !downtime with Some d -> d | None -> 0 in
     [
       Scenario.flavor_name flavor;
@@ -1192,7 +1259,28 @@ let restart_recovery ~quick =
   Table.note tnet
     "pings are lost while the domain reboots; Tx/Rx resume on reconnect \
      (Kite downtime ~10-100x below Linux)";
-  { exp_id = "restart-recovery"; tables = [ tblk; tnet ] }
+  (* The flight recorders' view of the same runs: every crash froze an
+     incident snapshot; render them after the headline tables. *)
+  let fls = List.rev !flights in
+  let incident_tables =
+    List.concat_map
+      (fun fl ->
+        List.concat_map
+          (fun inc ->
+            Flight_report.incident_tables
+              ~last:(if quick then 12 else 30)
+              fl inc)
+          (Flight.incidents fl))
+      fls
+  in
+  let flight_tables =
+    match fls with
+    | [] -> []
+    | _ ->
+        Flight_report.summary_table fls :: Flight_report.slo_table fls
+        :: incident_tables
+  in
+  { exp_id = "restart-recovery"; tables = [ tblk; tnet ] @ flight_tables }
 
 (* §3.1's scaling claim: one Kite domain with multiple vCPUs can serve
    several NICs.  Two guests behind two passthrough NICs, one bridge
@@ -1406,6 +1494,10 @@ let hypercalls ~quick =
 let mq_run ~duration ~mq nq =
   let hv = Kite_xen.Hypervisor.create ~seed:910 () in
   let ctx = Kite_drivers.Xen_ctx.create hv in
+  (* Hand-built testbed, so consult the run-wide sinks explicitly: the
+     flight-overhead bench gate arms a recorder on exactly this
+     workload.  No-op when nothing is armed. *)
+  Scenario.arm_ambient ctx "mq-";
   let sched = Kite_xen.Hypervisor.sched hv in
   let metrics = Kite_xen.Hypervisor.metrics hv in
   let dd =

@@ -1,0 +1,50 @@
+(** Renderers for {!Kite_flight.Flight} recorders, their incident
+    snapshots, and {!Kite_flight.Slo} verdicts — shared by
+    [kite_ctl flight] / [kite_ctl incident] and the restart-recovery
+    experiment report. *)
+
+val summary_table : Kite_flight.Flight.t list -> Kite_stats.Table.t
+(** One row per recorder: ring occupancy, drops, incident and SLO
+    counts. *)
+
+val slo_table : Kite_flight.Flight.t list -> Kite_stats.Table.t
+(** One row per SLO verdict from each recorder's last seal. *)
+
+val incident_headline : Kite_flight.Flight.t -> Kite_flight.Flight.incident -> string
+
+val timeline_table :
+  ?last:int ->
+  Kite_flight.Flight.t ->
+  Kite_flight.Flight.incident ->
+  Kite_stats.Table.t
+(** The correlated cross-layer timeline: the [last] (default 40)
+    pre-trigger records plus everything captured after the trigger
+    (marked [+]). *)
+
+val delta_table :
+  Kite_flight.Flight.t -> Kite_flight.Flight.incident -> Kite_stats.Table.t
+(** Metric instances that moved between trigger and seal. *)
+
+val store_table :
+  Kite_flight.Flight.t -> Kite_flight.Flight.incident -> Kite_stats.Table.t
+(** The xenstore subtree captured at the trigger instant. *)
+
+val incident_slo_table :
+  Kite_flight.Flight.t -> Kite_flight.Flight.incident -> Kite_stats.Table.t
+
+val incident_tables :
+  ?last:int ->
+  ?store:bool ->
+  Kite_flight.Flight.t ->
+  Kite_flight.Flight.incident ->
+  Kite_stats.Table.t list
+(** The full rendered snapshot: timeline, metrics delta, xenstore dump
+    ([store], default true), and SLO verdicts when any are registered. *)
+
+val print_incident :
+  ?last:int ->
+  ?store:bool ->
+  Kite_flight.Flight.t ->
+  Kite_flight.Flight.incident ->
+  unit
+(** Headline plus {!incident_tables} to stdout. *)

@@ -50,10 +50,13 @@ let rate r name ~where =
                  | _ -> acc))
            0. xs)
 
-let quantile r name q =
+(* Report renderers speak percentiles in [0, 100] (the Summary.percentile
+   convention used by the trace breakdown tables); Registry.percentile is
+   the single bridge to the histograms' [0, 1] quantile convention. *)
+let percentile r name p =
   match instances r name with
   | [] -> None
-  | (labels, _) :: _ -> Registry.quantile r name labels q
+  | (labels, _) :: _ -> Registry.percentile r name labels p
 
 let dash = "-"
 let fmt_opt f = function None -> dash | Some v -> f v
@@ -104,7 +107,7 @@ let top_table rs =
       let q p =
         fmt_opt
           (fun ns -> Table.fmt_f (ns /. 1e3))
-          (quantile r "kite_blk_latency_ns" p)
+          (percentile r "kite_blk_latency_ns" p)
       in
       Table.add_row tbl
         [
@@ -116,8 +119,8 @@ let top_table rs =
           fmt_opt (Table.fmt_f ~prec:0) (sum_values r "kite_grant_active" ~where:any);
           fmt_opt (Table.fmt_f ~prec:0)
             (sum_values r "kite_blk_persistent_grants" ~where:any);
-          q 0.5;
-          q 0.99;
+          q 50.;
+          q 99.;
           string_of_int (List.length (Registry.alerts r));
         ])
     rs;

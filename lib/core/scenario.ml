@@ -121,6 +121,77 @@ let attach_metrics ctx tag =
           done);
       Some r
 
+(* The incident snapshot's xenstore view: a DFS dump of the /local/domain
+   subtree, captured lazily at trigger time (so a crash trigger that runs
+   before Xenstore.rm still sees the doomed domain's home). *)
+let store_dump ctx () =
+  let xs = Hypervisor.store ctx.Xen_ctx.hv in
+  let rec walk path acc =
+    let acc =
+      match Xenstore.read xs ~path with
+      | Some v when v <> "" -> (path, v) :: acc
+      | _ -> acc
+    in
+    List.fold_left
+      (fun acc child -> walk (path ^ "/" ^ child) acc)
+      acc (Xenstore.directory xs ~path)
+  in
+  List.rev (walk "/local/domain" [])
+
+(* And for the flight recorder (Kite_flight.Flight.set_default): each
+   machine gets its own recorder which taps whatever observability layers
+   the testbed already attached (so call this after the others), plus the
+   run's shared checker report when one is set.  Teardown seals any open
+   incident and runs the recorder's own audit. *)
+let attach_flight ctx tag =
+  match Kite_flight.Flight.default () with
+  | None -> None
+  | Some sink ->
+      incr scenario_seq;
+      let hv = ctx.Xen_ctx.hv in
+      let fl =
+        Kite_flight.Flight.create_in sink
+          ~name:(Printf.sprintf "%s%d" tag !scenario_seq)
+          ~now:(fun () -> Hypervisor.now hv)
+      in
+      Kite_drivers.Xen_ctx.enable_flight ctx fl;
+      (match ctx.Xen_ctx.trace with
+      | Some tr -> Kite_flight.Flight.tap_trace fl tr
+      | None -> ());
+      (match ctx.Xen_ctx.fault with
+      | Some f -> Kite_flight.Flight.tap_fault fl f
+      | None -> ());
+      (match ctx.Xen_ctx.metrics with
+      | Some r -> Kite_flight.Flight.tap_metrics fl r
+      | None -> ());
+      (* The report is shared run-wide, so with several machines the
+         last-built one receives the findings records. *)
+      (match Kite_check.Check.default () with
+      | Some (_, report) -> Kite_flight.Flight.tap_report fl report
+      | None -> ());
+      Kite_flight.Flight.set_store_source fl (store_dump ctx);
+      teardowns :=
+        (fun () ->
+          Kite_flight.Flight.mark fl ~what:"teardown"
+            ~msg:"scenario teardown";
+          Kite_flight.Flight.seal_all fl;
+          match Kite_check.Check.default () with
+          | Some (_, report) -> Kite_flight.Flight.audit fl report
+          | None -> ())
+        :: !teardowns;
+      Some fl
+
+(* Arm whatever ambient observability sinks are set on a hand-built
+   context (the mq benchmarks construct Hypervisor + Xen_ctx directly
+   rather than through [network]/[storage]).  Named arm_, not attach_:
+   callers that never build a full scenario teardown keep lint quiet. *)
+let arm_ambient ctx tag =
+  ignore (attach_check ctx tag);
+  attach_trace ctx tag;
+  ignore (attach_fault ctx tag);
+  ignore (attach_metrics ctx tag);
+  ignore (attach_flight ctx tag)
+
 (* Edge-triggered backend-health probe: silent until the handshake first
    reaches Connected, then any other state (a crashed or closing
    backend) raises a structured alert until the frontend's recovery
@@ -162,6 +233,7 @@ type net = {
   guest_ip : Ipv4addr.t;
   net_fault : Kite_fault.Fault.t option;
   net_metrics : Kite_metrics.Registry.t option;
+  net_flight : Kite_flight.Flight.t option;
 }
 
 let network ?overheads_override ~flavor ?(seed = 2022) ?schedule_seed:sseed
@@ -174,6 +246,7 @@ let network ?overheads_override ~flavor ?(seed = 2022) ?schedule_seed:sseed
   attach_trace ctx ("net-" ^ flavor_name flavor ^ "-");
   let fault = attach_fault ctx ("net-" ^ flavor_name flavor ^ "-") in
   let mreg = attach_metrics ctx ("net-" ^ flavor_name flavor ^ "-") in
+  let flight = attach_flight ctx ("net-" ^ flavor_name flavor ^ "-") in
   let sched = Hypervisor.sched hv in
   let metrics = Hypervisor.metrics hv in
   let profile =
@@ -261,6 +334,7 @@ let network ?overheads_override ~flavor ?(seed = 2022) ?schedule_seed:sseed
       guest_ip;
       net_fault = fault;
       net_metrics = mreg;
+      net_flight = flight;
     }
   in
   (* Drain in-flight I/O, stop the backend (unregisters its watch), give
@@ -304,6 +378,7 @@ type blk = {
   nvme : Kite_devices.Nvme.t;
   blk_fault : Kite_fault.Fault.t option;
   blk_metrics : Kite_metrics.Registry.t option;
+  blk_flight : Kite_flight.Flight.t option;
 }
 
 let storage ~flavor ?(seed = 2022) ?schedule_seed:sseed
@@ -317,6 +392,7 @@ let storage ~flavor ?(seed = 2022) ?schedule_seed:sseed
   attach_trace ctx ("blk-" ^ flavor_name flavor ^ "-");
   let fault = attach_fault ctx ("blk-" ^ flavor_name flavor ^ "-") in
   let mreg = attach_metrics ctx ("blk-" ^ flavor_name flavor ^ "-") in
+  let flight = attach_flight ctx ("blk-" ^ flavor_name flavor ^ "-") in
   let sched = Hypervisor.sched hv in
   let metrics = Hypervisor.metrics hv in
   let profile =
@@ -365,7 +441,8 @@ let storage ~flavor ?(seed = 2022) ?schedule_seed:sseed
   in
   let s =
     { bhv = hv; bctx = ctx; bsched = sched; bdd = dd; bdomu = domu;
-      blkfront; blk_app; nvme; blk_fault = fault; blk_metrics = mreg }
+      blkfront; blk_app; nvme; blk_fault = fault; blk_metrics = mreg;
+      blk_flight = flight }
   in
   teardowns :=
     (fun () ->
@@ -439,6 +516,13 @@ let crash_and_restart_blk s ~flavor ~at ?on_restored () =
             Process.sleep (Time.ms 1)
           done;
           let downtime = Hypervisor.now hv - t0 in
+          (match s.bctx.Xen_ctx.flight with
+          | Some fl ->
+              Kite_flight.Flight.mark fl ~what:"recovery"
+                ~msg:
+                  (Printf.sprintf "blkfront reconnected, downtime %d ns"
+                     downtime)
+          | None -> ());
           match on_restored with Some f -> f ~downtime | None -> ()))
 
 let crash_and_restart_net s ~flavor ~at ?on_restored () =
@@ -467,6 +551,13 @@ let crash_and_restart_net s ~flavor ~at ?on_restored () =
             Process.sleep (Time.ms 1)
           done;
           let downtime = Hypervisor.now hv - t0 in
+          (match s.ctx.Xen_ctx.flight with
+          | Some fl ->
+              Kite_flight.Flight.mark fl ~what:"recovery"
+                ~msg:
+                  (Printf.sprintf "netfront reconnected, downtime %d ns"
+                     downtime)
+          | None -> ());
           match on_restored with Some f -> f ~downtime | None -> ()))
 
 let network_with_overheads ~overheads ?seed () =

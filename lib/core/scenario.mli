@@ -25,6 +25,14 @@ val teardown_all : unit -> unit
     end-of-run audits (grant leaks, orphaned watches, open transactions,
     quiescence) run as the last step. *)
 
+val arm_ambient : Kite_drivers.Xen_ctx.t -> string -> unit
+(** Arm whatever run-wide observability sinks are currently set (check,
+    trace, fault, metrics, flight — in that order, so the recorder taps
+    the rest) on a hand-built context.  For benchmarks and harnesses
+    that construct [Hypervisor] + [Xen_ctx] directly instead of going
+    through {!network}/{!storage}, which arm these themselves.  The
+    string tags the per-machine instance names. *)
+
 (** {1 Network domain testbed} *)
 
 type net = {
@@ -53,6 +61,12 @@ type net = {
           sampler daemon snapshots it on the registry interval, and a
           [kite_backend_state] probe alerts if the vif backend leaves
           Connected after the first handshake. *)
+  net_flight : Kite_flight.Flight.t option;
+      (** This machine's flight recorder when a flight sink was active
+          ({!Kite_flight.Flight.set_default}) at build time, tapping
+          whatever other layers are attached; a driver-domain crash or a
+          probe alert edge triggers an incident snapshot, and teardown
+          seals + audits it. *)
 }
 
 val network :
@@ -99,6 +113,9 @@ type blk = {
           ({!Kite_metrics.Registry.set_default}) at build time; same
           sampler and backend-state probe as {!net.net_metrics}, for the
           vbd backend. *)
+  blk_flight : Kite_flight.Flight.t option;
+      (** This machine's flight recorder when a flight sink was active
+          at build time; see {!net.net_flight}. *)
 }
 
 val storage :

@@ -27,7 +27,18 @@ let summary_table ts =
           fint (Trace.open_spans tr);
         ])
     ts;
+  let lost = List.fold_left (fun a tr -> a + Trace.dropped tr) 0 ts in
+  if lost > 0 then
+    Table.note t
+      (Printf.sprintf
+         "WARNING: %d event(s) dropped at the buffer limit — the Chrome \
+          export and breakdown under-count; re-run with a higher ?limit \
+          (hypercall profile and spans stay exact)"
+         lost);
   t
+
+let total_dropped ts =
+  List.fold_left (fun a tr -> a + Trace.dropped tr) 0 ts
 
 let hypercall_table ts =
   let t =

@@ -5,7 +5,12 @@
 
 val summary_table : Kite_trace.Trace.t list -> Kite_stats.Table.t
 (** One row per traced machine: events recorded/dropped, spans
-    completed/open. *)
+    completed/open.  Gains a WARNING footnote when any bounded buffer
+    dropped events (the Chrome export and breakdown under-count). *)
+
+val total_dropped : Kite_trace.Trace.t list -> int
+(** Events dropped across all machines — [kite_ctl trace --fail-on-drop]
+    and the [@trace] gate turn non-zero into a failing exit. *)
 
 val hypercall_table : Kite_trace.Trace.t list -> Kite_stats.Table.t
 (** The §4.2-style per-domain hypercall profile: count, total and average

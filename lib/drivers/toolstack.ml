@@ -44,6 +44,13 @@ let home_path dom = Printf.sprintf "/local/domain/%d" dom.Domain.id
    including after the domain's processes are gone. *)
 let crash_driver_domain ctx dom =
   fnote ctx "toolstack.crash" dom;
+  (* Trigger the incident snapshot before the teardown below, so the
+     captured xenstore subtree still shows the domain's home. *)
+  (match ctx.Xen_ctx.flight with
+  | Some fl ->
+      Kite_flight.Flight.crash fl ~domain:dom.Domain.name
+        ~reason:"driver domain destroyed"
+  | None -> ());
   Event_channel.close_domain ctx.Xen_ctx.ec ~domid:dom.Domain.id;
   Grant_table.revoke_domain ctx.Xen_ctx.gt ~domid:dom.Domain.id;
   Xenstore.rm (Hypervisor.store ctx.Xen_ctx.hv) ~domid:0 ~path:(home_path dom)
@@ -61,5 +68,10 @@ let restart_driver_domain ctx dom ~boot ~respawn ~on_ready =
       Xenstore.mkdir xs ~domid:0 ~path:(home_path dom);
       Xenstore.set_owner xs ~path:(home_path dom) ~domid:dom.Domain.id;
       fnote ctx "toolstack.restarted" dom;
+      (match ctx.Xen_ctx.flight with
+      | Some fl ->
+          Kite_flight.Flight.restart fl ~domain:dom.Domain.name
+            ~msg:"driver domain rebooted"
+      | None -> ());
       respawn ();
       on_ready ())

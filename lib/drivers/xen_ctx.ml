@@ -17,6 +17,7 @@ type t = {
   mutable fault : Kite_fault.Fault.t option;
   mutable metrics : Kite_metrics.Registry.t option;
   mutable race : Kite_race.Race.t option;
+  mutable flight : Kite_flight.Flight.t option;
 }
 
 let create hv =
@@ -32,6 +33,7 @@ let create hv =
     fault = None;
     metrics = None;
     race = None;
+    flight = None;
   }
 
 let enable_check t c =
@@ -89,3 +91,9 @@ let enable_metrics t r =
   R.counter_fn r "kite_evtchn_dropped_total"
     ~help:"Notifications lost to fault injection" []
     (fun () -> Event_channel.notifications_dropped t.ec)
+
+let enable_flight t fl =
+  (* The recorder taps the other layers' observer slots itself (see
+     Scenario.attach_flight); the context only carries the handle so the
+     toolstack's crash/restart paths can feed the trigger framework. *)
+  t.flight <- Some fl

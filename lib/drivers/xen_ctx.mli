@@ -12,6 +12,7 @@ type t = {
   mutable fault : Kite_fault.Fault.t option;
   mutable metrics : Kite_metrics.Registry.t option;
   mutable race : Kite_race.Race.t option;
+  mutable flight : Kite_flight.Flight.t option;
 }
 
 val create : Kite_xen.Hypervisor.t -> t
@@ -47,3 +48,8 @@ val enable_metrics : t -> Kite_metrics.Registry.t -> unit
     occupancy gauges and xenstore stats publishers.  Everything is a
     polled closure evaluated at sampling time; call before spawning
     drivers. *)
+
+val enable_flight : t -> Kite_flight.Flight.t -> unit
+(** Carry a flight recorder on this machine so the toolstack's
+    crash/restart paths can feed its trigger framework.  The recorder's
+    layer taps are installed by [Scenario.attach_flight], not here. *)

@@ -172,6 +172,9 @@ type t = {
   rng : Rng.t;
   mutable log : event list;  (* reversed *)
   mutable n_injected : int;
+  (* Event observer (the flight recorder's tap); [None] keeps the log
+     append the only work fire/note do. *)
+  mutable obs : (event -> unit) option;
 }
 
 let create ?(name = "fault") ~seed plan =
@@ -183,6 +186,7 @@ let create ?(name = "fault") ~seed plan =
     rng = Rng.create seed;
     log = [];
     n_injected = 0;
+    obs = None;
   }
 
 let name t = t.f_name
@@ -218,14 +222,21 @@ let fire t point ~key =
           if not !hit then begin
             hit := true;
             t.n_injected <- t.n_injected + 1;
-            t.log <- Injected (point, key, a.seen) :: t.log
+            let ev = Injected (point, key, a.seen) in
+            t.log <- ev :: t.log;
+            match t.obs with None -> () | Some f -> f ev
           end
         end
       end)
     t.armed;
   !hit
 
-let note t ~what ~key = t.log <- Noted (what, key) :: t.log
+let note t ~what ~key =
+  let ev = Noted (what, key) in
+  t.log <- ev :: t.log;
+  match t.obs with None -> () | Some f -> f ev
+
+let set_observer t obs = t.obs <- obs
 
 let injected t =
   List.rev_map

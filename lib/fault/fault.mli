@@ -97,6 +97,20 @@ val events : t -> string list
 (** The merged ordered log — ["inject <point> <key> #<n>"] and
     ["note <what> <key>"] lines — for determinism assertions. *)
 
+(** {1 Observation} *)
+
+type event =
+  | Injected of point * string * int
+      (** (point, key, eligible-op index), as {!injected} reports *)
+  | Noted of string * string  (** (what, key), as {!note} records *)
+
+val set_observer : t -> (event -> unit) option -> unit
+(** Install (or clear) an event observer, called after each injection or
+    note is appended to the log.  Events carry no timestamp (this layer
+    has no clock); an observer that needs one must supply its own.  At
+    most one observer per injector; the flight recorder is the intended
+    client. *)
+
 (** {1 Sinks: run-wide defaults} *)
 
 (** A sink carries the seed and plan for one run and collects every

@@ -12,13 +12,13 @@ type config = {
 
 let default_config =
   {
-    policed_modules = [ "Check"; "Trace"; "Fault"; "Race"; "Registry" ];
+    policed_modules = [ "Check"; "Trace"; "Fault"; "Race"; "Registry"; "Flight" ];
     (* The detector implementations call their own internals freely;
        linting them for guards would be circular. *)
     skip_basenames =
       [
         "check.ml"; "report.ml"; "trace.ml"; "fault.ml"; "race.ml";
-        "registry.ml"; "lint.ml";
+        "registry.ml"; "flight.ml"; "slo.ml"; "lint.ml";
       ];
   }
 
@@ -47,6 +47,8 @@ let policed_functions =
     "xs_read"; "xs_write"; "read_acc"; "write_acc";
     (* Kite_metrics.Registry *)
     "observe"; "sample";
+    (* Kite_flight.Flight *)
+    "record"; "mark"; "crash"; "restart";
   ]
 
 let policed_fn_tbl = Hashtbl.create 64

@@ -65,6 +65,9 @@ type t = {
   mutable alerts_rev : alert list;
   mutable nalerts : int;
   mutable nsamples : int;
+  (* Alert-edge observer (the flight recorder's tap); [None] keeps
+     sampling free of extra work. *)
+  mutable alert_obs : (alert -> unit) option;
 }
 
 let name t = t.rname
@@ -269,6 +272,13 @@ let quantile t name labels q =
       Some (Kite_stats.Histogram.quantile h q)
   | _ -> None
 
+let percentile t name labels p = quantile t name labels (p /. 100.)
+
+let hbuckets t name labels =
+  match find_instance t name labels with
+  | Some { i_instr = I_hist h; _ } -> Some (Kite_stats.Histogram.buckets h)
+  | _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* Sampling                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -301,15 +311,17 @@ let sample t ~at =
       | Alert msg ->
           if not p.p_alerting then begin
             p.p_alerting <- true;
-            t.alerts_rev <-
+            let a =
               {
                 alert_at = at;
                 alert_probe = p.p_name;
                 alert_labels = p.p_labels;
                 alert_msg = msg;
               }
-              :: t.alerts_rev;
-            t.nalerts <- t.nalerts + 1
+            in
+            t.alerts_rev <- a :: t.alerts_rev;
+            t.nalerts <- t.nalerts + 1;
+            match t.alert_obs with None -> () | Some f -> f a
           end)
     (List.rev t.probe_order);
   t.nsamples <- t.nsamples + 1
@@ -366,6 +378,7 @@ let probe t ~name labels fn =
       t.probe_order <- key :: t.probe_order
 
 let alerts t = List.rev t.alerts_rev
+let set_alert_observer t obs = t.alert_obs <- obs
 
 let stalled_probe ?(ticks = 3) ~pending ~progress () =
   let last = ref min_int in
@@ -407,6 +420,7 @@ let create ?(name = "sim") ?(interval = default_interval) ?(capacity = 512) () =
       alerts_rev = [];
       nalerts = 0;
       nsamples = 0;
+      alert_obs = None;
     }
   in
   counter_fn t "kite_alerts_total" [] ~help:"Health-probe alerts fired"

@@ -95,8 +95,22 @@ val value : t -> string -> (string * string) list -> float option
 (** Current value of one instance; [None] if never registered. *)
 
 val quantile : t -> string -> (string * string) list -> float -> float option
-(** [quantile t name labels q] from a histogram instance; [None] when
-    the instance is missing, empty, or not a histogram. *)
+(** [quantile t name labels q] from a histogram instance, [q] in [\[0, 1\]]
+    as {!Kite_stats.Histogram.quantile} takes it; [None] when the
+    instance is missing, empty, or not a histogram.  For the
+    [p ∈ \[0, 100\]] convention of {!Kite_stats.Summary.percentile} use
+    {!percentile}. *)
+
+val percentile : t -> string -> (string * string) list -> float -> float option
+(** [percentile t name labels p] for [p] in [\[0, 100\]] — the single
+    bridge between the two quantile conventions: it is exactly
+    [quantile t name labels (p /. 100.)]. *)
+
+val hbuckets : t -> string -> (string * string) list -> (float * float * int) list option
+(** Non-empty buckets of a histogram instance as (lower bound, upper
+    bound, count), ascending — the raw material for windowed SLO math
+    (diff two snapshots to isolate the observations in between).  [None]
+    when the instance is missing or not a histogram. *)
 
 (** {1 Sampling and time series} *)
 
@@ -143,6 +157,11 @@ val probe :
 val alerts : t -> alert list
 (** Fired alerts, oldest first.  Also exposed as the
     [kite_alerts_total] counter family. *)
+
+val set_alert_observer : t -> (alert -> unit) option -> unit
+(** Install (or clear) an observer called on each [Healthy -> Alert]
+    edge as {!sample} records it.  At most one observer per registry;
+    the flight recorder is the intended client. *)
 
 val stalled_probe :
   ?ticks:int ->

@@ -52,6 +52,8 @@ let quantile t q =
   in
   walk 0 (buckets t)
 
+let percentile t p = quantile t (p /. 100.)
+
 let sparkline t =
   (* ASCII bars keep table column widths correct. *)
   let bars = [| '.'; ':'; '-'; '='; '+'; '*'; '#'; '@' |] in

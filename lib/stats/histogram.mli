@@ -21,7 +21,16 @@ val mean : t -> float
 
 val quantile : t -> float -> float
 (** [quantile t q] for [q] in [\[0, 1\]], linearly interpolated within the
-    bucket.  Raises [Invalid_argument] when empty or [q] out of range. *)
+    bucket.  Raises [Invalid_argument] when empty or [q] out of range.
+
+    Convention note: histograms speak quantiles ([q ∈ \[0, 1\]]) while
+    {!Summary.percentile} speaks percentiles ([p ∈ \[0, 100\]]); use
+    {!percentile} when mixing the two. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [\[0, 100\]] — the bridge to the
+    {!Summary.percentile} convention: exactly [quantile t (p /. 100.)],
+    including its exceptions. *)
 
 val buckets : t -> (float * float * int) list
 (** Non-empty buckets as (lower bound, upper bound, count), ascending. *)

@@ -21,7 +21,11 @@ val rsd_pct : float list -> float
 
 val percentile : float list -> float -> float
 (** [percentile xs p] for [p] in [\[0, 100\]], linear interpolation.
-    Raises [Invalid_argument] on the empty list. *)
+    Raises [Invalid_argument] on the empty list.
+
+    Convention note: this takes percentiles ([p ∈ \[0, 100\]]) while
+    {!Histogram.quantile} takes quantiles ([q ∈ \[0, 1\]]);
+    {!Histogram.percentile} bridges the two. *)
 
 val median : float list -> float
 

@@ -67,6 +67,9 @@ type t = {
   open_tbl : (string, open_span) Hashtbl.t;
   mutable done_spans : span list;  (* reversed *)
   mutable done_count : int;
+  (* Completed-span observer (the flight recorder's tap); [None] keeps
+     span_end allocation-identical to the pre-observer shape. *)
+  mutable span_obs : (span -> unit) option;
 }
 
 let create ?(limit = 1_000_000) ?(name = "trace") () =
@@ -87,6 +90,7 @@ let create ?(limit = 1_000_000) ?(name = "trace") () =
     open_tbl = Hashtbl.create 256;
     done_spans = [];
     done_count = 0;
+    span_obs = None;
   }
 
 let name t = t.tname
@@ -343,7 +347,7 @@ let span_end t ~at ~kind ~key ~id =
             close older start ((stage, start, stop) :: acc)
       in
       let stages = close os.os_marks at [] in
-      t.done_spans <-
+      let sp =
         {
           span_kind = kind;
           span_key = key;
@@ -352,11 +356,14 @@ let span_end t ~at ~kind ~key ~id =
           span_end_at = at;
           span_stages = stages;
         }
-        :: t.done_spans;
-      t.done_count <- t.done_count + 1
+      in
+      t.done_spans <- sp :: t.done_spans;
+      t.done_count <- t.done_count + 1;
+      (match t.span_obs with None -> () | Some f -> f sp)
 
 let spans t = List.rev t.done_spans
 let open_spans t = Hashtbl.length t.open_tbl
+let set_span_observer t obs = t.span_obs <- obs
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace-event JSON                                             *)

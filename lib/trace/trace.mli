@@ -155,6 +155,12 @@ val spans : t -> span list
 val open_spans : t -> int
 (** Requests still in flight (began but not ended). *)
 
+val set_span_observer : t -> (span -> unit) option -> unit
+(** Install (or clear) a completed-span observer, called from
+    {!span_end} after the span is recorded.  At most one observer per
+    tracer; the flight recorder is the intended client.  [None] (the
+    default) keeps [span_end] on its pre-observer path. *)
+
 (** {1 Exporters} *)
 
 val to_chrome_json : t list -> string

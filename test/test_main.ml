@@ -19,4 +19,5 @@ let () =
       ("metrics", Test_metrics.suite);
       ("mq", Test_mq.suite);
       ("race", Test_race.suite);
+      ("flight", Test_flight.suite);
     ]

@@ -132,6 +132,38 @@ let test_histogram_edge () =
   Alcotest.check_raises "bad q" (Invalid_argument "Histogram.quantile: q")
     (fun () -> ignore (Histogram.quantile h 1.5))
 
+(* The two quantile conventions: Summary.percentile speaks p in [0, 100],
+   Histogram.quantile speaks q in [0, 1], and the percentile bridges are
+   exactly quantile (p / 100) — so report code can stay in percent. *)
+let test_quantile_conventions () =
+  let h = Histogram.create ~base:1.0 ~factor:2.0 () in
+  Histogram.add_list h [ 1.5; 3.0; 6.0; 12.0 ];
+  List.iter
+    (fun p ->
+      checkf
+        (Printf.sprintf "Histogram.percentile %g = quantile %g" p (p /. 100.))
+        (Histogram.quantile h (p /. 100.))
+        (Histogram.percentile h p))
+    [ 0.0; 50.0; 99.0; 100.0 ];
+  (* q = 0 is the lowest bucket's lower edge; q = 1 never exceeds the
+     highest bucket's upper edge. *)
+  Alcotest.(check bool) "q=0 at low edge" true (Histogram.quantile h 0.0 <= 1.5);
+  Alcotest.(check bool) "q=1 within top bucket" true
+    (Histogram.quantile h 1.0 <= 16.0);
+  Alcotest.check_raises "Histogram.percentile empty"
+    (Invalid_argument "Histogram.quantile: empty") (fun () ->
+      ignore (Histogram.percentile (Histogram.create ()) 50.0));
+  Alcotest.check_raises "Summary.percentile empty"
+    (Invalid_argument "Summary.percentile: empty") (fun () ->
+      ignore (Summary.percentile [] 50.0));
+  Alcotest.check_raises "Summary.percentile out of range"
+    (Invalid_argument "Summary.percentile: p") (fun () ->
+      ignore (Summary.percentile [ 1.0 ] 150.0));
+  (* Summary's endpoints really are the extremes. *)
+  let xs = [ 4.0; 1.0; 3.0 ] in
+  checkf "Summary p0 = min" 1.0 (Summary.percentile xs 0.0);
+  checkf "Summary p100 = max" 4.0 (Summary.percentile xs 100.0)
+
 let prop_histogram_quantile_monotone =
   QCheck.Test.make ~name:"histogram quantiles are monotone" ~count:100
     QCheck.(list_of_size Gen.(1 -- 100) (float_bound_exclusive 1000.0))
@@ -169,6 +201,7 @@ let suite =
     ("series extrema", `Quick, test_series_extrema);
     ("histogram basics", `Quick, test_histogram_basics);
     ("histogram edge cases", `Quick, test_histogram_edge);
+    ("quantile conventions", `Quick, test_quantile_conventions);
     QCheck_alcotest.to_alcotest prop_histogram_quantile_monotone;
     QCheck_alcotest.to_alcotest prop_histogram_count;
     QCheck_alcotest.to_alcotest prop_mean_bounds;

@@ -278,6 +278,62 @@ let test_storage_scenario_traced () =
       check_bool "chrome json non-empty" true (parse_json json > 0)
   | ts -> Alcotest.failf "expected 1 traced machine, got %d" (List.length ts)
 
+(* Spans crossing a driver-domain crash/restart.  Requests journaled at
+   the crash are replayed into the rebuilt backend without re-issuing
+   span_begin, so a replayed request's single span legitimately begins
+   before the outage and ends after it — the partition invariants must
+   hold across that straddle, and no span may be left open. *)
+let test_spans_cross_restart () =
+  let writes = 64 in
+  let downtime = ref None in
+  let replayed = ref 0 in
+  let sink =
+    with_sink (fun () ->
+        let s = Scenario.storage ~flavor:Scenario.Kite () in
+        Scenario.when_blk_ready s (fun () ->
+            Scenario.crash_and_restart_blk s ~flavor:Scenario.Kite
+              ~at:(Time.ms 2)
+              ~on_restored:(fun ~downtime:d -> downtime := Some d)
+              ();
+            let front = s.Scenario.blkfront in
+            for k = 0 to writes - 1 do
+              let data = Bytes.make Kite_drivers.Blkfront.sector_size 'r' in
+              Kite_drivers.Blkfront.write front ~sector:k data
+            done);
+        Kite_xen.Hypervisor.run_for s.Scenario.bhv (Time.sec 7200);
+        replayed := Kite_drivers.Blkfront.replayed s.Scenario.blkfront)
+  in
+  let dt = match !downtime with Some d -> d | None -> Alcotest.fail "no restore" in
+  check_bool "crash landed on a non-empty journal" true (!replayed > 0);
+  match Trace.traces sink with
+  | [ tr ] ->
+      (* Every request completed exactly once, nothing left open. *)
+      check_int "no span leaks across the restart" 0 (Trace.open_spans tr);
+      let spans =
+        List.filter (fun sp -> sp.Trace.span_kind = "blk") (Trace.spans tr)
+      in
+      check_int "one completed span per write" writes (List.length spans);
+      assert_spans_well_formed tr;
+      (* The replayed request's span straddles the whole outage... *)
+      let straddle =
+        match
+          List.find_opt
+            (fun sp -> sp.Trace.span_end_at - sp.Trace.span_begin_at >= dt)
+            spans
+        with
+        | Some sp -> sp
+        | None -> Alcotest.fail "no span straddles the outage"
+      in
+      (* ...and bounds the crash instant: it ends one replay after the
+         restore, so [span_end_at - dt] sits just past the crash.  Spans
+         partition cleanly on both sides of that boundary. *)
+      let boundary = straddle.Trace.span_end_at - dt in
+      check_bool "spans completed before the crash" true
+        (List.exists (fun sp -> sp.Trace.span_end_at < boundary) spans);
+      check_bool "spans began after the restart" true
+        (List.exists (fun sp -> sp.Trace.span_begin_at > boundary) spans)
+  | ts -> Alcotest.failf "expected 1 traced machine, got %d" (List.length ts)
+
 let test_disabled_emits_nothing () =
   (* No default sink: the scenario must run completely untraced. *)
   check_bool "no ambient sink" true (Trace.default () = None);
@@ -336,5 +392,6 @@ let suite =
     ("breakdown tables render", `Quick, test_breakdown_tables_render);
     ("network scenario traced", `Quick, test_network_scenario_traced);
     ("storage scenario traced", `Quick, test_storage_scenario_traced);
+    ("spans cross crash/restart", `Quick, test_spans_cross_restart);
     ("disabled tracer emits nothing", `Quick, test_disabled_emits_nothing);
   ]
