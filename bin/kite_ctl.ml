@@ -801,6 +801,81 @@ let incident_cmd =
         (const run $ full_arg $ json_arg $ out_arg $ trigger_arg
        $ require_arg $ last_arg $ metrics_id_arg))
 
+(* ------------------------------------------------------------------ *)
+(* attack                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let attack_cmd =
+  let module Campaign = Kite_adversary.Campaign in
+  let seed_arg =
+    let doc = "Campaign seed (even seeds attack storage, odd network)." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let sweep_arg =
+    let doc = "Run campaigns for seeds 1..$(docv) instead of one seed." in
+    Arg.(value & opt (some int) None & info [ "sweep" ] ~docv:"N" ~doc)
+  in
+  let class_arg =
+    let doc =
+      "Restrict the campaign to these attack classes (comma-separated \
+       slugs, e.g. $(b,bad-gref,replay,evtchn-storm))."
+    in
+    Arg.(value & opt (list string) [] & info [ "class" ] ~docv:"SLUGS" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the campaign results as a JSON array." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run seed sweep slugs json =
+    let only =
+      List.fold_left
+        (fun acc s ->
+          match acc with
+          | Error _ as e -> e
+          | Ok l -> (
+              match Kite_drivers.Guest_fault.of_slug s with
+              | Some a -> Ok (a :: l)
+              | None -> Error s))
+        (Ok []) slugs
+    in
+    match only with
+    | Error s -> `Error (false, "unknown attack class " ^ s)
+    | Ok l ->
+        let only = match l with [] -> None | l -> Some l in
+        let seeds =
+          match sweep with
+          | Some n -> List.init n (fun i -> i + 1)
+          | None -> [ seed ]
+        in
+        let results =
+          List.map
+            (fun seed ->
+              let r = Campaign.run ?only ~seed () in
+              if not json then Format.printf "%a@." Campaign.pp_result r;
+              r)
+            seeds
+        in
+        if json then
+          print_string
+            ("[" ^ String.concat "," (List.map Campaign.to_json results) ^ "]\n");
+        let failed = List.filter (fun r -> not r.Campaign.ok) results in
+        if failed = [] then `Ok ()
+        else begin
+          Printf.eprintf "FAIL: %d/%d campaign(s) violated the oracle\n"
+            (List.length failed) (List.length results);
+          exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:
+         "Run seeded byzantine-frontend attack campaigns against the \
+          network and storage backends: every attack class must be \
+          detected as a typed guest fault, every hostile device \
+          quarantined or rejected, and the co-hosted honest guest's p99 \
+          must stay within its SLO with zero checker errors.")
+    Term.(ret (const run $ seed_arg $ sweep_arg $ class_arg $ json_arg))
+
 let () =
   let info =
     Cmd.info "kite_ctl" ~version:"1.0"
@@ -825,4 +900,5 @@ let () =
             top_cmd;
             flight_cmd;
             incident_cmd;
+            attack_cmd;
           ]))

@@ -1,0 +1,403 @@
+open Kite_sim
+open Kite_xen
+open Kite_drivers
+module Check = Kite_check.Check
+module Report = Kite_check.Report
+module Flight = Kite_flight.Flight
+module Scenario = Kite.Scenario
+module Summary = Kite_stats.Summary
+
+(* A seeded byzantine campaign: one testbed, one honest guest serving
+   real load, one malicious guest with one hostile device per attack
+   class, fired at randomized times.  The oracle is threefold — every
+   attack detected as a typed finding, every hostile device quarantined
+   (or its handshake rejected outright), and the honest guest's tail
+   latency still inside its SLO.  Checker *errors* must stay at zero:
+   detections are warnings; an error means the backend itself broke. *)
+
+type target = Net | Blk
+
+let target_name = function Net -> "net" | Blk -> "blk"
+
+type class_result = {
+  attack : Guest_fault.attack;
+  devid : int;
+  detected : bool;  (** a finding under the class's checker rule *)
+  quarantined : bool;  (** escalated to level >= 1, or handshake-rejected *)
+  rejected : bool;  (** refused at the handshake, never served *)
+  level : int;  (** quarantine level reached (3 when rejected) *)
+}
+
+type result = {
+  seed : int;
+  target : target;
+  queues : int;  (** honest guest's negotiated queue count *)
+  classes : class_result list;
+  missed : string list;  (** slugs with no finding *)
+  unquarantined : string list;  (** slugs whose device kept serving *)
+  handshake_rejections : int;
+  checker_errors : int;
+  checker_warnings : int;
+  incidents : int;  (** flight-recorder incidents frozen *)
+  honest_samples : int;
+  honest_p99_us : float;
+  slo_us : float;
+  honest_ok : bool;
+  ok : bool;
+}
+
+(* How each attack class is delivered: a hostile handshake the backend
+   must reject, or an honest handshake followed by a runtime volley. *)
+let net_classes : Guest_fault.attack list =
+  [
+    Ring_index;
+    Bad_gref;
+    Foreign_gref;
+    Bad_length;
+    Replay;
+    Slot_reuse;
+    Xenbus_jump;
+    Evtchn_storm;
+    Bad_ring_ref;
+    Bad_port;
+    Xenstore_abuse;
+  ]
+
+let blk_classes : Guest_fault.attack list = net_classes @ [ Bad_segment ]
+
+let classes_for = function Net -> net_classes | Blk -> blk_classes
+
+let is_handshake_class (a : Guest_fault.attack) =
+  match a with
+  | Bad_ring_ref | Bad_port | Xenstore_abuse -> true
+  | _ -> false
+
+let filter_only only classes =
+  match only with
+  | None -> classes
+  | Some l -> List.filter (fun c -> List.mem c l) classes
+
+(* p99 over microsecond samples; an empty sample set fails the SLO. *)
+let p99 = function [] -> infinity | samples -> Summary.percentile samples 99.0
+
+let evaluate ~seed ~target ~queues ~classes ~errors ~warnings ~incidents
+    ~samples ~slo_us =
+  let missed =
+    List.filter_map
+      (fun c -> if c.detected then None else Some (Guest_fault.slug c.attack))
+      classes
+  in
+  let unquarantined =
+    List.filter_map
+      (fun c -> if c.quarantined then None else Some (Guest_fault.slug c.attack))
+      classes
+  in
+  let honest_p99_us = p99 samples in
+  let honest_ok = honest_p99_us <= slo_us in
+  {
+    seed;
+    target;
+    queues;
+    classes;
+    missed;
+    unquarantined;
+    handshake_rejections =
+      List.length (List.filter (fun c -> c.rejected) classes);
+    checker_errors = errors;
+    checker_warnings = warnings;
+    incidents;
+    honest_samples = List.length samples;
+    honest_p99_us;
+    slo_us;
+    honest_ok;
+    ok =
+      errors = 0 && missed = [] && unquarantined = [] && honest_ok
+      && incidents >= 1;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Network campaign                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let net_slo_us = 5_000.0
+let blk_slo_us = 10_000.0
+
+let run_net ?only ~seed () =
+  let report = Report.create () in
+  let sink = Flight.sink () in
+  Check.set_default (Some (Check.default_config, report));
+  Flight.set_default (Some sink);
+  Fun.protect
+    ~finally:(fun () ->
+      Check.set_default None;
+      Flight.set_default None)
+    (fun () ->
+      let rng = Rng.create ((seed * 7919) + 17) in
+      let queues = [| 1; 2; 4 |].(Rng.int rng 3) in
+      let s = Scenario.network ~flavor:Scenario.Kite ~seed ~num_queues:queues () in
+      let hv = s.Scenario.hv and ctx = s.Scenario.ctx in
+      let evil =
+        Hypervisor.create_domain hv ~name:"evil" ~kind:Domain.Dom_u ~vcpus:1
+          ~mem_mb:256
+      in
+      let victim = s.Scenario.domu.Domain.id in
+      let classes = filter_only only net_classes in
+      let plan =
+        List.mapi
+          (fun idx cls -> (idx + 1, cls, Time.ms (5 + Rng.int rng 40)))
+          classes
+      in
+      let evils = ref [] in
+      List.iter
+        (fun (devid, cls, offset) ->
+          Hypervisor.spawn hv evil
+            ~name:(Printf.sprintf "evil-%s" (Guest_fault.slug cls))
+            (fun () ->
+              Process.sleep offset;
+              Toolstack.add_vif ctx ~backend:s.Scenario.dd ~frontend:evil
+                ~devid ();
+              let ev =
+                Evil_net.create ctx ~domain:evil ~backend:s.Scenario.dd ~devid
+                  ~nq:2
+              in
+              evils := ev :: !evils;
+              let mode : Evil_net.handshake =
+                match cls with
+                | Bad_ring_ref -> Forged_ring_ref
+                | Bad_port -> Hijacked_port
+                | Xenstore_abuse -> Garbage_keys
+                | _ -> Honest
+              in
+              Evil_net.handshake ev mode;
+              if mode = Evil_net.Honest then begin
+                Process.sleep (Time.ms 2);
+                match cls with
+                | Guest_fault.Ring_index -> Evil_net.attack_ring_index ev
+                | Bad_gref -> Evil_net.attack_bad_gref ev
+                | Foreign_gref -> Evil_net.attack_foreign_gref ev ~victim
+                | Bad_length -> Evil_net.attack_bad_length ev
+                | Replay -> Evil_net.attack_replay ev
+                | Slot_reuse -> Evil_net.attack_slot_reuse ev
+                | Xenbus_jump -> Evil_net.attack_xenbus_jump ev
+                (* Well past the 64-wakeup threshold: signals landing
+                   while the worker is mid-wakeup are lost, not queued. *)
+                | Evtchn_storm -> Evil_net.attack_storm ev ~count:200
+                | _ -> ()
+              end))
+        plan;
+      (* The honest guest keeps serving pings throughout the campaign. *)
+      let samples = ref [] in
+      Scenario.when_net_ready s (fun () ->
+          for seq = 1 to 40 do
+            (match
+               Kite_net.Stack.ping s.Scenario.client_stack
+                 ~dst:s.Scenario.guest_ip ~seq ()
+             with
+            | Some rtt -> samples := Time.to_us_f rtt :: !samples
+            | None -> ());
+            Process.sleep (Time.ms 2)
+          done);
+      Hypervisor.run_for hv (Time.sec 2);
+      List.iter Evil_net.cleanup !evils;
+      let nb = Net_app.netback s.Scenario.net_app in
+      let insts = Netback.instances nb in
+      let rej = Netback.rejected nb in
+      let classes_r =
+        List.map
+          (fun (devid, cls, _) ->
+            let detected =
+              Report.by_rule report (Guest_fault.rule cls) <> []
+            in
+            let rejected = List.mem (evil.Domain.id, devid) rej in
+            let level =
+              if rejected then 3
+              else
+                match
+                  List.find_opt
+                    (fun i ->
+                      Netback.frontend_domid i = evil.Domain.id
+                      && Netback.devid i = devid)
+                    insts
+                with
+                | Some i -> Quarantine.level (Netback.quarantine i)
+                | None -> 0
+            in
+            {
+              attack = cls;
+              devid;
+              detected;
+              quarantined = rejected || level >= 1;
+              rejected;
+              level;
+            })
+          plan
+      in
+      Scenario.teardown_all ();
+      let incidents =
+        List.fold_left
+          (fun acc f -> acc + List.length (Flight.incidents f))
+          0 (Flight.flights sink)
+      in
+      evaluate ~seed ~target:Net ~queues ~classes:classes_r
+        ~errors:(Report.errors report) ~warnings:(Report.warnings report)
+        ~incidents ~samples:!samples ~slo_us:net_slo_us)
+
+(* ------------------------------------------------------------------ *)
+(* Storage campaign                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_blk ?only ~seed () =
+  let report = Report.create () in
+  let sink = Flight.sink () in
+  Check.set_default (Some (Check.default_config, report));
+  Flight.set_default (Some sink);
+  Fun.protect
+    ~finally:(fun () ->
+      Check.set_default None;
+      Flight.set_default None)
+    (fun () ->
+      let rng = Rng.create ((seed * 7919) + 29) in
+      let queues = [| 1; 2; 4 |].(Rng.int rng 3) in
+      let s = Scenario.storage ~flavor:Scenario.Kite ~seed ~num_queues:queues () in
+      let hv = s.Scenario.bhv and ctx = s.Scenario.bctx in
+      let evil =
+        Hypervisor.create_domain hv ~name:"evil" ~kind:Domain.Dom_u ~vcpus:1
+          ~mem_mb:256
+      in
+      let victim = s.Scenario.bdomu.Domain.id in
+      let classes = filter_only only blk_classes in
+      let plan =
+        List.mapi
+          (fun idx cls -> (idx + 1, cls, Time.ms (5 + Rng.int rng 40)))
+          classes
+      in
+      let evils = ref [] in
+      List.iter
+        (fun (devid, cls, offset) ->
+          Hypervisor.spawn hv evil
+            ~name:(Printf.sprintf "evil-%s" (Guest_fault.slug cls))
+            (fun () ->
+              Process.sleep offset;
+              Toolstack.add_vbd ctx ~backend:s.Scenario.bdd ~frontend:evil
+                ~devid ();
+              let ev =
+                Evil_blk.create ctx ~domain:evil ~backend:s.Scenario.bdd ~devid
+                  ~nq:2
+              in
+              evils := ev :: !evils;
+              let mode : Evil_blk.handshake =
+                match cls with
+                | Bad_ring_ref -> Forged_ring_ref
+                | Bad_port -> Hijacked_port
+                | Xenstore_abuse -> Garbage_keys
+                | _ -> Honest
+              in
+              Evil_blk.handshake ev mode;
+              if mode = Evil_blk.Honest then begin
+                Process.sleep (Time.ms 2);
+                match cls with
+                | Guest_fault.Ring_index -> Evil_blk.attack_ring_index ev
+                | Bad_gref -> Evil_blk.attack_bad_gref ev
+                | Foreign_gref -> Evil_blk.attack_foreign_gref ev ~victim
+                | Bad_length -> Evil_blk.attack_bad_length ev
+                | Bad_segment -> Evil_blk.attack_bad_segment ev
+                | Replay -> Evil_blk.attack_replay ev
+                | Slot_reuse -> Evil_blk.attack_slot_reuse ev
+                | Xenbus_jump -> Evil_blk.attack_xenbus_jump ev
+                | Evtchn_storm -> Evil_blk.attack_storm ev ~count:200
+                | _ -> ()
+              end))
+        plan;
+      (* Honest load: timed reads far from the attackers' scratch
+         sectors (their few accepted replay/slot-reuse writes land in
+         the first dozen sectors). *)
+      let samples = ref [] in
+      Scenario.when_blk_ready s (fun () ->
+          for i = 1 to 30 do
+            let t0 = Hypervisor.now hv in
+            ignore
+              (Blkfront.read s.Scenario.blkfront ~sector:(20_000 + (8 * i))
+                 ~count:8);
+            samples := Time.to_us_f (Hypervisor.now hv - t0) :: !samples;
+            Process.sleep (Time.ms 2)
+          done);
+      Hypervisor.run_for hv (Time.sec 2);
+      List.iter Evil_blk.cleanup !evils;
+      let bb = Blk_app.blkback s.Scenario.blk_app in
+      let insts = Blkback.instances bb in
+      let rej = Blkback.rejected bb in
+      let classes_r =
+        List.map
+          (fun (devid, cls, _) ->
+            let detected =
+              Report.by_rule report (Guest_fault.rule cls) <> []
+            in
+            let rejected = List.mem (evil.Domain.id, devid) rej in
+            let level =
+              if rejected then 3
+              else
+                match
+                  List.find_opt
+                    (fun i ->
+                      Blkback.frontend_domid i = evil.Domain.id
+                      && Blkback.devid i = devid)
+                    insts
+                with
+                | Some i -> Quarantine.level (Blkback.quarantine i)
+                | None -> 0
+            in
+            {
+              attack = cls;
+              devid;
+              detected;
+              quarantined = rejected || level >= 1;
+              rejected;
+              level;
+            })
+          plan
+      in
+      Scenario.teardown_all ();
+      let incidents =
+        List.fold_left
+          (fun acc f -> acc + List.length (Flight.incidents f))
+          0 (Flight.flights sink)
+      in
+      evaluate ~seed ~target:Blk ~queues ~classes:classes_r
+        ~errors:(Report.errors report) ~warnings:(Report.warnings report)
+        ~incidents ~samples:!samples ~slo_us:blk_slo_us)
+
+let run ?only ~seed () =
+  if seed mod 2 = 0 then run_blk ?only ~seed () else run_net ?only ~seed ()
+
+let sweep ?only ~seeds () =
+  List.map (fun seed -> run ?only ~seed ()) seeds
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let class_to_json c =
+  Printf.sprintf
+    {|{"attack":"%s","devid":%d,"detected":%b,"quarantined":%b,"rejected":%b,"level":%d}|}
+    (Guest_fault.slug c.attack) c.devid c.detected c.quarantined c.rejected
+    c.level
+
+let to_json r =
+  Printf.sprintf
+    {|{"seed":%d,"target":"%s","queues":%d,"ok":%b,"checker_errors":%d,"checker_warnings":%d,"incidents":%d,"handshake_rejections":%d,"honest_samples":%d,"honest_p99_us":%.1f,"slo_us":%.1f,"honest_ok":%b,"missed":[%s],"unquarantined":[%s],"classes":[%s]}|}
+    r.seed (target_name r.target) r.queues r.ok r.checker_errors
+    r.checker_warnings r.incidents r.handshake_rejections r.honest_samples
+    r.honest_p99_us r.slo_us r.honest_ok
+    (String.concat "," (List.map (Printf.sprintf "%S") r.missed))
+    (String.concat "," (List.map (Printf.sprintf "%S") r.unquarantined))
+    (String.concat "," (List.map class_to_json r.classes))
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "seed %3d  %-3s q=%d  detected %d/%d  rejected %d  p99 %.0f us (slo %.0f)  \
+     errors %d  incidents %d  %s"
+    r.seed (target_name r.target) r.queues
+    (List.length r.classes - List.length r.missed)
+    (List.length r.classes) r.handshake_rejections r.honest_p99_us r.slo_us
+    r.checker_errors r.incidents
+    (if r.ok then "OK" else "FAIL")

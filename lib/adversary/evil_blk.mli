@@ -1,0 +1,43 @@
+(** A byzantine blkfront: the vbd twin of {!Evil_net}.
+
+    Same contract: speak just enough of the handshake to connect (or
+    present a hostile one), then fire one attack primitive per call.
+    Never negotiates persistent grants, so the backend unmaps its data
+    pages after every request and {!cleanup} only has the attacker's own
+    outstanding grants to revoke.  Run everything from process
+    context. *)
+
+type t
+
+type handshake = Honest | Forged_ring_ref | Hijacked_port | Garbage_keys
+
+val create :
+  Kite_drivers.Xen_ctx.t ->
+  domain:Kite_xen.Domain.t ->
+  backend:Kite_xen.Domain.t ->
+  devid:int ->
+  nq:int ->
+  t
+(** The toolstack must already have registered the vbd
+    ({!Kite_drivers.Toolstack.add_vbd}). *)
+
+val handshake : t -> handshake -> unit
+
+(** {1 Attack primitives} — see {!Evil_net} for the shared contract. *)
+
+val attack_bad_segment : t -> unit
+(** Oversized direct segment lists, an indirect count past the cap, and
+    impossible segment geometry. *)
+
+val attack_bad_gref : t -> unit
+val attack_foreign_gref : t -> victim:int -> unit
+
+val attack_bad_length : t -> unit
+(** Requests aimed past the end of the device (and before its start). *)
+
+val attack_replay : t -> unit
+val attack_slot_reuse : t -> unit
+val attack_ring_index : t -> unit
+val attack_xenbus_jump : t -> unit
+val attack_storm : t -> count:int -> unit
+val cleanup : t -> unit

@@ -1,0 +1,73 @@
+(** A byzantine netfront.
+
+    Speaks just enough of the vif handshake to connect (or to present a
+    hostile handshake), then fires one attack primitive per call; every
+    index, reference, length and state it publishes is
+    attacker-controlled.  Used by {!Campaign} and the deterministic
+    per-primitive tests — the oracle is always on the backend side:
+    typed {!Kite_drivers.Guest_fault} findings, quarantine escalation,
+    and zero impact on co-hosted honest guests.
+
+    Run every call below from process context on the testbed's
+    scheduler. *)
+
+type t
+
+type handshake =
+  | Honest  (** complete the handshake properly; attack afterwards *)
+  | Forged_ring_ref  (** advertise ring references nobody shared *)
+  | Hijacked_port  (** advertise an event channel nobody allocated *)
+  | Garbage_keys  (** unparsable negotiation keys *)
+
+val create :
+  Kite_drivers.Xen_ctx.t ->
+  domain:Kite_xen.Domain.t ->
+  backend:Kite_xen.Domain.t ->
+  devid:int ->
+  nq:int ->
+  t
+(** The toolstack must already have registered the vif
+    ({!Kite_drivers.Toolstack.add_vif}) so the backend watch fires. *)
+
+val handshake : t -> handshake -> unit
+(** Blocks until the backend reaches InitWait, publishes the keys the
+    mode calls for, and — for [Honest] only — waits for Connected.  The
+    hostile modes leave the backend's rejection (its directory driven to
+    Closed) unacknowledged, like a guest that doesn't care. *)
+
+(** {1 Attack primitives}
+
+    Each volley lands enough violations in one ring drain to walk the
+    quarantine ladder to eviction (severe classes get there in one). *)
+
+val attack_bad_gref : t -> unit
+(** Forged grant references, plus granted-then-revoked ones. *)
+
+val attack_foreign_gref : t -> victim:int -> unit
+(** Tx descriptors naming grants issued by domain [victim] (scanned
+    from the grant table like a guessing guest; degrades to forged refs
+    if the victim has nothing granted right now). *)
+
+val attack_bad_length : t -> unit
+(** Descriptor lengths outside the granted page (including negative). *)
+
+val attack_replay : t -> unit
+(** Request ids replayed while still in flight on the same queue. *)
+
+val attack_slot_reuse : t -> unit
+(** One request id live on two queues at once.  Needs [nq >= 2]. *)
+
+val attack_ring_index : t -> unit
+(** Scribbles the shared request-producer index out of range — severe;
+    the backend offlines the device on sight. *)
+
+val attack_xenbus_jump : t -> unit
+(** Illegal frontend state transitions (including garbage) written
+    straight into the store. *)
+
+val attack_storm : t -> count:int -> unit
+(** [count] doorbell rings with no ring work posted. *)
+
+val cleanup : t -> unit
+(** Revoke every grant still outstanding so the end-of-run audit sees
+    no leak from the attacker either. *)

@@ -320,6 +320,23 @@ let xenbus_bad_transition t ~path ~from_ ~to_ =
     "illegal xenbus state transition %s -> %s at %s" from_ to_ path
 
 (* ------------------------------------------------------------------ *)
+(* Trust-boundary (byzantine frontend) hooks                           *)
+(* ------------------------------------------------------------------ *)
+
+let guest_fault t ~domid ~device ~attack ~detail =
+  account t;
+  emit t Report.Warning "adversary"
+    ("guest-" ^ attack)
+    "domain %d on %s: %s rejected at the trust boundary (%s)" domid device
+    attack detail
+
+let guest_quarantined t ~domid ~device ~action ~faults =
+  account t;
+  emit t Report.Warning "adversary" "guest-quarantined"
+    "quarantine %s: domain %d on %s after %d guest fault(s)" action domid
+    device faults
+
+(* ------------------------------------------------------------------ *)
 (* Audits                                                              *)
 (* ------------------------------------------------------------------ *)
 

@@ -109,6 +109,25 @@ val xenbus_bad_transition : t -> path:string -> from_:string -> to_:string -> un
 (** A state write that is not a legal edge of the xenbus device state
     machine (see [Xenbus.legal_transition]). *)
 
+(** {1 Trust-boundary hooks}
+
+    Fired by a backend when a frontend-supplied index, reference, length
+    or state fails validation.  Detection is the *expected* outcome of an
+    adversary campaign, so these are findings about the guest, not the
+    model: Warning severity, subsystem ["adversary"]. *)
+
+val guest_fault :
+  t -> domid:int -> device:string -> attack:string -> detail:string -> unit
+(** One rejected attack primitive.  [attack] is the attack-class slug
+    ({!Kite_drivers.Guest_fault.slug}); the finding's rule is
+    ["guest-" ^ attack]. *)
+
+val guest_quarantined :
+  t -> domid:int -> device:string -> action:string -> faults:int -> unit
+(** The backend's quarantine policy escalated: [action] is ["throttle"],
+    ["detach"] or ["offline"], after [faults] accumulated guest faults on
+    [device].  Rule ["guest-quarantined"]. *)
+
 (** {1 Audits} *)
 
 val quiescence : t -> pending:int -> unit

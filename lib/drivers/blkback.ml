@@ -12,6 +12,7 @@ type rstate = {
   rport : Event_channel.port;
   rwake : Condition.t;
   mutable r_requests : int;
+  mutable spurious : int;  (* consecutive wakeups that drained nothing *)
 }
 
 type instance = {
@@ -39,6 +40,13 @@ type instance = {
   mutable indirect_reqs : int;
   mutable inflight : int;
   mutable stop : bool;
+  bpath : string;
+  guard : Quarantine.t;
+  (* request ids currently being served, across every ring of the
+     device: id -> rid.  Detects in-flight replay and cross-ring slot
+     reuse. *)
+  req_ids : (int, int) Hashtbl.t;
+  mutable state_guard : Xenstore.watch_id option;
 }
 
 type t = {
@@ -54,6 +62,8 @@ type t = {
   smax_queues : int;
   smax_ring_page_order : int;
   mutable insts : instance list;
+  mutable rejected : (int * int) list;
+      (* (frontend domid, devid) refused at the handshake *)
   mutable known : (int * int) list;
   new_frontend : (int * int) Mailbox.t;
   mutable stopping : bool;
@@ -61,7 +71,10 @@ type t = {
 }
 
 let instances t = t.insts
+let rejected t = t.rejected
 let frontend_domid i = i.frontend.Domain.id
+let devid i = i.devid
+let quarantine i = i.guard
 let requests_served i = i.requests
 let segments_served i = i.segments
 let device_ops i = i.device_ops
@@ -102,6 +115,92 @@ let charge_wake i =
 
 let touch i = i.last_activity <- Hypervisor.now (hv i)
 
+(* ------------------------------------------------------------------ *)
+(* Trust boundary: every ring index, grant reference, segment
+   descriptor, request id and negotiation key the frontend publishes
+   is attacker-controlled.  Violations become typed Guest_faults
+   feeding the per-device quarantine ladder.                           *)
+(* ------------------------------------------------------------------ *)
+
+let storm_threshold = 64
+
+(* Disconnect one instance: retire its request threads, unmap the whole
+   persistent-reference table (the real driver's gnttab_unmap sweep on
+   disconnect) and close the event channels.  Idempotent; the teardown
+   half of both [stop] and the Detach/Offline quarantine actions.
+   Process context: the unmap charges hypercall time. *)
+let detach_instance i =
+  if not i.stop then begin
+    i.stop <- true;
+    (match i.state_guard with
+    | Some id ->
+        Xenbus.unwatch i.ctx.Xen_ctx.xb id;
+        i.state_guard <- None
+    | None -> ());
+    Array.iter (fun r -> Condition.broadcast r.rwake) i.rings;
+    let grefs = Hashtbl.fold (fun g () acc -> g :: acc) i.pmap [] in
+    Hashtbl.reset i.pmap;
+    Grant_table.unmap_many i.ctx.Xen_ctx.gt ~grantee:i.domain grefs;
+    Array.iter (fun r -> Event_channel.close i.ctx.Xen_ctx.ec r.rport) i.rings
+  end
+
+(* Detach plus evict: drive our own directory to Closed so the
+   toolstack and any honest tooling see the device is gone for good. *)
+let offline_instance i =
+  detach_instance i;
+  let xb = i.ctx.Xen_ctx.xb in
+  Xenbus.switch_state xb i.domain ~path:i.bpath Xenbus.Closing;
+  Xenbus.switch_state xb i.domain ~path:i.bpath Xenbus.Closed
+
+let apply_quarantine i action =
+  let name = Quarantine.action_name action in
+  (match i.ctx.Xen_ctx.check with
+  | Some c ->
+      Kite_check.Check.guest_quarantined c ~domid:i.frontend.Domain.id
+        ~device:(vbd_name i) ~action:name
+        ~faults:(Quarantine.faults i.guard)
+  | None -> ());
+  (match i.ctx.Xen_ctx.flight with
+  | Some fl ->
+      Kite_flight.Flight.mark fl ~what:"quarantine"
+        ~msg:(Printf.sprintf "%s -> %s" (vbd_name i) name)
+  | None -> ());
+  fnote i ("blkback.quarantine." ^ name);
+  match action with
+  | Quarantine.Throttle -> ()  (* the request thread consults the level *)
+  | Quarantine.Detach -> detach_instance i
+  | Quarantine.Offline -> offline_instance i
+
+(* One rejected attack primitive: checker finding, flight incident,
+   then whatever escalation the fault count has earned.  Process
+   context (Offline writes xenbus states). *)
+let record_fault i ~attack ~detail =
+  (match i.ctx.Xen_ctx.check with
+  | Some c ->
+      Kite_check.Check.guest_fault c ~domid:i.frontend.Domain.id
+        ~device:(vbd_name i)
+        ~attack:(Guest_fault.slug attack)
+        ~detail
+  | None -> ());
+  (match i.ctx.Xen_ctx.flight with
+  | Some fl ->
+      Kite_flight.Flight.record fl ~layer:"adversary" ~kind:"guest-fault"
+        ~key:(vbd_name i)
+        ~msg:(Printf.sprintf "%s: %s" (Guest_fault.slug attack) detail);
+      Kite_flight.Flight.trigger fl Kite_flight.Flight.Manual
+        ~reason:
+          (Printf.sprintf "guest fault on %s: %s" (vbd_name i)
+             (Guest_fault.slug attack))
+  | None -> ());
+  fnote i ("blkback.guest-fault." ^ Guest_fault.slug attack);
+  match Quarantine.note i.guard attack with
+  | Some action -> apply_quarantine i action
+  | None -> ()
+
+let throttle_penalty i =
+  if Quarantine.throttled i.guard && not i.stop then
+    Process.sleep (Quarantine.policy i.guard).Quarantine.throttle_penalty
+
 (* A resolved unit of work: one request, its segments and mapped pages. *)
 type work = {
   req : Blkif.request;
@@ -119,15 +218,169 @@ let rec split_at n l =
         (x :: a, b)
     | [] -> ([], [])
 
+(* After a crash ([stop] set abruptly) the ring is dead and the channel
+   closed: late completions from workers already in the device must not
+   touch either.  A hostile frontend that never consumes responses can
+   also fill the response side — that is its own loss, never ours
+   (Ring_full swallowed). *)
+let respond_id i r ~id status =
+  if not i.stop then begin
+    (try Ring.push_response r.ring { Blkif.rsp_id = id; status }
+     with Ring.Ring_full -> ());
+    if Ring.push_responses_and_check_notify r.ring then
+      try Event_channel.notify i.ctx.Xen_ctx.ec r.rport ~from:i.domain
+      with Event_channel.Evtchn_error _ -> ()
+  end
+
+let respond i r work status =
+  Hashtbl.remove i.req_ids work.req.Blkif.req_id;
+  respond_id i r ~id:work.req.Blkif.req_id status
+
+(* Stage-1 validation, before any grant is touched: request-id liveness
+   (in-flight replay on the same ring, slot reuse across rings) and the
+   shape of the descriptor chain — segment counts against the
+   advertised limits, and ownership of every indirect descriptor page.
+   Returns the violation, or None for an honest request. *)
+let validate_pre i r req =
+  let fid = i.frontend.Domain.id in
+  let id = req.Blkif.req_id in
+  match Hashtbl.find_opt i.req_ids id with
+  | Some rid when rid = r.rid ->
+      Some
+        ( Guest_fault.Replay,
+          Printf.sprintf "request id %d replayed while in flight" id )
+  | Some rid ->
+      Some
+        ( Guest_fault.Slot_reuse,
+          Printf.sprintf "request id %d already live on ring %d" id rid )
+  | None -> (
+      match req.Blkif.body with
+      | Blkif.Direct segs ->
+          let n = List.length segs in
+          if n > Blkif.max_direct_segments then
+            Some
+              ( Guest_fault.Bad_segment,
+                Printf.sprintf "%d direct segments (max %d)" n
+                  Blkif.max_direct_segments )
+          else None
+      | Blkif.Indirect (grefs, count) ->
+          if count < 0 || count > Blkif.max_indirect_segments then
+            Some
+              ( Guest_fault.Bad_segment,
+                Printf.sprintf "indirect segment count %d (max %d)" count
+                  Blkif.max_indirect_segments )
+          else begin
+            let needed =
+              (count + Blkif.segments_per_indirect_page - 1)
+              / Blkif.segments_per_indirect_page
+            in
+            if List.length grefs < needed then
+              Some
+                ( Guest_fault.Bad_segment,
+                  Printf.sprintf
+                    "%d descriptor pages published for %d segments"
+                    (List.length grefs) count )
+            else
+              let rec check = function
+                | [] -> None
+                | g :: rest -> (
+                    match Grant_table.owner i.ctx.Xen_ctx.gt g with
+                    | None ->
+                        Some
+                          ( Guest_fault.Bad_gref,
+                            Printf.sprintf
+                              "indirect descriptor gref %d unknown or revoked"
+                              g )
+                    | Some d when d <> fid ->
+                        Some
+                          ( Guest_fault.Foreign_gref,
+                            Printf.sprintf
+                              "indirect descriptor gref %d granted by domain \
+                               %d" g d )
+                    | Some _ -> check rest)
+              in
+              check grefs
+          end)
+
+(* Stage-2 validation, once the segment list is resolved (for indirect
+   requests that means after parsing the descriptor pages — themselves
+   attacker-controlled bytes): per-segment sector geometry, ownership
+   of every data gref, and the request's sector range against the
+   device capacity. *)
+let validate_segs i req segs =
+  let fid = i.frontend.Domain.id in
+  let sect_per_page = Page.size / sector_size in
+  let rec check_seg = function
+    | [] -> None
+    | s :: rest ->
+        if
+          s.Blkif.first_sect < 0
+          || s.Blkif.last_sect < s.Blkif.first_sect
+          || s.Blkif.last_sect >= sect_per_page
+        then
+          Some
+            ( Guest_fault.Bad_segment,
+              Printf.sprintf "segment geometry first=%d last=%d (page holds %d)"
+                s.Blkif.first_sect s.Blkif.last_sect sect_per_page )
+        else (
+          match Grant_table.owner i.ctx.Xen_ctx.gt s.Blkif.gref with
+          | None ->
+              Some
+                ( Guest_fault.Bad_gref,
+                  Printf.sprintf "data gref %d unknown or revoked"
+                    s.Blkif.gref )
+          | Some d when d <> fid ->
+              Some
+                ( Guest_fault.Foreign_gref,
+                  Printf.sprintf "data gref %d granted by domain %d"
+                    s.Blkif.gref d )
+          | Some _ -> check_seg rest)
+  in
+  match check_seg segs with
+  | Some v -> Some v
+  | None ->
+      let total =
+        List.fold_left (fun a s -> a + Blkif.segment_bytes s) 0 segs
+      in
+      let sectors = total / sector_size in
+      let cap = Kite_devices.Nvme.capacity_sectors i.device in
+      if req.Blkif.sector < 0 || req.Blkif.sector + sectors > cap then
+        Some
+          ( Guest_fault.Bad_length,
+            Printf.sprintf "sector range [%d, %d) beyond capacity %d"
+              req.Blkif.sector
+              (req.Blkif.sector + sectors)
+              cap )
+      else None
+
 (* Prepare a whole drained run with coalesced grant-table hypercalls:
    every indirect descriptor page in the run is mapped (and unmapped)
    in one batched call, and every data gref in the run rides a single
    map hypercall — the grant-op trap cost is amortized across the
    queue's pending requests instead of paid per request.  A 1-request
-   run costs exactly what the old per-request path did. *)
-let prepare_run i reqs =
+   run costs exactly what the old per-request path did.
+
+   Every request passes [validate_pre] before any of its grants are
+   touched and [validate_segs] once its segments are resolved; a
+   violator is answered with status_error and reported as a typed
+   Guest_fault (which may quarantine the whole device mid-run). *)
+let prepare_run i r reqs =
+  let reqs =
+    List.filter
+      (fun req ->
+        match validate_pre i r req with
+        | Some (attack, detail) ->
+            respond_id i r ~id:req.Blkif.req_id Blkif.status_error;
+            record_fault i ~attack ~detail;
+            false
+        | None ->
+            Hashtbl.replace i.req_ids req.Blkif.req_id r.rid;
+            true)
+      reqs
+  in
   match reqs with
   | [] -> []
+  | _ when i.stop -> []  (* quarantine offlined the device mid-run *)
   | reqs ->
       List.iter
         (fun req ->
@@ -167,6 +420,24 @@ let prepare_run i reqs =
       let prepared = List.combine reqs (List.rev rev_segs) in
       if ind_grefs <> [] then
         Grant_table.unmap_many i.ctx.Xen_ctx.gt ~grantee:i.domain ind_grefs;
+      (* Stage-2: the resolved segments (possibly parsed out of
+         attacker-controlled descriptor pages) are themselves validated
+         before the data grefs ride the pooled map hypercall. *)
+      let prepared =
+        List.filter
+          (fun (req, segs) ->
+            match validate_segs i req segs with
+            | Some (attack, detail) ->
+                i.inflight <- i.inflight - 1;
+                Hashtbl.remove i.req_ids req.Blkif.req_id;
+                respond_id i r ~id:req.Blkif.req_id Blkif.status_error;
+                record_fault i ~attack ~detail;
+                false
+            | None -> true)
+          prepared
+      in
+      if i.stop then []  (* quarantine offlined the device mid-run *)
+      else begin
       List.iter
         (fun (req, segs) ->
           let indirect =
@@ -241,22 +512,12 @@ let prepare_run i reqs =
           ([], all_pages) prepared
       in
       List.rev rev_works
+      end
 
 let release i work =
   if not i.persistent then
     Grant_table.unmap_many i.ctx.Xen_ctx.gt ~grantee:i.domain
       (List.map (fun s -> s.Blkif.gref) work.segs)
-
-(* After a crash ([stop] set abruptly) the ring is dead and the channel
-   closed: late completions from workers already in the device must not
-   touch either. *)
-let respond i r work status =
-  if not i.stop then begin
-    Ring.push_response r.ring { Blkif.rsp_id = work.req.Blkif.req_id; status };
-    if Ring.push_responses_and_check_notify r.ring then
-      try Event_channel.notify i.ctx.Xen_ctx.ec r.rport ~from:i.domain
-      with Event_channel.Evtchn_error _ -> ()
-  end
 
 (* Gather a batch's pages into one buffer / scatter one buffer back. *)
 let gather works =
@@ -416,7 +677,33 @@ let request_thread i r () =
   let rec loop () =
     if i.stop then ()
     else begin
-      let works = prepare_run i (drain []) in
+      (* The shared producer index is frontend-writable memory: refuse
+         to walk a ring whose request window is impossible.  A scribbled
+         index is unrecoverable (severe) — quarantine offlines the
+         device outright rather than spinning on garbage. *)
+      let reqs =
+        if not (Ring.request_producer_valid r.ring) then begin
+          record_fault i ~attack:Guest_fault.Ring_index
+            ~detail:
+              (Printf.sprintf "ring %d request producer outside the valid \
+                               window" r.rid);
+          []
+        end
+        else drain []
+      in
+      if reqs <> [] then r.spurious <- 0
+      else if not i.stop then begin
+        (* Notification storms: wakeups that never carry work. *)
+        r.spurious <- r.spurious + 1;
+        if r.spurious >= storm_threshold then begin
+          r.spurious <- 0;
+          record_fault i ~attack:Guest_fault.Evtchn_storm
+            ~detail:
+              (Printf.sprintf "%d consecutive empty notifications"
+                 storm_threshold)
+        end
+      end;
+      let works = prepare_run i r reqs in
       if works <> [] then begin
         touch i;
         (match trace i with
@@ -440,9 +727,12 @@ let request_thread i r () =
               (fun () -> run_batch i r op sector ws))
           (into_batches i works)
       end;
-      if not (Ring.final_check_for_requests r.ring) then begin
+      if (not i.stop) && not (Ring.final_check_for_requests r.ring) then begin
         Condition.wait r.rwake;
-        if not i.stop then charge_wake i
+        if not i.stop then begin
+          charge_wake i;
+          throttle_penalty i
+        end
       end;
       loop ()
     end
@@ -496,6 +786,12 @@ let attach_metrics i ~bpath =
       R.counter_fn r "kite_blk_indirect_requests_total"
         ~help:"Requests using indirect descriptors" l
         (fun () -> i.indirect_reqs);
+      R.counter_fn r "kite_guest_faults_total"
+        ~help:"Frontend-supplied values rejected at the trust boundary" l
+        (fun () -> Quarantine.faults i.guard);
+      R.gauge_fn r "kite_guest_quarantine_level"
+        ~help:"0 ok / 1 throttled / 2 detached / 3 offline" l
+        (fun () -> float_of_int (Quarantine.level i.guard));
       R.gauge_fn r "kite_blk_inflight"
         ~help:"Requests prepared but not yet completed"
         [ ("vbd", vbd) ]
@@ -569,10 +865,21 @@ let make_instance t ~frontend ~devid =
     (string_of_int t.smax_ring_page_order);
   Xenbus.switch_state xb domain ~path:bpath Xenbus.Init_wait;
   Xenbus.wait_for_state xb domain ~path:fpath Xenbus.Initialised;
+  let fid = frontend.Domain.id in
+  let device = Printf.sprintf "vbd%d.%d" fid devid in
+  let abuse detail =
+    Guest_fault.fail ~domid:fid ~device ~attack:Guest_fault.Xenstore_abuse
+      ~detail
+  in
+  (* Every negotiation key is frontend-supplied: missing or malformed
+     ones are a typed handshake fault, not a backend crash. *)
   let want key =
-    match Xenbus.read_int xb domain ~path:(fpath ^ "/" ^ key) with
-    | Some v -> v
-    | None -> failwith ("blkback: frontend did not publish " ^ key)
+    match Xenbus.read xb domain ~path:(fpath ^ "/" ^ key) with
+    | None -> abuse ("missing key " ^ key)
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some v -> v
+        | None -> abuse (Printf.sprintf "malformed %s = %S" key s))
   in
   let front_persistent =
     Xenbus.read xb domain ~path:(fpath ^ "/feature-persistent") = Some "1"
@@ -581,34 +888,59 @@ let make_instance t ~frontend ~devid =
      multi-queue-num-queues gets per-ring keys under queue-<n>/; a
      legacy frontend gets the flat layout.  Never trust the frontend
      past our advertised cap. *)
-  let nq_negotiated =
-    Xenbus.read_int xb domain ~path:(fpath ^ "/" ^ Blkif.key_num_queues)
-  in
-  let mq_mode = nq_negotiated <> None in
+  let nq_raw = Xenbus.read xb domain ~path:(fpath ^ "/" ^ Blkif.key_num_queues) in
+  let mq_mode = nq_raw <> None in
   let nq =
-    match nq_negotiated with
-    | Some n -> max 1 (min n t.smax_queues)
+    match nq_raw with
     | None -> 1
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n > 0 -> min n t.smax_queues
+        | Some n -> abuse (Printf.sprintf "num-queues %d" n)
+        | None -> abuse (Printf.sprintf "malformed num-queues %S" s))
   in
   let rings =
     Array.init nq (fun rid ->
         let key k = if mq_mode then Blkif.queue_key rid k else k in
         let ring_ref = want (key "ring-ref") in
         let rport = want (key "event-channel") in
-        let ring = Blkif.map ctx.Xen_ctx.blkrings ring_ref in
+        let bad_ref detail =
+          Guest_fault.fail ~domid:fid ~device
+            ~attack:Guest_fault.Bad_ring_ref ~detail
+        in
+        (* A ring reference is only as trustworthy as its owner: it must
+           exist, be a blk ring, and have been shared by *this*
+           frontend — not hijacked from a neighbour. *)
+        (match Blkif.owner_of ctx.Xen_ctx.blkrings ring_ref with
+        | None -> bad_ref (Printf.sprintf "unknown ring ref %d" ring_ref)
+        | Some d when d <> fid ->
+            bad_ref
+              (Printf.sprintf "ring ref %d shared by domain %d" ring_ref d)
+        | Some _ -> ());
+        let ring =
+          try Blkif.map ctx.Xen_ctx.blkrings ring_ref
+          with Not_found ->
+            bad_ref (Printf.sprintf "ref %d is not a blk ring" ring_ref)
+        in
         {
           rid;
           ring;
           rport;
           rwake = Condition.create ~label:"blkback ring" ();
           r_requests = 0;
+          spurious = 0;
         })
   in
   (* Mapping all the ring pages is pooled into one batched map
      hypercall. *)
   Hypervisor.hypercall ctx.Xen_ctx.hv domain "grant_map"
     ~extra:(nq * (Hypervisor.costs ctx.Xen_ctx.hv).Costs.grant_map);
-  Array.iter (fun r -> Event_channel.bind ctx.Xen_ctx.ec r.rport domain)
+  Array.iter
+    (fun r ->
+      try Event_channel.bind ctx.Xen_ctx.ec r.rport domain
+      with Event_channel.Evtchn_error msg ->
+        Guest_fault.fail ~domid:fid ~device ~attack:Guest_fault.Bad_port
+          ~detail:msg)
     rings;
   let i =
     {
@@ -633,6 +965,10 @@ let make_instance t ~frontend ~devid =
       indirect_reqs = 0;
       inflight = 0;
       stop = false;
+      bpath;
+      guard = Quarantine.create ();
+      req_ids = Hashtbl.create 64;
+      state_guard = None;
     }
   in
   Array.iter
@@ -640,6 +976,20 @@ let make_instance t ~frontend ~devid =
       Event_channel.set_handler ctx.Xen_ctx.ec r.rport domain (fun () ->
           Condition.signal r.rwake))
     rings;
+  (* Satellite: watch the frontend's state node and reject illegal
+     frontend-driven transitions — report them, never follow them.  The
+     callback runs in engine context, so escalation (which may write
+     xenbus states) moves to a spawned process. *)
+  i.state_guard <-
+    Some
+      (Xenbus.guard_peer_state xb domain ~path:fpath
+         ~on_illegal:(fun ~from_ ~to_ ->
+           let detail = Printf.sprintf "frontend state %s -> %s" from_ to_ in
+           Hypervisor.spawn ctx.Xen_ctx.hv domain ~daemon:true
+             ~name:(Printf.sprintf "blkback-guard-%d.%d" fid devid)
+             (fun () ->
+               if not i.stop then
+                 record_fault i ~attack:Guest_fault.Xenbus_jump ~detail)));
   Xenbus.switch_state xb domain ~path:bpath Xenbus.Connected;
   attach_metrics i ~bpath;
   Array.iter
@@ -653,6 +1003,37 @@ let make_instance t ~frontend ~devid =
     rings;
   i
 
+(* A frontend whose handshake failed validation: report, refuse to
+   serve (drive our directory straight to Closed) and remember it so
+   the device is never retried.  Process context. *)
+let reject_frontend t ~frontend ~devid ~attack ~detail =
+  let domain = t.sdomain in
+  let fid = frontend.Domain.id in
+  let device = Printf.sprintf "vbd%d.%d" fid devid in
+  (match t.sctx.Xen_ctx.check with
+  | Some c ->
+      Kite_check.Check.guest_fault c ~domid:fid ~device
+        ~attack:(Guest_fault.slug attack) ~detail;
+      Kite_check.Check.guest_quarantined c ~domid:fid ~device
+        ~action:"offline" ~faults:1
+  | None -> ());
+  (match t.sctx.Xen_ctx.flight with
+  | Some fl ->
+      Kite_flight.Flight.record fl ~layer:"adversary" ~kind:"guest-fault"
+        ~key:device
+        ~msg:
+          (Printf.sprintf "%s: %s (handshake rejected)"
+             (Guest_fault.slug attack) detail);
+      Kite_flight.Flight.trigger fl Kite_flight.Flight.Manual
+        ~reason:
+          (Printf.sprintf "handshake rejected on %s: %s" device
+             (Guest_fault.slug attack))
+  | None -> ());
+  let bpath = Xenbus.backend_path ~backend:domain ~frontend ~ty:"vbd" ~devid in
+  Xenbus.switch_state t.sctx.Xen_ctx.xb domain ~path:bpath Xenbus.Closing;
+  Xenbus.switch_state t.sctx.Xen_ctx.xb domain ~path:bpath Xenbus.Closed;
+  t.rejected <- (fid, devid) :: t.rejected
+
 let watcher t () =
   let rec loop () =
     let front_domid, devid = Mailbox.recv t.new_frontend in
@@ -660,8 +1041,19 @@ let watcher t () =
     else begin
       (match Hypervisor.find_domain t.sctx.Xen_ctx.hv front_domid with
       | Some frontend ->
-          let i = make_instance t ~frontend ~devid in
-          t.insts <- i :: t.insts
+          (* Each handshake gets its own process: a frontend that stalls
+             mid-handshake (or turns hostile) must not wedge the watcher
+             and starve every other guest's connect. *)
+          Hypervisor.spawn t.sctx.Xen_ctx.hv t.sdomain ~daemon:true
+            ~name:
+              (Printf.sprintf "blkback-handshake-%d.%d" front_domid devid)
+            (fun () ->
+              match make_instance t ~frontend ~devid with
+              | i ->
+                  if t.stopping then detach_instance i
+                  else t.insts <- i :: t.insts
+              | exception Guest_fault.Guest_fault { attack; detail; _ } ->
+                  reject_frontend t ~frontend ~devid ~attack ~detail)
       | None -> ());
       loop ()
     end
@@ -706,6 +1098,7 @@ let serve ctx ~domain ~overheads ~device ?(feature_persistent = true)
       smax_queues = max_queues;
       smax_ring_page_order = max_ring_page_order;
       insts = [];
+      rejected = [];
       known = [];
       new_frontend = Mailbox.create ~label:"blkback new frontends" ();
       stopping = false;
@@ -725,18 +1118,6 @@ let serve ctx ~domain ~overheads ~device ?(feature_persistent = true)
              (fun ~path:_ ~token:_ -> scan t)));
   t
 
-(* Disconnect one instance: retire its request threads, unmap the whole
-   persistent-reference table (the real driver's gnttab_unmap sweep on
-   disconnect) and close the event channels.  Process context: the unmap
-   charges hypercall time. *)
-let stop_instance i =
-  i.stop <- true;
-  Array.iter (fun r -> Condition.broadcast r.rwake) i.rings;
-  let grefs = Hashtbl.fold (fun g () acc -> g :: acc) i.pmap [] in
-  Hashtbl.reset i.pmap;
-  Grant_table.unmap_many i.ctx.Xen_ctx.gt ~grantee:i.domain grefs;
-  Array.iter (fun r -> Event_channel.close i.ctx.Xen_ctx.ec r.rport) i.rings
-
 let stop t =
   t.stopping <- true;
   (match t.watch_id with
@@ -745,7 +1126,7 @@ let stop t =
       t.watch_id <- None
   | None -> ());
   Mailbox.send t.new_frontend (-1, -1);
-  List.iter stop_instance t.insts
+  List.iter detach_instance t.insts
 
 (* Abrupt death, as seen when the driver domain is destroyed mid-I/O.
    Unlike [stop] there is no orderly unmap sweep or channel close: the
@@ -765,6 +1146,11 @@ let crash t =
   List.iter
     (fun i ->
       i.stop <- true;
+      (match i.state_guard with
+      | Some id ->
+          Xenstore.unwatch (Hypervisor.store t.sctx.Xen_ctx.hv) id;
+          i.state_guard <- None
+      | None -> ());
       Hashtbl.reset i.pmap;
       Array.iter (fun r -> Condition.broadcast r.rwake) i.rings)
     t.insts

@@ -57,7 +57,22 @@ val crash : t -> unit
     event channels at the hypervisor.  Safe from any context. *)
 
 val instances : t -> instance list
+
+val rejected : t -> (int * int) list
+(** (frontend domid, devid) pairs whose handshake failed trust-boundary
+    validation: the backend reported a {!Guest_fault}, drove its own
+    directory to Closed and will never serve the device. *)
+
 val frontend_domid : instance -> int
+val devid : instance -> int
+
+val quarantine : instance -> Quarantine.t
+(** The device's misbehavior ledger: fault counts per attack class and
+    the current escalation level (throttle / detach / offline).  Every
+    frontend-supplied ring index, grant reference, segment descriptor,
+    request id, negotiation key and xenbus state is validated at the
+    trust boundary; each violation is a typed {!Guest_fault} reported
+    via {!Kite_check.Check.guest_fault} and fed to this ledger. *)
 
 val requests_served : instance -> int
 val segments_served : instance -> int

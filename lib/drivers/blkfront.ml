@@ -540,7 +540,9 @@ let rec connect t () =
   Array.iter
     (fun q ->
       let key k = if mq_mode then Blkif.queue_key q.qid k else k in
-      let ring_ref = Blkif.share t.ctx.Xen_ctx.blkrings q.q_ring in
+      let ring_ref =
+        Blkif.share t.ctx.Xen_ctx.blkrings ~owner:t.domain.Domain.id q.q_ring
+      in
       Xenbus.write xb t.domain
         ~path:(fpath t ^ "/" ^ key "ring-ref")
         (string_of_int ring_ref);

@@ -69,17 +69,19 @@ let unpack_segments pages ~count =
       let page = List.nth pages (i / segments_per_indirect_page) in
       seg_of page (i mod segments_per_indirect_page * 8))
 
-type registry = { mutable next : int; rings : (int, ring) Hashtbl.t }
+type registry = { mutable next : int; rings : (int, ring * int) Hashtbl.t }
 
 let registry () = { next = 1; rings = Hashtbl.create 8 }
 
-let share r ring =
+let share r ~owner ring =
   let id = r.next in
   r.next <- r.next + 1;
-  Hashtbl.add r.rings id ring;
+  Hashtbl.add r.rings id (ring, owner);
   id
 
 let map r id =
   match Hashtbl.find_opt r.rings id with
-  | Some ring -> ring
+  | Some (ring, _) -> ring
   | None -> raise Not_found
+
+let owner_of r id = Option.map snd (Hashtbl.find_opt r.rings id)

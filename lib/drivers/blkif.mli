@@ -80,6 +80,13 @@ val unpack_segments : Bytes.t list -> count:int -> segment list
 type registry
 
 val registry : unit -> registry
-val share : registry -> ring -> int
+
+val share : registry -> owner:int -> ring -> int
+(** [owner] is the sharing frontend's domid; the backend validates a
+    frontend-advertised reference against it before mapping. *)
+
 val map : registry -> int -> ring
 (** Raises [Not_found] on a bogus reference. *)
+
+val owner_of : registry -> int -> int option
+(** The domid that shared a reference; [None] for a bogus one. *)

@@ -1,0 +1,60 @@
+type attack =
+  | Ring_index
+  | Bad_ring_ref
+  | Bad_port
+  | Bad_gref
+  | Foreign_gref
+  | Bad_length
+  | Bad_segment
+  | Replay
+  | Slot_reuse
+  | Xenbus_jump
+  | Xenstore_abuse
+  | Evtchn_storm
+
+let all =
+  [
+    Ring_index;
+    Bad_ring_ref;
+    Bad_port;
+    Bad_gref;
+    Foreign_gref;
+    Bad_length;
+    Bad_segment;
+    Replay;
+    Slot_reuse;
+    Xenbus_jump;
+    Xenstore_abuse;
+    Evtchn_storm;
+  ]
+
+let slug = function
+  | Ring_index -> "ring-index"
+  | Bad_ring_ref -> "bad-ring-ref"
+  | Bad_port -> "bad-port"
+  | Bad_gref -> "bad-gref"
+  | Foreign_gref -> "foreign-gref"
+  | Bad_length -> "bad-length"
+  | Bad_segment -> "bad-segment"
+  | Replay -> "replay"
+  | Slot_reuse -> "slot-reuse"
+  | Xenbus_jump -> "xenbus-jump"
+  | Xenstore_abuse -> "xenstore-abuse"
+  | Evtchn_storm -> "evtchn-storm"
+
+let rule a = "guest-" ^ slug a
+
+let of_slug s = List.find_opt (fun a -> slug a = s) all
+
+let severe = function Ring_index -> true | _ -> false
+
+exception
+  Guest_fault of {
+    domid : int;
+    device : string;
+    attack : attack;
+    detail : string;
+  }
+
+let fail ~domid ~device ~attack ~detail =
+  raise (Guest_fault { domid; device; attack; detail })

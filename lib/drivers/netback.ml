@@ -17,6 +17,7 @@ type queue = {
   soft_wake : Condition.t;
   mutable q_tx_packets : int;
   mutable q_rx_packets : int;
+  mutable spurious : int;  (* consecutive wakeups that drained nothing *)
 }
 
 type instance = {
@@ -40,6 +41,12 @@ type instance = {
   mutable tx_failed : int;
   mutable m_txbatch : Kite_metrics.Registry.histogram option;
   mutable stop : bool;
+  bpath : string;
+  guard : Quarantine.t;
+  (* tx ids currently being served, across every queue of the device:
+     id -> qid.  Detects in-flight replay and cross-queue slot reuse. *)
+  inflight : (int, int) Hashtbl.t;
+  mutable state_guard : Xenstore.watch_id option;
 }
 
 type t = {
@@ -52,6 +59,8 @@ type t = {
   smax_ring_page_order : int;
   on_vif : frontend:int -> devid:int -> Netdev.t -> unit;
   mutable insts : instance list;
+  mutable rejected : (int * int) list;
+      (* (frontend domid, devid) refused at the handshake *)
   mutable known : (int * int) list;  (* (frontend domid, devid) seen *)
   new_frontend : (int * int) Mailbox.t;
   mutable stopping : bool;
@@ -59,8 +68,11 @@ type t = {
 }
 
 let instances t = t.insts
+let rejected t = t.rejected
 let vif i = match i.vif with Some v -> v | None -> assert false
 let frontend_domid i = i.frontend.Domain.id
+let devid i = i.devid
+let quarantine i = i.guard
 let tx_packets i = i.tx_packets
 let rx_packets i = i.rx_packets
 let tx_bytes i = i.tx_bytes
@@ -117,6 +129,90 @@ let charge_wake i =
 
 let touch i = i.last_activity <- Hypervisor.now (hv i)
 
+(* ------------------------------------------------------------------ *)
+(* Trust boundary: every index, reference, length and state the
+   frontend publishes is attacker-controlled.  Violations become typed
+   Guest_faults feeding the per-device quarantine ladder.              *)
+(* ------------------------------------------------------------------ *)
+
+let storm_threshold = 64
+
+(* Retire the device's worker threads and close its channels; the
+   xenbus state is left alone.  Idempotent; the teardown half of both
+   [stop] and the Detach/Offline quarantine actions.  Process context. *)
+let detach_instance i =
+  if not i.stop then begin
+    i.stop <- true;
+    (match i.state_guard with
+    | Some id ->
+        Xenbus.unwatch i.ctx.Xen_ctx.xb id;
+        i.state_guard <- None
+    | None -> ());
+    Array.iter
+      (fun q ->
+        Condition.broadcast q.pusher_wake;
+        Condition.broadcast q.soft_wake;
+        Event_channel.close i.ctx.Xen_ctx.ec q.qport)
+      i.queues
+  end
+
+(* Detach plus evict: drive our own directory to Closed so the
+   toolstack and any honest tooling see the device is gone for good. *)
+let offline_instance i =
+  detach_instance i;
+  let xb = i.ctx.Xen_ctx.xb in
+  Xenbus.switch_state xb i.domain ~path:i.bpath Xenbus.Closing;
+  Xenbus.switch_state xb i.domain ~path:i.bpath Xenbus.Closed
+
+let apply_quarantine i action =
+  let name = Quarantine.action_name action in
+  (match i.ctx.Xen_ctx.check with
+  | Some c ->
+      Kite_check.Check.guest_quarantined c ~domid:i.frontend.Domain.id
+        ~device:(vif_name i) ~action:name
+        ~faults:(Quarantine.faults i.guard)
+  | None -> ());
+  (match i.ctx.Xen_ctx.flight with
+  | Some fl ->
+      Kite_flight.Flight.mark fl ~what:"quarantine"
+        ~msg:(Printf.sprintf "%s -> %s" (vif_name i) name)
+  | None -> ());
+  fnote i ("netback.quarantine." ^ name);
+  match action with
+  | Quarantine.Throttle -> ()  (* workers consult the level per wakeup *)
+  | Quarantine.Detach -> detach_instance i
+  | Quarantine.Offline -> offline_instance i
+
+(* One rejected attack primitive: checker finding, flight incident,
+   then whatever escalation the fault count has earned.  Process
+   context (Offline writes xenbus states). *)
+let record_fault i ~attack ~detail =
+  (match i.ctx.Xen_ctx.check with
+  | Some c ->
+      Kite_check.Check.guest_fault c ~domid:i.frontend.Domain.id
+        ~device:(vif_name i)
+        ~attack:(Guest_fault.slug attack)
+        ~detail
+  | None -> ());
+  (match i.ctx.Xen_ctx.flight with
+  | Some fl ->
+      Kite_flight.Flight.record fl ~layer:"adversary" ~kind:"guest-fault"
+        ~key:(vif_name i)
+        ~msg:(Printf.sprintf "%s: %s" (Guest_fault.slug attack) detail);
+      Kite_flight.Flight.trigger fl Kite_flight.Flight.Manual
+        ~reason:
+          (Printf.sprintf "guest fault on %s: %s" (vif_name i)
+             (Guest_fault.slug attack))
+  | None -> ());
+  fnote i ("netback.guest-fault." ^ Guest_fault.slug attack);
+  match Quarantine.note i.guard attack with
+  | Some action -> apply_quarantine i action
+  | None -> ()
+
+let throttle_penalty i =
+  if Quarantine.throttled i.guard && not i.stop then
+    Process.sleep (Quarantine.policy i.guard).Quarantine.throttle_penalty
+
 (* The monolithic-kernel backend's extra per-packet grant-table hypercalls
    (see Overheads): recorded at zero duration, profile-only. *)
 let kernel_grant_ops i n =
@@ -133,7 +229,54 @@ let kernel_grant_ops i n =
    of guest pages in one hypercall, hands the frames to the VIF (hence
    the bridge).  One pusher per queue. *)
 let pusher i q () =
+  (* Everything in a Tx descriptor is frontend-supplied; check it all
+     before the grant table or the wire sees any of it. *)
+  let validate req =
+    let open Guest_fault in
+    let fid = i.frontend.Domain.id in
+    let len = req.Netchannel.tx_len in
+    let gref = req.Netchannel.tx_gref in
+    if len < 0 || len > Page.size then
+      Some (Bad_length, Printf.sprintf "tx len %d outside [0,%d]" len Page.size)
+    else
+      match Grant_table.owner i.ctx.Xen_ctx.gt gref with
+      | None -> Some (Bad_gref, Printf.sprintf "tx gref %d unknown or revoked" gref)
+      | Some d when d <> fid ->
+          Some
+            ( Foreign_gref,
+              Printf.sprintf "tx gref %d granted by domain %d" gref d )
+      | Some _ -> (
+          match Hashtbl.find_opt i.inflight req.Netchannel.tx_id with
+          | Some qid when qid = q.qid ->
+              Some
+                ( Replay,
+                  Printf.sprintf "tx id %d replayed while in flight"
+                    req.Netchannel.tx_id )
+          | Some qid ->
+              Some
+                ( Slot_reuse,
+                  Printf.sprintf "tx id %d already live on queue %d"
+                    req.Netchannel.tx_id qid )
+          | None -> None)
+  in
+  (* A hostile frontend may never consume responses; a full response
+     ring is its loss, not a reason to kill the worker. *)
+  let respond req status =
+    try
+      Ring.push_response q.tx_ring
+        { Netchannel.tx_rsp_id = req.Netchannel.tx_id; tx_status = status }
+    with Ring.Ring_full -> ()
+  in
   let drain () =
+    if not (Ring.request_producer_valid q.tx_ring) then begin
+      record_fault i ~attack:Guest_fault.Ring_index
+        ~detail:
+          (Printf.sprintf "tx producer window %d outside [0,%d]"
+             (Ring.pending_requests q.tx_ring)
+             (Ring.size q.tx_ring));
+      0
+    end
+    else begin
     let rec take acc =
       match Ring.take_request q.tx_ring with
       | Some req ->
@@ -150,6 +293,27 @@ let pusher i q () =
     match take [] with
     | [] -> 0
     | reqs ->
+        (* Validate sequentially, claiming each accepted id as we go:
+           a duplicate later in the same drained run is just as much a
+           replay as one racing a copy already in progress. *)
+        let rev_ok, rev_bad =
+          List.fold_left
+            (fun (ok, bad) req ->
+              match validate req with
+              | None ->
+                  Hashtbl.replace i.inflight req.Netchannel.tx_id q.qid;
+                  (req :: ok, bad)
+              | Some fault -> (ok, (req, fault) :: bad))
+            ([], []) reqs
+        in
+        let ok = List.rev rev_ok in
+        List.iter
+          (fun (req, (attack, detail)) ->
+            respond req Netchannel.status_error;
+            record_fault i ~attack ~detail)
+          (List.rev rev_bad);
+        if ok = [] || i.stop then List.length reqs
+        else begin
         (* Batched grant copy: the whole drained run rides a single
            hypercall trap. *)
         let frames =
@@ -157,7 +321,7 @@ let pusher i q () =
             ~caller:i.domain
             (List.map
                (fun req -> (req.Netchannel.tx_gref, 0, req.Netchannel.tx_len))
-               reqs)
+               ok)
         in
         List.iter2
           (fun req frame ->
@@ -193,19 +357,19 @@ let pusher i q () =
                   ~at:(Hypervisor.now (hv i))
                   ~kind:"net.tx" ~key:(vif_name i) ~id:req.Netchannel.tx_id
             | None -> ());
-            Ring.push_response q.tx_ring
-              {
-                Netchannel.tx_rsp_id = req.Netchannel.tx_id;
-                tx_status = Netchannel.status_ok;
-              })
-          reqs frames;
+            Hashtbl.remove i.inflight req.Netchannel.tx_id;
+            respond req Netchannel.status_ok)
+          ok frames;
         List.length reqs
+        end
+    end
   in
   let rec loop () =
     if i.stop then ()
     else begin
       let n = drain () in
       if n > 0 then begin
+        q.spurious <- 0;
         (match trace i with
         | Some tr ->
             Kite_trace.Trace.driver tr
@@ -219,10 +383,27 @@ let pusher i q () =
         if Ring.push_responses_and_check_notify q.tx_ring then
           notify_frontend i q;
         touch i
+      end
+      else if not i.stop then begin
+        (* A wakeup that drained nothing: normal in ones and twos
+           (both workers are signalled per notify), an attack in
+           volume.  The counter resets on any real work. *)
+        q.spurious <- q.spurious + 1;
+        if q.spurious >= storm_threshold then begin
+          q.spurious <- 0;
+          record_fault i ~attack:Guest_fault.Evtchn_storm
+            ~detail:
+              (Printf.sprintf "%d consecutive wakeups with no ring work"
+                 storm_threshold)
+        end
       end;
-      if not (Ring.final_check_for_requests q.tx_ring) then begin
+      if (not i.stop) && not (Ring.final_check_for_requests q.tx_ring)
+      then begin
         Condition.wait q.pusher_wake;
-        if not i.stop then charge_wake i
+        if not i.stop then begin
+          charge_wake i;
+          throttle_penalty i
+        end
       end;
       loop ()
     end
@@ -234,7 +415,42 @@ let pusher i q () =
    One soft_start per queue, fed by the flow-hash steering in the VIF's
    transmit callback. *)
 let soft_start i q () =
+  (* An Rx buffer must be a live grant from *this* frontend that we are
+     allowed to write into; anything else is an attack on some other
+     domain's memory. *)
+  let validate req =
+    let open Guest_fault in
+    let fid = i.frontend.Domain.id in
+    let gref = req.Netchannel.rx_gref in
+    match Grant_table.inspect i.ctx.Xen_ctx.gt gref with
+    | None -> Some (Bad_gref, Printf.sprintf "rx gref %d unknown or revoked" gref)
+    | Some (d, _) when d <> fid ->
+        Some
+          (Foreign_gref, Printf.sprintf "rx gref %d granted by domain %d" gref d)
+    | Some (_, false) ->
+        Some (Bad_gref, Printf.sprintf "rx gref %d granted read-only" gref)
+    | Some _ -> None
+  in
+  let respond req ~len status =
+    try
+      Ring.push_response q.rx_ring
+        {
+          Netchannel.rx_rsp_id = req.Netchannel.rx_id;
+          rx_len = len;
+          rx_status = status;
+        }
+    with Ring.Ring_full -> ()
+  in
   let drain () =
+    if not (Ring.request_producer_valid q.rx_ring) then begin
+      record_fault i ~attack:Guest_fault.Ring_index
+        ~detail:
+          (Printf.sprintf "rx producer window %d outside [0,%d]"
+             (Ring.pending_requests q.rx_ring)
+             (Ring.size q.rx_ring));
+      0
+    end
+    else begin
     let rec gather acc =
       if Queue.is_empty q.backlog || Ring.pending_requests q.rx_ring = 0 then
         List.rev acc
@@ -250,10 +466,28 @@ let soft_start i q () =
     match gather [] with
     | [] -> 0
     | pairs ->
+        let ok, bad =
+          List.partition_map
+            (fun (req, frame) ->
+              match validate req with
+              | None -> Either.Left (req, frame)
+              | Some fault -> Either.Right (req, fault))
+            pairs
+        in
+        List.iter
+          (fun (req, (attack, detail)) ->
+            (* The frame the bad buffer would have carried is a wire
+               loss charged to the guest that posted the buffer. *)
+            i.rx_dropped <- i.rx_dropped + 1;
+            respond req ~len:0 Netchannel.status_error;
+            record_fault i ~attack ~detail)
+          bad;
+        if ok = [] || i.stop then List.length pairs
+        else begin
         Grant_table.copy_to_granted_many i.ctx.Xen_ctx.gt ~caller:i.domain
           (List.map
              (fun (req, frame) -> (req.Netchannel.rx_gref, 0, frame))
-             pairs);
+             ok);
         List.iter
           (fun (req, frame) ->
             kernel_grant_ops i i.ov.Overheads.rx_kernel_grant_ops;
@@ -261,14 +495,11 @@ let soft_start i q () =
             i.rx_packets <- i.rx_packets + 1;
             i.rx_bytes <- i.rx_bytes + Bytes.length frame;
             q.q_rx_packets <- q.q_rx_packets + 1;
-            Ring.push_response q.rx_ring
-              {
-                Netchannel.rx_rsp_id = req.Netchannel.rx_id;
-                rx_len = Bytes.length frame;
-                rx_status = Netchannel.status_ok;
-              })
-          pairs;
+            respond req ~len:(Bytes.length frame) Netchannel.status_ok)
+          ok;
         List.length pairs
+        end
+    end
   in
   let rec loop () =
     if i.stop then ()
@@ -286,16 +517,25 @@ let soft_start i q () =
           notify_frontend i q;
         touch i
       end;
-      if Queue.is_empty q.backlog || Ring.pending_requests q.rx_ring = 0
+      if i.stop
+         || Queue.is_empty q.backlog
+         || Ring.pending_requests q.rx_ring = 0
       then begin
         (* Re-arm request notifications before sleeping. *)
-        if not (Ring.final_check_for_requests q.rx_ring) then begin
+        if i.stop then ()
+        else if not (Ring.final_check_for_requests q.rx_ring) then begin
           Condition.wait q.soft_wake;
-          if not i.stop then charge_wake i
+          if not i.stop then begin
+            charge_wake i;
+            throttle_penalty i
+          end
         end
         else if Queue.is_empty q.backlog then begin
           Condition.wait q.soft_wake;
-          if not i.stop then charge_wake i
+          if not i.stop then begin
+            charge_wake i;
+            throttle_penalty i
+          end
         end
       end;
       loop ()
@@ -355,6 +595,12 @@ let attach_metrics i ~bpath =
       R.counter_fn r "kite_net_tx_failed_total"
         ~help:"Frames lost after the retry budget" l
         (fun () -> i.tx_failed);
+      R.counter_fn r "kite_guest_faults_total"
+        ~help:"Frontend-supplied values rejected at the trust boundary" l
+        (fun () -> Quarantine.faults i.guard);
+      R.gauge_fn r "kite_guest_quarantine_level"
+        ~help:"0 ok / 1 throttled / 2 detached / 3 offline" l
+        (fun () -> float_of_int (Quarantine.level i.guard));
       let sum f =
         Array.fold_left (fun acc q -> acc + f q) 0 i.queues |> float_of_int
       in
@@ -430,23 +676,38 @@ let make_instance t ~frontend ~devid =
     (string_of_int t.smax_ring_page_order);
   Xenbus.switch_state xb domain ~path:bpath Xenbus.Init_wait;
   Xenbus.wait_for_state xb domain ~path:fpath Xenbus.Initialised;
+  let fid = frontend.Domain.id in
+  let device = Printf.sprintf "vif%d.%d" fid devid in
+  let abuse detail =
+    Guest_fault.fail ~domid:fid ~device ~attack:Guest_fault.Xenstore_abuse
+      ~detail
+  in
+  (* Every negotiation key is frontend-supplied: missing or malformed
+     ones are a typed handshake fault, not a backend crash. *)
   let want key =
-    match Xenbus.read_int xb domain ~path:(fpath ^ "/" ^ key) with
-    | Some v -> v
-    | None -> failwith ("netback: frontend did not publish " ^ key)
+    match Xenbus.read xb domain ~path:(fpath ^ "/" ^ key) with
+    | None -> abuse ("missing key " ^ key)
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some v -> v
+        | None -> abuse (Printf.sprintf "malformed %s = %S" key s))
   in
   (* Multi-queue negotiation: a frontend that published
      multi-queue-num-queues gets per-queue rings under queue-<n>/;
      a legacy frontend gets the flat keys.  Never trust the frontend
      past our own advertised cap. *)
-  let nq_negotiated =
-    Xenbus.read_int xb domain ~path:(fpath ^ "/" ^ Netchannel.key_num_queues)
+  let nq_raw =
+    Xenbus.read xb domain ~path:(fpath ^ "/" ^ Netchannel.key_num_queues)
   in
-  let mq_mode = nq_negotiated <> None in
+  let mq_mode = nq_raw <> None in
   let nq =
-    match nq_negotiated with
-    | Some n -> max 1 (min n t.smax_queues)
+    match nq_raw with
     | None -> 1
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n > 0 -> min n t.smax_queues
+        | Some n -> abuse (Printf.sprintf "num-queues %d" n)
+        | None -> abuse (Printf.sprintf "malformed num-queues %S" s))
   in
   let queues =
     Array.init nq (fun qid ->
@@ -456,8 +717,33 @@ let make_instance t ~frontend ~devid =
         let tx_ref = want (key "tx-ring-ref") in
         let rx_ref = want (key "rx-ring-ref") in
         let qport = want (key "event-channel") in
-        let tx_ring = Netchannel.map_tx ctx.Xen_ctx.netrings tx_ref in
-        let rx_ring = Netchannel.map_rx ctx.Xen_ctx.netrings rx_ref in
+        let bad_ref detail =
+          Guest_fault.fail ~domid:fid ~device
+            ~attack:Guest_fault.Bad_ring_ref ~detail
+        in
+        (* A ring reference is only as trustworthy as its owner: it must
+           exist, be the right kind, and have been shared by *this*
+           frontend — not hijacked from a neighbour. *)
+        let check_ref kind r =
+          match Netchannel.owner_of ctx.Xen_ctx.netrings r with
+          | None -> bad_ref (Printf.sprintf "unknown %s ring ref %d" kind r)
+          | Some d when d <> fid ->
+              bad_ref
+                (Printf.sprintf "%s ring ref %d shared by domain %d" kind r d)
+          | Some _ -> ()
+        in
+        check_ref "tx" tx_ref;
+        check_ref "rx" rx_ref;
+        let tx_ring =
+          try Netchannel.map_tx ctx.Xen_ctx.netrings tx_ref
+          with Not_found ->
+            bad_ref (Printf.sprintf "ref %d is not a tx ring" tx_ref)
+        in
+        let rx_ring =
+          try Netchannel.map_rx ctx.Xen_ctx.netrings rx_ref
+          with Not_found ->
+            bad_ref (Printf.sprintf "ref %d is not an rx ring" rx_ref)
+        in
         {
           qid;
           tx_ring;
@@ -468,13 +754,19 @@ let make_instance t ~frontend ~devid =
           soft_wake = Condition.create ~label:"netback rx backlog" ();
           q_tx_packets = 0;
           q_rx_packets = 0;
+          spurious = 0;
         })
   in
   (* Mapping all the ring pages is pooled into one batched map
      hypercall (2 pages per queue). *)
   Hypervisor.hypercall ctx.Xen_ctx.hv domain "grant_map"
     ~extra:(2 * nq * (Hypervisor.costs ctx.Xen_ctx.hv).Costs.grant_map);
-  Array.iter (fun q -> Event_channel.bind ctx.Xen_ctx.ec q.qport domain)
+  Array.iter
+    (fun q ->
+      try Event_channel.bind ctx.Xen_ctx.ec q.qport domain
+      with Event_channel.Evtchn_error msg ->
+        Guest_fault.fail ~domid:fid ~device ~attack:Guest_fault.Bad_port
+          ~detail:msg)
     queues;
   let i =
     {
@@ -498,6 +790,10 @@ let make_instance t ~frontend ~devid =
       tx_failed = 0;
       m_txbatch = None;
       stop = false;
+      bpath;
+      guard = Quarantine.create ();
+      inflight = Hashtbl.create 64;
+      state_guard = None;
     }
   in
   (* The VIF's transmit side (bridge -> guest) feeds the per-queue
@@ -525,6 +821,20 @@ let make_instance t ~frontend ~devid =
           Condition.signal q.pusher_wake;
           Condition.signal q.soft_wake))
     queues;
+  (* Satellite: watch the frontend's state node and reject illegal
+     frontend-driven transitions — report them, never follow them.  The
+     callback runs in engine context, so escalation (which may write
+     xenbus states) moves to a spawned process. *)
+  i.state_guard <-
+    Some
+      (Xenbus.guard_peer_state xb domain ~path:fpath
+         ~on_illegal:(fun ~from_ ~to_ ->
+           let detail = Printf.sprintf "frontend state %s -> %s" from_ to_ in
+           Hypervisor.spawn ctx.Xen_ctx.hv domain ~daemon:true
+             ~name:(Printf.sprintf "netback-guard-%d.%d" fid devid)
+             (fun () ->
+               if not i.stop then
+                 record_fault i ~attack:Guest_fault.Xenbus_jump ~detail)));
   Xenbus.switch_state xb domain ~path:bpath Xenbus.Connected;
   attach_metrics i ~bpath;
   t.on_vif ~frontend:frontend.Domain.id ~devid vif;
@@ -544,6 +854,37 @@ let make_instance t ~frontend ~devid =
     queues;
   i
 
+(* A frontend whose handshake failed validation: report, refuse to
+   serve (drive our directory straight to Closed) and remember it so
+   the device is never retried.  Process context. *)
+let reject_frontend t ~frontend ~devid ~attack ~detail =
+  let domain = t.sdomain in
+  let fid = frontend.Domain.id in
+  let device = Printf.sprintf "vif%d.%d" fid devid in
+  (match t.sctx.Xen_ctx.check with
+  | Some c ->
+      Kite_check.Check.guest_fault c ~domid:fid ~device
+        ~attack:(Guest_fault.slug attack) ~detail;
+      Kite_check.Check.guest_quarantined c ~domid:fid ~device
+        ~action:"offline" ~faults:1
+  | None -> ());
+  (match t.sctx.Xen_ctx.flight with
+  | Some fl ->
+      Kite_flight.Flight.record fl ~layer:"adversary" ~kind:"guest-fault"
+        ~key:device
+        ~msg:
+          (Printf.sprintf "%s: %s (handshake rejected)"
+             (Guest_fault.slug attack) detail);
+      Kite_flight.Flight.trigger fl Kite_flight.Flight.Manual
+        ~reason:
+          (Printf.sprintf "handshake rejected on %s: %s" device
+             (Guest_fault.slug attack))
+  | None -> ());
+  let bpath = Xenbus.backend_path ~backend:domain ~frontend ~ty:"vif" ~devid in
+  Xenbus.switch_state t.sctx.Xen_ctx.xb domain ~path:bpath Xenbus.Closing;
+  Xenbus.switch_state t.sctx.Xen_ctx.xb domain ~path:bpath Xenbus.Closed;
+  t.rejected <- (fid, devid) :: t.rejected
+
 (* §4.1 backend invocation: a watch on the backend directory wakes a
    dedicated thread that pairs new frontends. *)
 let watcher t () =
@@ -553,8 +894,18 @@ let watcher t () =
     else begin
       (match Hypervisor.find_domain t.sctx.Xen_ctx.hv front_domid with
       | Some frontend ->
-          let i = make_instance t ~frontend ~devid in
-          t.insts <- i :: t.insts
+          (* Each handshake gets its own process: a frontend that stalls
+             mid-handshake (or turns hostile) must not wedge the watcher
+             and starve every other guest's connect. *)
+          Hypervisor.spawn t.sctx.Xen_ctx.hv t.sdomain ~daemon:true
+            ~name:
+              (Printf.sprintf "netback-handshake-%d.%d" front_domid devid)
+            (fun () ->
+              match make_instance t ~frontend ~devid with
+              | i -> if t.stopping then detach_instance i
+                     else t.insts <- i :: t.insts
+              | exception Guest_fault.Guest_fault { attack; detail; _ } ->
+                  reject_frontend t ~frontend ~devid ~attack ~detail)
       | None -> ());
       loop ()
     end
@@ -595,6 +946,7 @@ let serve ctx ~domain ~overheads ?(retries = 4)
       smax_ring_page_order = max_ring_page_order;
       on_vif;
       insts = [];
+      rejected = [];
       known = [];
       new_frontend = Mailbox.create ~label:"netback new frontends" ();
       stopping = false;
@@ -625,16 +977,7 @@ let stop t =
       t.watch_id <- None
   | None -> ());
   Mailbox.send t.new_frontend (-1, -1);
-  List.iter
-    (fun i ->
-      i.stop <- true;
-      Array.iter
-        (fun q ->
-          Condition.broadcast q.pusher_wake;
-          Condition.broadcast q.soft_wake;
-          Event_channel.close i.ctx.Xen_ctx.ec q.qport)
-        i.queues)
-    t.insts
+  List.iter detach_instance t.insts
 
 (* Abrupt death (driver domain destroyed).  No orderly channel close:
    {!Toolstack.crash_driver_domain} tears down event channels and grant
@@ -651,6 +994,11 @@ let crash t =
   List.iter
     (fun i ->
       i.stop <- true;
+      (match i.state_guard with
+      | Some id ->
+          Xenstore.unwatch (Hypervisor.store t.sctx.Xen_ctx.hv) id;
+          i.state_guard <- None
+      | None -> ());
       Array.iter
         (fun q ->
           Queue.clear q.backlog;

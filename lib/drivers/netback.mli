@@ -62,8 +62,22 @@ val crash : t -> unit
 
 val instances : t -> instance list
 
+val rejected : t -> (int * int) list
+(** (frontend domid, devid) pairs whose handshake failed trust-boundary
+    validation: the backend reported a {!Guest_fault}, drove its own
+    directory to Closed and will never serve the device. *)
+
 val vif : instance -> Kite_net.Netdev.t
 val frontend_domid : instance -> int
+val devid : instance -> int
+
+val quarantine : instance -> Quarantine.t
+(** The device's misbehavior ledger: fault counts per attack class and
+    the current escalation level (throttle / detach / offline).  Every
+    frontend-supplied ring index, grant reference, descriptor length,
+    request id, negotiation key and xenbus state is validated at the
+    trust boundary; each violation is a typed {!Guest_fault} reported
+    via {!Kite_check.Check.guest_fault} and fed to this ledger. *)
 
 val num_queues : instance -> int
 (** Negotiated queue count (1 for a legacy frontend). *)

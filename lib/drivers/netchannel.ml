@@ -50,25 +50,27 @@ let flow_hash frame nqueues =
 
 type shared = Tx of tx_ring | Rx of rx_ring
 
-type registry = { mutable next : int; rings : (int, shared) Hashtbl.t }
+type registry = { mutable next : int; rings : (int, shared * int) Hashtbl.t }
 
 let registry () = { next = 1; rings = Hashtbl.create 16 }
 
-let share r shared =
+let share r ~owner shared =
   let id = r.next in
   r.next <- r.next + 1;
-  Hashtbl.add r.rings id shared;
+  Hashtbl.add r.rings id (shared, owner);
   id
 
-let share_tx r ring = share r (Tx ring)
-let share_rx r ring = share r (Rx ring)
+let share_tx r ~owner ring = share r ~owner (Tx ring)
+let share_rx r ~owner ring = share r ~owner (Rx ring)
+
+let owner_of r id = Option.map snd (Hashtbl.find_opt r.rings id)
 
 let map_tx r id =
   match Hashtbl.find_opt r.rings id with
-  | Some (Tx ring) -> ring
-  | Some (Rx _) | None -> raise Not_found
+  | Some (Tx ring, _) -> ring
+  | Some (Rx _, _) | None -> raise Not_found
 
 let map_rx r id =
   match Hashtbl.find_opt r.rings id with
-  | Some (Rx ring) -> ring
-  | Some (Tx _) | None -> raise Not_found
+  | Some (Rx ring, _) -> ring
+  | Some (Tx _, _) | None -> raise Not_found

@@ -60,8 +60,14 @@ type registry
 
 val registry : unit -> registry
 
-val share_tx : registry -> tx_ring -> int
-val share_rx : registry -> rx_ring -> int
+val share_tx : registry -> owner:int -> tx_ring -> int
+val share_rx : registry -> owner:int -> rx_ring -> int
+(** [owner] is the sharing frontend's domid; the backend validates a
+    frontend-advertised reference against it before mapping, so one
+    guest cannot hand the backend another guest's ring. *)
+
+val owner_of : registry -> int -> int option
+(** The domid that shared a reference; [None] for a bogus one. *)
 
 val map_tx : registry -> int -> tx_ring
 (** Raises [Not_found] on a bogus reference. *)

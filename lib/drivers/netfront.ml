@@ -426,8 +426,9 @@ let rec connect t () =
   end;
   Array.iter
     (fun q ->
-      let tx_ref = Netchannel.share_tx t.ctx.Xen_ctx.netrings q.tx_ring in
-      let rx_ref = Netchannel.share_rx t.ctx.Xen_ctx.netrings q.rx_ring in
+      let owner = t.domain.Domain.id in
+      let tx_ref = Netchannel.share_tx t.ctx.Xen_ctx.netrings ~owner q.tx_ring in
+      let rx_ref = Netchannel.share_rx t.ctx.Xen_ctx.netrings ~owner q.rx_ring in
       q.qport <-
         Event_channel.alloc_unbound t.ctx.Xen_ctx.ec t.domain
           ~remote:t.backend;

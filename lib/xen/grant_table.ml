@@ -269,6 +269,16 @@ let is_mapped t r =
   | Some e -> e.mapped
   | None -> false
 
+let owner t r =
+  match Hashtbl.find_opt t.entries r with
+  | Some e -> Some e.granter
+  | None -> None
+
+let inspect t r =
+  match Hashtbl.find_opt t.entries r with
+  | Some e -> Some (e.granter, e.writable)
+  | None -> None
+
 (* Pooled allocation: a per-queue set of pre-granted pages.  Frontends
    that repost the same buffers forever (netfront Rx, blkfront
    persistent data pages) take from the pool instead of granting a

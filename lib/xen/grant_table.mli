@@ -108,6 +108,19 @@ val pool_outstanding : pool -> int
 
 val is_mapped : t -> ref_ -> bool
 
+val owner : t -> ref_ -> int option
+(** The granting domid of a live reference, [None] for an unknown or
+    revoked one.  The backend-side ownership probe: a reference supplied
+    by a frontend must be validated against that frontend's domid
+    *before* any map or copy, so a forged or foreign reference is
+    rejected at the trust boundary instead of surfacing as a hypervisor
+    [Grant_error].  A pure table query — no checker hook, no cost. *)
+
+val inspect : t -> ref_ -> (int * bool) option
+(** [(granter domid, writable)] of a live reference; [None] when absent.
+    Like {!owner} but also exposes writability, for backends that must
+    write into the granted page (netback Rx). *)
+
 val active_grants : t -> int
 (** Number of grants currently in the table. *)
 

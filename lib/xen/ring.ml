@@ -118,6 +118,20 @@ let push_requests_and_check_notify t =
 
 let pending_requests t = t.req_prod - t.req_cons
 
+(* The shared producer index lives in a page the frontend can scribble
+   on at will; the only invariant a backend may assume is the one it
+   checks.  A published window outside [0, size] means the index is
+   garbage and no slot behind it can be trusted. *)
+let request_producer_valid t =
+  let window = t.req_prod - t.req_cons in
+  window >= 0 && window <= t.size
+
+let poke_req_prod t v =
+  (* Byzantine-frontend testing aid: scribble directly into the shared
+     index, bypassing the private-copy/publish protocol and every
+     instrument (a hostile guest does not call our hooks). *)
+  t.req_prod <- v
+
 let rec take_request t =
   let got = t.req_cons <> t.req_prod in
   if t.hooks then begin

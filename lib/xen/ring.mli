@@ -77,6 +77,19 @@ val final_check_for_responses : ('req, 'rsp) t -> bool
 
 val pending_requests : ('req, 'rsp) t -> int
 
+val request_producer_valid : ('req, 'rsp) t -> bool
+(** True iff the published request-producer index is within the window
+    the protocol allows ([0 <= req_prod - req_cons <= size]).  The
+    producer index lives in a shared page the frontend controls, so a
+    backend must check this before trusting {!pending_requests} or
+    draining slots; false means the frontend scribbled garbage into the
+    shared index and the ring must no longer be trusted. *)
+
+val poke_req_prod : ('req, 'rsp) t -> int -> unit
+(** Model a byzantine frontend writing an arbitrary value into the
+    shared request-producer index, bypassing the publish protocol and
+    all instruments.  Adversary-toolkit testing aid. *)
+
 val take_request : ('req, 'rsp) t -> 'req option
 
 val push_response : ('req, 'rsp) t -> 'rsp -> unit

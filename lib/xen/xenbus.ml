@@ -173,6 +173,42 @@ let wait_for_state t dom ~path target =
     unwatch t wid
   end
 
+let guard_peer_state t dom ~path ~on_illegal =
+  let store = Hypervisor.store t.hv in
+  let state_path = path ^ "/state" in
+  (* Track the last *accepted* state ourselves: the peer owns the node
+     and can write anything into it, so the node's current value is not
+     evidence of a legal history.  Parse raw store values here rather
+     than via [read_state] — an unparsable value from a hostile peer is
+     the peer's fault to report, not a model error. *)
+  let last =
+    ref
+      (match Xenstore.read store ~path:state_path with
+      | Some s -> state_of_string s
+      | None -> None)
+  in
+  watch t dom ~path:state_path ~token:"guard-peer-state"
+    (fun ~path:_ ~token:_ ->
+      match Xenstore.read store ~path:state_path with
+      | None -> ()  (* node removed: device teardown, not a transition *)
+      | Some raw -> (
+          match state_of_string raw with
+          | None ->
+              on_illegal
+                ~from_:
+                  (match !last with
+                  | Some s -> state_name s
+                  | None -> "(none)")
+                ~to_:(Printf.sprintf "%S" raw)
+          | Some st -> (
+              match !last with
+              | Some from_ when not (legal_transition ~from_ ~to_:st) ->
+                  (* Do not follow the peer into the bogus state: [last]
+                     keeps the pre-jump value, so the observer's view of
+                     the handshake stays legal. *)
+                  on_illegal ~from_:(state_name from_) ~to_:(state_name st)
+              | _ -> last := Some st)))
+
 let backend_path ~backend ~frontend ~ty ~devid =
   Printf.sprintf "/local/domain/%d/backend/%s/%d/%d" backend.Domain.id ty
     frontend.Domain.id devid

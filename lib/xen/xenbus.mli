@@ -81,6 +81,22 @@ val wait_for_state :
     addition to the watch, so a lost watch event delays the wait instead
     of wedging it. *)
 
+val guard_peer_state :
+  t ->
+  Domain.t ->
+  path:string ->
+  on_illegal:(from_:string -> to_:string -> unit) ->
+  Xenstore.watch_id
+(** Backend-side validation of *peer-driven* state transitions: watch
+    [<path>/state] (the peer's device directory), track the last legally
+    reached state, and invoke [on_illegal] — in engine context, with
+    human-readable state names — for every write that is an unparsable
+    value or not an edge of {!legal_transition}.  The guard never
+    follows the peer into a bogus state: its notion of "current" stays
+    at the last legal value, so a hostile frontend cannot drag the
+    backend's handshake tracking along.  Returns the watch id; callers
+    must {!unwatch} it on teardown. *)
+
 (** {1 Standard device paths} *)
 
 val backend_path :

@@ -38,10 +38,12 @@ let test_netchannel_registry () =
   let r = Netchannel.registry () in
   let tx : Netchannel.tx_ring = Ring.create ~order:2 in
   let rx : Netchannel.rx_ring = Ring.create ~order:2 in
-  let txr = Netchannel.share_tx r tx in
-  let rxr = Netchannel.share_rx r rx in
+  let txr = Netchannel.share_tx r ~owner:7 tx in
+  let rxr = Netchannel.share_rx r ~owner:7 rx in
   check_bool "tx maps" true (Netchannel.map_tx r txr == tx);
   check_bool "rx maps" true (Netchannel.map_rx r rxr == rx);
+  check_bool "owner tracked" true (Netchannel.owner_of r txr = Some 7);
+  check_bool "bogus ref has no owner" true (Netchannel.owner_of r 999 = None);
   check_bool "cross-map rejected" true
     (try
        ignore (Netchannel.map_rx r txr);

@@ -20,4 +20,5 @@ let () =
       ("mq", Test_mq.suite);
       ("race", Test_race.suite);
       ("flight", Test_flight.suite);
+      ("adversary", Test_adversary.suite);
     ]
