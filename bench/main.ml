@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- --trace-overhead   # disabled-tracer ring cost
      dune exec bench/main.exe -- --fault-overhead   # disabled-injector ring cost
      dune exec bench/main.exe -- --flight-overhead  # armed flight recorder, wall clock
+     dune exec bench/main.exe -- --path-overhead    # armed path attribution, wall clock
      dune exec bench/main.exe -- --adversary-overhead # honest-path validation cost
      dune exec bench/main.exe -- --gates            # every overhead gate in sequence *)
 
@@ -543,6 +544,66 @@ let flight_overhead ~quick () =
   end;
   print_endline "OK: armed flight recorder within 1.1x of the tracer-only run"
 
+(* Path-attribution gate: the same wall-clock discipline for the
+   critical-path engine ARMED on the multi-queue drain path.  Both sides
+   arm the tracer (spans must exist for the engine to decompose); the
+   delta isolates the engine's additive span tap (per-stage histogram
+   observes) and the scheduler/occupancy profiler hooks — its only
+   per-packet work.  Simulated Gbps must be bit-identical: observation
+   cannot perturb the simulation. *)
+let path_overhead ~quick () =
+  print_endline "== armed path attribution overhead on the mq workload ==";
+  let duration = Kite_sim.Time.ms (if quick then 2 else 5) in
+  let run ~path () =
+    Kite_trace.Trace.set_default (Some (Kite_trace.Trace.sink ()));
+    if path then
+      Kite_path.Path.set_default (Some (Kite_path.Path.sink ()));
+    Fun.protect
+      ~finally:(fun () ->
+        Kite.Scenario.teardown_all ();
+        Kite_trace.Trace.set_default None;
+        Kite_path.Path.set_default None)
+      (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let gbps = Kite.Experiments.mq_run_gbps ~duration ~mq:true 2 in
+        (gbps, Unix.gettimeofday () -. t0))
+  in
+  ignore (run ~path:true ());
+  let base = ref infinity and armed = ref infinity in
+  let gbps_base = ref 0. and gbps_armed = ref 0. in
+  for _round = 1 to 3 do
+    let g, dt = run ~path:false () in
+    if dt < !base then begin
+      base := dt;
+      gbps_base := g
+    end;
+    let g, dt = run ~path:true () in
+    if dt < !armed then begin
+      armed := dt;
+      gbps_armed := g
+    end
+  done;
+  Printf.printf "  tracer only:     %8.3f s wall  (%.2f Gbps simulated)\n"
+    !base !gbps_base;
+  Printf.printf "  tracer + path:   %8.3f s wall  (%.2f Gbps simulated)\n"
+    !armed !gbps_armed;
+  if Float.abs (!gbps_armed -. !gbps_base) > 1e-9 then begin
+    print_endline
+      "FAIL: arming path attribution changed the simulated throughput \
+       (observation must not perturb the simulation)";
+    exit 1
+  end;
+  let ratio = !armed /. !base in
+  Printf.printf "  armed/bare wall ratio: %.2fx (gate: < 1.10x or < 50 ms)\n%!"
+    ratio;
+  if Float.is_nan ratio || (ratio >= 1.1 && !armed -. !base >= 0.05) then begin
+    print_endline
+      "FAIL: armed path attribution costs more than 1.1x wall clock on the \
+       mq workload";
+    exit 1
+  end;
+  print_endline "OK: armed path attribution within 1.1x of the tracer-only run"
+
 (* Adversary-hardening gate: ISSUE 8's 1.1x bound on the HONEST path.
    The byzantine-frontend hardening added trust-boundary validation to
    every backend drain — a producer-window check per drain, and a
@@ -657,7 +718,7 @@ let adversary_overhead () =
     "OK: honest-path validation within 1.1x of the pre-hardening path"
 
 (* Every overhead gate in sequence (the @gates alias): any failure exits
-   nonzero immediately, so a clean exit means all seven held. *)
+   nonzero immediately, so a clean exit means all eight held. *)
 let gates ~quick () =
   trace_overhead ();
   print_newline ();
@@ -671,8 +732,10 @@ let gates ~quick () =
   print_newline ();
   flight_overhead ~quick ();
   print_newline ();
+  path_overhead ~quick ();
+  print_newline ();
   adversary_overhead ();
-  print_endline "\nall seven overhead gates passed."
+  print_endline "\nall eight overhead gates passed."
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -694,6 +757,7 @@ let () =
   else if List.mem "--mq-scaling" args then mq_scaling ~quick ()
   else if List.mem "--mq-overhead" args then mq_overhead ~quick ()
   else if List.mem "--flight-overhead" args then flight_overhead ~quick ()
+  else if List.mem "--path-overhead" args then path_overhead ~quick ()
   else if List.mem "--adversary-overhead" args then adversary_overhead ()
   else if List.mem "--gates" args then gates ~quick ()
   else if micro then micro_tests ()

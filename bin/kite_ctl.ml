@@ -8,8 +8,10 @@
      kite_ctl check fig7
      kite_ctl trace fig7 --out trace.json --breakdown --hypercalls
      kite_ctl faults fig11 --seed 7 --plan faults.txt
-     kite_ctl top fig7
+     kite_ctl top fig7 --sort rate
      kite_ctl metrics fig7 --json
+     kite_ctl path fig7 --waterfall
+     kite_ctl path --saturation
      kite_ctl flight restart-recovery
      kite_ctl incident restart-recovery --require incident,crash,restart,slo
      kite_ctl boot kite-network
@@ -607,11 +609,30 @@ let metrics_cmd =
               $ metrics_id_arg))
 
 let top_cmd =
-  let run full id =
-    with_metrics ~full ~progress:true id (fun rs ->
-        Kite_stats.Table.print (Kite.Metrics_report.top_table rs);
-        if List.exists (fun r -> Kite_metrics.Registry.alerts r <> []) rs then
-          Kite_stats.Table.print (Kite.Metrics_report.alerts_table rs))
+  let sort_arg =
+    let doc =
+      "Sort rows descending by $(b,rate) (summed frontend tx+rx+io \
+       per-second rates) or $(b,busy) (the machine's busiest histogram, \
+       by observation count).  Default: build order."
+    in
+    Arg.(value & opt (some string) None & info [ "sort" ] ~docv:"KEY" ~doc)
+  in
+  let run full sort_s id =
+    let sort =
+      match sort_s with
+      | None -> Ok None
+      | Some "rate" -> Ok (Some Kite.Metrics_report.By_rate)
+      | Some "busy" -> Ok (Some Kite.Metrics_report.By_busy)
+      | Some other -> Error other
+    in
+    match sort with
+    | Error other ->
+        `Error (false, "unknown sort key " ^ other ^ "; use rate or busy")
+    | Ok sort ->
+        with_metrics ~full ~progress:true id (fun rs ->
+            Kite_stats.Table.print (Kite.Metrics_report.top_table ?sort rs);
+            if List.exists (fun r -> Kite_metrics.Registry.alerts r <> []) rs
+            then Kite_stats.Table.print (Kite.Metrics_report.alerts_table rs))
   in
   Cmd.v
     (Cmd.info "top"
@@ -619,7 +640,82 @@ let top_cmd =
          "xentop-style summary: run experiments under live telemetry and \
           print per-machine throughput, ring occupancy, grant usage, \
           block latency quantiles and health alerts.")
-    Term.(ret (const run $ full_arg $ metrics_id_arg))
+    Term.(ret (const run $ full_arg $ sort_arg $ metrics_id_arg))
+
+(* ------------------------------------------------------------------ *)
+(* path                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let path_cmd =
+  let waterfall_arg =
+    let doc =
+      "Print only the per-stage waterfall table (skip the per-device and \
+       CPU-profile tables)."
+    in
+    Arg.(value & flag & info [ "waterfall" ] ~doc)
+  in
+  let saturation_arg =
+    let doc =
+      "Run the $(b,latency-waterfall) experiment instead: open-loop \
+       offered-load sweep over the measured storage capacity, locating \
+       the knee where queueing overtakes service.  EXPERIMENT is ignored."
+    in
+    Arg.(value & flag & info [ "saturation" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Emit every engine (waterfall + CPU profile) as JSON." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run full waterfall saturation json id =
+    let quick = not full in
+    if saturation then begin
+      let outcome = Kite.Experiments.latency_waterfall ~quick in
+      List.iter Kite_stats.Table.print outcome.Kite.Experiments.tables;
+      Kite.Scenario.teardown_all ();
+      `Ok ()
+    end
+    else begin
+      (* The engine decomposes the tracer's spans, so arm both sinks:
+         every testbed machine gets a tracer and a path engine tapping
+         it (plus the CPU-profiler hooks). *)
+      let tsink = Kite_trace.Trace.sink () in
+      Kite_trace.Trace.set_default (Some tsink);
+      let psink = Kite_path.Path.sink () in
+      Kite_path.Path.set_default (Some psink);
+      let outcome =
+        for_experiments id (fun (eid, _desc, f) ->
+            if not json then Printf.printf "attributing %s...\n%!" eid;
+            ignore (f ~quick);
+            Kite.Scenario.teardown_all ())
+      in
+      Kite_path.Path.set_default None;
+      Kite_trace.Trace.set_default None;
+      match outcome with
+      | `Error _ as e -> e
+      | `Ok () ->
+          let ps = Kite_path.Path.paths psink in
+          if json then print_string (Kite_path.Path.to_json ps)
+          else begin
+            Kite_stats.Table.print (Kite.Path_report.waterfall_table ps);
+            if not waterfall then begin
+              Kite_stats.Table.print (Kite.Path_report.devices_table ps);
+              Kite_stats.Table.print (Kite.Path_report.cpu_table ps)
+            end
+          end;
+          `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "path"
+       ~doc:
+         "Run experiments under critical-path attribution and print the \
+          per-stage latency waterfall (queueing vs service vs \
+          notification wait), per-device totals and the continuous CPU \
+          profile.")
+    Term.(
+      ret
+        (const run $ full_arg $ waterfall_arg $ saturation_arg $ json_arg
+       $ metrics_id_arg))
 
 (* ------------------------------------------------------------------ *)
 (* flight / incident                                                   *)
@@ -627,7 +723,8 @@ let top_cmd =
 
 (* Shared harness: arm every layer the recorder taps — checker (findings
    + the recorders' own audits), tracer (spans), metrics (alert edges,
-   deltas) and the flight sink itself — run the selected experiments,
+   deltas), the path engine (incident waterfalls) and the flight sink
+   itself — run the selected experiments,
    tear down, then hand the recorders and the shared report to [render].
    No fault sink: a default injection plan would perturb the experiments
    (restart-recovery arms its own note-only injector when none is set).
@@ -640,6 +737,8 @@ let with_flight ~full ~progress ?(before_teardown = fun _ -> ()) id render =
   Kite_trace.Trace.set_default (Some tsink);
   let msink = Kite_metrics.Registry.sink () in
   Kite_metrics.Registry.set_default (Some msink);
+  let psink = Kite_path.Path.sink () in
+  Kite_path.Path.set_default (Some psink);
   let fsink = Kite_flight.Flight.sink () in
   Kite_flight.Flight.set_default (Some fsink);
   let quick = not full in
@@ -651,6 +750,7 @@ let with_flight ~full ~progress ?(before_teardown = fun _ -> ()) id render =
         Kite.Scenario.teardown_all ())
   in
   Kite_flight.Flight.set_default None;
+  Kite_path.Path.set_default None;
   Kite_metrics.Registry.set_default None;
   Kite_trace.Trace.set_default None;
   Kite_check.Check.set_default None;
@@ -898,6 +998,7 @@ let () =
             faults_cmd;
             metrics_cmd;
             top_cmd;
+            path_cmd;
             flight_cmd;
             incident_cmd;
             attack_cmd;

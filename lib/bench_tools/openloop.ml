@@ -1,0 +1,62 @@
+open Kite_sim
+
+type result = { offered : int; completed : int; elapsed : Time.span }
+
+let run ~sched ?(seed = 42) ~rate ?(burst = 0) ?burst_every ~duration ~fire
+    ~on_done () =
+  Process.spawn sched ~name:"openloop" (fun () ->
+      let engine = Process.engine sched in
+      let rng = Rng.create seed in
+      let mean_gap_ns = 1e9 /. rate in
+      let t0 = Engine.now engine in
+      let deadline = t0 + duration in
+      let offered = ref 0 in
+      let completed = ref 0 in
+      let returned = ref 0 in
+      let gen_done = ref false in
+      let last_at = ref t0 in
+      let finish_if_drained () =
+        if !gen_done && !returned = !offered then
+          on_done
+            {
+              offered = !offered;
+              completed = !completed;
+              elapsed = !last_at - t0;
+            }
+      in
+      let arrival () =
+        incr offered;
+        let seq = !offered in
+        (* Each request is its own process: a request stuck in a backlog
+           must never hold back the arrival clock.  One shared name keeps
+           the CPU profiler's (domain, process) cardinality bounded. *)
+        Process.spawn sched ~name:"openloop-req" (fun () ->
+            let ok = fire seq in
+            if ok then incr completed;
+            incr returned;
+            last_at := max !last_at (Engine.now engine);
+            finish_if_drained ())
+      in
+      let next_burst =
+        ref
+          (match burst_every with
+          | Some every when burst > 0 -> t0 + every
+          | _ -> max_int)
+      in
+      while Engine.now engine < deadline do
+        arrival ();
+        (if Engine.now engine >= !next_burst then begin
+           (* Back-to-back arrivals at one instant: a transient spike the
+              per-stage queueing histograms should absorb below the knee. *)
+           for _ = 2 to burst do
+             arrival ()
+           done;
+           match burst_every with
+           | Some every -> next_burst := !next_burst + every
+           | None -> ()
+         end);
+        let gap = int_of_float (Rng.exponential rng ~mean:mean_gap_ns) in
+        Process.sleep (max 1 gap)
+      done;
+      gen_done := true;
+      finish_if_drained ())

@@ -1,0 +1,36 @@
+(** Open-loop load generator for the latency-waterfall experiment: fire
+    requests on a Poisson arrival process at a configurable offered rate,
+    independent of completions.  Unlike the closed-loop tools (ab,
+    memtier, ...), which wait for each response and therefore self-throttle
+    at saturation, an open-loop generator keeps offering load past the
+    service capacity — the regime where queueing delay overtakes service
+    time and the saturation knee appears.
+
+    Optionally a burst of [burst] back-to-back arrivals is injected every
+    [burst_every] to probe transient queue buildup below the knee. *)
+
+type result = {
+  offered : int;  (** arrivals fired *)
+  completed : int;  (** [fire] calls that returned [true] *)
+  elapsed : Kite_sim.Time.span;  (** generator start to last completion *)
+}
+
+val run :
+  sched:Kite_sim.Process.sched ->
+  ?seed:int ->
+  rate:float ->
+  ?burst:int ->
+  ?burst_every:Kite_sim.Time.span ->
+  duration:Kite_sim.Time.span ->
+  fire:(int -> bool) ->
+  on_done:(result -> unit) ->
+  unit ->
+  unit
+(** [run ~sched ~rate ~duration ~fire ~on_done ()] spawns a generator
+    process that draws exponential inter-arrival gaps with mean
+    [1/rate] seconds (i.e. [rate] is the offered rate in requests per
+    second) for [duration] of simulated time.  Each arrival spawns its
+    own process calling [fire seq] — so a slow request never blocks the
+    arrival process, which is the whole point.  [fire] returns whether
+    the request completed.  [on_done] runs once every spawned request
+    has returned.  Defaults: [seed] 42, no bursts. *)

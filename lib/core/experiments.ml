@@ -1608,6 +1608,241 @@ let mq_overhead ~quick =
   let mq1 = mq_run ~duration ~mq:true 1 in
   (legacy, mq1)
 
+(* Critical-path attribution (lib/path): where does a request's
+   simulated time go, and at what offered load does queueing overtake
+   service?  Phase 1 drives a moderate open-loop load through both
+   testbeds and renders the per-stage waterfall, checking the partition
+   invariant — per-stage totals sum to the end-to-end time within 1%.
+   Phase 2 measures the storage path's sustainable capacity closed-loop,
+   then sweeps open-loop offered rate across it: below the knee the
+   request's time is service, past it the accumulated queueing time
+   takes over. *)
+let latency_waterfall ~quick =
+  let module Path = Kite_path.Path in
+  (* The waterfall is the experiment's contract: arm private trace +
+     path sinks when the CLI armed none, restore the ambient state
+     afterwards (the restart-recovery / hypercalls pattern). *)
+  let saved_trace = Kite_trace.Trace.default () in
+  let saved_path = Path.default () in
+  (match saved_trace with
+  | None -> Kite_trace.Trace.set_default (Some (Kite_trace.Trace.sink ()))
+  | Some _ -> ());
+  (match saved_path with
+  | None -> Path.set_default (Some (Path.sink ()))
+  | Some _ -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Kite_trace.Trace.set_default saved_trace;
+      Path.set_default saved_path)
+  @@ fun () ->
+  let engine_of ctx =
+    match ctx.Kite_drivers.Xen_ctx.path with
+    | Some p -> p
+    | None -> failwith "latency-waterfall: no path engine attached"
+  in
+  let blk_data seq =
+    Bytes.make
+      (8 * Kite_drivers.Blkfront.sector_size)
+      (Char.chr (Char.code 'a' + (seq mod 26)))
+  in
+  (* -- phase 1: the waterfall under moderate open-loop load ---------- *)
+  let net_n = if quick then 200 else 1000 in
+  let net_rate = 50_000. (* req/s, well under the Tx path's capacity *) in
+  let net_path =
+    let s = Scenario.network ~flavor:Scenario.Kite () in
+    let p = engine_of s.Scenario.ctx in
+    let done_ = ref None in
+    Scenario.when_net_ready s (fun () ->
+        let dev = Kite_drivers.Netfront.netdev s.Scenario.netfront in
+        let frame = Bytes.make 1500 '\000' in
+        Bytes.fill frame 0 6 '\xff';
+        Kite_bench_tools.Openloop.run ~sched:s.Scenario.sched ~rate:net_rate
+          ~burst:8
+          ~burst_every:(Time.ms 1)
+          ~duration:(Time.of_sec_f (float_of_int net_n /. net_rate))
+          ~fire:(fun _ ->
+            Kite_net.Netdev.transmit dev frame;
+            true)
+          ~on_done:(fun r -> done_ := Some r)
+          ());
+    ignore (drive s.Scenario.hv done_ "latency-waterfall net");
+    p
+  in
+  let blk_n = if quick then 150 else 600 in
+  let blk_rate = 5_000. in
+  let blk_path =
+    let s = Scenario.storage ~flavor:Scenario.Kite () in
+    let p = engine_of s.Scenario.bctx in
+    let done_ = ref None in
+    Scenario.when_blk_ready s (fun () ->
+        let front = s.Scenario.blkfront in
+        Kite_bench_tools.Openloop.run ~sched:s.Scenario.bsched ~rate:blk_rate
+          ~duration:(Time.of_sec_f (float_of_int blk_n /. blk_rate))
+          ~fire:(fun seq ->
+            Kite_drivers.Blkfront.write front
+              ~sector:(8 * (seq mod 1024))
+              (blk_data seq);
+            true)
+          ~on_done:(fun r -> done_ := Some r)
+          ());
+    ignore (drive s.Scenario.bhv done_ "latency-waterfall blk");
+    p
+  in
+  let engines = [ net_path; blk_path ] in
+  (* The acceptance check rendered as data: stages partition each span,
+     so the per-stage totals must reproduce the end-to-end total. *)
+  let partition =
+    Table.create ~title:"Partition invariant: stages sum to end-to-end"
+      ~columns:
+        [
+          ("machine", Table.Left);
+          ("kind", Table.Left);
+          ("spans", Table.Right);
+          ("stage sum ms", Table.Right);
+          ("end-to-end ms", Table.Right);
+          ("delta", Table.Right);
+        ]
+  in
+  List.iter
+    (fun p ->
+      let stats = Path.stage_stats p in
+      let kinds =
+        List.fold_left
+          (fun acc s ->
+            if List.mem s.Path.st_kind acc then acc
+            else acc @ [ s.Path.st_kind ])
+          [] stats
+      in
+      List.iter
+        (fun kind ->
+          let stage_sum =
+            List.fold_left
+              (fun acc s ->
+                if s.Path.st_kind = kind then acc + s.Path.st_total_ns
+                else acc)
+              0 stats
+          in
+          let e2e = Path.span_total_ns p ~kind in
+          let delta =
+            Float.abs (float_of_int (stage_sum - e2e))
+            /. float_of_int (max 1 e2e)
+          in
+          if delta > 0.01 then
+            failwith
+              (Printf.sprintf
+                 "latency-waterfall: %s/%s stage sum %d ns vs end-to-end %d \
+                  ns (%.2f%% apart)"
+                 (Path.name p) kind stage_sum e2e (100. *. delta));
+          Table.add_row partition
+            [
+              Path.name p;
+              kind;
+              fint (Path.span_count p ~kind);
+              Table.fmt_f (float_of_int stage_sum /. 1e6);
+              Table.fmt_f (float_of_int e2e /. 1e6);
+              Table.fmt_pct (100. *. delta);
+            ])
+        kinds)
+    engines;
+  Table.note partition "the runner fails if any kind drifts past 1%";
+  (* -- phase 2: offered-rate sweep on the storage path --------------- *)
+  (* Sustainable capacity first, measured closed-loop: a few workers
+     writing back-to-back; completions per second is the service rate
+     the open-loop sweep is calibrated against. *)
+  let capacity =
+    let s = Scenario.storage ~flavor:Scenario.Kite () in
+    let hv = s.Scenario.bhv in
+    let done_ = ref None in
+    Scenario.when_blk_ready s (fun () ->
+        let front = s.Scenario.blkfront in
+        let window = if quick then Time.ms 2 else Time.ms 10 in
+        let workers = 8 in
+        let stop = ref false in
+        let completed = ref 0 in
+        let live = ref workers in
+        let t0 = Kite_xen.Hypervisor.now hv in
+        for w = 0 to workers - 1 do
+          Kite_xen.Hypervisor.spawn hv s.Scenario.bdomu ~name:"cap-worker"
+            (fun () ->
+              while not !stop do
+                Kite_drivers.Blkfront.write front
+                  ~sector:(8 * ((w * 128) + (!completed mod 128)))
+                  (blk_data !completed);
+                incr completed
+              done;
+              decr live;
+              if !live = 0 then
+                done_ :=
+                  Some
+                    (float_of_int !completed
+                    /. Time.to_sec_f (Kite_xen.Hypervisor.now hv - t0)))
+        done;
+        Kite_xen.Hypervisor.spawn hv s.Scenario.bdomu ~name:"cap-stop"
+          (fun () ->
+            Process.sleep window;
+            stop := true));
+    drive hv done_ "latency-waterfall capacity"
+  in
+  let sat_n = if quick then 150 else 500 in
+  let step multiple =
+    let rate = multiple *. capacity in
+    let s = Scenario.storage ~flavor:Scenario.Kite () in
+    let hv = s.Scenario.bhv in
+    let p = engine_of s.Scenario.bctx in
+    let lats = ref [] in
+    let done_ = ref None in
+    Scenario.when_blk_ready s (fun () ->
+        let front = s.Scenario.blkfront in
+        Kite_bench_tools.Openloop.run ~sched:s.Scenario.bsched ~rate
+          ~duration:(Time.of_sec_f (float_of_int sat_n /. rate))
+          ~fire:(fun seq ->
+            let t0 = Kite_xen.Hypervisor.now hv in
+            Kite_drivers.Blkfront.write front
+              ~sector:(8 * (seq mod 1024))
+              (blk_data seq);
+            lats := Time.to_ms_f (Kite_xen.Hypervisor.now hv - t0) :: !lats;
+            true)
+          ~on_done:(fun r -> done_ := Some r)
+          ());
+    let r = drive hv done_ "latency-waterfall saturation step" in
+    {
+      Path_report.sat_rate = rate;
+      sat_offered = r.Kite_bench_tools.Openloop.offered;
+      sat_completed = r.Kite_bench_tools.Openloop.completed;
+      sat_p99_ms = Summary.percentile !lats 99.;
+      sat_queue_ms =
+        float_of_int (Path.class_total_ns p ~kind:"blk" Path.Queueing) /. 1e6;
+      sat_service_ms =
+        float_of_int (Path.class_total_ns p ~kind:"blk" Path.Service) /. 1e6;
+    }
+  in
+  let rows = List.map step [ 0.3; 0.8; 1.5; 3.0; 6.0 ] in
+  (* The acceptance check for the knee: queueing must overtake service
+     somewhere in the sweep, and must not dominate at the lowest rate. *)
+  let queue_bound r =
+    r.Path_report.sat_queue_ms > r.Path_report.sat_service_ms
+  in
+  (match rows with
+  | first :: _ ->
+      if queue_bound first then
+        failwith
+          "latency-waterfall: queueing already dominates at 0.3x capacity";
+      if not (List.exists queue_bound rows) then
+        failwith
+          "latency-waterfall: no saturation knee up to 6x measured capacity"
+  | [] -> assert false);
+  {
+    exp_id = "latency-waterfall";
+    tables =
+      [
+        Path_report.waterfall_table engines;
+        partition;
+        Path_report.devices_table engines;
+        Path_report.cpu_table engines;
+        Path_report.saturation_table ~kind:"blk" rows;
+      ];
+  }
+
 let all =
   [
     ("fig1a", "Figure 1a: driver CVEs per year", fig1a);
@@ -1643,6 +1878,9 @@ let all =
     ("mq-scale", "Extension: multi-queue dataplane scaling", mq_scale);
     ("memory", "Extension: service-VM memory footprint", memory);
     ("hypercalls", "Extension: driver-domain hypercall profile", hypercalls);
+    ( "latency-waterfall",
+      "Extension: per-stage latency waterfall & saturation knee",
+      latency_waterfall );
   ]
 
 let find id =

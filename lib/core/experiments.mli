@@ -93,6 +93,13 @@ val mq_run_gbps : duration:Kite_sim.Time.span -> mq:bool -> int -> float
     is aggregate guest-Tx Gbps with [n] queues ([mq:false] forces the
     legacy flat layout; [n] must then be 1). *)
 
+val latency_waterfall : quick:bool -> outcome
+(** Critical-path attribution: the per-stage p50/p99 waterfall for the
+    net and storage paths under open-loop load (stage durations sum to
+    the end-to-end time within 1%, enforced), plus an offered-rate sweep
+    over the measured storage capacity locating the saturation knee
+    where queueing time overtakes service time (also enforced). *)
+
 val all : (string * string * (quick:bool -> outcome)) list
 (** (id, description, runner), in paper order then ablations. *)
 

@@ -61,7 +61,37 @@ let percentile r name p =
 let dash = "-"
 let fmt_opt f = function None -> dash | Some v -> f v
 
-let top_table rs =
+type sort = By_rate | By_busy
+
+(* Sort keys read the same polled surfaces as the rows themselves, so
+   ordering can't disagree with the numbers printed. *)
+let sort_key r = function
+  | By_rate ->
+      let g name = Option.value ~default:0. (rate r name ~where:frontend) in
+      g "kite_net_tx_packets_total"
+      +. g "kite_net_rx_packets_total"
+      +. g "kite_blk_requests_total"
+  | By_busy ->
+      (* A histogram's scalar is its observation count: the machine whose
+         busiest histogram saw the most events sorts first. *)
+      let hists =
+        List.filter_map
+          (fun (n, kind, _) ->
+            if kind = Registry.Histogram then Some n else None)
+          (Registry.families r)
+      in
+      List.fold_left
+        (fun acc (n, _, v) ->
+          if List.mem n hists then Float.max acc v else acc)
+        0. (Registry.read r)
+
+let top_table ?sort rs =
+  let rs =
+    match sort with
+    | None -> rs
+    | Some s ->
+        List.stable_sort (fun a b -> compare (sort_key b s) (sort_key a s)) rs
+  in
   let tbl =
     Table.create ~title:"kite top - live per-machine telemetry"
       ~columns:

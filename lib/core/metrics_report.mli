@@ -5,11 +5,18 @@
     reads through the same polled registry the /metrics route exposes,
     so the surfaces cannot disagree. *)
 
-val top_table : Kite_metrics.Registry.t list -> Kite_stats.Table.t
+type sort = By_rate | By_busy
+(** Row ordering for {!top_table}: [By_rate] = summed frontend tx + rx +
+    io per-second rates, [By_busy] = the machine's busiest histogram
+    (most observations).  Both keys read the same polled registry the
+    rows print, descending. *)
+
+val top_table : ?sort:sort -> Kite_metrics.Registry.t list -> Kite_stats.Table.t
 (** One row per machine registry: tx/rx packet rates and block I/O rate
     (frontend view, from sampled series deltas), worst ring occupancy,
     active grants, persistent-grant pool size, block latency p50/p99 and
-    the alert count. *)
+    the alert count.  Rows keep build order unless [sort] is given
+    ([kite_ctl top --sort rate|busy]). *)
 
 val alerts_table : Kite_metrics.Registry.t list -> Kite_stats.Table.t
 (** Every structured health alert raised so far, in (machine, time)

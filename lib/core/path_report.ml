@@ -1,0 +1,174 @@
+open Kite_stats
+module Path = Kite_path.Path
+
+let fint = string_of_int
+let us ns = Table.fmt_f (ns /. 1000.)
+let ms ns = Table.fmt_f (ns /. 1e6)
+
+let waterfall_table ps =
+  let t =
+    Table.create ~title:"Critical-path waterfall (per stage)"
+      ~columns:
+        [
+          ("machine", Table.Left);
+          ("kind", Table.Left);
+          ("stage", Table.Left);
+          ("class", Table.Left);
+          ("n", Table.Right);
+          ("p50 us", Table.Right);
+          ("p99 us", Table.Right);
+          ("total ms", Table.Right);
+          ("share", Table.Right);
+        ]
+  in
+  List.iter
+    (fun p ->
+      let stats = Path.stage_stats p in
+      let kinds =
+        List.fold_left
+          (fun acc s ->
+            if List.mem s.Path.st_kind acc then acc else acc @ [ s.Path.st_kind ])
+          [] stats
+      in
+      List.iter
+        (fun kind ->
+          let span_total = Path.span_total_ns p ~kind in
+          List.iter
+            (fun s ->
+              if s.Path.st_kind = kind then
+                Table.add_row t
+                  [
+                    Path.name p;
+                    kind;
+                    s.Path.st_stage;
+                    Path.class_name s.Path.st_class;
+                    fint s.Path.st_n;
+                    us s.Path.st_p50;
+                    us s.Path.st_p99;
+                    ms (float_of_int s.Path.st_total_ns);
+                    Table.fmt_pct
+                      (100.
+                      *. float_of_int s.Path.st_total_ns
+                      /. float_of_int (max 1 span_total));
+                  ])
+            stats;
+          let cls_ms c = ms (float_of_int (Path.class_total_ns p ~kind c)) in
+          Table.add_row t
+            [
+              Path.name p;
+              kind;
+              "TOTAL";
+              Printf.sprintf "q=%s s=%s n=%s" (cls_ms Path.Queueing)
+                (cls_ms Path.Service) (cls_ms Path.Notify);
+              fint (Path.span_count p ~kind);
+              "-";
+              "-";
+              ms (float_of_int span_total);
+              "100.0%";
+            ])
+        kinds)
+    ps;
+  Table.note t
+    "stages partition each span, so per-stage totals sum to the kind's \
+     end-to-end TOTAL; class q/s/n = queueing/service/notify ms";
+  t
+
+let devices_table ps =
+  let t =
+    Table.create ~title:"Per-device attribution"
+      ~columns:
+        [
+          ("machine", Table.Left);
+          ("kind", Table.Left);
+          ("device", Table.Left);
+          ("spans", Table.Right);
+          ("total ms", Table.Right);
+        ]
+  in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (kind, key, n, total) ->
+          Table.add_row t
+            [ Path.name p; kind; key; fint n; ms (float_of_int total) ])
+        (Path.devices p))
+    ps;
+  t
+
+let cpu_table ps =
+  let t =
+    Table.create ~title:"CPU profile (simulated busy time)"
+      ~columns:
+        [
+          ("machine", Table.Left);
+          ("domain", Table.Left);
+          ("process", Table.Left);
+          ("busy ms", Table.Right);
+          ("share", Table.Right);
+        ]
+  in
+  List.iter
+    (fun p ->
+      let total = max 1 (Path.cpu_total_ns p) in
+      List.iter
+        (fun (dom, proc, busy) ->
+          Table.add_row t
+            [
+              Path.name p;
+              dom;
+              proc;
+              ms (float_of_int busy);
+              Table.fmt_pct (100. *. float_of_int busy /. float_of_int total);
+            ])
+        (Path.profile p))
+    ps;
+  Table.note t
+    "scheduler-run sampler: every simulated-CPU occupancy is attributed to \
+     the (domain, process) that incurred it; (interrupt) = outside any \
+     process";
+  t
+
+type saturation_row = {
+  sat_rate : float;
+  sat_offered : int;
+  sat_completed : int;
+  sat_p99_ms : float;
+  sat_queue_ms : float;
+  sat_service_ms : float;
+}
+
+let saturation_table ~kind rows =
+  let t =
+    Table.create
+      ~title:(Printf.sprintf "Saturation sweep: %s (open-loop offered load)" kind)
+      ~columns:
+        [
+          ("rate/s", Table.Right);
+          ("offered", Table.Right);
+          ("completed", Table.Right);
+          ("p99 ms", Table.Right);
+          ("queue ms", Table.Right);
+          ("service ms", Table.Right);
+          ("queue share", Table.Right);
+          ("regime", Table.Left);
+        ]
+  in
+  List.iter
+    (fun r ->
+      let qs = r.sat_queue_ms /. Float.max 1e-9 (r.sat_queue_ms +. r.sat_service_ms) in
+      Table.add_row t
+        [
+          Table.fmt_si r.sat_rate;
+          fint r.sat_offered;
+          fint r.sat_completed;
+          Table.fmt_f r.sat_p99_ms;
+          Table.fmt_f r.sat_queue_ms;
+          Table.fmt_f r.sat_service_ms;
+          Table.fmt_pct (100. *. qs);
+          (if qs > 0.5 then "queue-bound" else "service-bound");
+        ])
+    rows;
+  Table.note t
+    "the knee is the first rate where queueing time overtakes service time \
+     (queue share > 50%)";
+  t

@@ -1,0 +1,30 @@
+(** Render {!Kite_path.Path} attribution as report tables.
+
+    [kite_ctl path] prints these; the latency-waterfall experiment feeds
+    {!saturation_table} with one row per offered-rate step. *)
+
+val waterfall_table : Kite_path.Path.t list -> Kite_stats.Table.t
+(** The p99 waterfall: one row per (machine, kind, stage) with class,
+    occurrence count, p50/p99 and the stage's share of the kind's
+    end-to-end time, followed by a TOTAL row per kind splitting the
+    end-to-end time into queueing / service / notify. *)
+
+val devices_table : Kite_path.Path.t list -> Kite_stats.Table.t
+(** Per device instance (vif0, xvda, ...): spans and total time. *)
+
+val cpu_table : Kite_path.Path.t list -> Kite_stats.Table.t
+(** The continuous CPU profile: busy ns per (domain, process), busiest
+    first, with each row's share of the machine's attributed total. *)
+
+type saturation_row = {
+  sat_rate : float;  (** offered rate, requests/s *)
+  sat_offered : int;
+  sat_completed : int;
+  sat_p99_ms : float;  (** end-to-end p99 *)
+  sat_queue_ms : float;  (** total queueing time, ms *)
+  sat_service_ms : float;  (** total service time, ms *)
+}
+
+val saturation_table : kind:string -> saturation_row list -> Kite_stats.Table.t
+(** The offered-load sweep: queueing/service share per rate step; the
+    knee is the first row where queueing overtakes service. *)

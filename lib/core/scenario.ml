@@ -63,7 +63,32 @@ let attach_trace ctx tag =
         Kite_trace.Trace.create_in sink
           ~name:(Printf.sprintf "%s%d" tag !scenario_seq)
       in
-      Kite_drivers.Xen_ctx.enable_trace ctx tr
+      Kite_drivers.Xen_ctx.enable_trace ctx tr;
+      (* An orphaned hop/end (no span open on the thread) means a broken
+         begin/end pairing somewhere in the instrumentation; the tracer
+         counts them, and teardown surfaces a non-zero count as a checker
+         warning instead of letting them vanish. *)
+      teardowns :=
+        (fun () ->
+          let hops = Kite_trace.Trace.orphan_hops tr in
+          let ends = Kite_trace.Trace.orphan_ends tr in
+          if hops + ends > 0 then
+            match Kite_check.Check.default () with
+            | Some (_, report) ->
+                Kite_check.Report.add report
+                  {
+                    Kite_check.Report.severity = Kite_check.Report.Warning;
+                    subsystem = "trace";
+                    rule = "span-orphaned";
+                    provenance = Kite_trace.Trace.name tr;
+                    message =
+                      Printf.sprintf
+                        "%d orphaned span event(s) (%d hop, %d end): \
+                         span_hop/span_end with no span open on the thread"
+                        (hops + ends) hops ends;
+                  }
+            | None -> ())
+        :: !teardowns
 
 (* And again for fault injection (Fault.set_default): each machine gets
    its own injector, seeded deterministically from the sink, so two runs
@@ -121,6 +146,31 @@ let attach_metrics ctx tag =
           done);
       Some r
 
+(* And for critical-path attribution (Kite_path.Path.set_default): each
+   machine gets its own engine.  It taps the tracer's span stream
+   additively (so it composes with the flight recorder's primary span
+   observer) and mirrors its histograms/counters into the machine's
+   registry when one is attached — call this after [attach_trace] and
+   [attach_metrics].  Enabling it on the context also arms the
+   scheduler/hypervisor CPU-profiler hooks. *)
+let attach_path ctx tag =
+  match Kite_path.Path.default () with
+  | None -> None
+  | Some sink ->
+      incr scenario_seq;
+      let p =
+        Kite_path.Path.create_in sink
+          ~name:(Printf.sprintf "%s%d" tag !scenario_seq)
+      in
+      Kite_drivers.Xen_ctx.enable_path ctx p;
+      (match ctx.Xen_ctx.trace with
+      | Some tr -> Kite_path.Path.tap_trace p tr
+      | None -> ());
+      (match ctx.Xen_ctx.metrics with
+      | Some r -> Kite_path.Path.wire_metrics p r
+      | None -> ());
+      Some p
+
 (* The incident snapshot's xenstore view: a DFS dump of the /local/domain
    subtree, captured lazily at trigger time (so a crash trigger that runs
    before Xenstore.rm still sees the doomed domain's home). *)
@@ -164,6 +214,9 @@ let attach_flight ctx tag =
       (match ctx.Xen_ctx.metrics with
       | Some r -> Kite_flight.Flight.tap_metrics fl r
       | None -> ());
+      (match ctx.Xen_ctx.path with
+      | Some p -> Kite_flight.Flight.tap_path fl p
+      | None -> ());
       (* The report is shared run-wide, so with several machines the
          last-built one receives the findings records. *)
       (match Kite_check.Check.default () with
@@ -190,6 +243,7 @@ let arm_ambient ctx tag =
   attach_trace ctx tag;
   ignore (attach_fault ctx tag);
   ignore (attach_metrics ctx tag);
+  ignore (attach_path ctx tag);
   ignore (attach_flight ctx tag)
 
 (* Edge-triggered backend-health probe: silent until the handshake first
@@ -246,6 +300,7 @@ let network ?overheads_override ~flavor ?(seed = 2022) ?schedule_seed:sseed
   attach_trace ctx ("net-" ^ flavor_name flavor ^ "-");
   let fault = attach_fault ctx ("net-" ^ flavor_name flavor ^ "-") in
   let mreg = attach_metrics ctx ("net-" ^ flavor_name flavor ^ "-") in
+  ignore (attach_path ctx ("net-" ^ flavor_name flavor ^ "-"));
   let flight = attach_flight ctx ("net-" ^ flavor_name flavor ^ "-") in
   let sched = Hypervisor.sched hv in
   let metrics = Hypervisor.metrics hv in
@@ -392,6 +447,7 @@ let storage ~flavor ?(seed = 2022) ?schedule_seed:sseed
   attach_trace ctx ("blk-" ^ flavor_name flavor ^ "-");
   let fault = attach_fault ctx ("blk-" ^ flavor_name flavor ^ "-") in
   let mreg = attach_metrics ctx ("blk-" ^ flavor_name flavor ^ "-") in
+  ignore (attach_path ctx ("blk-" ^ flavor_name flavor ^ "-"));
   let flight = attach_flight ctx ("blk-" ^ flavor_name flavor ^ "-") in
   let sched = Hypervisor.sched hv in
   let metrics = Hypervisor.metrics hv in

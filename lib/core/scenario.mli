@@ -27,8 +27,9 @@ val teardown_all : unit -> unit
 
 val arm_ambient : Kite_drivers.Xen_ctx.t -> string -> unit
 (** Arm whatever run-wide observability sinks are currently set (check,
-    trace, fault, metrics, flight — in that order, so the recorder taps
-    the rest) on a hand-built context.  For benchmarks and harnesses
+    trace, fault, metrics, path, flight — in that order, so the path
+    engine taps the tracer/registry and the recorder taps the rest) on a
+    hand-built context.  For benchmarks and harnesses
     that construct [Hypervisor] + [Xen_ctx] directly instead of going
     through {!network}/{!storage}, which arm these themselves.  The
     string tags the per-machine instance names. *)

@@ -458,7 +458,7 @@ let prepare_run i r reqs =
               Kite_trace.Trace.span_hop tr
                 ~at:(Hypervisor.now (hv i))
                 ~kind:"blk" ~key:(vbd_name i) ~id:req.Blkif.req_id
-                ~stage:"backend"
+                ~stage:"map"
                 ~args:
                   [
                     ("segs", string_of_int (List.length segs));
@@ -671,7 +671,19 @@ let into_batches (i : instance) works =
 let request_thread i r () =
   let rec drain acc =
     match Ring.take_request r.ring with
-    | Some req -> drain (req :: acc)
+    | Some req ->
+        (* Explicit dequeue hop: the request leaves the ring here, so
+           [ring] measured pure in-ring wait and [backend] starts at
+           validation. *)
+        (match trace i with
+        | Some tr ->
+            Kite_trace.Trace.span_hop tr
+              ~at:(Hypervisor.now (hv i))
+              ~kind:"blk" ~key:(vbd_name i) ~id:req.Blkif.req_id
+              ~stage:"backend"
+              ~args:[ ("q", string_of_int r.rid) ]
+        | None -> ());
+        drain (req :: acc)
     | None -> List.rev acc
   in
   let rec loop () =

@@ -246,6 +246,16 @@ let notify_backend t q =
    write is idempotent.  The target queue is re-picked after every wait:
    a reconnect may have renegotiated the queue count. *)
 let push_entry t p =
+  (* Queue-entry hop: everything until the ring push is time spent
+     waiting for a free slot (or for reconnection) — queueing.  The
+     watchdog's re-issue path passes here again; the repeated stage is
+     merged by name in the breakdown. *)
+  (match t.ctx.Xen_ctx.trace with
+  | Some tr ->
+      Kite_trace.Trace.span_hop tr
+        ~at:(Hypervisor.now t.ctx.Xen_ctx.hv)
+        ~kind:"blk" ~key:(vbd_name t) ~id:p.p_id ~stage:"queue" ~args:[]
+  | None -> ());
   (* Wait for a ring slot; concurrent submitters can steal the slot we
      saw, in which case push raises Ring_full and we go back to sleep.
      A disconnected frontend parks here too: the reconnect path wakes

@@ -330,6 +330,16 @@ let pusher i q () =
             i.tx_packets <- i.tx_packets + 1;
             i.tx_bytes <- i.tx_bytes + req.Netchannel.tx_len;
             q.q_tx_packets <- q.q_tx_packets + 1;
+            (* Dequeue-to-wire split: [backend] covered validation and
+               the batched grant copy; [deliver] is the NIC leg, where
+               retry/backoff time lands. *)
+            (match trace i with
+            | Some tr ->
+                Kite_trace.Trace.span_hop tr
+                  ~at:(Hypervisor.now (hv i))
+                  ~kind:"net.tx" ~key:(vif_name i) ~id:req.Netchannel.tx_id
+                  ~stage:"deliver" ~args:[]
+            | None -> ());
             (* The frame may reach the physical NIC synchronously (through
                the bridge); a transient NIC error is retried with
                exponential backoff, then the frame is dropped as a wire

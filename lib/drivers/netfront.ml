@@ -219,9 +219,13 @@ let transmit t frame =
     let id = fresh_id t in
     (match t.ctx.Xen_ctx.trace with
     | Some tr ->
-        Kite_trace.Trace.span_begin tr
-          ~at:(Hypervisor.now t.ctx.Xen_ctx.hv)
-          ~kind:"net.tx" ~key:(vif_name t) ~id ~stage:"frontend"
+        let at = Hypervisor.now t.ctx.Xen_ctx.hv in
+        Kite_trace.Trace.span_begin tr ~at ~kind:"net.tx" ~key:(vif_name t)
+          ~id ~stage:"frontend";
+        (* Queue-entry hop: everything until the ring push is time spent
+           waiting for a free slot — queueing, not service. *)
+        Kite_trace.Trace.span_hop tr ~at ~kind:"net.tx" ~key:(vif_name t) ~id
+          ~stage:"queue" ~args:[]
     | None -> ());
     (* Re-pick the queue after every wait: a reconnect may have
        renegotiated the queue count while we were parked. *)
@@ -256,7 +260,7 @@ let transmit t frame =
           Kite_trace.Trace.span_hop tr
             ~at:(Hypervisor.now t.ctx.Xen_ctx.hv)
             ~kind:"net.tx" ~key:(vif_name t) ~id ~stage:"ring"
-            ~args:[ ("len", string_of_int len) ]
+            ~args:[ ("len", string_of_int len); ("q", string_of_int q.qid) ]
       | None -> ());
       if Ring.push_requests_and_check_notify q.tx_ring then notify_backend t q
     end

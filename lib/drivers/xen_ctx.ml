@@ -18,6 +18,7 @@ type t = {
   mutable metrics : Kite_metrics.Registry.t option;
   mutable race : Kite_race.Race.t option;
   mutable flight : Kite_flight.Flight.t option;
+  mutable path : Kite_path.Path.t option;
 }
 
 let create hv =
@@ -34,6 +35,7 @@ let create hv =
     metrics = None;
     race = None;
     flight = None;
+    path = None;
   }
 
 let enable_check t c =
@@ -97,3 +99,10 @@ let enable_flight t fl =
      Scenario.attach_flight); the context only carries the handle so the
      toolstack's crash/restart paths can feed the trigger framework. *)
   t.flight <- Some fl
+
+let enable_path t p =
+  t.path <- Some p;
+  (* Covers the scheduler's current-process stack and the hypervisor's
+     occupancy attribution (see Hypervisor.set_path); the span tap is
+     installed by Scenario.attach_path after the tracer is attached. *)
+  Hypervisor.set_path t.hv (Some p)

@@ -13,6 +13,7 @@ type t = {
   mutable metrics : Kite_metrics.Registry.t option;
   mutable race : Kite_race.Race.t option;
   mutable flight : Kite_flight.Flight.t option;
+  mutable path : Kite_path.Path.t option;
 }
 
 val create : Kite_xen.Hypervisor.t -> t
@@ -53,3 +54,10 @@ val enable_flight : t -> Kite_flight.Flight.t -> unit
 (** Carry a flight recorder on this machine so the toolstack's
     crash/restart paths can feed its trigger framework.  The recorder's
     layer taps are installed by [Scenario.attach_flight], not here. *)
+
+val enable_path : t -> Kite_path.Path.t -> unit
+(** Wire a critical-path attribution engine into this machine: the
+    scheduler's current-process stack and the hypervisor's per-domain
+    per-process CPU attribution (the continuous profiler).  The span tap
+    is installed by [Scenario.attach_path] once the tracer is
+    attached. *)

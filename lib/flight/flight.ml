@@ -49,6 +49,7 @@ type incident = {
   inc_metrics_base : (string * (string * string) list * float) list;
   mutable inc_delta : (string * (string * string) list * float * float) list;
   inc_store : (string * string) list;  (* (path, value) at trigger *)
+  inc_waterfall : string list;  (* path-attribution waterfall at trigger *)
   mutable inc_slos : Slo.eval list;  (* evaluated at seal *)
 }
 
@@ -65,6 +66,7 @@ type t = {
   mutable nincidents : int;
   mutable open_inc : incident option;
   mutable reg : Registry.t option;
+  mutable path : Kite_path.Path.t option;
   mutable store_src : unit -> (string * string) list;
   mutable slos_rev : Slo.t list;
   mutable slo_evals : Slo.eval list;  (* from the last seal_all *)
@@ -85,6 +87,7 @@ let create ?(limit = 4096) ?(post_limit = 512) ?(name = "flight") ~now () =
     nincidents = 0;
     open_inc = None;
     reg = None;
+    path = None;
     store_src = (fun () -> []);
     slos_rev = [];
     slo_evals = [];
@@ -151,6 +154,10 @@ let trigger t tr ~reason =
           inc_metrics_base = metrics_read t;
           inc_delta = [];
           inc_store = t.store_src ();
+          inc_waterfall =
+            (match t.path with
+            | Some p -> Kite_path.Path.waterfall_lines p
+            | None -> []);
           inc_slos = [];
         }
       in
@@ -219,6 +226,7 @@ let incident_timeline i = i.inc_pre @ List.rev i.inc_post_rev
 let incident_truncated i = i.inc_post_dropped
 let incident_delta i = i.inc_delta
 let incident_store i = i.inc_store
+let incident_waterfall i = i.inc_waterfall
 let incident_slos i = i.inc_slos
 
 (* ------------------------------------------------------------------ *)
@@ -263,6 +271,18 @@ let tap_fault t f =
 
 let tap_metrics t r =
   t.reg <- Some r;
+  Registry.counter_fn r "kite_flight_dropped_total"
+    [ ("flight", t.fname) ]
+    (fun () -> t.dropped);
+  Registry.probe r ~name:"kite_flight_dropping"
+    [ ("flight", t.fname) ]
+    (fun () ->
+      match t.open_inc with
+      | Some inc when inc.inc_post_dropped > 0 ->
+          Registry.Alert
+            (Printf.sprintf "%d post-trigger record(s) lost in open incident"
+               inc.inc_post_dropped)
+      | _ -> Registry.Healthy);
   Registry.set_alert_observer r
     (Some
        (fun a ->
@@ -276,6 +296,8 @@ let tap_metrics t r =
            };
          trigger t Alert_edge
            ~reason:(a.Registry.alert_probe ^ ": " ^ a.Registry.alert_msg)))
+
+let tap_path t p = t.path <- Some p
 
 let tap_report t rep =
   Report.set_observer rep
@@ -401,12 +423,18 @@ let incident_to_json inc =
          inc.inc_store)
   in
   let slos = String.concat "," (List.map Slo.eval_to_json inc.inc_slos) in
+  let waterfall =
+    String.concat ","
+      (List.map
+         (fun l -> Printf.sprintf {|"%s"|} (json_escape l))
+         inc.inc_waterfall)
+  in
   Printf.sprintf
-    {|{"seq":%d,"at":%d,"trigger":"%s","reason":"%s","open":%b,"sealed_at":%d,"truncated":%d,"timeline":[%s],"metrics_delta":[%s],"xenstore":[%s],"slos":[%s]}|}
+    {|{"seq":%d,"at":%d,"trigger":"%s","reason":"%s","open":%b,"sealed_at":%d,"truncated":%d,"timeline":[%s],"metrics_delta":[%s],"xenstore":[%s],"waterfall":[%s],"slos":[%s]}|}
     inc.inc_seq inc.inc_at
     (trigger_name inc.inc_trigger)
     (json_escape inc.inc_reason) inc.inc_open inc.inc_sealed_at
-    inc.inc_post_dropped timeline delta store slos
+    inc.inc_post_dropped timeline delta store waterfall slos
 
 let to_json ts =
   let one t =

@@ -126,6 +126,11 @@ val incident_delta : incident -> (string * (string * string) list * float * floa
 val incident_store : incident -> (string * string) list
 (** The captured xenstore subtree as (path, value) rows. *)
 
+val incident_waterfall : incident -> string list
+(** The critical-path latency waterfall captured at trigger time, one
+    rendered line per (kind, stage) — empty unless {!tap_path} armed a
+    path attribution engine before the trigger fired. *)
+
 val incident_slos : incident -> Slo.eval list
 (** SLO verdicts computed when the incident was sealed. *)
 
@@ -152,7 +157,14 @@ val tap_fault : t -> Kite_fault.Fault.t -> unit
 val tap_metrics : t -> Kite_metrics.Registry.t -> unit
 (** Alert edges become ["metrics"/"alert"] records {e and} fire the
     {!Alert_edge} trigger.  Also makes the registry the source for
-    incident metrics deltas. *)
+    incident metrics deltas, exports [kite_flight_dropped_total]
+    (ring-buffer overwrites — expected to grow on long runs) and a
+    [kite_flight_dropping] probe that alerts only on post-trigger
+    record loss inside the open incident (the actual defect). *)
+
+val tap_path : t -> Kite_path.Path.t -> unit
+(** Snapshot [p]'s latency waterfall into every future incident at
+    trigger time (see {!incident_waterfall}). *)
 
 val tap_report : t -> Kite_check.Report.t -> unit
 (** Checker findings become ["check"/<severity>] records; an [Error]

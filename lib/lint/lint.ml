@@ -12,13 +12,14 @@ type config = {
 
 let default_config =
   {
-    policed_modules = [ "Check"; "Trace"; "Fault"; "Race"; "Registry"; "Flight" ];
+    policed_modules =
+      [ "Check"; "Trace"; "Fault"; "Race"; "Registry"; "Flight"; "Path" ];
     (* The detector implementations call their own internals freely;
        linting them for guards would be circular. *)
     skip_basenames =
       [
         "check.ml"; "report.ml"; "trace.ml"; "fault.ml"; "race.ml";
-        "registry.ml"; "flight.ml"; "slo.ml"; "lint.ml";
+        "registry.ml"; "flight.ml"; "slo.ml"; "path.ml"; "lint.ml";
       ];
   }
 
@@ -49,6 +50,8 @@ let policed_functions =
     "observe"; "sample";
     (* Kite_flight.Flight *)
     "record"; "mark"; "crash"; "restart";
+    (* Kite_path.Path — proc_enter/proc_leave are shared with Check above *)
+    "cpu_sample"; "record_span";
   ]
 
 let policed_fn_tbl = Hashtbl.create 64

@@ -19,7 +19,8 @@
 type config = {
   policed_modules : string list;
       (** Last module component of hook call paths to police
-          (default ["Check"; "Trace"; "Fault"; "Race"; "Registry"]). *)
+          (default ["Check"; "Trace"; "Fault"; "Race"; "Registry";
+          "Flight"; "Path"]). *)
   skip_basenames : string list;
       (** Files excluded from the hook-guard rule — the detector
           implementations themselves. *)

@@ -4,6 +4,7 @@ type sched = {
   mutable check : Kite_check.Check.t option;
   mutable trace : Kite_trace.Trace.t option;
   mutable race : Kite_race.Race.t option;
+  mutable path : Kite_path.Path.t option;
 }
 
 exception Process_failure of string * exn
@@ -16,13 +17,14 @@ type _ Effect.t +=
       -> unit Effect.t
 
 let scheduler engine =
-  { engine; live = 0; check = None; trace = None; race = None }
+  { engine; live = 0; check = None; trace = None; race = None; path = None }
 
 let engine t = t.engine
 let live t = t.live
 let set_check t c = t.check <- c
 let set_trace t tr = t.trace <- tr
 let set_race t r = t.race <- r
+let set_path t p = t.path <- p
 
 let sleep span = Effect.perform (Sleep span)
 let yield () = Effect.perform Yield
@@ -86,9 +88,9 @@ let spawn t ?(daemon = false) ~name body =
   (* Wrap every engine-queue (re-)entry of the process so the observers
      know which process events are attributed to. *)
   let step f () =
-    match (t.check, t.trace, t.race) with
-    | None, None, None -> f ()
-    | check, trace, race ->
+    match (t.check, t.trace, t.race, t.path) with
+    | None, None, None, None -> f ()
+    | check, trace, race, path ->
         (match check with
         | Some c -> Kite_check.Check.proc_enter c (check_pid c)
         | None -> ());
@@ -98,8 +100,14 @@ let spawn t ?(daemon = false) ~name body =
         (match race with
         | Some r -> Kite_race.Race.proc_enter r (race_pid r)
         | None -> ());
+        (match path with
+        | Some p -> Kite_path.Path.proc_enter p ~name
+        | None -> ());
         Fun.protect
           ~finally:(fun () ->
+            (match path with
+            | Some p -> Kite_path.Path.proc_leave p
+            | None -> ());
             (match race with
             | Some r -> Kite_race.Race.proc_leave r
             | None -> ());

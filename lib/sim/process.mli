@@ -39,6 +39,13 @@ val set_race : sched -> Kite_race.Race.t option -> unit
     the detector while running.  Same dynamic-attach semantics as
     {!set_check}. *)
 
+val set_path : sched -> Kite_path.Path.t option -> unit
+(** Attach (or detach) a critical-path attribution engine.  Processes
+    push their name onto its current-process stack on every engine-queue
+    (re-)entry so the hypervisor's CPU occupancy charges are attributed
+    per domain per process (the continuous profiler).  Same
+    dynamic-attach semantics as {!set_check}. *)
+
 val spawn : sched -> ?daemon:bool -> name:string -> (unit -> unit) -> unit
 (** [spawn sched ~name body] starts a process at the current instant.
     [name] appears in the error raised if [body] raises.  [daemon]

@@ -70,6 +70,13 @@ type t = {
   (* Completed-span observer (the flight recorder's tap); [None] keeps
      span_end allocation-identical to the pre-observer shape. *)
   mutable span_obs : (span -> unit) option;
+  (* Additive observers (the path attribution tap): appended, never
+     clobbered by [set_span_observer], so layers compose. *)
+  mutable span_taps : (span -> unit) list;
+  (* Hops/ends that arrived for spans never begun (or already ended):
+     lost attribution, counted instead of silently vanishing. *)
+  mutable orphan_hops : int;
+  mutable orphan_ends : int;
 }
 
 let create ?(limit = 1_000_000) ?(name = "trace") () =
@@ -91,6 +98,9 @@ let create ?(limit = 1_000_000) ?(name = "trace") () =
     done_spans = [];
     done_count = 0;
     span_obs = None;
+    span_taps = [];
+    orphan_hops = 0;
+    orphan_ends = 0;
   }
 
 let name t = t.tname
@@ -325,12 +335,12 @@ let span_begin t ~at ~kind ~key ~id ~stage =
 let span_hop t ~at ~kind ~key ~id ~stage ~args =
   match Hashtbl.find_opt t.open_tbl (span_tbl_key ~kind ~key ~id) with
   | Some os -> os.os_marks <- (stage, at, args) :: os.os_marks
-  | None -> ()
+  | None -> t.orphan_hops <- t.orphan_hops + 1
 
 let span_end t ~at ~kind ~key ~id =
   let k = span_tbl_key ~kind ~key ~id in
   match Hashtbl.find_opt t.open_tbl k with
-  | None -> ()
+  | None -> t.orphan_ends <- t.orphan_ends + 1
   | Some os ->
       Hashtbl.remove t.open_tbl k;
       (* Close the marks into consecutive intervals; also render them as
@@ -359,11 +369,15 @@ let span_end t ~at ~kind ~key ~id =
       in
       t.done_spans <- sp :: t.done_spans;
       t.done_count <- t.done_count + 1;
-      (match t.span_obs with None -> () | Some f -> f sp)
+      (match t.span_obs with None -> () | Some f -> f sp);
+      (match t.span_taps with [] -> () | taps -> List.iter (fun f -> f sp) taps)
 
 let spans t = List.rev t.done_spans
 let open_spans t = Hashtbl.length t.open_tbl
 let set_span_observer t obs = t.span_obs <- obs
+let add_span_observer t f = t.span_taps <- t.span_taps @ [ f ]
+let orphan_hops t = t.orphan_hops
+let orphan_ends t = t.orphan_ends
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace-event JSON                                             *)

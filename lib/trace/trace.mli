@@ -133,10 +133,14 @@ val span_begin :
 val span_hop :
   t -> at:int -> kind:string -> key:string -> id:int -> stage:string ->
   args:(string * string) list -> unit
-(** Unknown spans are ignored (the request began before tracing was
-    enabled). *)
+(** A hop for an unknown span (the request began before tracing was
+    enabled, or the id never had a {!span_begin} — e.g. a byzantine
+    frontend writing the ring directly) is dropped but counted in
+    {!orphan_hops}: lost attribution is visible, not silent. *)
 
 val span_end : t -> at:int -> kind:string -> key:string -> id:int -> unit
+(** An end for an unknown span is dropped but counted in
+    {!orphan_ends}, like {!span_hop}. *)
 
 type span = {
   span_kind : string;
@@ -155,11 +159,26 @@ val spans : t -> span list
 val open_spans : t -> int
 (** Requests still in flight (began but not ended). *)
 
+val orphan_hops : t -> int
+(** Hops that arrived for spans never begun (or already ended) and were
+    dropped.  Scenario teardown reports a non-zero count as a
+    [span-orphaned] checker warning. *)
+
+val orphan_ends : t -> int
+(** Ends that arrived for unknown spans, counted like {!orphan_hops}. *)
+
 val set_span_observer : t -> (span -> unit) option -> unit
-(** Install (or clear) a completed-span observer, called from
-    {!span_end} after the span is recorded.  At most one observer per
-    tracer; the flight recorder is the intended client.  [None] (the
-    default) keeps [span_end] on its pre-observer path. *)
+(** Install (or clear) the {e primary} completed-span observer, called
+    from {!span_end} after the span is recorded.  At most one primary
+    observer per tracer; the flight recorder is the intended client.
+    [None] (the default) keeps [span_end] on its pre-observer path. *)
+
+val add_span_observer : t -> (span -> unit) -> unit
+(** Append an {e additive} completed-span observer.  Additive observers
+    run after the primary one and are never replaced by
+    {!set_span_observer}, so independent layers (the path attribution
+    engine, the flight recorder) compose on one tracer.  They live as
+    long as the tracer. *)
 
 (** {1 Exporters} *)
 

@@ -11,6 +11,7 @@ type t = {
   mutable next_domid : int;
   mutable trace : Kite_trace.Trace.t option;
   mutable mreg : Kite_metrics.Registry.t option;
+  mutable path : Kite_path.Path.t option;
   (* Per-domain per-vCPU occupancy cursors: concurrent work contends for
      the domain's vCPUs. *)
   cpu_free_at : (int, Time.t array) Hashtbl.t;
@@ -32,6 +33,7 @@ let create ?(costs = Costs.default) ?(seed = 1) ?schedule_seed () =
     next_domid = 1;
     trace = None;
     mreg = None;
+    path = None;
     cpu_free_at = Hashtbl.create 8;
   }
 
@@ -47,6 +49,13 @@ let trace t = t.trace
 let set_trace t tr =
   t.trace <- tr;
   Process.set_trace t.sched tr
+
+(* The continuous profiler: every occupancy charge is attributed to the
+   domain and (through the scheduler's current-process stack) the
+   process that paid it. *)
+let set_path t p =
+  t.path <- p;
+  Process.set_path t.sched p
 
 (* A domain's vCPU busy time already accumulates in [Metrics.add_busy]
    (see [occupy]); the registry just reads it back on each sampling
@@ -104,6 +113,9 @@ let spawn t dom ?daemon ~name body =
    never CPU-bound in these experiments). *)
 let occupy t dom span =
   Metrics.add_busy t.metrics ("vcpu." ^ dom.Domain.name) span;
+  (match t.path with
+  | Some p -> Kite_path.Path.cpu_sample p ~domain:dom.Domain.name ~cost:span
+  | None -> ());
   if span > 0 then begin
     let cursors =
       match Hashtbl.find_opt t.cpu_free_at dom.Domain.id with

@@ -35,6 +35,14 @@ val trace : t -> Kite_trace.Trace.t option
 (** The currently attached tracer, for layers that hook their own
     events (event channels, rings, drivers). *)
 
+val set_path : t -> Kite_path.Path.t option -> unit
+(** Attach (or detach) a critical-path attribution engine: every vCPU
+    occupancy charge is attributed per domain per process (the
+    continuous profiler), and the scheduler's engine reference is set so
+    processes maintain the current-process stack (see
+    {!Kite_sim.Process.set_path}).  [None] (the default) restores the
+    uninstrumented behaviour. *)
+
 val set_metrics : t -> Kite_metrics.Registry.t option -> unit
 (** Attach (or detach) a metric registry for this machine.  Registers
     polled scheduler gauges (live processes, engine queue depth) and a

@@ -20,5 +20,6 @@ let () =
       ("mq", Test_mq.suite);
       ("race", Test_race.suite);
       ("flight", Test_flight.suite);
+      ("path", Test_path.suite);
       ("adversary", Test_adversary.suite);
     ]

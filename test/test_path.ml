@@ -1,0 +1,251 @@
+(* kite_path: stage classification, span decomposition arithmetic, the
+   CPU profiler's attribution stack, and the partition invariant — the
+   per-stage totals of every kind must sum to its end-to-end span total
+   — held under multi-queue dataplanes and driver-domain crash/restart,
+   swept across ten seeds. *)
+
+open Kite_sim
+open Kite
+module Path = Kite_path.Path
+module Trace = Kite_trace.Trace
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_classify () =
+  let cls kind stage = Path.class_name (Path.classify ~kind ~stage) in
+  (* The queueing stages: waiting for capacity. *)
+  check_bool "queue is queueing" true (cls "net.tx" "queue" = "queueing");
+  check_bool "ring is queueing" true (cls "blk" "ring" = "queueing");
+  (* The notification wait: a completion parked until the evtchn fires. *)
+  check_bool "complete is notify" true (cls "blk" "complete" = "notify");
+  (* Everything else is work done on the request's behalf. *)
+  List.iter
+    (fun st -> check_bool (st ^ " is service") true (cls "blk" st = "service"))
+    [ "frontend"; "backend"; "map"; "device"; "deliver"; "whatever" ]
+
+(* ------------------------------------------------------------------ *)
+(* Span decomposition on a hand-built tracer                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_decomposition () =
+  let tr = Trace.create ~name:"unit" () in
+  let p = Path.create ~name:"unit" () in
+  Path.tap_trace p tr;
+  (* Two spans of the same kind on distinct devices: stages 100 + 300 +
+     600 = 1000 ns each, known classes. *)
+  List.iter
+    (fun (key, id) ->
+      Trace.span_begin tr ~at:0 ~kind:"k" ~key ~id ~stage:"frontend";
+      Trace.span_hop tr ~at:100 ~kind:"k" ~key ~id ~stage:"queue" ~args:[];
+      Trace.span_hop tr ~at:400 ~kind:"k" ~key ~id ~stage:"complete" ~args:[];
+      Trace.span_end tr ~at:1000 ~kind:"k" ~key ~id)
+    [ ("dev0", 1); ("dev1", 2) ];
+  check_int "spans seen" 2 (Path.spans_seen p);
+  check_int "kind count" 2 (Path.span_count p ~kind:"k");
+  check_int "end-to-end total" 2000 (Path.span_total_ns p ~kind:"k");
+  (* Stage totals partition the end-to-end total exactly. *)
+  let stats = List.filter (fun s -> s.Path.st_kind = "k") (Path.stage_stats p) in
+  check_int "three stages" 3 (List.length stats);
+  check_int "stage sum = span total" 2000
+    (List.fold_left (fun a s -> a + s.Path.st_total_ns) 0 stats);
+  (* And so do the class totals. *)
+  check_int "service ns" 200 (Path.class_total_ns p ~kind:"k" Path.Service);
+  check_int "queueing ns" 600 (Path.class_total_ns p ~kind:"k" Path.Queueing);
+  check_int "notify ns" 1200 (Path.class_total_ns p ~kind:"k" Path.Notify);
+  (* Per-device attribution splits the same total by key. *)
+  (match Path.devices p with
+  | [ ("k", "dev0", 1, 1000); ("k", "dev1", 1, 1000) ] -> ()
+  | ds -> Alcotest.failf "unexpected device rows (%d)" (List.length ds));
+  (* The incident-snapshot rendering mentions every stage and a TOTAL. *)
+  let lines = Path.waterfall_lines p in
+  check_bool "waterfall non-empty" true (lines <> []);
+  let mentions needle =
+    List.exists
+      (fun line ->
+        let nh = String.length line and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub line i nn = needle || go (i + 1))
+        in
+        go 0)
+      lines
+  in
+  List.iter
+    (fun needle -> check_bool ("waterfall mentions " ^ needle) true (mentions needle))
+    [ "k"; "frontend"; "queue"; "complete"; "TOTAL" ]
+
+(* ------------------------------------------------------------------ *)
+(* CPU profiler attribution stack                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_cpu_profiler () =
+  let p = Path.create () in
+  (* Outside any process: charged to the interrupt bucket. *)
+  Path.cpu_sample p ~domain:"dom" ~cost:5;
+  Path.proc_enter p ~name:"dom/worker";
+  Path.cpu_sample p ~domain:"dom" ~cost:40;
+  (* Nested entry wins until it leaves. *)
+  Path.proc_enter p ~name:"dom/helper";
+  Path.cpu_sample p ~domain:"dom" ~cost:10;
+  Path.proc_leave p;
+  Path.cpu_sample p ~domain:"dom" ~cost:20;
+  Path.proc_leave p;
+  check_int "total busy" 75 (Path.cpu_total_ns p);
+  let busy proc =
+    match
+      List.find_opt (fun (d, pr, _) -> d = "dom" && pr = proc) (Path.profile p)
+    with
+    | Some (_, _, b) -> b
+    | None -> 0
+  in
+  (* The "Domain/" prefix is stripped: the hypervisor supplies the
+     domain separately, so only the thread part is kept. *)
+  check_int "worker busy" 60 (busy "worker");
+  check_int "helper busy" 10 (busy "helper");
+  check_int "interrupt busy" 5 (busy "(interrupt)");
+  (* Busiest first. *)
+  match Path.profile p with
+  | (_, first, _) :: _ -> check_bool "sorted" true (first = "worker")
+  | [] -> Alcotest.fail "empty profile"
+
+(* ------------------------------------------------------------------ *)
+(* Partition invariant under multi-queue and crash/restart, 10 seeds   *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-stage totals must sum to the kind's end-to-end total within 1% —
+   the same acceptance bar the latency-waterfall experiment enforces. *)
+let assert_partition p ~ctx =
+  let stats = Path.stage_stats p in
+  let kinds =
+    List.fold_left
+      (fun acc s -> if List.mem s.Path.st_kind acc then acc else s.Path.st_kind :: acc)
+      [] stats
+  in
+  check_bool (ctx ^ ": spans observed") true (Path.spans_seen p > 0);
+  List.iter
+    (fun kind ->
+      let span_total = Path.span_total_ns p ~kind in
+      let stage_sum =
+        List.fold_left
+          (fun a s -> if s.Path.st_kind = kind then a + s.Path.st_total_ns else a)
+          0 stats
+      in
+      let delta =
+        abs_float (float_of_int (stage_sum - span_total))
+        /. float_of_int (max 1 span_total)
+      in
+      if delta > 0.01 then
+        Alcotest.failf "%s: %s stage sum %d vs span total %d (%.2f%% off)" ctx
+          kind stage_sum span_total (100. *. delta);
+      (* Class totals are a coarsening of the same partition. *)
+      let cls_sum =
+        Path.class_total_ns p ~kind Path.Queueing
+        + Path.class_total_ns p ~kind Path.Service
+        + Path.class_total_ns p ~kind Path.Notify
+      in
+      check_int (ctx ^ ": class totals partition " ^ kind) stage_sum cls_sum)
+    kinds
+
+let with_sinks f =
+  let tsink = Trace.sink () and psink = Path.sink () in
+  Trace.set_default (Some tsink);
+  Path.set_default (Some psink);
+  Fun.protect
+    ~finally:(fun () ->
+      Scenario.teardown_all ();
+      Path.set_default None;
+      Trace.set_default None)
+    (fun () -> f ());
+  psink
+
+let storage_sweep ~seed ~num_queues ~crash () =
+  let ctx =
+    Printf.sprintf "blk seed=%d queues=%d crash=%b" seed num_queues crash
+  in
+  let psink =
+    with_sinks (fun () ->
+        let s = Scenario.storage ~flavor:Scenario.Kite ~seed ~num_queues () in
+        Scenario.when_blk_ready s (fun () ->
+            if crash then
+              Scenario.crash_and_restart_blk s ~flavor:Scenario.Kite
+                ~at:(Time.ms 2) ();
+            let front = s.Scenario.blkfront in
+            for k = 0 to 31 do
+              let data = Bytes.make Kite_drivers.Blkfront.sector_size 'p' in
+              Kite_drivers.Blkfront.write front ~sector:k data
+            done);
+        Kite_xen.Hypervisor.run_for s.Scenario.bhv (Time.sec 7200))
+  in
+  match Path.paths psink with
+  | [ p ] ->
+      assert_partition p ~ctx;
+      check_int (ctx ^ ": one blk span per write") 32 (Path.span_count p ~kind:"blk");
+      (* The scheduler sampler attributed the run's simulated CPU. *)
+      check_bool (ctx ^ ": cpu profiled") true (Path.cpu_total_ns p > 0);
+      check_bool (ctx ^ ": profile names processes") true
+        (List.exists (fun (_, pr, b) -> pr <> "(interrupt)" && b > 0) (Path.profile p))
+  | ps -> Alcotest.failf "%s: expected 1 engine, got %d" ctx (List.length ps)
+
+let network_sweep ~seed ~num_queues () =
+  let ctx = Printf.sprintf "net seed=%d queues=%d" seed num_queues in
+  let psink =
+    with_sinks (fun () ->
+        let s = Scenario.network ~flavor:Scenario.Kite ~seed ~num_queues () in
+        Scenario.when_net_ready s (fun () ->
+            for seq = 1 to 8 do
+              ignore
+                (Kite_net.Stack.ping s.Scenario.client_stack
+                   ~dst:s.Scenario.guest_ip ~seq ())
+            done);
+        Kite_xen.Hypervisor.run_for s.Scenario.hv (Time.sec 5))
+  in
+  match Path.paths psink with
+  | [ p ] ->
+      assert_partition p ~ctx;
+      check_bool (ctx ^ ": net.tx spans decomposed") true
+        (Path.span_count p ~kind:"net.tx" > 0)
+  | ps -> Alcotest.failf "%s: expected 1 engine, got %d" ctx (List.length ps)
+
+let test_partition_sweep () =
+  (* Ten seeds, rotating queue counts, crash/restart on the odd seeds. *)
+  for seed = 1 to 10 do
+    let num_queues = [| 1; 2; 4 |].(seed mod 3) in
+    storage_sweep ~seed ~num_queues ~crash:(seed mod 2 = 1) ()
+  done;
+  network_sweep ~seed:1 ~num_queues:1 ();
+  network_sweep ~seed:2 ~num_queues:4 ()
+
+(* ------------------------------------------------------------------ *)
+(* JSON export                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_export () =
+  let tr = Trace.create () in
+  let p = Path.create ~name:"j" () in
+  Path.tap_trace p tr;
+  Trace.span_begin tr ~at:0 ~kind:"k" ~key:"d" ~id:1 ~stage:"frontend";
+  Trace.span_end tr ~at:10 ~kind:"k" ~key:"d" ~id:1;
+  Path.cpu_sample p ~domain:"dom" ~cost:3;
+  let json = Path.to_json [ p ] in
+  check_bool "json is an array" true
+    (String.length json > 0 && json.[0] = '[');
+  (* Balanced braces — a cheap well-formedness smoke. *)
+  let depth = ref 0 in
+  String.iter
+    (fun c -> if c = '{' || c = '[' then incr depth
+      else if c = '}' || c = ']' then decr depth)
+    json;
+  check_int "balanced brackets" 0 !depth
+
+let suite =
+  [
+    ("stage classification", `Quick, test_classify);
+    ("span decomposition", `Quick, test_span_decomposition);
+    ("cpu profiler stack", `Quick, test_cpu_profiler);
+    ("partition invariant sweep", `Quick, test_partition_sweep);
+    ("json export", `Quick, test_json_export);
+  ]

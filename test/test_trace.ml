@@ -184,10 +184,15 @@ let test_span_accounting () =
         sp.Trace.span_stages
   | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans));
   assert_spans_well_formed tr;
-  (* Hops and ends for unknown spans are ignored, not fatal. *)
+  (* Hops and ends for unknown spans are ignored, not fatal — but they
+     are counted so the checker can surface instrumentation bugs. *)
+  check_int "no orphan hops yet" 0 (Trace.orphan_hops tr);
+  check_int "no orphan ends yet" 0 (Trace.orphan_ends tr);
   Trace.span_hop tr ~at:1 ~kind:"k" ~key:"zzz" ~id:9 ~stage:"s" ~args:[];
   Trace.span_end tr ~at:2 ~kind:"k" ~key:"zzz" ~id:9;
-  check_int "still one span" 1 (List.length (Trace.spans tr))
+  check_int "still one span" 1 (List.length (Trace.spans tr));
+  check_int "orphan hop counted" 1 (Trace.orphan_hops tr);
+  check_int "orphan end counted" 1 (Trace.orphan_ends tr)
 
 let test_buffer_limit () =
   let tr = Trace.create ~limit:10 ~name:"tiny" () in
@@ -231,13 +236,14 @@ let test_network_scenario_traced () =
       check_bool "net.tx spans completed" true
         (List.exists (fun sp -> sp.Trace.span_kind = "net.tx") spans);
       assert_spans_well_formed tr;
-      (* Every net.tx span visits frontend -> ring -> backend. *)
+      (* Every net.tx span visits frontend -> queue -> ring -> backend
+         -> deliver. *)
       List.iter
         (fun sp ->
           if sp.Trace.span_kind = "net.tx" then
             Alcotest.(check (list string))
               "net.tx stage sequence"
-              [ "frontend"; "ring"; "backend" ]
+              [ "frontend"; "queue"; "ring"; "backend"; "deliver" ]
               (List.map (fun (st, _, _) -> st) sp.Trace.span_stages))
         spans;
       (* The Chrome export parses and is non-empty. *)
@@ -271,7 +277,8 @@ let test_storage_scenario_traced () =
           if sp.Trace.span_kind = "blk" then
             Alcotest.(check (list string))
               "blk stage sequence"
-              [ "frontend"; "ring"; "backend"; "device"; "complete" ]
+              [ "frontend"; "queue"; "ring"; "backend"; "map"; "device";
+                "complete" ]
               (List.map (fun (st, _, _) -> st) sp.Trace.span_stages))
         spans;
       let json = Trace.to_chrome_json [ tr ] in
