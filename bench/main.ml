@@ -13,6 +13,7 @@
      dune exec bench/main.exe -- --flight-overhead  # armed flight recorder, wall clock
      dune exec bench/main.exe -- --path-overhead    # armed path attribution, wall clock
      dune exec bench/main.exe -- --adversary-overhead # honest-path validation cost
+     dune exec bench/main.exe -- --swarm-overhead   # swarm harness vs plain open loop
      dune exec bench/main.exe -- --gates            # every overhead gate in sequence *)
 
 let list_experiments () =
@@ -717,8 +718,130 @@ let adversary_overhead () =
   print_endline
     "OK: honest-path validation within 1.1x of the pre-hardening path"
 
+(* Swarm-harness gate: the population generator (profile draws, session
+   bookkeeping, latency histogram, SLO windows) layered on Openloop must
+   cost < 1.1x the plain Openloop path when its extras are disabled —
+   churn off (single-request sessions), no think time, no slow clients,
+   no modulation, no impairments.  Both sides fire the identical
+   blkfront write through the split-driver storage path; the delta
+   isolates the swarm machinery. *)
+let swarm_overhead ~quick () =
+  print_endline "== swarm harness overhead vs plain open loop ==";
+  let module Swarm = Kite_swarm.Swarm in
+  let module Profile = Kite_swarm.Profile in
+  let n = if quick then 1_500 else 15_000 in
+  let rate = 5_000. in
+  let blk_data seq =
+    Bytes.make
+      (8 * Kite_drivers.Blkfront.sector_size)
+      (Char.chr (Char.code 'a' + (seq mod 26)))
+  in
+  let with_storage body =
+    let s = Kite.Scenario.storage ~flavor:Kite.Scenario.Kite () in
+    Fun.protect
+      ~finally:(fun () -> Kite.Scenario.teardown_all ())
+      (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let completed = body s in
+        (completed, Unix.gettimeofday () -. t0))
+  in
+  let fire_write front seq =
+    Kite_drivers.Blkfront.write front
+      ~sector:(8 * (seq mod 1024))
+      (blk_data seq);
+    true
+  in
+  let run_openloop () =
+    with_storage (fun s ->
+        let done_ = ref None in
+        Kite.Scenario.when_blk_ready s (fun () ->
+            Kite_bench_tools.Openloop.run ~sched:s.Kite.Scenario.bsched ~rate
+              ~stop_after:n
+              ~duration:(Kite_sim.Time.sec 60)
+              ~fire:(fire_write s.Kite.Scenario.blkfront)
+              ~on_done:(fun r -> done_ := Some r)
+              ());
+        Kite_xen.Hypervisor.run_for s.Kite.Scenario.bhv (Kite_sim.Time.sec 120);
+        match !done_ with
+        | Some r -> r.Kite_bench_tools.Openloop.completed
+        | None -> failwith "swarm-overhead: open loop did not drain")
+  in
+  let plain_profile =
+    {
+      Profile.p_name = "plain";
+      arrivals = Profile.Poisson rate;
+      sizes = Profile.Fixed 4096;
+      requests_per_session = 1;
+      think = 0;
+      slow_fraction = 0.0;
+      slow_stretch = 1;
+      flash = [];
+      diurnal = None;
+    }
+  in
+  let run_swarm () =
+    with_storage (fun s ->
+        let done_ = ref None in
+        Kite.Scenario.when_blk_ready s (fun () ->
+            let seq = ref 0 in
+            let driver =
+              {
+                Swarm.d_app = "blk";
+                d_connect =
+                  (fun () ->
+                    Some
+                      {
+                        Swarm.c_request =
+                          (fun ~size:_ ~slow:_ ->
+                            incr seq;
+                            fire_write s.Kite.Scenario.blkfront !seq);
+                        c_close = (fun () -> ());
+                      });
+              }
+            in
+            Swarm.run ~sched:s.Kite.Scenario.bsched ~profile:plain_profile
+              ~clients:n ~driver
+              ~on_done:(fun r -> done_ := Some r)
+              ());
+        Kite_xen.Hypervisor.run_for s.Kite.Scenario.bhv (Kite_sim.Time.sec 120);
+        match !done_ with
+        | Some r -> r.Swarm.sw_completed
+        | None -> failwith "swarm-overhead: swarm did not drain")
+  in
+  ignore (run_swarm ());
+  (* warmed up; now interleave the variants and keep the minima *)
+  let base = ref infinity and armed = ref infinity in
+  let base_n = ref 0 and armed_n = ref 0 in
+  for _round = 1 to 3 do
+    let c, dt = run_openloop () in
+    if dt < !base then base := dt;
+    base_n := c;
+    let c, dt = run_swarm () in
+    if dt < !armed then armed := dt;
+    armed_n := c
+  done;
+  Printf.printf "  plain open loop: %8.3f s wall  (%d writes)\n" !base !base_n;
+  Printf.printf "  swarm harness:   %8.3f s wall  (%d writes)\n" !armed
+    !armed_n;
+  if !base_n <> n || !armed_n <> n then begin
+    Printf.printf
+      "FAIL: request counts diverged (open loop %d, swarm %d, wanted %d)\n"
+      !base_n !armed_n n;
+    exit 1
+  end;
+  let ratio = !armed /. !base in
+  Printf.printf "  swarm/plain wall ratio: %.2fx (gate: < 1.10x or < 50 ms)\n%!"
+    ratio;
+  if Float.is_nan ratio || (ratio >= 1.1 && !armed -. !base >= 0.05) then begin
+    print_endline
+      "FAIL: swarm harness costs more than 1.1x the plain open-loop path \
+       with impairments and churn disabled";
+    exit 1
+  end;
+  print_endline "OK: swarm harness within 1.1x of the plain open-loop path"
+
 (* Every overhead gate in sequence (the @gates alias): any failure exits
-   nonzero immediately, so a clean exit means all eight held. *)
+   nonzero immediately, so a clean exit means all nine held. *)
 let gates ~quick () =
   trace_overhead ();
   print_newline ();
@@ -735,7 +858,9 @@ let gates ~quick () =
   path_overhead ~quick ();
   print_newline ();
   adversary_overhead ();
-  print_endline "\nall eight overhead gates passed."
+  print_newline ();
+  swarm_overhead ~quick ();
+  print_endline "\nall nine overhead gates passed."
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -759,6 +884,7 @@ let () =
   else if List.mem "--flight-overhead" args then flight_overhead ~quick ()
   else if List.mem "--path-overhead" args then path_overhead ~quick ()
   else if List.mem "--adversary-overhead" args then adversary_overhead ()
+  else if List.mem "--swarm-overhead" args then swarm_overhead ~quick ()
   else if List.mem "--gates" args then gates ~quick ()
   else if micro then micro_tests ()
   else begin

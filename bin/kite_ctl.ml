@@ -976,6 +976,149 @@ let attack_cmd =
           must stay within its SLO with zero checker errors.")
     Term.(ret (const run $ seed_arg $ sweep_arg $ class_arg $ json_arg))
 
+(* ------------------------------------------------------------------ *)
+(* swarm                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let swarm_cmd =
+  let module Swarm = Kite_swarm.Swarm in
+  let clients_arg =
+    let doc = "Total simulated clients (sessions) to fire." in
+    Arg.(value & opt int 5_000 & info [ "clients" ] ~docv:"N" ~doc)
+  in
+  let profile_arg =
+    let doc =
+      Printf.sprintf "Traffic profile (one of %s)." Kite_swarm.Profile.names
+    in
+    Arg.(value & opt string "web" & info [ "profile" ] ~docv:"NAME" ~doc)
+  in
+  let app_arg =
+    let doc = "Server application: httpd, kvstore, memcache or sqldb." in
+    Arg.(value & opt string "httpd" & info [ "app" ] ~docv:"APP" ~doc)
+  in
+  let flavor_arg =
+    let doc = "Domain flavor: kite or linux." in
+    Arg.(value & opt string "kite" & info [ "flavor" ] ~docv:"FLAVOR" ~doc)
+  in
+  let impair_arg =
+    let doc =
+      "Seeded link impairments on the cable, e.g. \
+       $(b,loss=0.01,reorder=0.005,delay=200us,jitter=50us)."
+    in
+    Arg.(value & opt (some string) None & info [ "impair" ] ~docv:"SPEC" ~doc)
+  in
+  let seed_arg =
+    let doc = "Swarm seed (arrivals, session shapes, think timing)." in
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let rate_arg =
+    let doc = "Session arrival rate override (sessions/s)." in
+    Arg.(value & opt (some float) None & info [ "rate" ] ~docv:"R" ~doc)
+  in
+  let sweep_arg =
+    let doc = "Run campaigns for seeds 1..$(docv) instead of one seed." in
+    Arg.(value & opt (some int) None & info [ "sweep" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the campaign results as a JSON array." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run clients profile app flavor impair seed rate sweep json =
+    let flavor_v =
+      match String.lowercase_ascii flavor with
+      | "kite" -> Ok Kite.Scenario.Kite
+      | "linux" -> Ok Kite.Scenario.Linux
+      | f -> Error ("unknown flavor " ^ f)
+    in
+    let impair_v =
+      match impair with
+      | None -> Ok None
+      | Some s -> Result.map Option.some (Kite_net.Impair.spec_of_string s)
+    in
+    match (flavor_v, impair_v) with
+    | Error e, _ | _, Error e -> `Error (false, e)
+    | Ok flavor, Ok impair -> (
+        let report = Kite_check.Report.create () in
+        Kite_check.Check.set_default
+          (Some (Kite_check.Check.default_config, report));
+        let seeds =
+          match sweep with
+          | Some n -> List.init (max 1 n) (fun i -> i + 1)
+          | None -> [ seed ]
+        in
+        match
+          List.map
+            (fun seed ->
+              if not json then
+                Printf.printf "swarm: %d %s clients of %s traffic (seed %d)...\n%!"
+                  clients app profile seed;
+              let r =
+                Kite.Experiments.swarm_campaign ~flavor ~app ?impair ~profile
+                  ~clients ?rate ~seed ()
+              in
+              Kite.Scenario.teardown_all ();
+              r)
+            seeds
+        with
+        | exception (Invalid_argument e | Failure e) ->
+            Kite_check.Check.set_default None;
+            `Error (false, e)
+        | results ->
+            Kite_check.Check.set_default None;
+            if json then
+              print_string
+                ("["
+                ^ String.concat "," (List.map Swarm.result_to_json results)
+                ^ "]\n")
+            else begin
+              Kite_stats.Table.print (Kite.Swarm_report.campaign_table results);
+              Kite_check.Report.print report
+            end;
+            (* The asserted part: accounting must balance, no client may
+               vanish, and the checker must stay silent.  SLO misses only
+               fail the run on a clean link at the default rate — under
+               --impair or an overload --rate they are the measurement. *)
+            let broken =
+              List.filter
+                (fun (r : Swarm.result) ->
+                  r.Swarm.sw_clients < clients
+                  || r.Swarm.sw_completed + r.Swarm.sw_errors
+                     <> r.Swarm.sw_offered)
+                results
+            in
+            let slo_misses =
+              if impair = None && rate = None then
+                List.filter
+                  (fun (r : Swarm.result) ->
+                    List.exists
+                      (fun e -> not e.Kite_flight.Slo.ev_met)
+                      r.Swarm.sw_slos)
+                  results
+              else []
+            in
+            let errors = Kite_check.Report.errors report in
+            if broken <> [] || slo_misses <> [] || errors > 0 then begin
+              Printf.eprintf
+                "FAIL: %d campaign(s) broke accounting, %d missed SLOs, %d \
+                 checker error(s)\n"
+                (List.length broken) (List.length slo_misses) errors;
+              exit 1
+            end;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "swarm"
+       ~doc:
+         "Fire an open-loop population of simulated clients (heavy-tailed \
+          arrivals, connection churn, flash crowds, drip-feed slowloris, \
+          optional link impairments) at a server app through the full \
+          split-driver path, and report goodput, latency percentiles and \
+          SLO verdicts under a protocol checker.")
+    Term.(
+      ret
+        (const run $ clients_arg $ profile_arg $ app_arg $ flavor_arg
+       $ impair_arg $ seed_arg $ rate_arg $ sweep_arg $ json_arg))
+
 let () =
   let info =
     Cmd.info "kite_ctl" ~version:"1.0"
@@ -1002,4 +1145,5 @@ let () =
             flight_cmd;
             incident_cmd;
             attack_cmd;
+            swarm_cmd;
           ]))

@@ -1,0 +1,66 @@
+(** Client-side protocol drivers for the servers in this library.
+
+    The closed-loop bench tools (ab, memtier, ...) each embed their own
+    request loop; the swarm harness instead needs one request at a time
+    behind a uniform face, so it can mix apps, sizes and drip-feed
+    clients under a single traffic profile.  A {!session} is one live
+    connection; [request] issues one operation of roughly [size] bytes
+    and returns whether the server answered it correctly.
+
+    [slow] asks for a drip-feed write: the request bytes go out in
+    [drip_chunks] pieces, [drip_gap] apart — the slowloris shape that
+    ties up a server accept slot for seconds.  Servers must keep serving
+    everyone else while these dribble in. *)
+
+type session = {
+  request : size:int -> slow:bool -> bool;
+  close : unit -> unit;
+}
+
+val httpd :
+  Kite_net.Tcp.t ->
+  dst:Kite_net.Ipv4addr.t ->
+  ?port:int ->
+  ?drip_chunks:int ->
+  ?drip_gap:Kite_sim.Time.span ->
+  unit ->
+  session
+(** [GET /data/<size>] over one keep-alive connection; checks the body
+    arrives in full.  Defaults: port 80, 8 chunks, 2 ms. *)
+
+val kvstore :
+  Kite_net.Tcp.t ->
+  dst:Kite_net.Ipv4addr.t ->
+  ?port:int ->
+  ?drip_chunks:int ->
+  ?drip_gap:Kite_sim.Time.span ->
+  key:string ->
+  unit ->
+  session
+(** First request [SET key <size bytes>], subsequent ones [GET key];
+    checks replies parse and the value comes back.  Default port 6379. *)
+
+val memcache :
+  Kite_net.Tcp.t ->
+  dst:Kite_net.Ipv4addr.t ->
+  ?port:int ->
+  ?drip_chunks:int ->
+  ?drip_gap:Kite_sim.Time.span ->
+  key:string ->
+  unit ->
+  session
+(** [set]/[get] text protocol, same shape as {!kvstore}.  Default port
+    11211. *)
+
+val sqldb :
+  Kite_net.Tcp.t ->
+  dst:Kite_net.Ipv4addr.t ->
+  ?port:int ->
+  ?drip_chunks:int ->
+  ?drip_gap:Kite_sim.Time.span ->
+  table:int ->
+  row:int ->
+  unit ->
+  session
+(** Point selects ([PSELECT]) walking rows from [row]; [size] scales up
+    into [RANGE] scans for large requests.  Default port 3306. *)

@@ -1,13 +1,25 @@
-(** Open-loop load generator for the latency-waterfall experiment: fire
-    requests on a Poisson arrival process at a configurable offered rate,
-    independent of completions.  Unlike the closed-loop tools (ab,
-    memtier, ...), which wait for each response and therefore self-throttle
-    at saturation, an open-loop generator keeps offering load past the
-    service capacity — the regime where queueing delay overtakes service
-    time and the saturation knee appears.
+(** Open-loop load generator for the latency-waterfall and swarm
+    experiments: fire requests on a Poisson arrival process at a
+    configurable offered rate, independent of completions.  Unlike the
+    closed-loop tools (ab, memtier, ...), which wait for each response and
+    therefore self-throttle at saturation, an open-loop generator keeps
+    offering load past the service capacity — the regime where queueing
+    delay overtakes service time and the saturation knee appears.
 
     Optionally a burst of [burst] back-to-back arrivals is injected every
-    [burst_every] to probe transient queue buildup below the knee. *)
+    [burst_every] to probe transient queue buildup below the knee.
+
+    {2 Determinism contract}
+
+    The arrival instants are a pure function of the arrival stream
+    ([rng], or [Rng.create seed] when absent), [rate] and [duration] —
+    nothing else ever draws from that stream.  Bursts draw their phase
+    jitter from a separate stream ([burst_rng], defaulting to a stream
+    derived from [seed] alone), so enabling or disabling bursts, link
+    impairments, observability layers, or anything [fire] does cannot
+    shift the base arrival times under the same seed.  Callers that pass
+    an explicit [rng] and want reproducible bursts should pass
+    [burst_rng] too. *)
 
 type result = {
   offered : int;  (** arrivals fired *)
@@ -18,9 +30,13 @@ type result = {
 val run :
   sched:Kite_sim.Process.sched ->
   ?seed:int ->
-  rate:float ->
+  ?rng:Kite_sim.Rng.t ->
   ?burst:int ->
   ?burst_every:Kite_sim.Time.span ->
+  ?burst_rng:Kite_sim.Rng.t ->
+  ?gap:(Kite_sim.Rng.t -> at:Kite_sim.Time.span -> Kite_sim.Time.span) ->
+  ?stop_after:int ->
+  rate:float ->
   duration:Kite_sim.Time.span ->
   fire:(int -> bool) ->
   on_done:(result -> unit) ->
@@ -33,4 +49,15 @@ val run :
     own process calling [fire seq] — so a slow request never blocks the
     arrival process, which is the whole point.  [fire] returns whether
     the request completed.  [on_done] runs once every spawned request
-    has returned.  Defaults: [seed] 42, no bursts. *)
+    has returned.  Bursts, when enabled, run as their own process on the
+    lattice [t0 + k*burst_every] (phase-jittered up to 10% of the
+    period) and fire [burst] extra arrivals each.  Defaults: [seed] 42,
+    no bursts.
+
+    [gap], when given, replaces the exponential draw: it receives the
+    arrival stream and the offset since the generator started, and
+    returns the next inter-arrival gap — the hook the swarm harness uses
+    for heavy-tailed and time-modulated (diurnal / flash-crowd) traffic.
+    [stop_after] caps the number of base arrivals (bursts excluded);
+    generation stops at whichever of [duration] / [stop_after] comes
+    first. *)

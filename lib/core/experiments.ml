@@ -1843,6 +1843,218 @@ let latency_waterfall ~quick =
       ];
   }
 
+(* ------------------------------------------------------------------ *)
+(* Swarm: open-loop client populations with SLO-gated overload         *)
+(* ------------------------------------------------------------------ *)
+
+module Swarm = Kite_swarm.Swarm
+module Swarm_profile = Kite_swarm.Profile
+module Oracle = Kite_swarm.Oracle
+
+(* Start the app's server in the guest and hand back a session factory
+   the swarm driver calls once per arriving client.  Sessions are
+   numbered so key / row spaces spread across the population. *)
+let swarm_sessions (s : Scenario.net) app =
+  let sched = s.Scenario.sched in
+  let tcp = s.Scenario.guest_tcp in
+  let dst = s.Scenario.guest_ip in
+  let client = s.Scenario.client_tcp in
+  let seq = ref 0 in
+  match app with
+  | "httpd" ->
+      ignore (Kite_apps.Httpd.start tcp ~sched ());
+      fun () -> Kite_apps.Clients.httpd client ~dst ()
+  | "kvstore" ->
+      ignore (Kite_apps.Kvstore.start tcp ~sched ());
+      fun () ->
+        incr seq;
+        Kite_apps.Clients.kvstore client ~dst
+          ~key:(Printf.sprintf "sw%d" (!seq mod 4096))
+          ()
+  | "memcache" ->
+      ignore (Kite_apps.Memcache.start tcp ~sched ());
+      fun () ->
+        incr seq;
+        Kite_apps.Clients.memcache client ~dst
+          ~key:(Printf.sprintf "sw%d" (!seq mod 4096))
+          ()
+  | "sqldb" ->
+      ignore
+        (Kite_apps.Sqldb.start tcp ~backend:Kite_apps.Sqldb.Memory ~tables:4
+           ~rows_per_table:2048 ~sched ());
+      fun () ->
+        incr seq;
+        Kite_apps.Clients.sqldb client ~dst ~table:(!seq mod 4)
+          ~row:(!seq * 37) ()
+  | other ->
+      failwith
+        (Printf.sprintf "swarm: unknown app %S (have httpd,kvstore,memcache,sqldb)"
+           other)
+
+let swarm_driver (s : Scenario.net) app =
+  let mk = swarm_sessions s app in
+  {
+    Swarm.d_app = app;
+    d_connect =
+      (fun () ->
+        match mk () with
+        | sess ->
+            Some
+              {
+                Swarm.c_request =
+                  (fun ~size ~slow ->
+                    sess.Kite_apps.Clients.request ~size ~slow);
+                c_close = sess.Kite_apps.Clients.close;
+              }
+        | exception _ -> None);
+  }
+
+let swarm_run ~flavor ~app ~p ~clients ?rate ~seed ?impair () =
+  let s = Scenario.network ~flavor ~seed:(2022 + seed) ?impair () in
+  let done_ = ref None in
+  Scenario.when_net_ready s (fun () ->
+      let driver = swarm_driver s app in
+      Swarm.run ~sched:s.Scenario.sched ~seed ?rate ~profile:p ~clients
+        ~driver
+        ~on_done:(fun r -> done_ := Some r)
+        ());
+  drive s.Scenario.hv done_ ("swarm " ^ app)
+
+let swarm_campaign ?(flavor = Scenario.Kite) ?(app = "httpd") ?impair
+    ?(profile = "web") ?(clients = 5_000) ?rate ?(seed = 7) () =
+  match Swarm_profile.find profile with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "swarm: unknown profile %S (have %s)" profile
+           Swarm_profile.names)
+  | Some p -> swarm_run ~flavor ~app ~p ~clients ?rate ~seed ?impair ()
+
+(* Closed-loop capacity in requests/s: a fixed worker pool issuing
+   back-to-back requests over persistent sessions for a short window —
+   the service rate the open-loop sweep is calibrated against. *)
+let swarm_capacity ~flavor ~app ~quick =
+  let s = Scenario.network ~flavor () in
+  let done_ = ref None in
+  Scenario.when_net_ready s (fun () ->
+      let mk = swarm_sessions s app in
+      let engine = Process.engine s.Scenario.sched in
+      let window = if quick then Time.ms 20 else Time.ms 100 in
+      let workers = 16 in
+      let stop = ref false in
+      let completed = ref 0 in
+      let live = ref workers in
+      let t0 = Engine.now engine in
+      for _ = 1 to workers do
+        Process.spawn s.Scenario.sched ~name:"swarm-cap" (fun () ->
+            let sess = mk () in
+            while not !stop do
+              if sess.Kite_apps.Clients.request ~size:2048 ~slow:false then
+                incr completed
+            done;
+            sess.Kite_apps.Clients.close ();
+            decr live;
+            if !live = 0 then
+              done_ :=
+                Some
+                  (float_of_int !completed
+                  /. Time.to_sec_f (Engine.now engine - t0)))
+      done;
+      Process.spawn s.Scenario.sched ~name:"swarm-cap-stop" (fun () ->
+          Process.sleep window;
+          stop := true));
+  drive s.Scenario.hv done_ ("swarm capacity " ^ app)
+
+(* One profile for the whole sweep: modest keep-alive sessions, fixed
+   sizes, no modulation — the knee must come from the backend, not the
+   traffic shape. *)
+let swarm_sweep_profile =
+  {
+    (Option.get (Swarm_profile.find "steady")) with
+    Swarm_profile.sizes = Swarm_profile.Fixed 2048;
+  }
+
+let swarm_sweep ~flavor ~app ~quick ~capacity =
+  let clients = if quick then 600 else 3_000 in
+  let rps = swarm_sweep_profile.Swarm_profile.requests_per_session in
+  let step mult =
+    let session_rate = mult *. capacity /. float_of_int rps in
+    let r =
+      swarm_run ~flavor ~app ~p:swarm_sweep_profile ~clients
+        ~rate:session_rate ~seed:11 ()
+    in
+    {
+      Oracle.st_mult = mult;
+      st_offered_rps = mult *. capacity;
+      st_goodput_rps = r.Swarm.sw_goodput_rps;
+      st_p99_ms = r.Swarm.sw_p99_ms;
+      st_p999_ms = r.Swarm.sw_p999_ms;
+      st_errors = r.Swarm.sw_errors;
+    }
+  in
+  let steps = List.map step [ 0.5; 1.0; 1.8; 3.0 ] in
+  let verdict =
+    Oracle.assess ~clients_per_step:(clients * rps) ~capacity_rps:capacity
+      steps
+  in
+  (steps, verdict)
+
+let swarm ~quick =
+  (* -- headline: a six-figure client population through Kite httpd --- *)
+  let headline app clients =
+    let cap = swarm_capacity ~flavor:Scenario.Kite ~app ~quick in
+    (* Offer ~40% of closed-loop capacity: the SLO-met regime. *)
+    let session_rate =
+      0.4 *. cap
+      /. float_of_int
+           (Option.get (Swarm_profile.find "web")).Swarm_profile
+             .requests_per_session
+    in
+    swarm_campaign ~app ~clients ~rate:session_rate ()
+  in
+  let headline_clients = if quick then 4_000 else 110_000 in
+  let camp = headline "httpd" headline_clients in
+  if camp.Swarm.sw_clients < headline_clients then
+    failwith "swarm: headline campaign lost clients";
+  (* -- overload sweeps: knee + graceful degradation, both flavors ---- *)
+  let sweep_apps = [ "httpd"; "kvstore" ] in
+  let sweeps =
+    List.map
+      (fun app ->
+        let rows =
+          List.map
+            (fun flavor ->
+              let cap = swarm_capacity ~flavor ~app ~quick in
+              let steps, verdict =
+                swarm_sweep ~flavor ~app ~quick ~capacity:cap
+              in
+              (Scenario.flavor_name flavor, flavor, steps, verdict))
+            [ Scenario.Kite; Scenario.Linux ]
+        in
+        (* The asserted oracle: every flavor must show a knee; the Kite
+           flavor must degrade gracefully past it. *)
+        List.iter
+          (fun (name, flavor, _, (v : Oracle.verdict)) ->
+            if v.Oracle.vd_knee = None then
+              failwith
+                (Printf.sprintf "swarm %s/%s: no saturation knee located" app
+                   name);
+            if flavor = Scenario.Kite && not v.Oracle.vd_ok then
+              failwith
+                (Printf.sprintf "swarm %s: Kite degradation oracle violated: %s"
+                   app
+                   (String.concat "; " v.Oracle.vd_reasons)))
+          rows;
+        (app, List.map (fun (n, _, s, v) -> (n, s, v)) rows))
+      sweep_apps
+  in
+  {
+    exp_id = "swarm";
+    tables =
+      Swarm_report.campaign_table [ camp ]
+      :: List.map (fun (app, rows) -> Swarm_report.sweep_table ~app rows)
+           sweeps;
+  }
+
 let all =
   [
     ("fig1a", "Figure 1a: driver CVEs per year", fig1a);
@@ -1881,6 +2093,9 @@ let all =
     ( "latency-waterfall",
       "Extension: per-stage latency waterfall & saturation knee",
       latency_waterfall );
+    ( "swarm",
+      "Extension: open-loop client swarm & SLO-gated overload",
+      swarm );
   ]
 
 let find id =

@@ -100,6 +100,32 @@ val latency_waterfall : quick:bool -> outcome
     over the measured storage capacity locating the saturation knee
     where queueing time overtakes service time (also enforced). *)
 
+val swarm : quick:bool -> outcome
+(** Open-loop client-population load (ROADMAP item 3): a six-figure
+    headline campaign through Kite httpd reported against SLO targets,
+    then offered-load sweeps past the knee for httpd and kvstore on both
+    flavors.  The runner fails unless every flavor shows a saturation
+    knee and the Kite flavor degrades gracefully past it (goodput
+    plateau, bounded p999, zero request errors); where the Linux flavor
+    collapses is recorded, not asserted. *)
+
+val swarm_campaign :
+  ?flavor:Scenario.flavor ->
+  ?app:string ->
+  ?impair:Kite_net.Impair.spec ->
+  ?profile:string ->
+  ?clients:int ->
+  ?rate:float ->
+  ?seed:int ->
+  unit ->
+  Kite_swarm.Swarm.result
+(** One swarm run on a fresh testbed: [app] is one of
+    httpd/kvstore/memcache/sqldb, [profile] a
+    {!Kite_swarm.Profile.builtins} name, [rate] an optional session-rate
+    override.  The [kite_ctl swarm] subcommand is a thin wrapper.
+    Raises [Invalid_argument] on an unknown profile and [Failure] on an
+    unknown app. *)
+
 val all : (string * string * (quick:bool -> outcome)) list
 (** (id, description, runner), in paper order then ablations. *)
 

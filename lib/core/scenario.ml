@@ -291,7 +291,7 @@ type net = {
 }
 
 let network ?overheads_override ~flavor ?(seed = 2022) ?schedule_seed:sseed
-    ?num_queues () =
+    ?num_queues ?impair () =
   let sseed = match sseed with Some _ -> sseed | None -> !schedule_seed in
   let hv = Hypervisor.create ~seed ?schedule_seed:sseed () in
   let ctx = Xen_ctx.create hv in
@@ -329,6 +329,15 @@ let network ?overheads_override ~flavor ?(seed = 2022) ?schedule_seed:sseed
     Kite_devices.Nic.create sched metrics ~name:"eth-cli" ~queue_limit:8192 ()
   in
   Kite_devices.Nic.connect server_nic client_nic ~propagation:(Time.ns 500);
+  (* Link impairments ride the cable, one independent seeded stream per
+     direction, so enabling them never perturbs any other RNG. *)
+  (match impair with
+  | Some spec when spec <> Kite_net.Impair.none ->
+      Kite_devices.Nic.set_impair server_nic
+        (Some (Kite_net.Impair.create ~seed:(seed * 2 + 1) spec));
+      Kite_devices.Nic.set_impair client_nic
+        (Some (Kite_net.Impair.create ~seed:(seed * 2 + 2) spec))
+  | _ -> ());
   let pci = Kite_devices.Pci.create () in
   Kite_devices.Pci.register pci ~bdf:"01:00.0" (Kite_devices.Pci.Nic server_nic);
   Kite_devices.Pci.assignable_add pci ~bdf:"01:00.0";

@@ -76,6 +76,7 @@ val network :
   ?seed:int ->
   ?schedule_seed:int ->
   ?num_queues:int ->
+  ?impair:Kite_net.Impair.spec ->
   unit ->
   net
 (** Build the network-domain testbed; drive it with
@@ -83,7 +84,9 @@ val network :
     simulated time — use {!when_net_ready} to sequence load behind it.
     [num_queues] turns on the multi-queue dataplane: the toolstack
     writes the guest-config hint and the frontend negotiates that many
-    Tx/Rx ring pairs (capped by netback). *)
+    Tx/Rx ring pairs (capped by netback).  [impair] puts seeded
+    loss/reorder/delay on both directions of the cable (streams derived
+    from [seed]; {!Kite_net.Impair.none} leaves the link ideal). *)
 
 val network_with_overheads :
   overheads:Kite_drivers.Overheads.t -> ?seed:int -> unit -> net

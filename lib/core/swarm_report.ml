@@ -1,0 +1,99 @@
+open Kite_stats
+module Swarm = Kite_swarm.Swarm
+module Oracle = Kite_swarm.Oracle
+
+let f1 v = Table.fmt_f ~prec:1 v
+let fms v = if Float.is_nan v then "-" else Table.fmt_f ~prec:2 v
+
+let campaign_table rows =
+  let t =
+    Table.create ~title:"Swarm campaign: open-loop population per app"
+      ~columns:
+        [
+          ("app", Table.Left);
+          ("profile", Table.Left);
+          ("clients", Table.Right);
+          ("offered", Table.Right);
+          ("completed", Table.Right);
+          ("errors", Table.Right);
+          ("goodput rps", Table.Right);
+          ("p50 ms", Table.Right);
+          ("p99 ms", Table.Right);
+          ("p999 ms", Table.Right);
+          ("SLO", Table.Left);
+        ]
+  in
+  List.iter
+    (fun (r : Swarm.result) ->
+      let slo =
+        if r.Swarm.sw_slos = [] then "-"
+        else if
+          List.for_all (fun e -> e.Kite_flight.Slo.ev_met) r.Swarm.sw_slos
+        then "met"
+        else
+          String.concat ","
+            (List.filter_map
+               (fun e ->
+                 if e.Kite_flight.Slo.ev_met then None
+                 else Some (e.Kite_flight.Slo.ev_name ^ " missed"))
+               r.Swarm.sw_slos)
+      in
+      Table.add_row t
+        [
+          r.Swarm.sw_app;
+          r.Swarm.sw_profile;
+          string_of_int r.Swarm.sw_clients;
+          string_of_int r.Swarm.sw_offered;
+          string_of_int r.Swarm.sw_completed;
+          string_of_int r.Swarm.sw_errors;
+          f1 r.Swarm.sw_goodput_rps;
+          fms r.Swarm.sw_p50_ms;
+          fms r.Swarm.sw_p99_ms;
+          fms r.Swarm.sw_p999_ms;
+          slo;
+        ])
+    rows;
+  t
+
+let sweep_table ~app rows =
+  let t =
+    Table.create
+      ~title:(Printf.sprintf "Swarm overload sweep: %s" app)
+      ~columns:
+        [
+          ("flavor", Table.Left);
+          ("x capacity", Table.Right);
+          ("offered rps", Table.Right);
+          ("goodput rps", Table.Right);
+          ("p99 ms", Table.Right);
+          ("p999 ms", Table.Right);
+          ("errors", Table.Right);
+          ("mark", Table.Left);
+        ]
+  in
+  List.iter
+    (fun (flavor, steps, (verdict : Oracle.verdict)) ->
+      List.iteri
+        (fun i (s : Oracle.step) ->
+          let mark =
+            (if verdict.Oracle.vd_knee = Some i then "knee " else "")
+            ^ if verdict.Oracle.vd_collapse = Some i then "collapse" else ""
+          in
+          Table.add_row t
+            [
+              flavor;
+              f1 s.Oracle.st_mult;
+              f1 s.Oracle.st_offered_rps;
+              f1 s.Oracle.st_goodput_rps;
+              fms s.Oracle.st_p99_ms;
+              fms s.Oracle.st_p999_ms;
+              string_of_int s.Oracle.st_errors;
+              mark;
+            ])
+        steps)
+    rows;
+  Table.note t
+    "the runner fails unless the Kite flavor degrades gracefully past its \
+     knee (goodput plateau, bounded p999, zero errors); the Linux flavor is \
+     recorded, not asserted";
+  t

@@ -1,0 +1,9 @@
+(** Rendered tables for the swarm experiment. *)
+
+val campaign_table : Kite_swarm.Swarm.result list -> Kite_stats.Table.t
+
+val sweep_table :
+  app:string ->
+  (string * Kite_swarm.Oracle.step list * Kite_swarm.Oracle.verdict) list ->
+  Kite_stats.Table.t
+(** One row group per flavor; knee / collapse steps are marked. *)

@@ -19,6 +19,8 @@ type t = {
   mutable rx_bytes : int;
   mutable dropped : int;
   mutable fault : Kite_fault.Fault.t option;
+  mutable impair : Kite_net.Impair.t option;
+  mutable held : Bytes.t option;
 }
 
 let name t = t.name
@@ -43,10 +45,29 @@ let transmitter t () =
     t.tx_bytes <- t.tx_bytes + len;
     Metrics.incr t.metrics ("nic." ^ t.name ^ ".tx");
     (match t.peer with
-    | Some peer ->
-        ignore
-          (Engine.schedule_after engine t.propagation (fun () ->
-               receive peer frame))
+    | Some peer -> (
+        let deliver extra frame =
+          ignore
+            (Engine.schedule_after engine (t.propagation + extra) (fun () ->
+                 receive peer frame))
+        in
+        match t.impair with
+        | None -> deliver 0 frame
+        | Some imp -> (
+            (* Impaired cable: every frame draws a fate from the
+               impairment's private RNG stream.  A held frame rides just
+               behind the next delivered one (a one-frame swap). *)
+            match Kite_net.Impair.frame imp with
+            | Kite_net.Impair.Drop -> ()
+            | Kite_net.Impair.Hold -> t.held <- Some frame
+            | Kite_net.Impair.Deliver extra ->
+                deliver extra frame;
+                (match t.held with
+                | Some h ->
+                    t.held <- None;
+                    Kite_net.Impair.release imp;
+                    deliver (extra + 1) h
+                | None -> ())))
     | None -> ());
     loop ()
   in
@@ -72,6 +93,8 @@ let create sched metrics ~name ?(line_rate_gbps = 10.0)
       rx_bytes = 0;
       dropped = 0;
       fault = None;
+      impair = None;
+      held = None;
     }
   in
   Process.spawn sched ~daemon:true ~name:("nic-" ^ name ^ "-tx")
@@ -88,6 +111,12 @@ let connect a b ~propagation =
 
 let set_rx_handler t f = t.rx_handler <- Some f
 let set_fault t f = t.fault <- f
+
+let set_impair t imp =
+  t.impair <- imp;
+  if imp = None then t.held <- None
+
+let impair t = t.impair
 
 let transmit t frame =
   (* Transient transmit failure (descriptor ring hiccup): raised at the

@@ -35,6 +35,14 @@ exception Transient_error of string
 
 val set_fault : t -> Kite_fault.Fault.t option -> unit
 
+val set_impair : t -> Kite_net.Impair.t option -> unit
+(** Attach (or clear) a link impairment on this NIC's transmit
+    direction.  Free when unused: the hot path is one [match] on [None].
+    A frame held for reordering is released right behind the next
+    delivered frame; clearing the impairment discards any held frame. *)
+
+val impair : t -> Kite_net.Impair.t option
+
 val transmit : t -> Bytes.t -> unit
 (** Enqueue a frame for transmission.  Never blocks; drops when the queue
     is full. *)

@@ -1,0 +1,153 @@
+open Kite_sim
+
+type arrivals = Poisson of float | Pareto of { rate : float; alpha : float }
+
+type sizes =
+  | Fixed of int
+  | Lognormal of { median : int; sigma : float; cap : int }
+  | Pareto_size of { floor : int; alpha : float; cap : int }
+
+type flash = { fl_at : Time.span; fl_len : Time.span; fl_mult : float }
+
+type t = {
+  p_name : string;
+  arrivals : arrivals;
+  sizes : sizes;
+  requests_per_session : int;
+  think : Time.span;
+  slow_fraction : float;
+  slow_stretch : int;
+  flash : flash list;
+  diurnal : (Time.span * float) option;
+}
+
+let rate t = match t.arrivals with Poisson r -> r | Pareto { rate; _ } -> rate
+
+let with_rate t r =
+  {
+    t with
+    arrivals =
+      (match t.arrivals with
+      | Poisson _ -> Poisson r
+      | Pareto { alpha; _ } -> Pareto { rate = r; alpha });
+  }
+
+let modulation t ~at =
+  let diurnal =
+    match t.diurnal with
+    | None -> 1.0
+    | Some (period, trough) ->
+        let phase =
+          2.0 *. Float.pi *. float_of_int (at mod period) /. float_of_int period
+        in
+        (* Starts at the trough, peaks mid-period. *)
+        trough +. ((1.0 -. trough) *. 0.5 *. (1.0 -. cos phase))
+  in
+  List.fold_left
+    (fun m f ->
+      if at >= f.fl_at && at < f.fl_at + f.fl_len then m *. f.fl_mult else m)
+    diurnal t.flash
+
+(* Pareto with mean [1/rate]: scale x_m = (alpha-1)/(alpha*rate), sample
+   x_m * u^(-1/alpha).  alpha <= 1 has no finite mean; clamp at 1.01. *)
+let pareto_gap_ns rng ~rate ~alpha =
+  let alpha = Float.max 1.01 alpha in
+  let mean_ns = 1e9 /. rate in
+  let xm = mean_ns *. (alpha -. 1.0) /. alpha in
+  let u = Float.max 1e-12 (Rng.float rng 1.0) in
+  Float.min (1e4 *. mean_ns) (xm *. (u ** (-1.0 /. alpha)))
+
+let gap t rng ~at =
+  let m = modulation t ~at in
+  let base =
+    match t.arrivals with
+    | Poisson rate -> Rng.exponential rng ~mean:(1e9 /. rate)
+    | Pareto { rate; alpha } -> pareto_gap_ns rng ~rate ~alpha
+  in
+  max 1 (int_of_float (base /. Float.max 1e-6 m))
+
+let size t rng =
+  match t.sizes with
+  | Fixed n -> n
+  | Lognormal { median; sigma; cap } ->
+      let z = Rng.gaussian rng ~mean:0.0 ~stdev:1.0 in
+      min cap (max 1 (int_of_float (float_of_int median *. exp (sigma *. z))))
+  | Pareto_size { floor; alpha; cap } ->
+      let u = Float.max 1e-12 (Rng.float rng 1.0) in
+      min cap
+        (max floor
+           (int_of_float (float_of_int floor *. (u ** (-1.0 /. alpha)))))
+
+let session_length t rng =
+  let mean = max 1 t.requests_per_session in
+  if mean = 1 then 1
+  else begin
+    (* Geometric with the given mean: success probability 1/mean. *)
+    let p = 1.0 /. float_of_int mean in
+    let n = ref 1 in
+    while Rng.float rng 1.0 >= p && !n < 64 * mean do
+      incr n
+    done;
+    !n
+  end
+
+let think_gap t rng =
+  if t.think <= 0 then 0
+  else max 1 (int_of_float (Rng.exponential rng ~mean:(float_of_int t.think)))
+
+let slow t rng = t.slow_fraction > 0.0 && Rng.float rng 1.0 < t.slow_fraction
+
+let steady =
+  {
+    p_name = "steady";
+    arrivals = Poisson 5_000.0;
+    sizes = Fixed 512;
+    requests_per_session = 4;
+    think = Time.us 200;
+    slow_fraction = 0.0;
+    slow_stretch = 1;
+    flash = [];
+    diurnal = None;
+  }
+
+let web =
+  {
+    p_name = "web";
+    arrivals = Pareto { rate = 5_000.0; alpha = 1.5 };
+    sizes = Lognormal { median = 2048; sigma = 1.0; cap = 65536 };
+    requests_per_session = 8;
+    think = Time.ms 1;
+    slow_fraction = 0.0;
+    slow_stretch = 1;
+    flash = [];
+    diurnal = None;
+  }
+
+let flash_crowd =
+  {
+    web with
+    p_name = "flash";
+    flash =
+      [
+        { fl_at = Time.ms 50; fl_len = Time.ms 50; fl_mult = 4.0 };
+        { fl_at = Time.ms 200; fl_len = Time.ms 100; fl_mult = 3.0 };
+      ];
+  }
+
+let diurnal =
+  { web with p_name = "diurnal"; diurnal = Some (Time.ms 400, 0.3) }
+
+let drip =
+  { web with p_name = "drip"; slow_fraction = 0.2; slow_stretch = 16 }
+
+let builtins =
+  [
+    ("steady", steady);
+    ("web", web);
+    ("flash", flash_crowd);
+    ("diurnal", diurnal);
+    ("drip", drip);
+  ]
+
+let find name = List.assoc_opt name builtins
+let names = String.concat "," (List.map fst builtins)

@@ -199,6 +199,89 @@ let test_slo_window () =
   check_int "window from" 100 e2.Slo.ev_from;
   check_int "window to" 300 e2.Slo.ev_to
 
+(* A window whose quantile lands exactly on the threshold spends the
+   error budget exactly (burn 1.0) but still meets the promise — the
+   contract is [actual <= threshold], not strict.  Bucket geometry is
+   chosen so the interpolated quantile is bit-exact: ten observations
+   of 1.5 in the [1, 2) bucket interpolate to precisely 1.5. *)
+let test_slo_exactly_at_target () =
+  let reg = Registry.create ~name:"unit" () in
+  let h = Registry.histogram reg ~base:1.0 ~factor:2.0 "unit_lat_ms" [] in
+  let at_target =
+    Slo.create ~name:"at" ~metric:"unit_lat_ms" ~quantile:0.5 ~threshold:1.5
+      reg
+  in
+  let under =
+    Slo.create ~name:"under" ~metric:"unit_lat_ms" ~quantile:0.5
+      ~threshold:1.25 reg
+  in
+  Slo.arm at_target ~at:0;
+  Slo.arm under ~at:0;
+  for _ = 1 to 10 do
+    Registry.observe h 1.5
+  done;
+  let e = Slo.evaluate at_target ~at:50 in
+  Alcotest.(check (float 1e-9)) "quantile lands on threshold" 1.5 e.Slo.ev_actual;
+  check_bool "exactly at target still met" true e.Slo.ev_met;
+  Alcotest.(check (float 1e-9)) "budget spent exactly" 1.0 e.Slo.ev_burn;
+  Alcotest.(check (float 1e-9)) "half the window over" 0.5 e.Slo.ev_compliance;
+  let e' = Slo.evaluate under ~at:50 in
+  check_bool "a hair under target misses" true (not e'.Slo.ev_met);
+  Alcotest.(check (float 1e-9)) "overspent budget" 1.5 e'.Slo.ev_burn
+
+(* An armed window that never sees an observation is vacuously met —
+   even when the histogram carries a miserable history from before the
+   arm.  Burn must read 0, not echo the stale distribution. *)
+let test_slo_empty_window () =
+  let reg = Registry.create ~name:"unit" () in
+  let h = Registry.histogram reg ~base:1.0 ~factor:2.0 "unit_lat_ms" [] in
+  let slo =
+    Slo.create ~name:"p99" ~metric:"unit_lat_ms" ~quantile:0.99 ~threshold:2.0
+      reg
+  in
+  for _ = 1 to 5 do
+    Registry.observe h 100.0
+  done;
+  Slo.arm slo ~at:1000;
+  let e = Slo.evaluate slo ~at:2000 in
+  check_int "empty window count" 0 e.Slo.ev_count;
+  check_bool "empty window actual is nan" true (Float.is_nan e.Slo.ev_actual);
+  Alcotest.(check (float 1e-9)) "empty window compliance" 1.0 e.Slo.ev_compliance;
+  Alcotest.(check (float 1e-9)) "empty window burn" 0.0 e.Slo.ev_burn;
+  check_bool "empty window met" true e.Slo.ev_met;
+  check_int "window from" 1000 e.Slo.ev_from;
+  check_int "window to" 2000 e.Slo.ev_to
+
+(* Re-arming is the counter-reset recovery path: the baseline snapshot
+   is retaken, so a blown window's observations stop counting against
+   the new one and the burn rate starts over from zero. *)
+let test_slo_rearm_resets_burn () =
+  let reg = Registry.create ~name:"unit" () in
+  let h = Registry.histogram reg ~base:1.0 ~factor:2.0 "unit_lat_ms" [] in
+  let slo =
+    Slo.create ~name:"p50" ~metric:"unit_lat_ms" ~quantile:0.5 ~threshold:2.0
+      reg
+  in
+  Slo.arm slo ~at:0;
+  for _ = 1 to 10 do
+    Registry.observe h 100.0
+  done;
+  let e0 = Slo.evaluate slo ~at:100 in
+  check_bool "blown window missed" true (not e0.Slo.ev_met);
+  Alcotest.(check (float 1e-9)) "blown window burn" 2.0 e0.Slo.ev_burn;
+  Slo.arm slo ~at:100;
+  let e1 = Slo.evaluate slo ~at:150 in
+  check_int "re-arm empties the window" 0 e1.Slo.ev_count;
+  Alcotest.(check (float 1e-9)) "re-arm resets burn" 0.0 e1.Slo.ev_burn;
+  check_bool "re-armed window met" true e1.Slo.ev_met;
+  for _ = 1 to 10 do
+    Registry.observe h 1.5
+  done;
+  let e2 = Slo.evaluate slo ~at:200 in
+  check_int "only post-re-arm observations counted" 10 e2.Slo.ev_count;
+  check_bool "recovered window met" true e2.Slo.ev_met;
+  Alcotest.(check (float 1e-9)) "recovered burn" 0.0 e2.Slo.ev_burn
+
 (* ------------------------------------------------------------------ *)
 (* Scenario integration: crash -> incident snapshot                    *)
 (* ------------------------------------------------------------------ *)
@@ -328,6 +411,9 @@ let suite =
     ("delta, store, finding trigger", `Quick, test_delta_store_and_finding_trigger);
     ("audit orders and unsealed", `Quick, test_audit_orders_and_unsealed);
     ("slo window arithmetic", `Quick, test_slo_window);
+    ("slo exactly at target", `Quick, test_slo_exactly_at_target);
+    ("slo empty window", `Quick, test_slo_empty_window);
+    ("slo re-arm resets burn", `Quick, test_slo_rearm_resets_burn);
     ("crash freezes incident", `Quick, test_crash_freezes_incident);
     ("seeded stress", `Quick, test_seeded_stress);
     ("json export", `Quick, test_json_export);

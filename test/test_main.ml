@@ -22,4 +22,5 @@ let () =
       ("flight", Test_flight.suite);
       ("path", Test_path.suite);
       ("adversary", Test_adversary.suite);
+      ("swarm", Test_swarm.suite);
     ]
